@@ -1,0 +1,26 @@
+//! Ablation A2: interpolation strategy under column-segment losses (the
+//! loss shape strip coding actually produces). Validates the paper's
+//! left-priority choice against the natural alternative.
+
+use sonic_sim::experiments::ablation::run_interp_ablation;
+use sonic_sim::report::Table;
+
+fn main() {
+    let loss = sonic_sim::experiments::env_or("SONIC_ABL_INTERP_LOSS", 0.2);
+    let pages = sonic_sim::experiments::env_or("SONIC_ABL_INTERP_PAGES", 12);
+    println!(
+        "Ablation A2 — interpolation strategy at {:.0}% column losses ({pages} pages)",
+        loss * 100.0
+    );
+    let rows = run_interp_ablation(loss, pages, 0.15, 0xAB2);
+    let mut table = Table::new(&["strategy", "PSNR dB", "edge integrity"]);
+    for r in &rows {
+        table.row(&[
+            r.name.to_string(),
+            format!("{:.1}", r.psnr_db),
+            format!("{:.3}", r.edge),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("expected: any repair >> none; left vs above differ little on column losses (the paper's left-priority is justified by text, not geometry)");
+}

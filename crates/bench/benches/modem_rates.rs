@@ -1,0 +1,22 @@
+//! Rate table (§2 and §3.3): SONIC profiles vs. related-work baselines.
+
+use sonic_sim::experiments::rates::run_experiment;
+use sonic_sim::report::Table;
+
+fn main() {
+    println!("Modem rates — SONIC profiles and related-work baselines");
+    let rows = run_experiment();
+    let mut table = Table::new(&["system", "raw bps", "measured net bps", "notes"]);
+    for r in &rows {
+        table.row(&[
+            r.name.clone(),
+            format!("{:.0}", r.raw_bps),
+            r.measured_bps
+                .map(|m| format!("{m:.0}"))
+                .unwrap_or_else(|| "-".into()),
+            r.notes.clone(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("paper anchors: Quiet audible ~7 kbps; SONIC profile 10 kbps; GGwave 128 bps; chirp ~16 bps; RDS 1187.5 bps; multi-frequency x2/x3");
+}

@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks of the image pipeline: page render, SWP
+//! encode/decode, strip encode, interpolation repair.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sonic_image::interpolate::{recover, LossMask};
+use sonic_image::{codec, strip};
+use sonic_pagegen::{Corpus, PageId};
+use std::hint::black_box;
+
+fn bench_render(c: &mut Criterion) {
+    let corpus = Corpus::standard();
+    let id = PageId { site: 0, page: 0 };
+    c.bench_function("pagegen_render_scale02", |b| {
+        b.iter(|| corpus.render(black_box(id), 9, 0.2))
+    });
+}
+
+fn bench_swp(c: &mut Criterion) {
+    let corpus = Corpus::standard();
+    let page = corpus.render(PageId { site: 0, page: 1 }, 0, 0.2);
+    c.bench_function("swp_encode_q10", |b| {
+        b.iter(|| codec::encode(black_box(&page.raster), 10))
+    });
+    let data = codec::encode(&page.raster, 10);
+    c.bench_function("swp_decode_q10", |b| {
+        b.iter(|| codec::decode(black_box(&data)).expect("decodes"))
+    });
+}
+
+fn bench_strip(c: &mut Criterion) {
+    let corpus = Corpus::standard();
+    let page = corpus.render(PageId { site: 0, page: 1 }, 0, 0.2);
+    c.bench_function("strip_encode", |b| {
+        b.iter(|| strip::encode(black_box(&page.raster)))
+    });
+}
+
+fn bench_interpolate(c: &mut Criterion) {
+    let corpus = Corpus::standard();
+    let page = corpus.render(PageId { site: 0, page: 1 }, 0, 0.2);
+    let mask = LossMask::random(page.raster.width(), page.raster.height(), 0.1, 1);
+    c.bench_function("interpolate_10pct", |b| {
+        b.iter(|| recover(black_box(&page.raster), black_box(&mask)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_render, bench_swp, bench_strip, bench_interpolate
+}
+criterion_main!(benches);

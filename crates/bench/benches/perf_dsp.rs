@@ -1,0 +1,68 @@
+//! Criterion micro-benchmarks of the DSP/FEC hot paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fft(c: &mut Criterion) {
+    use sonic_dsp::{C32, Fft};
+    let fft = Fft::new(1024);
+    let buf: Vec<C32> = (0..1024)
+        .map(|i| C32::new((i as f32 * 0.01).sin(), (i as f32 * 0.02).cos()))
+        .collect();
+    c.bench_function("fft_1024_forward", |b| {
+        b.iter(|| {
+            let mut x = buf.clone();
+            fft.forward(black_box(&mut x));
+            x
+        })
+    });
+}
+
+fn bench_viterbi(c: &mut Criterion) {
+    use sonic_fec::{conv, viterbi};
+    let info: Vec<u8> = (0..800).map(|i| (i % 2) as u8).collect();
+    let coded = conv::encode(&info);
+    let soft: Vec<f32> = coded.iter().map(|&b| if b == 1 { 1.0 } else { -1.0 }).collect();
+    c.bench_function("viterbi_k9_800bits", |b| {
+        b.iter(|| viterbi::decode_soft(black_box(&soft), 800))
+    });
+}
+
+fn bench_rs(c: &mut Criterion) {
+    use sonic_fec::rs::RsCodec;
+    let rs = RsCodec::new(32);
+    let data: Vec<u8> = (0..223).map(|i| i as u8).collect();
+    c.bench_function("rs255_223_encode", |b| b.iter(|| rs.encode(black_box(&data))));
+    let mut cw = data.clone();
+    cw.extend(rs.encode(&data));
+    c.bench_function("rs255_223_decode_8err", |b| {
+        b.iter(|| {
+            let mut x = cw.clone();
+            for k in 0..8 {
+                x[k * 25] ^= 0x5A;
+            }
+            rs.decode(black_box(&mut x), &[]).expect("correctable")
+        })
+    });
+}
+
+fn bench_ofdm(c: &mut Criterion) {
+    use sonic_modem::frame::{demodulate_frames, modulate_frame};
+    use sonic_modem::profile::Profile;
+    let p = Profile::sonic_10k();
+    let payload = vec![0xA5u8; 1000];
+    c.bench_function("ofdm_modulate_1kB", |b| {
+        b.iter(|| modulate_frame(black_box(&p), black_box(&payload)))
+    });
+    let audio = modulate_frame(&p, &payload);
+    c.bench_function("ofdm_demodulate_1kB", |b| {
+        b.iter(|| demodulate_frames(black_box(&p), black_box(&audio)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fft, bench_viterbi, bench_rs, bench_ofdm
+}
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! # sonic-bench
+//!
+//! Bench targets regenerating the SONIC paper's evaluation. Run all with
+//! `cargo bench --workspace`; each `fig*`/`rssi*`/`ablation*` target prints
+//! the table/series the paper reports (see EXPERIMENTS.md for the mapping
+//! and the `SONIC_*` environment knobs that scale runtime vs. fidelity).
+//! `perf_*` targets are Criterion micro-benchmarks of the hot DSP paths.

@@ -1,0 +1,186 @@
+//! Uplink request management.
+//!
+//! SMS costs money and the downlink takes minutes, so the client must not
+//! fire duplicate requests for a page that is already on its way. This
+//! manager tracks pending requests, matches gateway ACKs (arrival estimates),
+//! expires requests whose ETA passed without delivery, and enforces a retry
+//! budget.
+
+use sonic_sms::gateway::Ack;
+use std::collections::HashMap;
+
+/// Why a request cannot be sent right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestGate {
+    /// A request for this URL is already awaiting its broadcast.
+    AlreadyPending,
+    /// The retry budget for this URL is exhausted.
+    RetriesExhausted,
+}
+
+/// State of one in-flight request.
+#[derive(Debug, Clone)]
+pub struct Pending {
+    /// When the SMS was sent (seconds).
+    pub sent_at: f64,
+    /// Expected delivery deadline (from the ACK), if acknowledged.
+    pub deadline: Option<f64>,
+    /// Frequency to tune to (from the ACK).
+    pub freq_mhz: Option<f64>,
+    /// Attempts made so far (1 = first request).
+    pub attempts: u32,
+}
+
+/// Tracks outstanding page requests.
+#[derive(Debug)]
+pub struct UplinkManager {
+    pending: HashMap<String, Pending>,
+    /// Max attempts per URL.
+    pub max_attempts: u32,
+    /// Grace seconds past the ACK'd ETA before a request counts as failed.
+    pub grace_s: f64,
+    /// Timeout for requests that never got an ACK.
+    pub ack_timeout_s: f64,
+}
+
+impl Default for UplinkManager {
+    fn default() -> Self {
+        UplinkManager {
+            pending: HashMap::new(),
+            max_attempts: 3,
+            grace_s: 120.0,
+            ack_timeout_s: 60.0,
+        }
+    }
+}
+
+impl UplinkManager {
+    /// Creates a manager with default policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of in-flight requests.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Attempts to register a request for `url` at time `now`.
+    ///
+    /// `Ok(attempt_number)` means the caller should send the SMS.
+    pub fn request(&mut self, url: &str, now: f64) -> Result<u32, RequestGate> {
+        match self.pending.get_mut(url) {
+            None => {
+                self.pending.insert(
+                    url.to_string(),
+                    Pending {
+                        sent_at: now,
+                        deadline: None,
+                        freq_mhz: None,
+                        attempts: 1,
+                    },
+                );
+                Ok(1)
+            }
+            Some(p) => {
+                let expired = match p.deadline {
+                    Some(d) => now > d + self.grace_s,
+                    None => now > p.sent_at + self.ack_timeout_s,
+                };
+                if !expired {
+                    return Err(RequestGate::AlreadyPending);
+                }
+                if p.attempts >= self.max_attempts {
+                    return Err(RequestGate::RetriesExhausted);
+                }
+                p.attempts += 1;
+                p.sent_at = now;
+                p.deadline = None;
+                p.freq_mhz = None;
+                Ok(p.attempts)
+            }
+        }
+    }
+
+    /// Records a gateway ACK.
+    pub fn handle_ack(&mut self, ack: &Ack, now: f64) {
+        if let Some(p) = self.pending.get_mut(&ack.url) {
+            p.deadline = Some(now + ack.eta_s as f64);
+            p.freq_mhz = Some(ack.freq_mhz);
+        }
+    }
+
+    /// The frequency to tune to for a pending URL (from its ACK).
+    pub fn tune_freq(&self, url: &str) -> Option<f64> {
+        self.pending.get(url)?.freq_mhz
+    }
+
+    /// Marks a URL delivered (page landed in the cache); clears the entry.
+    pub fn delivered(&mut self, url: &str) {
+        self.pending.remove(url);
+    }
+
+    /// URLs whose deadline (or ACK timeout) has lapsed at `now`.
+    pub fn overdue(&self, now: f64) -> Vec<String> {
+        self.pending
+            .iter()
+            .filter(|(_, p)| match p.deadline {
+                Some(d) => now > d + self.grace_s,
+                None => now > p.sent_at + self.ack_timeout_s,
+            })
+            .map(|(u, _)| u.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sonic_sms::gateway;
+
+    #[test]
+    fn duplicate_requests_are_gated() {
+        let mut m = UplinkManager::new();
+        assert_eq!(m.request("a", 0.0), Ok(1));
+        assert_eq!(m.request("a", 5.0), Err(RequestGate::AlreadyPending));
+        assert_eq!(m.pending_count(), 1);
+    }
+
+    #[test]
+    fn ack_sets_deadline_and_frequency() {
+        let mut m = UplinkManager::new();
+        m.request("a", 0.0).expect("first");
+        let ack = gateway::parse_ack(&gateway::format_ack("a", 120, 93.7)).expect("ack");
+        m.handle_ack(&ack, 10.0);
+        assert_eq!(m.tune_freq("a"), Some(93.7));
+        assert!(m.overdue(100.0).is_empty());
+        assert_eq!(m.overdue(10.0 + 120.0 + 121.0), vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn retry_after_deadline_then_budget_exhausts() {
+        let mut m = UplinkManager::new();
+        assert_eq!(m.request("a", 0.0), Ok(1));
+        // No ACK ever arrives; retry after the ack timeout.
+        assert_eq!(m.request("a", 61.0), Ok(2));
+        assert_eq!(m.request("a", 200.0), Ok(3));
+        assert_eq!(m.request("a", 400.0), Err(RequestGate::RetriesExhausted));
+    }
+
+    #[test]
+    fn delivery_clears_and_allows_future_requests() {
+        let mut m = UplinkManager::new();
+        m.request("a", 0.0).expect("send");
+        m.delivered("a");
+        assert_eq!(m.pending_count(), 0);
+        assert_eq!(m.request("a", 1.0), Ok(1), "fresh budget after delivery");
+    }
+
+    #[test]
+    fn unacked_requests_time_out() {
+        let mut m = UplinkManager::new();
+        m.request("a", 0.0).expect("send");
+        assert!(m.overdue(30.0).is_empty());
+        assert_eq!(m.overdue(61.0), vec!["a".to_string()]);
+    }
+}

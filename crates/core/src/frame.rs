@@ -1,0 +1,254 @@
+//! SONIC link-layer frames.
+//!
+//! §3.3: "Each partition is then divided into fixed-sized frames of 100
+//! bytes each. Each frame carries a partition and a sequence number used to
+//! reassemble the image on the receiver end … crc32 as the checksum."
+//!
+//! Wire layout (exactly [`FRAME_SIZE`] = 100 bytes):
+//!
+//! ```text
+//! 0      kind        (1 B: 0x4D meta, 0x53 strip)
+//! 1..5   page_id     (u32 BE — url hash ⊕ version)
+//! 5..7   field_a     (u16 BE — meta: part seq; strip: column index)
+//! 7..9   field_b     (u16 BE — meta: part total; strip: seq, MSB = last)
+//! 9      payload_len (u8, ≤ 87)
+//! 10..97 payload     (87 B, zero-padded)
+//! 97..100 — wait, see below —
+//! ```
+//!
+//! Header (10 B) + payload (86 B) + CRC-32 (4 B) = 100 B, so
+//! [`FRAME_PAYLOAD`] is 86.
+
+use sonic_fec::crc32;
+
+/// Total frame size on the wire.
+pub const FRAME_SIZE: usize = 100;
+/// Payload bytes per frame.
+pub const FRAME_PAYLOAD: usize = 86;
+
+/// Frame kind tags.
+const KIND_META: u8 = 0x4D; // 'M'
+const KIND_STRIP: u8 = 0x53; // 'S'
+
+/// Last-frame flag in a strip frame's sequence field.
+const LAST_FLAG: u16 = 0x8000;
+
+/// A decoded SONIC link frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Page metadata part (dimensions, URL, TTL, click map).
+    Meta {
+        /// Page this frame belongs to.
+        page_id: u32,
+        /// Part index.
+        seq: u16,
+        /// Total parts in the meta region.
+        total: u16,
+        /// Bytes of this part.
+        payload: Vec<u8>,
+    },
+    /// A chunk of one 1-px column's strip coding.
+    Strip {
+        /// Page this frame belongs to.
+        page_id: u32,
+        /// Column index (0..width).
+        column: u16,
+        /// Chunk sequence within the column.
+        seq: u16,
+        /// Whether this is the column's final chunk.
+        last: bool,
+        /// Bytes of this chunk.
+        payload: Vec<u8>,
+    },
+}
+
+/// Why a frame failed to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Buffer isn't exactly [`FRAME_SIZE`] bytes.
+    BadSize,
+    /// CRC-32 mismatch (corrupted in flight).
+    BadCrc,
+    /// Unknown kind tag or inconsistent fields.
+    Malformed,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadSize => write!(f, "frame: wrong size"),
+            FrameError::BadCrc => write!(f, "frame: crc mismatch"),
+            FrameError::Malformed => write!(f, "frame: malformed"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl Frame {
+    /// The page id.
+    pub fn page_id(&self) -> u32 {
+        match self {
+            Frame::Meta { page_id, .. } | Frame::Strip { page_id, .. } => *page_id,
+        }
+    }
+
+    /// Serializes to exactly 100 bytes.
+    ///
+    /// # Panics
+    /// Panics if the payload exceeds [`FRAME_PAYLOAD`] or a strip sequence
+    /// overflows 15 bits.
+    pub fn encode(&self) -> [u8; FRAME_SIZE] {
+        let mut buf = [0u8; FRAME_SIZE];
+        let (kind, page_id, a, b, payload) = match self {
+            Frame::Meta {
+                page_id,
+                seq,
+                total,
+                payload,
+            } => (KIND_META, *page_id, *seq, *total, payload),
+            Frame::Strip {
+                page_id,
+                column,
+                seq,
+                last,
+                payload,
+            } => {
+                assert!(*seq < LAST_FLAG, "strip seq overflows 15 bits");
+                let b = seq | if *last { LAST_FLAG } else { 0 };
+                (KIND_STRIP, *page_id, *column, b, payload)
+            }
+        };
+        assert!(payload.len() <= FRAME_PAYLOAD, "payload too large");
+        buf[0] = kind;
+        buf[1..5].copy_from_slice(&page_id.to_be_bytes());
+        buf[5..7].copy_from_slice(&a.to_be_bytes());
+        buf[7..9].copy_from_slice(&b.to_be_bytes());
+        buf[9] = payload.len() as u8;
+        buf[10..10 + payload.len()].copy_from_slice(payload);
+        let crc = crc32(&buf[..FRAME_SIZE - 4]);
+        buf[FRAME_SIZE - 4..].copy_from_slice(&crc.to_be_bytes());
+        buf
+    }
+
+    /// Parses and CRC-checks a 100-byte buffer.
+    pub fn decode(buf: &[u8]) -> Result<Frame, FrameError> {
+        if buf.len() != FRAME_SIZE {
+            return Err(FrameError::BadSize);
+        }
+        let want = u32::from_be_bytes([buf[96], buf[97], buf[98], buf[99]]);
+        if crc32(&buf[..FRAME_SIZE - 4]) != want {
+            return Err(FrameError::BadCrc);
+        }
+        let page_id = u32::from_be_bytes([buf[1], buf[2], buf[3], buf[4]]);
+        let a = u16::from_be_bytes([buf[5], buf[6]]);
+        let b = u16::from_be_bytes([buf[7], buf[8]]);
+        let len = buf[9] as usize;
+        if len > FRAME_PAYLOAD {
+            return Err(FrameError::Malformed);
+        }
+        let payload = buf[10..10 + len].to_vec();
+        match buf[0] {
+            KIND_META => Ok(Frame::Meta {
+                page_id,
+                seq: a,
+                total: b,
+                payload,
+            }),
+            KIND_STRIP => Ok(Frame::Strip {
+                page_id,
+                column: a,
+                seq: b & !LAST_FLAG,
+                last: b & LAST_FLAG != 0,
+                payload,
+            }),
+            _ => Err(FrameError::Malformed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_roundtrip() {
+        let f = Frame::Meta {
+            page_id: 0xDEADBEEF,
+            seq: 3,
+            total: 7,
+            payload: vec![1, 2, 3, 4],
+        };
+        let wire = f.encode();
+        assert_eq!(wire.len(), FRAME_SIZE);
+        assert_eq!(Frame::decode(&wire), Ok(f));
+    }
+
+    #[test]
+    fn strip_roundtrip_with_last_flag() {
+        let f = Frame::Strip {
+            page_id: 42,
+            column: 1079,
+            seq: 0x7FFF,
+            last: true,
+            payload: vec![9; FRAME_PAYLOAD],
+        };
+        assert_eq!(Frame::decode(&f.encode()), Ok(f));
+    }
+
+    #[test]
+    fn corruption_is_detected_everywhere() {
+        let f = Frame::Strip {
+            page_id: 7,
+            column: 12,
+            seq: 5,
+            last: false,
+            payload: vec![0xAA; 40],
+        };
+        let wire = f.encode();
+        for i in 0..FRAME_SIZE {
+            let mut bad = wire;
+            bad[i] ^= 0x01;
+            assert!(
+                Frame::decode(&bad).is_err(),
+                "flip at byte {i} must not parse clean"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_size_rejected() {
+        assert_eq!(Frame::decode(&[0u8; 99]), Err(FrameError::BadSize));
+        assert_eq!(Frame::decode(&[0u8; 101]), Err(FrameError::BadSize));
+    }
+
+    #[test]
+    fn empty_payload_allowed() {
+        let f = Frame::Meta {
+            page_id: 1,
+            seq: 0,
+            total: 1,
+            payload: vec![],
+        };
+        assert_eq!(Frame::decode(&f.encode()), Ok(f));
+    }
+
+    #[test]
+    #[should_panic(expected = "payload too large")]
+    fn oversize_payload_panics() {
+        let f = Frame::Meta {
+            page_id: 1,
+            seq: 0,
+            total: 1,
+            payload: vec![0; FRAME_PAYLOAD + 1],
+        };
+        let _ = f.encode();
+    }
+
+    #[test]
+    fn overhead_is_fourteen_percent() {
+        // 86/100 useful: the paper's 100-byte frames with id/seq/crc cost
+        // 14 bytes of overhead.
+        assert_eq!(FRAME_SIZE - FRAME_PAYLOAD, 14);
+    }
+}

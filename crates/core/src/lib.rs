@@ -1,0 +1,30 @@
+//! # sonic-core
+//!
+//! The paper's primary contribution: the SONIC system — a server that
+//! renders webpages into loss-resilient images broadcast over FM audio, and
+//! a client that reassembles, repairs and browses them, with SMS as the
+//! uplink.
+//!
+//! * [`frame`] — the 100-byte link frames of §3.3 (id, partition, seq, CRC-32).
+//! * [`page`] — the simplified page: strip-coded screenshot + click map + TTL.
+//! * [`chunker`] / [`reassembly`] — page ↔ frame conversion with per-column
+//!   prefix semantics and loss masks.
+//! * [`link`] — batching frames into OFDM bursts via `sonic-modem`.
+//! * [`server`] — rendering, caching, SMS handling, broadcast scheduling.
+//! * [`client`] — page cache, catalog, click-map browsing, uplink requests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chunker;
+pub mod client;
+pub mod frame;
+pub mod link;
+pub mod page;
+pub mod reassembly;
+pub mod server;
+
+pub use client::SonicClient;
+pub use frame::{Frame, FRAME_PAYLOAD, FRAME_SIZE};
+pub use page::SimplifiedPage;
+pub use server::SonicServer;

@@ -1,0 +1,127 @@
+//! Link ↔ PHY adaptation: batching 100-byte SONIC frames into OFDM bursts.
+//!
+//! A PHY burst costs 4 overhead symbols (preamble, training ×2, header), so
+//! sending one 100-byte frame per burst would waste most of the airtime.
+//! The link layer therefore packs [`FRAMES_PER_BURST`] frames per burst;
+//! a burst lost to sync/header failure costs that many frames, which is the
+//! granularity the loss experiments measure.
+
+use crate::frame::{Frame, FrameError, FRAME_SIZE};
+use sonic_modem::frame::{demodulate_frames, modulate_frame, MAX_PAYLOAD};
+use sonic_modem::profile::Profile;
+
+/// Link frames packed into one PHY burst (40 × 100 B = 4000 ≤ 4095).
+pub const FRAMES_PER_BURST: usize = MAX_PAYLOAD / FRAME_SIZE;
+
+/// Reception statistics at frame granularity.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinkStats {
+    /// PHY bursts detected.
+    pub bursts_detected: usize,
+    /// PHY bursts that failed (header/FEC/truncation).
+    pub bursts_failed: usize,
+    /// Link frames recovered with a valid CRC.
+    pub frames_ok: usize,
+    /// Link frames dropped (bad CRC or inside failed bursts is unknown —
+    /// only counts frames that arrived but failed their CRC).
+    pub frames_bad_crc: usize,
+}
+
+/// Modulates a frame sequence into audio, [`FRAMES_PER_BURST`] per burst.
+pub fn modulate(profile: &Profile, frames: &[Frame]) -> Vec<f32> {
+    let mut audio = Vec::new();
+    for group in frames.chunks(FRAMES_PER_BURST) {
+        let mut payload = Vec::with_capacity(group.len() * FRAME_SIZE);
+        for f in group {
+            payload.extend_from_slice(&f.encode());
+        }
+        audio.extend(modulate_frame(profile, &payload));
+        // Half a symbol of guard between bursts.
+        audio.extend(std::iter::repeat(0.0).take(profile.symbol_len() / 2));
+    }
+    audio
+}
+
+/// Demodulates audio back into link frames with loss accounting.
+pub fn demodulate(profile: &Profile, audio: &[f32]) -> (Vec<Frame>, LinkStats) {
+    let mut stats = LinkStats::default();
+    let mut frames = Vec::new();
+    for burst in demodulate_frames(profile, audio) {
+        stats.bursts_detected += 1;
+        match burst.payload {
+            Ok(payload) => {
+                for chunk in payload.chunks(FRAME_SIZE) {
+                    match Frame::decode(chunk) {
+                        Ok(f) => {
+                            stats.frames_ok += 1;
+                            frames.push(f);
+                        }
+                        Err(FrameError::BadSize) => {
+                            // Trailing partial chunk: a malformed batch.
+                            stats.frames_bad_crc += 1;
+                        }
+                        Err(_) => stats.frames_bad_crc += 1,
+                    }
+                }
+            }
+            Err(_) => stats.bursts_failed += 1,
+        }
+    }
+    (frames, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames(n: usize) -> Vec<Frame> {
+        (0..n)
+            .map(|i| Frame::Strip {
+                page_id: 7,
+                column: (i % 40) as u16,
+                seq: (i / 40) as u16,
+                last: false,
+                payload: vec![(i % 251) as u8; 86],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_one_burst() {
+        let p = Profile::sonic_10k();
+        let fs = frames(5);
+        let audio = modulate(&p, &fs);
+        let (got, stats) = demodulate(&p, &audio);
+        assert_eq!(got, fs);
+        assert_eq!(stats.bursts_detected, 1);
+        assert_eq!(stats.bursts_failed, 0);
+        assert_eq!(stats.frames_ok, 5);
+    }
+
+    #[test]
+    fn roundtrip_multiple_bursts() {
+        let p = Profile::sonic_10k();
+        let fs = frames(FRAMES_PER_BURST + 3);
+        let audio = modulate(&p, &fs);
+        let (got, stats) = demodulate(&p, &audio);
+        assert_eq!(got.len(), fs.len());
+        assert_eq!(stats.bursts_detected, 2);
+        assert_eq!(got, fs);
+    }
+
+    #[test]
+    fn forty_frames_fit_one_burst() {
+        assert_eq!(FRAMES_PER_BURST, 40);
+        let p = Profile::sonic_10k();
+        let fs = frames(40);
+        let audio = modulate(&p, &fs);
+        let (_, stats) = demodulate(&p, &audio);
+        assert_eq!(stats.bursts_detected, 1);
+    }
+
+    #[test]
+    fn empty_input_is_silence() {
+        let p = Profile::sonic_10k();
+        assert!(modulate(&p, &[]).is_empty());
+    }
+}

@@ -1,0 +1,355 @@
+//! Frames → page (receive side of §3.3).
+//!
+//! Tracks per-column chunk arrival; a column's usable data is its longest
+//! *prefix* of consecutive chunks (the strip coding is a sequential entropy
+//! stream, so a chunk after a gap is undecodable). Missing pixels become a
+//! loss mask that feeds nearest-neighbor interpolation.
+
+use crate::frame::Frame;
+use crate::page::SimplifiedPage;
+use sonic_image::clickmap::ClickMap;
+use sonic_image::interpolate::LossMask;
+use sonic_image::raster::Raster;
+use sonic_image::strip::{decode_partial, StripImage};
+use std::collections::{BTreeMap, HashMap};
+
+/// In-progress reception of one page.
+#[derive(Debug, Default)]
+pub struct PageAssembly {
+    meta_parts: BTreeMap<u16, Vec<u8>>,
+    meta_total: Option<u16>,
+    /// column → (seq → (payload, last)).
+    columns: HashMap<u16, BTreeMap<u16, (Vec<u8>, bool)>>,
+    frames_seen: usize,
+}
+
+/// A fully (or partially) reassembled page plus reception stats.
+#[derive(Debug)]
+pub struct ReceivedPage {
+    /// Reconstructed (pre-interpolation) screenshot.
+    pub raster: Raster,
+    /// Pixels that were lost in flight.
+    pub mask: LossMask,
+    /// Page metadata.
+    pub url: String,
+    /// Click map.
+    pub clickmap: ClickMap,
+    /// Cache TTL hours.
+    pub ttl_hours: u16,
+    /// Content version.
+    pub version: u16,
+    /// Fraction of expected strip frames that never arrived.
+    pub frame_loss: f64,
+}
+
+/// Why finalization failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssemblyError {
+    /// The metadata region is incomplete — dimensions unknown.
+    MetaIncomplete,
+    /// Metadata arrived but does not parse.
+    MetaCorrupt,
+}
+
+impl std::fmt::Display for AssemblyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AssemblyError::MetaIncomplete => write!(f, "assembly: metadata incomplete"),
+            AssemblyError::MetaCorrupt => write!(f, "assembly: metadata corrupt"),
+        }
+    }
+}
+
+impl std::error::Error for AssemblyError {}
+
+impl PageAssembly {
+    /// Creates an empty assembly.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests one frame (of this page; caller routes by page id).
+    pub fn push(&mut self, frame: Frame) {
+        self.frames_seen += 1;
+        match frame {
+            Frame::Meta {
+                seq, total, payload, ..
+            } => {
+                self.meta_total = Some(total);
+                self.meta_parts.entry(seq).or_insert(payload);
+            }
+            Frame::Strip {
+                column,
+                seq,
+                last,
+                payload,
+                ..
+            } => {
+                self.columns
+                    .entry(column)
+                    .or_default()
+                    .entry(seq)
+                    .or_insert((payload, last));
+            }
+        }
+    }
+
+    /// Whether the metadata region is complete.
+    pub fn meta_complete(&self) -> bool {
+        match self.meta_total {
+            Some(t) => (0..t).all(|s| self.meta_parts.contains_key(&s)),
+            None => false,
+        }
+    }
+
+    /// Frames ingested so far.
+    pub fn frames_seen(&self) -> usize {
+        self.frames_seen
+    }
+
+    /// Finalizes into a page; call when the broadcast of this page ended.
+    pub fn finalize(&self) -> Result<ReceivedPage, AssemblyError> {
+        if !self.meta_complete() {
+            return Err(AssemblyError::MetaIncomplete);
+        }
+        let mut blob = Vec::new();
+        for part in self.meta_parts.values() {
+            blob.extend_from_slice(part);
+        }
+        let (width, height, ttl_hours, version, url, clickmap) =
+            SimplifiedPage::parse_meta(&blob).ok_or(AssemblyError::MetaCorrupt)?;
+
+        // Per column: longest consecutive prefix of chunks.
+        let mut strips = Vec::with_capacity(width);
+        let mut received = Vec::with_capacity(width);
+        let mut expected_frames = 0usize;
+        let mut got_frames = 0usize;
+        for col in 0..width as u16 {
+            let mut bytes = Vec::new();
+            let mut complete = false;
+            if let Some(chunks) = self.columns.get(&col) {
+                let mut next = 0u16;
+                while let Some((payload, last)) = chunks.get(&next) {
+                    bytes.extend_from_slice(payload);
+                    if *last {
+                        complete = true;
+                        break;
+                    }
+                    next += 1;
+                }
+                got_frames += chunks.len().min(next as usize + usize::from(complete));
+                // Expected count: if we saw the last chunk anywhere, its seq
+                // tells us; otherwise estimate from the highest seen seq.
+                let exp = chunks
+                    .iter()
+                    .find(|(_, (_, last))| *last)
+                    .map(|(s, _)| *s as usize + 1)
+                    .unwrap_or(*chunks.keys().next_back().unwrap_or(&0) as usize + 1);
+                expected_frames += exp;
+            } else {
+                // Whole column lost: we cannot know its frame count; assume
+                // the page-average chunk density of one (lower bound).
+                expected_frames += 1;
+            }
+            received.push(bytes.len());
+            strips.push(bytes);
+        }
+
+        let strip_img = StripImage {
+            width,
+            height,
+            strips,
+        };
+        let (raster, mask) = decode_partial(&strip_img, &received);
+        let frame_loss = if expected_frames > 0 {
+            1.0 - got_frames as f64 / expected_frames as f64
+        } else {
+            0.0
+        };
+        Ok(ReceivedPage {
+            raster,
+            mask,
+            url,
+            clickmap,
+            ttl_hours,
+            version,
+            frame_loss: frame_loss.clamp(0.0, 1.0),
+        })
+    }
+}
+
+/// Routes frames of many pages to their assemblies.
+#[derive(Debug, Default)]
+pub struct Reassembler {
+    /// Active assemblies by page id.
+    pub pages: HashMap<u32, PageAssembly>,
+}
+
+impl Reassembler {
+    /// Creates an empty reassembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests a frame, routing by page id.
+    pub fn push(&mut self, frame: Frame) {
+        self.pages.entry(frame.page_id()).or_default().push(frame);
+    }
+
+    /// Finalizes and removes one page.
+    pub fn take(&mut self, page_id: u32) -> Option<Result<ReceivedPage, AssemblyError>> {
+        self.pages.remove(&page_id).map(|a| a.finalize())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunker::page_to_frames;
+    use sonic_image::clickmap::ClickMap;
+    use sonic_image::raster::{Raster, Rgb};
+    use sonic_image::strip;
+
+    fn page(w: usize, h: usize) -> SimplifiedPage {
+        let mut img = Raster::new(w, h);
+        img.fill_rect(0, h / 4, w, h / 4, Rgb::new(30, 90, 160));
+        for x in (0..w).step_by(3) {
+            img.set(x, h - 1, Rgb::BLACK);
+        }
+        SimplifiedPage::from_raster("https://r.pk/", &img, ClickMap::default(), 2, 6)
+    }
+
+    fn lossless_reference(p: &SimplifiedPage) -> Raster {
+        strip::decode(&p.strips)
+    }
+
+    #[test]
+    fn lossless_reassembly_matches_strip_decode() {
+        let p = page(16, 40);
+        let mut asm = PageAssembly::new();
+        for f in page_to_frames(&p) {
+            asm.push(f);
+        }
+        let got = asm.finalize().expect("complete page");
+        assert_eq!(got.url, "https://r.pk/");
+        assert_eq!(got.version, 2);
+        assert!(got.frame_loss.abs() < 1e-9);
+        assert_eq!(got.mask.loss_rate(), 0.0);
+        assert_eq!(got.raster, lossless_reference(&p));
+    }
+
+    /// A page busy enough that every column needs several 86-byte chunks.
+    fn noisy_page(w: usize, h: usize) -> SimplifiedPage {
+        let mut img = Raster::new(w, h);
+        let mut x = 99u32;
+        for yy in 0..h {
+            for xx in 0..w {
+                x = x.wrapping_mul(1103515245).wrapping_add(12345);
+                img.set(xx, yy, Rgb::new((x >> 16) as u8, (x >> 8) as u8, x as u8));
+            }
+        }
+        SimplifiedPage::from_raster("https://noisy.pk/", &img, ClickMap::default(), 3, 6)
+    }
+
+    #[test]
+    fn lost_strip_frame_loses_column_suffix_only() {
+        let p = noisy_page(10, 300);
+        let frames = page_to_frames(&p);
+        let mut asm = PageAssembly::new();
+        let mut dropped_col = None;
+        for f in frames {
+            if dropped_col.is_none() {
+                if let Frame::Strip { column, seq, .. } = &f {
+                    if *seq == 1 {
+                        dropped_col = Some(*column);
+                        continue; // drop this frame
+                    }
+                }
+            }
+            asm.push(f);
+        }
+        let col = dropped_col.expect("a multi-chunk column exists") as usize;
+        let got = asm.finalize().expect("meta intact");
+        assert!(got.frame_loss > 0.0);
+        // Lost pixels confined to that column.
+        for x in 0..10 {
+            let lost_rows = (0..300).filter(|&y| got.mask.is_lost(x, y)).count();
+            if x == col {
+                assert!(lost_rows > 0, "column {col} must lose its suffix");
+            } else {
+                assert_eq!(lost_rows, 0, "column {x} must be intact");
+            }
+        }
+    }
+
+    #[test]
+    fn meta_loss_fails_assembly() {
+        let p = page(6, 20);
+        let mut asm = PageAssembly::new();
+        for f in page_to_frames(&p) {
+            if matches!(f, Frame::Meta { .. }) {
+                continue;
+            }
+            asm.push(f);
+        }
+        assert_eq!(asm.finalize().unwrap_err(), AssemblyError::MetaIncomplete);
+    }
+
+    #[test]
+    fn repeated_meta_survives_single_copy_loss() {
+        let p = page(6, 20);
+        let mut asm = PageAssembly::new();
+        let mut dropped_first_meta = false;
+        for f in page_to_frames(&p) {
+            if !dropped_first_meta && matches!(f, Frame::Meta { .. }) {
+                dropped_first_meta = true;
+                continue; // first copy lost; the repeat saves us
+            }
+            asm.push(f);
+        }
+        assert!(asm.finalize().is_ok());
+    }
+
+    #[test]
+    fn reassembler_routes_concurrent_pages() {
+        let p1 = page(6, 20);
+        let img2 = Raster::filled(5, 10, Rgb::new(1, 2, 3));
+        let p2 = SimplifiedPage::from_raster("https://x.pk/", &img2, ClickMap::default(), 1, 1);
+        let mut r = Reassembler::new();
+        // Interleave the two pages' frames.
+        let f1 = page_to_frames(&p1);
+        let f2 = page_to_frames(&p2);
+        let mut it1 = f1.into_iter();
+        let mut it2 = f2.into_iter();
+        loop {
+            match (it1.next(), it2.next()) {
+                (None, None) => break,
+                (a, b) => {
+                    if let Some(f) = a {
+                        r.push(f);
+                    }
+                    if let Some(f) = b {
+                        r.push(f);
+                    }
+                }
+            }
+        }
+        let got1 = r.take(p1.page_id).expect("p1").expect("ok");
+        let got2 = r.take(p2.page_id).expect("p2").expect("ok");
+        assert_eq!(got1.url, "https://r.pk/");
+        assert_eq!(got2.url, "https://x.pk/");
+        assert!(r.pages.is_empty());
+    }
+
+    #[test]
+    fn duplicate_frames_are_idempotent() {
+        let p = page(8, 24);
+        let mut asm = PageAssembly::new();
+        for f in page_to_frames(&p) {
+            asm.push(f.clone());
+            asm.push(f);
+        }
+        let got = asm.finalize().expect("ok");
+        assert_eq!(got.raster, lossless_reference(&p));
+    }
+}

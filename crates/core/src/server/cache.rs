@@ -1,0 +1,128 @@
+//! Server-side render cache.
+//!
+//! "The SONIC server produces a simplified version of the webpage, either
+//! from its cache, e.g., if recently requested by another user, or by
+//! directly accessing it" (§3.1). Entries expire after the page's TTL.
+//!
+//! Shared behind `parking_lot::RwLock` because the server's SMS handler and
+//! the popularity pusher run concurrently in the pipeline example.
+
+use crate::page::SimplifiedPage;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// TTL-bound URL → page cache.
+#[derive(Debug, Default)]
+pub struct RenderCache {
+    inner: RwLock<HashMap<String, Entry>>,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    page: SimplifiedPage,
+    expires_hour: u64,
+}
+
+impl RenderCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fetches a live entry.
+    pub fn get(&self, url: &str, hour: u64) -> Option<SimplifiedPage> {
+        let map = self.inner.read();
+        let e = map.get(url)?;
+        if hour < e.expires_hour {
+            Some(e.page.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Inserts a page, expiring `ttl_hours` from `hour`.
+    pub fn put(&self, page: SimplifiedPage, hour: u64) {
+        let expires_hour = hour + page.ttl_hours.max(1) as u64;
+        self.inner.write().insert(
+            page.url.clone(),
+            Entry {
+                page,
+                expires_hour,
+            },
+        );
+    }
+
+    /// Drops expired entries, returning how many were evicted.
+    pub fn sweep(&self, hour: u64) -> usize {
+        let mut map = self.inner.write();
+        let before = map.len();
+        map.retain(|_, e| hour < e.expires_hour);
+        before - map.len()
+    }
+
+    /// Live entry count.
+    pub fn len(&self, hour: u64) -> usize {
+        self.inner
+            .read()
+            .values()
+            .filter(|e| hour < e.expires_hour)
+            .count()
+    }
+
+    /// Whether no live entries exist.
+    pub fn is_empty(&self, hour: u64) -> bool {
+        self.len(hour) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sonic_image::clickmap::ClickMap;
+    use sonic_image::raster::Raster;
+
+    fn page(url: &str, ttl: u16) -> SimplifiedPage {
+        SimplifiedPage::from_raster(url, &Raster::new(4, 4), ClickMap::default(), 0, ttl)
+    }
+
+    #[test]
+    fn hit_within_ttl() {
+        let c = RenderCache::new();
+        c.put(page("a", 2), 10);
+        assert!(c.get("a", 10).is_some());
+        assert!(c.get("a", 11).is_some());
+        assert!(c.get("a", 12).is_none(), "expired at hour 12");
+    }
+
+    #[test]
+    fn miss_on_unknown() {
+        let c = RenderCache::new();
+        assert!(c.get("nope", 0).is_none());
+    }
+
+    #[test]
+    fn sweep_evicts_expired() {
+        let c = RenderCache::new();
+        c.put(page("a", 1), 0);
+        c.put(page("b", 10), 0);
+        assert_eq!(c.sweep(5), 1);
+        assert_eq!(c.len(5), 1);
+    }
+
+    #[test]
+    fn reinsert_refreshes() {
+        let c = RenderCache::new();
+        c.put(page("a", 1), 0);
+        assert!(c.get("a", 2).is_none());
+        c.put(page("a", 1), 2);
+        assert!(c.get("a", 2).is_some());
+    }
+
+    #[test]
+    fn zero_ttl_still_lives_one_hour() {
+        let c = RenderCache::new();
+        c.put(page("a", 0), 0);
+        assert!(c.get("a", 0).is_some());
+        assert!(c.get("a", 1).is_none());
+    }
+}

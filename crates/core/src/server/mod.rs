@@ -1,0 +1,245 @@
+//! The SONIC server (§3.1): renders simplified webpages, answers SMS
+//! requests, and feeds per-transmitter broadcast schedulers.
+
+pub mod cache;
+pub mod render;
+pub mod scheduler;
+
+use crate::page::SimplifiedPage;
+use cache::RenderCache;
+use render::Renderer;
+use scheduler::BroadcastScheduler;
+use sonic_sms::gateway;
+use sonic_sms::geo::Coverage;
+use std::collections::HashMap;
+
+/// The central SONIC server plus its transmitter fleet.
+#[derive(Debug)]
+pub struct SonicServer {
+    renderer: Renderer,
+    cache: RenderCache,
+    coverage: Coverage,
+    /// One broadcast scheduler per transmitter site id.
+    pub schedulers: HashMap<u32, BroadcastScheduler>,
+}
+
+impl SonicServer {
+    /// Builds a server over a corpus-backed renderer and a transmitter fleet,
+    /// each transmitter broadcasting at `rate_bps`.
+    pub fn new(renderer: Renderer, coverage: Coverage, rate_bps: f64) -> Self {
+        let schedulers = coverage
+            .sites
+            .iter()
+            .map(|s| (s.id, BroadcastScheduler::new(rate_bps)))
+            .collect();
+        SonicServer {
+            renderer,
+            cache: RenderCache::new(),
+            coverage,
+            schedulers,
+        }
+    }
+
+    /// Renders (or serves from cache) the simplified page for `url` at
+    /// `hour`.
+    pub fn get_page(&mut self, url: &str, hour: u64) -> Option<SimplifiedPage> {
+        if let Some(p) = self.cache.get(url, hour) {
+            return Some(p);
+        }
+        let page = self.renderer.fetch(url, hour)?;
+        self.cache.put(page.clone(), hour);
+        Some(page)
+    }
+
+    /// Handles one uplink SMS at absolute time `now_s` (hour derived).
+    ///
+    /// Two request forms are understood (§3.1): `GET <url> AT <lat>,<lon>`
+    /// for webpages, and `ASK SEARCH|CHAT <query> AT <lat>,<lon>` for
+    /// search-engine / chatbot queries, whose answers are rendered into
+    /// pages and broadcast like any other content. On success the page is
+    /// enqueued on the transmitter covering the user and an ACK with the
+    /// ETA and frequency is returned.
+    pub fn handle_sms(&mut self, msg: &str, now_s: f64) -> String {
+        let hour = (now_s / 3600.0) as u64;
+        // Queries first: the grammars are disjoint.
+        if let Some(q) = sonic_sms::queries::parse_query(msg) {
+            let Some(site) = self.coverage.best_for(&q.location) else {
+                return gateway::format_err("no coverage at your location");
+            };
+            let (site_id, freq) = (site.id, site.freq_mhz);
+            let url = q.result_url();
+            let page = match self.cache.get(&url, hour) {
+                Some(p) => p,
+                None => {
+                    let scale = self.renderer.scale();
+                    let rendered = match q.engine {
+                        sonic_sms::queries::Engine::Search => {
+                            sonic_pagegen::results::render_search_results(&q.text, 8, scale)
+                        }
+                        sonic_sms::queries::Engine::Chat => {
+                            sonic_pagegen::results::render_chat_answer(&q.text, scale)
+                        }
+                    };
+                    let page = crate::page::SimplifiedPage::from_raster(
+                        &rendered.url,
+                        &rendered.raster,
+                        rendered.clickmap,
+                        (hour % u16::MAX as u64) as u16,
+                        6,
+                    );
+                    self.cache.put(page.clone(), hour);
+                    page
+                }
+            };
+            let sched = self
+                .schedulers
+                .get_mut(&site_id)
+                .expect("scheduler per site");
+            let eta = sched.enqueue(page, now_s);
+            return gateway::format_ack(&url, eta as u64, freq);
+        }
+
+        let Some(req) = gateway::parse_request(msg) else {
+            return gateway::format_err("malformed request");
+        };
+        let Some(site) = self.coverage.best_for(&req.location) else {
+            return gateway::format_err("no coverage at your location");
+        };
+        let site_id = site.id;
+        let freq = site.freq_mhz;
+        let Some(page) = self.get_page(&req.url, hour) else {
+            return gateway::format_err("page unavailable");
+        };
+        let sched = self
+            .schedulers
+            .get_mut(&site_id)
+            .expect("scheduler per site");
+        let eta = sched.enqueue(page, now_s);
+        gateway::format_ack(&req.url, eta as u64, freq)
+    }
+
+    /// Preemptively pushes the `top_n` most popular landing pages to every
+    /// transmitter ("popular news sites can be pushed early in the
+    /// morning").
+    pub fn push_popular(&mut self, hour: u64, top_n: usize, now_s: f64) {
+        let urls = self.renderer.popular_landing_urls(top_n, hour);
+        for url in urls {
+            if let Some(page) = self.get_page(&url, hour) {
+                for sched in self.schedulers.values_mut() {
+                    sched.enqueue(page.clone(), now_s);
+                }
+            }
+        }
+    }
+
+    /// Access to the renderer (for examples/benches).
+    pub fn renderer(&self) -> &Renderer {
+        &self.renderer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sonic_pagegen::Corpus;
+
+    fn server() -> SonicServer {
+        let corpus = Corpus::small(4);
+        let renderer = Renderer::new(corpus, 0.1);
+        SonicServer::new(renderer, Coverage::pakistan_demo(), 10_000.0)
+    }
+
+    #[test]
+    fn sms_request_gets_ack_with_frequency() {
+        let mut srv = server();
+        let url = srv.renderer().corpus().layout(
+            sonic_pagegen::PageId { site: 0, page: 0 },
+            0,
+        ).url;
+        let msg = gateway::format_request(&url, &sonic_sms::GeoPoint::new(31.52, 74.35));
+        let reply = srv.handle_sms(&msg, 10.0);
+        let ack = gateway::parse_ack(&reply).unwrap_or_else(|| panic!("ACK expected, got {reply}"));
+        assert_eq!(ack.url, url);
+        assert!((ack.freq_mhz - 93.7).abs() < 1e-9, "Lahore transmitter");
+        assert!(ack.eta_s > 0);
+    }
+
+    #[test]
+    fn uncovered_location_gets_err() {
+        let mut srv = server();
+        let msg = gateway::format_request("x.pk", &sonic_sms::GeoPoint::new(0.0, 0.0));
+        let reply = srv.handle_sms(&msg, 0.0);
+        assert!(reply.starts_with("ERR"), "{reply}");
+    }
+
+    #[test]
+    fn unknown_url_gets_err() {
+        let mut srv = server();
+        let msg =
+            gateway::format_request("https://nonexistent.pk/", &sonic_sms::GeoPoint::new(31.52, 74.35));
+        let reply = srv.handle_sms(&msg, 0.0);
+        assert!(reply.starts_with("ERR"), "{reply}");
+    }
+
+    #[test]
+    fn garbage_sms_gets_err() {
+        let mut srv = server();
+        assert!(srv.handle_sms("hello?", 0.0).starts_with("ERR"));
+    }
+
+    #[test]
+    fn search_query_is_rendered_and_acked() {
+        let mut srv = server();
+        let loc = sonic_sms::GeoPoint::new(31.52, 74.35);
+        let msg = sonic_sms::queries::format_query(
+            sonic_sms::queries::Engine::Search,
+            "cricket score",
+            &loc,
+        );
+        let reply = srv.handle_sms(&msg, 100.0);
+        let ack = gateway::parse_ack(&reply).unwrap_or_else(|| panic!("ACK expected: {reply}"));
+        assert_eq!(ack.url, "sonic://search/cricket-score");
+        assert!(ack.eta_s > 0);
+        // Second identical query hits the cache and re-uses the queue entry.
+        let reply2 = srv.handle_sms(&msg, 101.0);
+        assert!(reply2.starts_with("ACK"), "{reply2}");
+    }
+
+    #[test]
+    fn chat_query_is_rendered_and_acked() {
+        let mut srv = server();
+        let loc = sonic_sms::GeoPoint::new(24.86, 67.00);
+        let msg = sonic_sms::queries::format_query(
+            sonic_sms::queries::Engine::Chat,
+            "when does the exam registration close",
+            &loc,
+        );
+        let reply = srv.handle_sms(&msg, 5.0);
+        let ack = gateway::parse_ack(&reply).expect("ACK");
+        assert!(ack.url.starts_with("sonic://chat/"));
+        // Karachi transmitter (id 2) got the page.
+        assert!(srv.schedulers.get(&2).expect("karachi").backlog_bytes() > 0);
+    }
+
+    #[test]
+    fn push_popular_fills_all_schedulers() {
+        let mut srv = server();
+        srv.push_popular(0, 2, 0.0);
+        for sched in srv.schedulers.values() {
+            assert!(sched.backlog_bytes() > 0, "scheduler must have work");
+            assert_eq!(sched.queue_len(), 2);
+        }
+    }
+
+    #[test]
+    fn second_request_hits_render_cache() {
+        let mut srv = server();
+        let url = srv.renderer().corpus().layout(
+            sonic_pagegen::PageId { site: 1, page: 0 },
+            0,
+        ).url;
+        let a = srv.get_page(&url, 0).expect("render");
+        let b = srv.get_page(&url, 0).expect("cache");
+        assert_eq!(a.page_id, b.page_id);
+    }
+}

@@ -1,0 +1,201 @@
+//! Per-transmitter broadcast scheduler.
+//!
+//! Pages queue FIFO; the transmitter drains the queue at its configured
+//! bit rate, emitting link frames whose airtime is accounted at
+//! `FRAME_SIZE · 8 / rate` seconds each. `eta_for` backs the SMS ACK's
+//! "estimate on when the page will be received" and the backlog counter is
+//! what Figure 4(c) plots.
+
+use crate::chunker::page_to_frames;
+use crate::frame::{Frame, FRAME_SIZE};
+use crate::page::SimplifiedPage;
+use std::collections::VecDeque;
+
+/// One queued page.
+#[derive(Debug)]
+struct Queued {
+    page: SimplifiedPage,
+    /// Pre-chunked frames not yet transmitted.
+    frames: VecDeque<Frame>,
+    /// Remaining airtime bytes.
+    remaining_bytes: usize,
+}
+
+/// FIFO broadcast scheduler at a fixed rate.
+#[derive(Debug)]
+pub struct BroadcastScheduler {
+    rate_bps: f64,
+    queue: VecDeque<Queued>,
+    /// Fractional frame budget carried between `advance` calls.
+    budget_bytes: f64,
+    /// Total bytes ever transmitted.
+    pub transmitted_bytes: u64,
+}
+
+impl BroadcastScheduler {
+    /// Creates a scheduler at `rate_bps` payload rate.
+    ///
+    /// # Panics
+    /// Panics if the rate is not positive.
+    pub fn new(rate_bps: f64) -> Self {
+        assert!(rate_bps > 0.0, "rate must be positive");
+        BroadcastScheduler {
+            rate_bps,
+            queue: VecDeque::new(),
+            budget_bytes: 0.0,
+            transmitted_bytes: 0,
+        }
+    }
+
+    /// Configured rate.
+    pub fn rate_bps(&self) -> f64 {
+        self.rate_bps
+    }
+
+    /// Bytes waiting to be broadcast.
+    pub fn backlog_bytes(&self) -> usize {
+        self.queue.iter().map(|q| q.remaining_bytes).sum()
+    }
+
+    /// Queued page count.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Enqueues a page (deduplicating by page id) and returns the ETA in
+    /// seconds until its broadcast completes.
+    pub fn enqueue(&mut self, page: SimplifiedPage, _now_s: f64) -> f64 {
+        if let Some(pos) = self.queue.iter().position(|q| q.page.page_id == page.page_id) {
+            // Already queued: ETA is everything up to and including it.
+            let bytes: usize = self
+                .queue
+                .iter()
+                .take(pos + 1)
+                .map(|q| q.remaining_bytes)
+                .sum();
+            return bytes as f64 * 8.0 / self.rate_bps;
+        }
+        let frames = page_to_frames(&page);
+        let remaining_bytes = frames.len() * FRAME_SIZE;
+        self.queue.push_back(Queued {
+            page,
+            frames: frames.into(),
+            remaining_bytes,
+        });
+        self.backlog_bytes() as f64 * 8.0 / self.rate_bps
+    }
+
+    /// ETA in seconds for a queued url (None if not queued).
+    pub fn eta_for(&self, page_id: u32) -> Option<f64> {
+        let pos = self.queue.iter().position(|q| q.page.page_id == page_id)?;
+        let bytes: usize = self
+            .queue
+            .iter()
+            .take(pos + 1)
+            .map(|q| q.remaining_bytes)
+            .sum();
+        Some(bytes as f64 * 8.0 / self.rate_bps)
+    }
+
+    /// Advances time by `dt` seconds, emitting the frames that fit in the
+    /// rate budget (page ids attached so receivers can track boundaries).
+    pub fn advance(&mut self, dt: f64) -> Vec<Frame> {
+        self.budget_bytes += self.rate_bps * dt / 8.0;
+        let mut out = Vec::new();
+        while self.budget_bytes >= FRAME_SIZE as f64 {
+            let Some(front) = self.queue.front_mut() else {
+                // Idle: budget does not accumulate while there is nothing to
+                // send (a radio cannot bank silence for later).
+                self.budget_bytes = 0.0;
+                break;
+            };
+            let frame = front.frames.pop_front().expect("queued pages have frames");
+            front.remaining_bytes -= FRAME_SIZE;
+            self.budget_bytes -= FRAME_SIZE as f64;
+            self.transmitted_bytes += FRAME_SIZE as u64;
+            out.push(frame);
+            if front.frames.is_empty() {
+                self.queue.pop_front();
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sonic_image::clickmap::ClickMap;
+    use sonic_image::raster::{Raster, Rgb};
+
+    fn page(url: &str, h: usize) -> SimplifiedPage {
+        let mut img = Raster::new(8, h);
+        img.fill_rect(0, 0, 8, h / 2, Rgb::new(5, 5, 5));
+        SimplifiedPage::from_raster(url, &img, ClickMap::default(), 0, 1)
+    }
+
+    #[test]
+    fn drains_at_configured_rate() {
+        let mut s = BroadcastScheduler::new(8_000.0); // 1000 B/s
+        s.enqueue(page("a", 100), 0.0);
+        let total = s.backlog_bytes();
+        let frames = s.advance(1.0);
+        assert_eq!(frames.len(), 10, "1000 B/s = 10 frames/s");
+        assert_eq!(s.backlog_bytes(), total - 10 * FRAME_SIZE);
+    }
+
+    #[test]
+    fn eta_reflects_queue_position() {
+        let mut s = BroadcastScheduler::new(8_000.0);
+        let eta_a = s.enqueue(page("a", 50), 0.0);
+        let p_b = page("b", 50);
+        let id_b = p_b.page_id;
+        let eta_b = s.enqueue(p_b, 0.0);
+        assert!(eta_b > eta_a, "b is behind a");
+        assert!((s.eta_for(id_b).expect("queued") - eta_b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_enqueue_is_deduplicated() {
+        let mut s = BroadcastScheduler::new(8_000.0);
+        s.enqueue(page("a", 60), 0.0);
+        let before = s.backlog_bytes();
+        s.enqueue(page("a", 60), 1.0);
+        assert_eq!(s.backlog_bytes(), before, "no duplicate queue entry");
+        assert_eq!(s.queue_len(), 1);
+    }
+
+    #[test]
+    fn idle_budget_does_not_accumulate() {
+        let mut s = BroadcastScheduler::new(8_000.0);
+        assert!(s.advance(100.0).is_empty());
+        s.enqueue(page("a", 40), 100.0);
+        // Only the new dt's budget applies.
+        let frames = s.advance(0.1);
+        assert_eq!(frames.len(), 1);
+    }
+
+    #[test]
+    fn emits_all_frames_exactly_once() {
+        let mut s = BroadcastScheduler::new(80_000.0);
+        let p = page("a", 30);
+        let want = crate::chunker::page_to_frames(&p);
+        s.enqueue(p, 0.0);
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            got.extend(s.advance(0.05));
+        }
+        assert_eq!(got.len(), want.len());
+        assert_eq!(s.backlog_bytes(), 0);
+        assert_eq!(s.transmitted_bytes as usize, want.len() * FRAME_SIZE);
+    }
+
+    #[test]
+    fn fractional_budget_carries_over() {
+        let mut s = BroadcastScheduler::new(8_000.0);
+        s.enqueue(page("a", 100), 0.0);
+        // 0.05 s = 50 B: no frame yet; the next 0.05 s completes one.
+        assert!(s.advance(0.05).is_empty());
+        assert_eq!(s.advance(0.05).len(), 1);
+    }
+}

@@ -1,0 +1,302 @@
+//! FIR filter design and streaming application.
+//!
+//! Filters are designed with the windowed-sinc method (Hamming window by
+//! default), which is plenty for the roll-offs the FM multiplexer and the
+//! acoustic channel models need. Streaming state is kept in the filter so the
+//! radio pipeline can process audio in arbitrary block sizes.
+
+use crate::window::{generate, Window};
+use std::f64::consts::PI;
+
+/// Designs a linear-phase low-pass FIR with `taps` coefficients.
+///
+/// `cutoff` is the -6 dB point as a fraction of the sample rate (0..0.5).
+/// Odd tap counts are recommended so the group delay is an integer number of
+/// samples (`(taps-1)/2`).
+///
+/// # Panics
+/// Panics if `taps == 0` or `cutoff` is outside `(0, 0.5)`.
+pub fn design_lowpass(taps: usize, cutoff: f64) -> Vec<f32> {
+    assert!(taps > 0, "need at least one tap");
+    assert!(cutoff > 0.0 && cutoff < 0.5, "cutoff must be in (0, 0.5), got {cutoff}");
+    let m = (taps - 1) as f64 / 2.0;
+    let window = generate(Window::Hamming, taps);
+    let mut h: Vec<f32> = (0..taps)
+        .map(|i| {
+            let t = i as f64 - m;
+            let sinc = if t.abs() < 1e-12 {
+                2.0 * cutoff
+            } else {
+                (2.0 * PI * cutoff * t).sin() / (PI * t)
+            };
+            sinc as f32 * window[i]
+        })
+        .collect();
+    // Normalize to unity DC gain.
+    let sum: f32 = h.iter().sum();
+    for v in &mut h {
+        *v /= sum;
+    }
+    h
+}
+
+/// Designs a band-pass FIR centered between `low` and `high` (fractions of
+/// the sample rate) by subtracting two low-passes.
+///
+/// # Panics
+/// Panics unless `0 < low < high < 0.5`.
+pub fn design_bandpass(taps: usize, low: f64, high: f64) -> Vec<f32> {
+    assert!(low > 0.0 && high > low && high < 0.5, "need 0 < low < high < 0.5");
+    let lp_high = design_lowpass(taps, high);
+    let lp_low = design_lowpass(taps, low);
+    lp_high
+        .iter()
+        .zip(&lp_low)
+        .map(|(h, l)| h - l)
+        .collect()
+}
+
+/// A streaming FIR filter with internal history.
+#[derive(Debug, Clone)]
+pub struct Fir {
+    taps: Vec<f32>,
+    /// Circular history of the most recent `taps.len()-1` inputs.
+    history: Vec<f32>,
+    pos: usize,
+}
+
+impl Fir {
+    /// Wraps a coefficient vector in a streaming filter.
+    ///
+    /// # Panics
+    /// Panics if `taps` is empty.
+    pub fn new(taps: Vec<f32>) -> Self {
+        assert!(!taps.is_empty(), "FIR needs at least one tap");
+        let n = taps.len();
+        Fir {
+            taps,
+            history: vec![0.0; n],
+            pos: 0,
+        }
+    }
+
+    /// Group delay in samples for the linear-phase designs in this module.
+    pub fn delay(&self) -> usize {
+        (self.taps.len() - 1) / 2
+    }
+
+    /// Filters one sample.
+    #[inline]
+    pub fn push(&mut self, x: f32) -> f32 {
+        let n = self.taps.len();
+        self.history[self.pos] = x;
+        let mut acc = 0.0f32;
+        let mut idx = self.pos;
+        for &t in &self.taps {
+            acc += t * self.history[idx];
+            idx = if idx == 0 { n - 1 } else { idx - 1 };
+        }
+        self.pos = (self.pos + 1) % n;
+        acc
+    }
+
+    /// Filters a block in place.
+    pub fn process(&mut self, buf: &mut [f32]) {
+        for v in buf.iter_mut() {
+            *v = self.push(*v);
+        }
+    }
+
+    /// Resets the history to silence.
+    pub fn reset(&mut self) {
+        self.history.fill(0.0);
+        self.pos = 0;
+    }
+}
+
+/// FIR filter followed by decimation by an integer factor.
+///
+/// Only the retained output samples are computed... by nature of the direct
+/// form this implementation computes all of them; the decimator exists so the
+/// FM demodulator can drop from the 480 kHz RF rate to the 48 kHz audio rate
+/// behind one API.
+#[derive(Debug, Clone)]
+pub struct Decimator {
+    fir: Fir,
+    factor: usize,
+    phase: usize,
+}
+
+impl Decimator {
+    /// Creates a decimator with an anti-alias low-pass sized for `factor`.
+    ///
+    /// # Panics
+    /// Panics if `factor == 0`.
+    pub fn new(factor: usize, taps: usize) -> Self {
+        assert!(factor > 0, "decimation factor must be positive");
+        let cutoff = 0.45 / factor as f64;
+        Decimator {
+            fir: Fir::new(design_lowpass(taps, cutoff)),
+            factor,
+            phase: 0,
+        }
+    }
+
+    /// Decimation factor.
+    pub fn factor(&self) -> usize {
+        self.factor
+    }
+
+    /// Processes a block, appending kept samples to `out`.
+    pub fn process_into(&mut self, input: &[f32], out: &mut Vec<f32>) {
+        for &x in input {
+            let y = self.fir.push(x);
+            if self.phase == 0 {
+                out.push(y);
+            }
+            self.phase = (self.phase + 1) % self.factor;
+        }
+    }
+}
+
+/// Zero-stuffing interpolator: upsamples by an integer factor with an
+/// image-rejection low-pass, used by the FM modulator to climb from the
+/// audio rate to the RF rate.
+#[derive(Debug, Clone)]
+pub struct Interpolator {
+    fir: Fir,
+    factor: usize,
+}
+
+impl Interpolator {
+    /// Creates an interpolator for `factor`× upsampling.
+    ///
+    /// # Panics
+    /// Panics if `factor == 0`.
+    pub fn new(factor: usize, taps: usize) -> Self {
+        assert!(factor > 0, "interpolation factor must be positive");
+        let cutoff = 0.45 / factor as f64;
+        let mut coeffs = design_lowpass(taps, cutoff);
+        // Compensate the 1/factor energy loss of zero stuffing.
+        for c in &mut coeffs {
+            *c *= factor as f32;
+        }
+        Interpolator {
+            fir: Fir::new(coeffs),
+            factor,
+        }
+    }
+
+    /// Processes a block, appending `input.len() * factor` samples to `out`.
+    pub fn process_into(&mut self, input: &[f32], out: &mut Vec<f32>) {
+        for &x in input {
+            out.push(self.fir.push(x));
+            for _ in 1..self.factor {
+                out.push(self.fir.push(0.0));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Measures filter magnitude response at a normalized frequency by
+    /// running a tone through it and comparing RMS.
+    fn gain_at(taps: &[f32], freq: f64) -> f32 {
+        let mut fir = Fir::new(taps.to_vec());
+        let n = 4096;
+        let mut out_energy = 0.0f64;
+        let mut in_energy = 0.0f64;
+        for i in 0..n {
+            let x = (2.0 * PI * freq * i as f64).sin() as f32;
+            let y = fir.push(x);
+            if i > taps.len() {
+                in_energy += (x as f64) * (x as f64);
+                out_energy += (y as f64) * (y as f64);
+            }
+        }
+        (out_energy / in_energy).sqrt() as f32
+    }
+
+    #[test]
+    fn lowpass_passes_low_blocks_high() {
+        let h = design_lowpass(101, 0.1);
+        assert!(gain_at(&h, 0.02) > 0.95, "passband should be ~1");
+        assert!(gain_at(&h, 0.25) < 0.01, "stopband should be ~0");
+    }
+
+    #[test]
+    fn lowpass_unity_dc_gain() {
+        let h = design_lowpass(63, 0.2);
+        let sum: f32 = h.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bandpass_rejects_both_sides() {
+        let h = design_bandpass(201, 0.15, 0.25);
+        assert!(gain_at(&h, 0.2) > 0.9, "center of band should pass");
+        assert!(gain_at(&h, 0.05) < 0.02, "below band should be rejected");
+        assert!(gain_at(&h, 0.35) < 0.02, "above band should be rejected");
+    }
+
+    #[test]
+    fn fir_impulse_response_replays_taps() {
+        let taps = vec![0.5, -0.25, 0.125];
+        let mut fir = Fir::new(taps.clone());
+        let got: Vec<f32> = (0..3)
+            .map(|i| fir.push(if i == 0 { 1.0 } else { 0.0 }))
+            .collect();
+        assert_eq!(got, taps);
+    }
+
+    #[test]
+    fn fir_reset_clears_history() {
+        let mut fir = Fir::new(vec![1.0, 1.0]);
+        fir.push(5.0);
+        fir.reset();
+        assert_eq!(fir.push(0.0), 0.0);
+    }
+
+    #[test]
+    fn decimator_keeps_one_in_n() {
+        let mut d = Decimator::new(4, 31);
+        let mut out = Vec::new();
+        d.process_into(&vec![1.0; 100], &mut out);
+        assert_eq!(out.len(), 25);
+    }
+
+    #[test]
+    fn interpolator_expands_by_factor() {
+        let mut i = Interpolator::new(3, 31);
+        let mut out = Vec::new();
+        i.process_into(&[1.0, 2.0], &mut out);
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn interpolate_then_decimate_preserves_tone() {
+        let factor = 5;
+        let mut up = Interpolator::new(factor, 151);
+        let mut down = Decimator::new(factor, 151);
+        let tone: Vec<f32> = (0..2000)
+            .map(|i| (2.0 * PI * 0.01 * i as f64).sin() as f32)
+            .collect();
+        let mut hi = Vec::new();
+        up.process_into(&tone, &mut hi);
+        let mut back = Vec::new();
+        down.process_into(&hi, &mut back);
+        // Skip transients, compare energies.
+        let e_in: f64 = tone[500..1500].iter().map(|&x| (x as f64).powi(2)).sum();
+        let e_out: f64 = back[500..1500].iter().map(|&x| (x as f64).powi(2)).sum();
+        assert!((e_in - e_out).abs() / e_in < 0.05, "{e_in} vs {e_out}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cutoff")]
+    fn rejects_bad_cutoff() {
+        let _ = design_lowpass(11, 0.6);
+    }
+}

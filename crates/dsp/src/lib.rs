@@ -1,0 +1,38 @@
+//! # sonic-dsp
+//!
+//! Digital signal processing primitives for the SONIC stack.
+//!
+//! Everything in this crate is implemented from scratch (no external DSP
+//! crates) and is deliberately *sans-IO*: every routine operates on
+//! caller-provided slices and returns plain data, so the modem and radio
+//! layers built on top stay deterministic and unit-testable.
+//!
+//! Contents:
+//!
+//! * [`complex`] — minimal `C32` complex type used throughout the stack.
+//! * [`fft`] — radix-2 iterative Cooley-Tukey FFT with cached plans.
+//! * [`window`] — Hann / Hamming / Blackman / rectangular window functions.
+//! * [`fir`] — windowed-sinc FIR design, streaming filters, decimators.
+//! * [`iir`] — biquad sections and first-order shelves (FM de-/pre-emphasis).
+//! * [`resample`] — polyphase rational resampler.
+//! * [`osc`] — numerically controlled oscillator and quadrature mixer.
+//! * [`goertzel`] — single-bin DFT power detector (used by the FSK modem).
+//! * [`agc`] — simple feed-forward automatic gain control.
+//! * [`measure`] — power, RMS, dB conversions and SNR estimation helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agc;
+pub mod complex;
+pub mod fft;
+pub mod fir;
+pub mod goertzel;
+pub mod iir;
+pub mod measure;
+pub mod osc;
+pub mod resample;
+pub mod window;
+
+pub use complex::C32;
+pub use fft::Fft;

@@ -1,0 +1,145 @@
+//! Numerically controlled oscillator and quadrature mixing.
+//!
+//! The OFDM modem is built at complex baseband; the NCO shifts it up to the
+//! 9.2 kHz audio carrier for transmission and back down in the receiver. The
+//! phase accumulator runs in `f64` so multi-minute broadcasts keep phase
+//! coherence.
+
+use crate::complex::C32;
+use std::f64::consts::TAU;
+
+/// A free-running oscillator producing `e^{jωn}` samples.
+#[derive(Debug, Clone)]
+pub struct Nco {
+    phase: f64,
+    step: f64,
+}
+
+impl Nco {
+    /// Creates an NCO at `freq` Hz for sample rate `fs`.
+    ///
+    /// Negative frequencies rotate the opposite direction (used for
+    /// down-conversion).
+    pub fn new(fs: f64, freq: f64) -> Self {
+        Nco {
+            phase: 0.0,
+            step: TAU * freq / fs,
+        }
+    }
+
+    /// Returns the next complex phasor sample.
+    #[inline]
+    pub fn next(&mut self) -> C32 {
+        let z = C32::from_angle(self.phase);
+        self.phase += self.step;
+        if self.phase > TAU {
+            self.phase -= TAU;
+        } else if self.phase < -TAU {
+            self.phase += TAU;
+        }
+        z
+    }
+
+    /// Returns the next real cosine sample.
+    #[inline]
+    pub fn next_cos(&mut self) -> f32 {
+        self.next().re
+    }
+
+    /// Current phase in radians.
+    pub fn phase(&self) -> f64 {
+        self.phase
+    }
+
+    /// Resets phase to zero.
+    pub fn reset(&mut self) {
+        self.phase = 0.0;
+    }
+}
+
+/// Up-converts complex baseband to a real passband signal on `carrier` Hz.
+///
+/// `real(x[n] · e^{jωn})` — appends to `out`.
+pub fn upconvert(nco: &mut Nco, baseband: &[C32], out: &mut Vec<f32>) {
+    for &x in baseband {
+        let c = nco.next();
+        out.push((x * c).re * std::f32::consts::SQRT_2);
+    }
+}
+
+/// Down-converts a real passband signal to complex baseband.
+///
+/// Multiplies by `e^{-jωn}`; the caller is expected to low-pass the result
+/// (the OFDM FFT itself acts as the channelizer in our receiver, so no
+/// explicit filter is needed there).
+pub fn downconvert(nco: &mut Nco, passband: &[f32], out: &mut Vec<C32>) {
+    for &x in passband {
+        let c = nco.next().conj();
+        out.push(c.scale(x * std::f32::consts::SQRT_2));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nco_frequency_is_accurate() {
+        let fs = 48000.0;
+        let f = 1000.0;
+        let mut nco = Nco::new(fs, f);
+        // After exactly one period the phase should return to ~0 (mod 2π).
+        let period = (fs / f) as usize;
+        for _ in 0..period {
+            nco.next();
+        }
+        let wrapped = nco.phase() % TAU;
+        assert!(wrapped.min(TAU - wrapped) < 1e-6);
+    }
+
+    #[test]
+    fn nco_is_unit_magnitude() {
+        let mut nco = Nco::new(44100.0, 9200.0);
+        for _ in 0..1000 {
+            assert!((nco.next().abs() - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn up_down_conversion_recovers_baseband() {
+        let fs = 44100.0;
+        let fc = 9200.0;
+        // A slowly rotating baseband signal.
+        let baseband: Vec<C32> = (0..4096)
+            .map(|i| C32::from_angle(TAU * 50.0 * i as f64 / fs))
+            .collect();
+        let mut up = Nco::new(fs, fc);
+        let mut pass = Vec::new();
+        upconvert(&mut up, &baseband, &mut pass);
+        let mut down = Nco::new(fs, fc);
+        let mut back = Vec::new();
+        downconvert(&mut down, &pass, &mut back);
+        // back = baseband + image at 2fc; average short windows to kill the image.
+        let win = 64; // ~ 2fc period multiple
+        let mut err = 0.0f32;
+        let mut n = 0;
+        for k in (0..back.len() - win).step_by(win) {
+            let avg: C32 = back[k..k + win].iter().copied().sum::<C32>() / win as f32;
+            let want: C32 = baseband[k..k + win].iter().copied().sum::<C32>() / win as f32;
+            err += (avg - want).abs();
+            n += 1;
+        }
+        assert!(err / (n as f32) < 0.1, "residual {}", err / n as f32);
+    }
+
+    #[test]
+    fn negative_frequency_conjugates() {
+        let mut pos = Nco::new(1000.0, 100.0);
+        let mut neg = Nco::new(1000.0, -100.0);
+        for _ in 0..50 {
+            let p = pos.next();
+            let n = neg.next();
+            assert!((p.conj() - n).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Rational resampling.
+//!
+//! The radio substrate runs at 480 kHz while the audio modem runs at
+//! 44.1/48 kHz; this module converts between arbitrary rational rates with a
+//! windowed-sinc polyphase kernel.
+
+use crate::fir::design_lowpass;
+
+/// Greatest common divisor (Euclid).
+fn gcd(mut a: usize, mut b: usize) -> usize {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Polyphase rational resampler converting `from_rate` → `to_rate`.
+#[derive(Debug, Clone)]
+pub struct Resampler {
+    /// Upsampling factor L.
+    up: usize,
+    /// Downsampling factor M.
+    down: usize,
+    /// Polyphase filter bank: `phases[p][k]` is tap `k` of phase `p`.
+    phases: Vec<Vec<f32>>,
+    /// Input history (most recent last), length = taps per phase.
+    history: Vec<f32>,
+    /// Output phase accumulator.
+    phase: usize,
+}
+
+impl Resampler {
+    /// Creates a resampler between two integer rates.
+    ///
+    /// `quality` sets the prototype filter length (taps ≈ quality × max(L,M)),
+    /// 32 is a good default.
+    ///
+    /// # Panics
+    /// Panics if either rate is zero.
+    pub fn new(from_rate: usize, to_rate: usize, quality: usize) -> Self {
+        assert!(from_rate > 0 && to_rate > 0, "rates must be positive");
+        let g = gcd(from_rate, to_rate);
+        let up = to_rate / g;
+        let down = from_rate / g;
+        // The prototype must be ~quality × max(L, M) taps long (at the
+        // upsampled rate) or the transition band scales with the *larger*
+        // factor and eats into the passband when decimating.
+        let taps_per_phase = quality.max(4) * down.div_ceil(up).max(1);
+        let total = taps_per_phase * up;
+        // Cut at the narrower of the two Nyquists, in units of the upsampled rate.
+        let cutoff = 0.45 / up.max(down) as f64;
+        let mut proto = design_lowpass(total, cutoff);
+        for c in &mut proto {
+            *c *= up as f32; // compensate zero-stuffing loss
+        }
+        let mut phases = vec![vec![0.0f32; taps_per_phase]; up];
+        for (i, &c) in proto.iter().enumerate() {
+            phases[i % up][i / up] = c;
+        }
+        Resampler {
+            up,
+            down,
+            phases,
+            history: vec![0.0; taps_per_phase],
+            phase: 0,
+        }
+    }
+
+    /// The exact rational ratio `(L, M)` in lowest terms.
+    pub fn ratio(&self) -> (usize, usize) {
+        (self.up, self.down)
+    }
+
+    /// Resamples a block, appending outputs to `out`.
+    pub fn process_into(&mut self, input: &[f32], out: &mut Vec<f32>) {
+        for &x in input {
+            self.history.rotate_left(1);
+            *self.history.last_mut().expect("history non-empty") = x;
+            // Each input advances the virtual upsampled clock by `up` ticks;
+            // outputs fire every `down` ticks.
+            while self.phase < self.up {
+                let taps = &self.phases[self.phase];
+                let mut acc = 0.0f32;
+                // history is oldest-first; taps are applied newest-first.
+                for (k, &t) in taps.iter().enumerate() {
+                    acc += t * self.history[self.history.len() - 1 - k.min(self.history.len() - 1)];
+                }
+                // The line above would repeatedly read index 0 when k exceeds
+                // history, which cannot happen because taps_per_phase ==
+                // history.len(); the `min` just guards the invariant.
+                out.push(acc);
+                self.phase += self.down;
+            }
+            self.phase -= self.up;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::TAU;
+
+    fn tone(fs: f64, f: f64, n: usize) -> Vec<f32> {
+        (0..n).map(|i| (TAU * f * i as f64 / fs).sin() as f32).collect()
+    }
+
+    fn rms(x: &[f32]) -> f32 {
+        (x.iter().map(|&v| v * v).sum::<f32>() / x.len() as f32).sqrt()
+    }
+
+    #[test]
+    fn output_length_matches_ratio() {
+        let mut r = Resampler::new(48000, 44100, 16);
+        let mut out = Vec::new();
+        r.process_into(&vec![0.0; 48000], &mut out);
+        let expect = 44100.0;
+        assert!((out.len() as f64 - expect).abs() < 50.0, "got {}", out.len());
+    }
+
+    #[test]
+    fn upsample_preserves_tone_level() {
+        let mut r = Resampler::new(44100, 88200, 32);
+        let sig = tone(44100.0, 1000.0, 44100);
+        let mut out = Vec::new();
+        r.process_into(&sig, &mut out);
+        let level = rms(&out[4000..out.len() - 4000]);
+        assert!((level - std::f32::consts::FRAC_1_SQRT_2).abs() < 0.05, "rms={level}");
+    }
+
+    #[test]
+    fn downsample_preserves_tone_level() {
+        let mut r = Resampler::new(96000, 48000, 32);
+        let sig = tone(96000.0, 1000.0, 96000);
+        let mut out = Vec::new();
+        r.process_into(&sig, &mut out);
+        let level = rms(&out[4000..out.len() - 4000]);
+        assert!((level - std::f32::consts::FRAC_1_SQRT_2).abs() < 0.05, "rms={level}");
+    }
+
+    #[test]
+    fn rational_ratio_is_reduced() {
+        let r = Resampler::new(480000, 48000, 8);
+        assert_eq!(r.ratio(), (1, 10));
+        let r = Resampler::new(44100, 48000, 8);
+        assert_eq!(r.ratio(), (160, 147));
+    }
+
+    #[test]
+    fn identity_rate_passes_signal() {
+        let mut r = Resampler::new(48000, 48000, 32);
+        let sig = tone(48000.0, 2000.0, 9600);
+        let mut out = Vec::new();
+        r.process_into(&sig, &mut out);
+        assert_eq!(out.len(), sig.len());
+        // Aside from the filter delay, energy should match.
+        assert!((rms(&out[2000..]) - rms(&sig[2000..])).abs() < 0.05);
+    }
+}

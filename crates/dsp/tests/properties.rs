@@ -1,0 +1,104 @@
+//! Property-based tests of the DSP primitives.
+
+use proptest::prelude::*;
+use sonic_dsp::fft::Fft;
+use sonic_dsp::fir::{design_lowpass, Fir};
+use sonic_dsp::resample::Resampler;
+use sonic_dsp::window::{generate, Window};
+use sonic_dsp::C32;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// forward ∘ inverse is the identity for every power-of-two size.
+    #[test]
+    fn fft_roundtrip(
+        log_n in 1u32..10,
+        seed in any::<u32>(),
+    ) {
+        let n = 1usize << log_n;
+        let fft = Fft::new(n);
+        let mut x = seed;
+        let orig: Vec<C32> = (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(1103515245).wrapping_add(12345);
+                let re = ((x >> 16) as f32 / 32768.0) - 1.0;
+                x = x.wrapping_mul(1103515245).wrapping_add(12345);
+                let im = ((x >> 16) as f32 / 32768.0) - 1.0;
+                C32::new(re, im)
+            })
+            .collect();
+        let mut buf = orig.clone();
+        fft.forward(&mut buf);
+        fft.inverse(&mut buf);
+        for (a, b) in buf.iter().zip(&orig) {
+            prop_assert!((*a - *b).abs() < 1e-3);
+        }
+    }
+
+    /// Parseval holds for random signals at random sizes.
+    #[test]
+    fn fft_parseval(log_n in 2u32..9, seed in any::<u32>()) {
+        let n = 1usize << log_n;
+        let fft = Fft::new(n);
+        let mut x = seed | 1;
+        let sig: Vec<C32> = (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(48271);
+                C32::new(((x >> 16) & 0xFF) as f32 / 255.0 - 0.5, 0.1)
+            })
+            .collect();
+        let time: f64 = sig.iter().map(|v| v.norm_sq() as f64).sum();
+        let mut buf = sig;
+        fft.forward(&mut buf);
+        let freq: f64 = buf.iter().map(|v| v.norm_sq() as f64).sum::<f64>() / n as f64;
+        prop_assert!((time - freq).abs() <= time * 1e-3 + 1e-6);
+    }
+
+    /// FIR impulse response replays the taps for any tap vector.
+    #[test]
+    fn fir_impulse_is_taps(taps in proptest::collection::vec(-1.0f32..1.0, 1..32)) {
+        let mut fir = Fir::new(taps.clone());
+        let got: Vec<f32> = (0..taps.len())
+            .map(|i| fir.push(if i == 0 { 1.0 } else { 0.0 }))
+            .collect();
+        for (g, t) in got.iter().zip(&taps) {
+            prop_assert!((g - t).abs() < 1e-6);
+        }
+    }
+
+    /// Low-pass design always has unit DC gain.
+    #[test]
+    fn lowpass_dc_gain(taps in 3usize..200, cutoff in 0.01f64..0.49) {
+        let h = design_lowpass(taps, cutoff);
+        let sum: f32 = h.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+    }
+
+    /// Resampler output length tracks the rational ratio for any rates.
+    #[test]
+    fn resampler_length(from in 1000usize..50_000, to in 1000usize..50_000) {
+        let mut r = Resampler::new(from, to, 8);
+        let n_in = 2048usize;
+        let mut out = Vec::new();
+        r.process_into(&vec![0.25f32; n_in], &mut out);
+        let expect = n_in as f64 * to as f64 / from as f64;
+        prop_assert!(
+            (out.len() as f64 - expect).abs() <= expect * 0.02 + 8.0,
+            "{} vs {}", out.len(), expect
+        );
+    }
+
+    /// Windows are bounded in [0, 1] and symmetric.
+    #[test]
+    fn window_bounds(n in 2usize..512) {
+        for kind in [Window::Hann, Window::Hamming, Window::Blackman] {
+            let w = generate(kind, n);
+            for (i, &v) in w.iter().enumerate() {
+                prop_assert!((-1e-6..=1.0 + 1e-6).contains(&v), "{kind:?}[{i}] = {v}");
+                let mirror = w[n - 1 - i];
+                prop_assert!((v - mirror).abs() < 1e-5, "{kind:?} asymmetric at {i}");
+            }
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Bit/byte packing helpers shared by the coders and the modem.
+
+/// Expands bytes into bits, MSB first.
+pub fn bytes_to_bits(bytes: &[u8]) -> Vec<u8> {
+    let mut bits = Vec::with_capacity(bytes.len() * 8);
+    for &b in bytes {
+        for i in (0..8).rev() {
+            bits.push((b >> i) & 1);
+        }
+    }
+    bits
+}
+
+/// Packs bits (MSB first) back into bytes; a trailing partial byte is
+/// zero-padded on the right.
+pub fn bits_to_bytes(bits: &[u8]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(bits.len().div_ceil(8));
+    for chunk in bits.chunks(8) {
+        let mut b = 0u8;
+        for (i, &bit) in chunk.iter().enumerate() {
+            b |= (bit & 1) << (7 - i);
+        }
+        bytes.push(b);
+    }
+    bytes
+}
+
+/// Converts hard bits to soft values in [-1, 1]: bit 1 → +1.0, bit 0 → -1.0.
+pub fn bits_to_soft(bits: &[u8]) -> Vec<f32> {
+    bits.iter().map(|&b| if b & 1 == 1 { 1.0 } else { -1.0 }).collect()
+}
+
+/// Hard-slices soft values back to bits (positive → 1).
+pub fn soft_to_bits(soft: &[f32]) -> Vec<u8> {
+    soft.iter().map(|&s| u8::from(s > 0.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_bytes() {
+        let data = vec![0x00, 0xFF, 0xA5, 0x3C, 0x01];
+        assert_eq!(bits_to_bytes(&bytes_to_bits(&data)), data);
+    }
+
+    #[test]
+    fn msb_first_order() {
+        assert_eq!(bytes_to_bits(&[0x80]), vec![1, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(bytes_to_bits(&[0x01]), vec![0, 0, 0, 0, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn partial_byte_pads_right() {
+        assert_eq!(bits_to_bytes(&[1, 1, 1]), vec![0b1110_0000]);
+    }
+
+    #[test]
+    fn soft_roundtrip() {
+        let bits = vec![1, 0, 1, 1, 0];
+        assert_eq!(soft_to_bits(&bits_to_soft(&bits)), bits);
+    }
+}

@@ -1,0 +1,104 @@
+//! CRC-32 (IEEE 802.3 / zlib polynomial), table-driven.
+//!
+//! SONIC frames carry a CRC-32 trailer (the paper: "crc32 as the checksum")
+//! so the receiver can reject frames the FEC failed to repair instead of
+//! painting garbage pixels.
+
+/// Reflected polynomial for IEEE CRC-32.
+const POLY: u32 = 0xEDB8_8320;
+
+/// Lazily built 256-entry lookup table.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { (c >> 1) ^ POLY } else { c >> 1 };
+            }
+            *e = c;
+        }
+        t
+    })
+}
+
+/// Computes the CRC-32 of `data` (init 0xFFFFFFFF, final XOR 0xFFFFFFFF —
+/// identical to zlib's `crc32`).
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Incremental CRC-32 hasher for streamed frame construction.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Absorbs bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        let t = table();
+        for &b in data {
+            self.state = t[((self.state ^ b as u32) & 0xFF) as usize] ^ (self.state >> 8);
+        }
+    }
+
+    /// Finishes and returns the digest (the hasher may keep absorbing).
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut h = Crc32::new();
+        h.update(&data[..10]);
+        h.update(&data[10..]);
+        assert_eq!(h.finish(), crc32(data));
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = vec![0u8; 100];
+        data[42] = 7;
+        let clean = crc32(&data);
+        for byte in 0..100 {
+            for bit in 0..8 {
+                let mut corrupt = data.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupt), clean, "missed flip at {byte}:{bit}");
+            }
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Block interleaving.
+//!
+//! The inner Viterbi decoder handles scattered errors well but collapses on
+//! bursts; the channel (acoustic dropouts, FM impulse noise) is bursty. A
+//! rows×cols block interleaver between the outer RS code and the inner
+//! convolutional code spreads bursts across many RS symbols, which is exactly
+//! how the Quiet/libfec chain is wired.
+
+/// A rows×cols block interleaver over bytes.
+///
+/// Write row-wise, read column-wise. The transform is its own inverse with
+/// transposed dimensions.
+#[derive(Debug, Clone, Copy)]
+pub struct Interleaver {
+    rows: usize,
+    cols: usize,
+}
+
+impl Interleaver {
+    /// Creates an interleaver with the given geometry.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "interleaver dims must be positive");
+        Interleaver { rows, cols }
+    }
+
+    /// Block size in bytes.
+    pub fn block_len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Interleaves `data`, which must be a whole number of blocks; a final
+    /// partial block is passed through unchanged (it is already short enough
+    /// that a burst covers a bounded fraction of it).
+    pub fn interleave(&self, data: &[u8]) -> Vec<u8> {
+        self.permute(data, false)
+    }
+
+    /// Inverts [`interleave`](Self::interleave).
+    pub fn deinterleave(&self, data: &[u8]) -> Vec<u8> {
+        self.permute(data, true)
+    }
+
+    fn permute(&self, data: &[u8], inverse: bool) -> Vec<u8> {
+        let bl = self.block_len();
+        let mut out = Vec::with_capacity(data.len());
+        let mut chunks = data.chunks_exact(bl);
+        for block in &mut chunks {
+            if inverse {
+                // Undo (r,c)→(c,r): emit row-major from the column-major wire order.
+                for r in 0..self.rows {
+                    for c in 0..self.cols {
+                        out.push(block[c * self.rows + r]);
+                    }
+                }
+            } else {
+                for c in 0..self.cols {
+                    for r in 0..self.rows {
+                        out.push(block[r * self.cols + c]);
+                    }
+                }
+            }
+        }
+        out.extend_from_slice(chunks.remainder());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_exact_blocks() {
+        let il = Interleaver::new(8, 32);
+        let data: Vec<u8> = (0..512).map(|i| (i % 251) as u8).collect();
+        assert_eq!(il.deinterleave(&il.interleave(&data)), data);
+    }
+
+    #[test]
+    fn roundtrip_with_partial_tail() {
+        let il = Interleaver::new(4, 4);
+        let data: Vec<u8> = (0..37).map(|i| i as u8).collect();
+        assert_eq!(il.deinterleave(&il.interleave(&data)), data);
+    }
+
+    #[test]
+    fn burst_is_spread() {
+        let il = Interleaver::new(16, 16);
+        let data = vec![0u8; 256];
+        let mut tx = il.interleave(&data);
+        // Burst of 16 consecutive corrupted bytes on the wire.
+        for b in tx.iter_mut().skip(100).take(16) {
+            *b = 0xFF;
+        }
+        let rx = il.deinterleave(&tx);
+        // After deinterleaving no 16-byte window should contain more than a
+        // couple of corrupted bytes.
+        let max_in_window = rx
+            .windows(16)
+            .map(|w| w.iter().filter(|&&b| b == 0xFF).count())
+            .max()
+            .unwrap_or(0);
+        assert!(max_in_window <= 2, "burst not spread: {max_in_window} in one window");
+    }
+
+    #[test]
+    fn identity_geometry_is_identity() {
+        let il = Interleaver::new(1, 16);
+        let data: Vec<u8> = (0..32).collect();
+        assert_eq!(il.interleave(&data), data);
+    }
+}

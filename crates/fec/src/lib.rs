@@ -1,0 +1,27 @@
+//! # sonic-fec
+//!
+//! Forward error correction for the SONIC modem, re-implementing the coding
+//! chain the paper configures in the Quiet library: a CRC-32 checksum, an
+//! inner convolutional code ("v29" — rate 1/2, constraint length 9, decoded
+//! with soft-decision Viterbi) and an outer Reed-Solomon code ("rs8" — 8-bit
+//! symbols, the CCSDS RS(255,223) code), plus the block interleaver and LFSR
+//! scrambler that glue them together.
+//!
+//! All coders are pure, allocation-explicit state machines; nothing here
+//! performs IO.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod code_spec;
+pub mod conv;
+pub mod crc32;
+pub mod galois;
+pub mod interleave;
+pub mod rs;
+pub mod scramble;
+pub mod viterbi;
+
+pub use code_spec::{CodeSpec, FecPipeline};
+pub use crc32::crc32;

@@ -1,0 +1,187 @@
+//! Soft-decision Viterbi decoder for the K=9 rate-1/2 code in [`crate::conv`].
+//!
+//! Full-block traceback: path metrics are `f32` correlations against the
+//! soft inputs (positive soft value ⇔ bit 1). The encoder terminates in the
+//! zero state, so the decoder anchors its traceback there, which buys ~0.5 dB
+//! over free-running traceback at SONIC's frame sizes.
+
+use crate::conv::{step, K, TAIL};
+
+/// Number of trellis states (2^(K-1)).
+const STATES: usize = 1 << (K - 1);
+
+/// Precomputed branch outputs: `outputs[state][bit] = (next, out_a, out_b)`.
+fn transition_table() -> &'static Vec<[(u16, u8, u8); 2]> {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<Vec<[(u16, u8, u8); 2]>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        (0..STATES as u16)
+            .map(|s| [step(s, 0), step(s, 1)])
+            .collect()
+    })
+}
+
+/// Decodes `soft` coded values (2 per info bit, in [-1,1], positive ⇔ 1)
+/// produced from a terminated block of `info_bits` information bits.
+///
+/// Returns the decoded information bits (tail stripped).
+///
+/// # Panics
+/// Panics if `soft.len() != (info_bits + 8) * 2`.
+pub fn decode_soft(soft: &[f32], info_bits: usize) -> Vec<u8> {
+    let steps = info_bits + TAIL;
+    assert_eq!(
+        soft.len(),
+        steps * 2,
+        "soft input length {} does not match {} trellis steps",
+        soft.len(),
+        steps
+    );
+    let table = transition_table();
+
+    const NEG: f32 = -1e30;
+    let mut pm = vec![NEG; STATES];
+    pm[0] = 0.0;
+    let mut next_pm = vec![NEG; STATES];
+    // Traceback: chosen predecessor state packed per (step, state).
+    let mut back = vec![0u8; steps * STATES]; // stores input bit OF PREDECESSOR edge
+    let mut back_state = vec![0u16; steps * STATES];
+
+    for t in 0..steps {
+        let s0 = soft[2 * t];
+        let s1 = soft[2 * t + 1];
+        next_pm.fill(NEG);
+        for state in 0..STATES {
+            let base = pm[state];
+            if base <= NEG {
+                continue;
+            }
+            for bit in 0..2usize {
+                let (next, oa, ob) = table[state][bit];
+                let m = base
+                    + if oa == 1 { s0 } else { -s0 }
+                    + if ob == 1 { s1 } else { -s1 };
+                let n = next as usize;
+                if m > next_pm[n] {
+                    next_pm[n] = m;
+                    back[t * STATES + n] = bit as u8;
+                    back_state[t * STATES + n] = state as u16;
+                }
+            }
+        }
+        std::mem::swap(&mut pm, &mut next_pm);
+    }
+
+    // Anchor at the zero state (termination); fall back to the best state if
+    // the zero state was somehow unreachable (cannot happen with valid input
+    // lengths, but stay total).
+    let mut state = if pm[0] > NEG {
+        0usize
+    } else {
+        pm.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("metrics are finite"))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    };
+
+    let mut bits = vec![0u8; steps];
+    for t in (0..steps).rev() {
+        bits[t] = back[t * STATES + state];
+        state = back_state[t * STATES + state] as usize;
+    }
+    bits.truncate(info_bits);
+    bits
+}
+
+/// Convenience: decode hard bits by mapping them to ±1 soft values.
+pub fn decode_hard(coded: &[u8], info_bits: usize) -> Vec<u8> {
+    let soft: Vec<f32> = coded.iter().map(|&b| if b & 1 == 1 { 1.0 } else { -1.0 }).collect();
+    decode_soft(&soft, info_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::encode;
+
+    fn pattern(n: usize, seed: u32) -> Vec<u8> {
+        let mut x = seed.wrapping_mul(2654435761).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x & 1) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_roundtrip() {
+        let info = pattern(200, 7);
+        let coded = encode(&info);
+        assert_eq!(decode_hard(&coded, info.len()), info);
+    }
+
+    #[test]
+    fn corrects_scattered_hard_errors() {
+        let info = pattern(300, 11);
+        let mut coded = encode(&info);
+        // Flip ~4% of coded bits, spread out (beyond any hard-decision
+        // Hamming code, easy for a d_free=12 convolutional code).
+        for i in (0..coded.len()).step_by(25) {
+            coded[i] ^= 1;
+        }
+        assert_eq!(decode_hard(&coded, info.len()), info);
+    }
+
+    #[test]
+    fn soft_decisions_beat_hard_on_noisy_input() {
+        let info = pattern(400, 3);
+        let coded = encode(&info);
+        // Simulate an AWGN-ish channel deterministically: attenuate some
+        // positions close to zero (unreliable) and flip a few of those.
+        let mut soft: Vec<f32> = coded
+            .iter()
+            .map(|&b| if b == 1 { 1.0 } else { -1.0 })
+            .collect();
+        let mut x = 12345u32;
+        for (i, s) in soft.iter_mut().enumerate() {
+            x = x.wrapping_mul(1103515245).wrapping_add(12345);
+            let r = (x >> 16) as f32 / 65536.0;
+            if i % 7 == 0 {
+                // Unreliable sample, sometimes wrong-signed but small.
+                *s *= if r > 0.7 { -0.1 } else { 0.1 };
+            }
+        }
+        assert_eq!(decode_soft(&soft, info.len()), info);
+    }
+
+    #[test]
+    fn erased_region_is_recovered() {
+        let info = pattern(120, 5);
+        let coded = encode(&info);
+        let mut soft: Vec<f32> = coded
+            .iter()
+            .map(|&b| if b == 1 { 1.0 } else { -1.0 })
+            .collect();
+        // Zero out (erase) a run of 10 coded bits — within the code's memory.
+        for s in soft.iter_mut().skip(60).take(10) {
+            *s = 0.0;
+        }
+        assert_eq!(decode_soft(&soft, info.len()), info);
+    }
+
+    #[test]
+    fn empty_block_decodes_to_empty() {
+        let coded = encode(&[]);
+        assert_eq!(decode_hard(&coded, 0), Vec::<u8>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "trellis")]
+    fn rejects_wrong_length() {
+        decode_soft(&[0.0; 10], 100);
+    }
+}

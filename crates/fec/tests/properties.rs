@@ -1,0 +1,103 @@
+//! Property-based tests of the FEC stack.
+
+use proptest::prelude::*;
+use sonic_fec::bits::{bits_to_bytes, bits_to_soft, bytes_to_bits};
+use sonic_fec::code_spec::{CodeSpec, FecPipeline};
+use sonic_fec::conv;
+use sonic_fec::interleave::Interleaver;
+use sonic_fec::scramble::Scrambler;
+use sonic_fec::viterbi;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Bit/byte packing is the identity on byte boundaries.
+    #[test]
+    fn bits_bytes_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(bits_to_bytes(&bytes_to_bits(&data)), data);
+    }
+
+    /// Viterbi decodes any clean codeword.
+    #[test]
+    fn viterbi_clean(bits in proptest::collection::vec(0u8..2, 1..400)) {
+        let coded = conv::encode(&bits);
+        prop_assert_eq!(viterbi::decode_hard(&coded, bits.len()), bits);
+    }
+
+    /// Viterbi corrects any single flipped coded bit.
+    #[test]
+    fn viterbi_single_error(
+        bits in proptest::collection::vec(0u8..2, 8..200),
+        pos in any::<prop::sample::Index>(),
+    ) {
+        let mut coded = conv::encode(&bits);
+        let i = pos.index(coded.len());
+        coded[i] ^= 1;
+        prop_assert_eq!(viterbi::decode_hard(&coded, bits.len()), bits);
+    }
+
+    /// Interleaving is a permutation (inverse restores, content preserved).
+    #[test]
+    fn interleaver_permutes(
+        rows in 1usize..16,
+        cols in 1usize..16,
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let il = Interleaver::new(rows, cols);
+        let tx = il.interleave(&data);
+        prop_assert_eq!(tx.len(), data.len());
+        let mut sorted_a = data.clone();
+        let mut sorted_b = tx.clone();
+        sorted_a.sort_unstable();
+        sorted_b.sort_unstable();
+        prop_assert_eq!(sorted_a, sorted_b, "must be a permutation");
+        prop_assert_eq!(il.deinterleave(&tx), data);
+    }
+
+    /// Scrambling is an involution for any seed and payload.
+    #[test]
+    fn scrambler_involution(
+        seed in 1u16..=u16::MAX,
+        data in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let mut s = Scrambler::new(seed);
+        let mut x = data.clone();
+        s.apply(&mut x);
+        s.reset();
+        s.apply(&mut x);
+        prop_assert_eq!(x, data);
+    }
+
+    /// The full pipeline survives any ≤0.5% scattered hard flips.
+    #[test]
+    fn pipeline_corrects_sparse_flips(
+        payload in proptest::collection::vec(any::<u8>(), 50..400),
+        stride in 200usize..600,
+        offset in 0usize..100,
+    ) {
+        let p = FecPipeline::new(CodeSpec::sonic_default());
+        let coded = p.encode(&payload);
+        let mut soft = bits_to_soft(&coded);
+        let mut i = offset.min(soft.len().saturating_sub(1));
+        while i < soft.len() {
+            soft[i] = -soft[i];
+            i += stride;
+        }
+        prop_assert_eq!(p.decode_soft(&soft, payload.len()).expect("repairable"), payload);
+    }
+
+    /// Coded length formula matches the actual encoder for every spec.
+    #[test]
+    fn coded_len_formula(n in 0usize..700) {
+        for spec in [
+            CodeSpec::sonic_default(),
+            CodeSpec::none(),
+            CodeSpec::conv_only(),
+            CodeSpec::rs_only(),
+        ] {
+            let p = FecPipeline::new(spec);
+            let coded = p.encode(&vec![0xA5; n]);
+            prop_assert_eq!(coded.len(), spec.coded_bits_len(n), "spec {:?} n {}", spec, n);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Bit-level writer/reader for the entropy coders.
+
+/// MSB-first bit writer.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    cur: u8,
+    nbits: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes the lowest `n` bits of `value`, MSB first.
+    ///
+    /// # Panics
+    /// Panics if `n > 32`.
+    pub fn write_bits(&mut self, value: u32, n: u8) {
+        assert!(n <= 32, "at most 32 bits per call");
+        for i in (0..n).rev() {
+            let bit = ((value >> i) & 1) as u8;
+            self.cur = (self.cur << 1) | bit;
+            self.nbits += 1;
+            if self.nbits == 8 {
+                self.buf.push(self.cur);
+                self.cur = 0;
+                self.nbits = 0;
+            }
+        }
+    }
+
+    /// Writes a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write_bits(bit as u32, 1);
+    }
+
+    /// Number of whole bytes that `finish` would produce right now.
+    pub fn byte_len(&self) -> usize {
+        self.buf.len() + usize::from(self.nbits > 0)
+    }
+
+    /// Pads the final partial byte with zeros and returns the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.cur <<= 8 - self.nbits;
+            self.buf.push(self.cur);
+        }
+        self.buf
+    }
+}
+
+/// MSB-first bit reader.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    bit: u8,
+}
+
+impl<'a> BitReader<'a> {
+    /// Wraps a byte buffer.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader { data, pos: 0, bit: 0 }
+    }
+
+    /// Reads one bit; `None` at end of input.
+    pub fn read_bit(&mut self) -> Option<bool> {
+        if self.pos >= self.data.len() {
+            return None;
+        }
+        let b = (self.data[self.pos] >> (7 - self.bit)) & 1;
+        self.bit += 1;
+        if self.bit == 8 {
+            self.bit = 0;
+            self.pos += 1;
+        }
+        Some(b == 1)
+    }
+
+    /// Reads `n` bits MSB-first; `None` if the input runs out.
+    pub fn read_bits(&mut self, n: u8) -> Option<u32> {
+        let mut v = 0u32;
+        for _ in 0..n {
+            v = (v << 1) | self.read_bit()? as u32;
+        }
+        Some(v)
+    }
+
+    /// Bits consumed so far.
+    pub fn bit_position(&self) -> usize {
+        self.pos * 8 + self.bit as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xFFFF, 16);
+        w.write_bits(0, 1);
+        w.write_bits(0b1100_1010, 8);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3), Some(0b101));
+        assert_eq!(r.read_bits(16), Some(0xFFFF));
+        assert_eq!(r.read_bits(1), Some(0));
+        assert_eq!(r.read_bits(8), Some(0b1100_1010));
+    }
+
+    #[test]
+    fn padding_is_zero() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b1000_0000]);
+    }
+
+    #[test]
+    fn reader_reports_exhaustion() {
+        let mut r = BitReader::new(&[0xAB]);
+        assert!(r.read_bits(8).is_some());
+        assert_eq!(r.read_bit(), None);
+        assert_eq!(r.read_bits(4), None);
+    }
+
+    #[test]
+    fn byte_len_counts_partial() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.byte_len(), 0);
+        w.write_bits(0, 3);
+        assert_eq!(w.byte_len(), 1);
+        w.write_bits(0, 5);
+        assert_eq!(w.byte_len(), 1);
+        w.write_bit(true);
+        assert_eq!(w.byte_len(), 2);
+    }
+
+    #[test]
+    fn bit_position_tracks() {
+        let mut r = BitReader::new(&[0, 0]);
+        r.read_bits(5);
+        assert_eq!(r.bit_position(), 5);
+        r.read_bits(8);
+        assert_eq!(r.bit_position(), 13);
+    }
+}

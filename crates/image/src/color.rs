@@ -1,0 +1,169 @@
+//! YCbCr color space and 4:2:0 subsampling (the codec's working space).
+
+use crate::raster::{Raster, Rgb};
+
+/// Converts one RGB pixel to full-range YCbCr (BT.601).
+pub fn rgb_to_ycbcr(c: Rgb) -> (f32, f32, f32) {
+    let (r, g, b) = (c.r as f32, c.g as f32, c.b as f32);
+    let y = 0.299 * r + 0.587 * g + 0.114 * b;
+    let cb = 128.0 - 0.168_736 * r - 0.331_264 * g + 0.5 * b;
+    let cr = 128.0 + 0.5 * r - 0.418_688 * g - 0.081_312 * b;
+    (y, cb, cr)
+}
+
+/// Converts YCbCr back to RGB with saturation.
+pub fn ycbcr_to_rgb(y: f32, cb: f32, cr: f32) -> Rgb {
+    let r = y + 1.402 * (cr - 128.0);
+    let g = y - 0.344_136 * (cb - 128.0) - 0.714_136 * (cr - 128.0);
+    let b = y + 1.772 * (cb - 128.0);
+    Rgb::new(
+        r.round().clamp(0.0, 255.0) as u8,
+        g.round().clamp(0.0, 255.0) as u8,
+        b.round().clamp(0.0, 255.0) as u8,
+    )
+}
+
+/// Planar YCbCr image with 4:2:0 chroma.
+#[derive(Debug, Clone)]
+pub struct Ycbcr420 {
+    /// Luma width (= image width).
+    pub width: usize,
+    /// Luma height.
+    pub height: usize,
+    /// Full-resolution luma plane.
+    pub y: Vec<f32>,
+    /// Half-resolution blue-difference plane.
+    pub cb: Vec<f32>,
+    /// Half-resolution red-difference plane.
+    pub cr: Vec<f32>,
+}
+
+impl Ycbcr420 {
+    /// Chroma plane width.
+    pub fn cw(&self) -> usize {
+        self.width.div_ceil(2)
+    }
+
+    /// Chroma plane height.
+    pub fn ch(&self) -> usize {
+        self.height.div_ceil(2)
+    }
+
+    /// Converts an RGB raster into planar 4:2:0.
+    pub fn from_raster(img: &Raster) -> Self {
+        let (w, h) = (img.width(), img.height());
+        let (cw, ch) = (w.div_ceil(2), h.div_ceil(2));
+        let mut y = vec![0.0f32; w * h];
+        let mut cb = vec![0.0f32; cw * ch];
+        let mut cr = vec![0.0f32; cw * ch];
+        let mut cb_acc = vec![0.0f32; cw * ch];
+        let mut cr_acc = vec![0.0f32; cw * ch];
+        let mut counts = vec![0u16; cw * ch];
+        for yy in 0..h {
+            for xx in 0..w {
+                let (py, pcb, pcr) = rgb_to_ycbcr(img.get(xx, yy));
+                y[yy * w + xx] = py;
+                let ci = (yy / 2) * cw + xx / 2;
+                cb_acc[ci] += pcb;
+                cr_acc[ci] += pcr;
+                counts[ci] += 1;
+            }
+        }
+        for i in 0..cw * ch {
+            let n = counts[i].max(1) as f32;
+            cb[i] = cb_acc[i] / n;
+            cr[i] = cr_acc[i] / n;
+        }
+        Ycbcr420 {
+            width: w,
+            height: h,
+            y,
+            cb,
+            cr,
+        }
+    }
+
+    /// Converts back to RGB (chroma upsampled by replication).
+    pub fn to_raster(&self) -> Raster {
+        let (w, h, cw) = (self.width, self.height, self.cw());
+        let mut out = Raster::new(w, h);
+        for yy in 0..h {
+            for xx in 0..w {
+                let ci = (yy / 2) * cw + xx / 2;
+                out.set(
+                    xx,
+                    yy,
+                    ycbcr_to_rgb(self.y[yy * w + xx], self.cb[ci], self.cr[ci]),
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primaries_roundtrip_exactly_enough() {
+        for c in [
+            Rgb::WHITE,
+            Rgb::BLACK,
+            Rgb::new(255, 0, 0),
+            Rgb::new(0, 255, 0),
+            Rgb::new(0, 0, 255),
+            Rgb::new(123, 45, 210),
+        ] {
+            let (y, cb, cr) = rgb_to_ycbcr(c);
+            let back = ycbcr_to_rgb(y, cb, cr);
+            assert!((back.r as i32 - c.r as i32).abs() <= 1, "{c:?} -> {back:?}");
+            assert!((back.g as i32 - c.g as i32).abs() <= 1);
+            assert!((back.b as i32 - c.b as i32).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn gray_has_neutral_chroma() {
+        for v in [0u8, 64, 128, 200, 255] {
+            let (_, cb, cr) = rgb_to_ycbcr(Rgb::new(v, v, v));
+            assert!((cb - 128.0).abs() < 0.5);
+            assert!((cr - 128.0).abs() < 0.5);
+        }
+    }
+
+    #[test]
+    fn planar_roundtrip_on_flat_image() {
+        let img = Raster::filled(10, 7, Rgb::new(200, 100, 50));
+        let planes = Ycbcr420::from_raster(&img);
+        let back = planes.to_raster();
+        assert!(img.mean_abs_diff(&back) < 1.5);
+    }
+
+    #[test]
+    fn odd_dimensions_handled() {
+        let mut img = Raster::new(5, 3);
+        img.set(4, 2, Rgb::new(10, 20, 30));
+        let planes = Ycbcr420::from_raster(&img);
+        assert_eq!(planes.cw(), 3);
+        assert_eq!(planes.ch(), 2);
+        let back = planes.to_raster();
+        assert_eq!(back.width(), 5);
+        assert_eq!(back.height(), 3);
+    }
+
+    #[test]
+    fn chroma_subsampling_averages() {
+        // 2×2 block of saturated red + blue averages to purple-ish chroma.
+        let mut img = Raster::new(2, 2);
+        img.set(0, 0, Rgb::new(255, 0, 0));
+        img.set(1, 0, Rgb::new(255, 0, 0));
+        img.set(0, 1, Rgb::new(0, 0, 255));
+        img.set(1, 1, Rgb::new(0, 0, 255));
+        let planes = Ycbcr420::from_raster(&img);
+        let (_, cb_r, cr_r) = rgb_to_ycbcr(Rgb::new(255, 0, 0));
+        let (_, cb_b, cr_b) = rgb_to_ycbcr(Rgb::new(0, 0, 255));
+        assert!((planes.cb[0] - (cb_r + cb_b) / 2.0).abs() < 0.5);
+        assert!((planes.cr[0] - (cr_r + cr_b) / 2.0).abs() < 0.5);
+    }
+}

@@ -1,0 +1,148 @@
+//! 8×8 type-II DCT, the transform behind the SWP codec.
+//!
+//! Straightforward separable implementation with precomputed cosine tables;
+//! a full page is ≈ 170k blocks, well within budget for the corpus
+//! experiments.
+
+/// Block edge length.
+pub const N: usize = 8;
+
+/// Precomputed `cos((2x+1)uπ/16)` table and normalization factors.
+struct Tables {
+    cos: [[f32; N]; N],
+    alpha: [f32; N],
+}
+
+fn tables() -> &'static Tables {
+    use std::sync::OnceLock;
+    static T: OnceLock<Tables> = OnceLock::new();
+    T.get_or_init(|| {
+        let mut cos = [[0.0f32; N]; N];
+        for (u, row) in cos.iter_mut().enumerate() {
+            for (x, v) in row.iter_mut().enumerate() {
+                *v = ((2 * x + 1) as f64 * u as f64 * std::f64::consts::PI / 16.0).cos() as f32;
+            }
+        }
+        let mut alpha = [0.5f32; N];
+        alpha[0] = (0.125f64.sqrt()) as f32;
+        Tables { cos, alpha }
+    })
+}
+
+/// Forward DCT of an 8×8 block (row-major), input centered around 0.
+pub fn forward(block: &[f32; N * N]) -> [f32; N * N] {
+    let t = tables();
+    let mut tmp = [0.0f32; N * N];
+    // Rows.
+    for y in 0..N {
+        for u in 0..N {
+            let mut acc = 0.0f32;
+            for x in 0..N {
+                acc += block[y * N + x] * t.cos[u][x];
+            }
+            tmp[y * N + u] = acc * t.alpha[u];
+        }
+    }
+    // Columns.
+    let mut out = [0.0f32; N * N];
+    for u in 0..N {
+        for v in 0..N {
+            let mut acc = 0.0f32;
+            for y in 0..N {
+                acc += tmp[y * N + u] * t.cos[v][y];
+            }
+            out[v * N + u] = acc * t.alpha[v];
+        }
+    }
+    out
+}
+
+/// Inverse DCT.
+pub fn inverse(coeffs: &[f32; N * N]) -> [f32; N * N] {
+    let t = tables();
+    let mut tmp = [0.0f32; N * N];
+    // Columns.
+    for u in 0..N {
+        for y in 0..N {
+            let mut acc = 0.0f32;
+            for v in 0..N {
+                acc += t.alpha[v] * coeffs[v * N + u] * t.cos[v][y];
+            }
+            tmp[y * N + u] = acc;
+        }
+    }
+    // Rows.
+    let mut out = [0.0f32; N * N];
+    for y in 0..N {
+        for x in 0..N {
+            let mut acc = 0.0f32;
+            for u in 0..N {
+                acc += t.alpha[u] * tmp[y * N + u] * t.cos[u][x];
+            }
+            out[y * N + x] = acc;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_random_block() {
+        let mut block = [0.0f32; 64];
+        let mut x = 123u32;
+        for v in block.iter_mut() {
+            x = x.wrapping_mul(1103515245).wrapping_add(12345);
+            *v = ((x >> 16) % 256) as f32 - 128.0;
+        }
+        let back = inverse(&forward(&block));
+        for (a, b) in block.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn flat_block_is_dc_only() {
+        let block = [42.0f32; 64];
+        let c = forward(&block);
+        assert!((c[0] - 42.0 * 8.0).abs() < 1e-2, "DC = {}", c[0]);
+        for (i, v) in c.iter().enumerate().skip(1) {
+            assert!(v.abs() < 1e-3, "AC {i} = {v}");
+        }
+    }
+
+    #[test]
+    fn horizontal_cosine_hits_single_coefficient() {
+        let mut block = [0.0f32; 64];
+        for y in 0..N {
+            for x in 0..N {
+                block[y * N + x] =
+                    ((2 * x + 1) as f64 * std::f64::consts::PI / 16.0).cos() as f32 * 100.0;
+            }
+        }
+        let c = forward(&block);
+        // Energy should concentrate in (u=1, v=0).
+        let main = c[1].abs();
+        let rest: f32 = c
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 1)
+            .map(|(_, v)| v.abs())
+            .sum();
+        assert!(main > 100.0 * rest.max(1e-6), "main {main} rest {rest}");
+    }
+
+    #[test]
+    fn energy_preserved() {
+        let mut block = [0.0f32; 64];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = ((i * 37) % 255) as f32 - 127.0;
+        }
+        let c = forward(&block);
+        let e_spatial: f32 = block.iter().map(|v| v * v).sum();
+        let e_freq: f32 = c.iter().map(|v| v * v).sum();
+        assert!((e_spatial - e_freq).abs() / e_spatial < 1e-4);
+    }
+}

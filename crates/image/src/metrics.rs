@@ -1,0 +1,205 @@
+//! Degradation metrics feeding the synthetic user study (Figure 5).
+//!
+//! The paper recruited 151 students to rate screenshots; we cannot. The
+//! study simulator (`sonic-sim`) instead maps *measured* degradation to
+//! Likert ratings, and these are the measurements: luma PSNR, Sobel edge
+//! integrity (text legibility is an edge phenomenon) and the fraction of
+//! corrupted pixels inside known text regions.
+
+use crate::raster::Raster;
+
+/// Luma PSNR in dB between two same-size rasters (∞-safe: capped at 99 dB).
+///
+/// # Panics
+/// Panics if dimensions differ.
+pub fn psnr(reference: &Raster, distorted: &Raster) -> f64 {
+    assert_eq!(reference.width(), distorted.width(), "width mismatch");
+    assert_eq!(reference.height(), distorted.height(), "height mismatch");
+    let mut mse = 0.0f64;
+    let n = reference.width() * reference.height();
+    for y in 0..reference.height() {
+        for x in 0..reference.width() {
+            let d = reference.get(x, y).luma() as f64 - distorted.get(x, y).luma() as f64;
+            mse += d * d;
+        }
+    }
+    mse /= n as f64;
+    if mse < 1e-9 {
+        99.0
+    } else {
+        (10.0 * (255.0f64 * 255.0 / mse).log10()).min(99.0)
+    }
+}
+
+/// Sobel gradient magnitude map of the luma plane.
+fn sobel(img: &Raster) -> Vec<f32> {
+    let (w, h) = (img.width(), img.height());
+    let luma = |x: usize, y: usize| -> f32 { img.get(x, y).luma() as f32 };
+    let mut out = vec![0.0f32; w * h];
+    if w < 3 || h < 3 {
+        return out;
+    }
+    for y in 1..h - 1 {
+        for x in 1..w - 1 {
+            let gx = luma(x + 1, y - 1) + 2.0 * luma(x + 1, y) + luma(x + 1, y + 1)
+                - luma(x - 1, y - 1)
+                - 2.0 * luma(x - 1, y)
+                - luma(x - 1, y + 1);
+            let gy = luma(x - 1, y + 1) + 2.0 * luma(x, y + 1) + luma(x + 1, y + 1)
+                - luma(x - 1, y - 1)
+                - 2.0 * luma(x, y - 1)
+                - luma(x + 1, y - 1);
+            out[y * w + x] = (gx * gx + gy * gy).sqrt();
+        }
+    }
+    out
+}
+
+/// Edge integrity in [0, 1]: normalized correlation between the Sobel maps
+/// of reference and distorted images. Text that is still readable keeps its
+/// edges; smeared or blacked-out text loses them.
+pub fn edge_integrity(reference: &Raster, distorted: &Raster) -> f64 {
+    let a = sobel(reference);
+    let b = sobel(distorted);
+    let dot: f64 = a.iter().zip(&b).map(|(&x, &y)| (x as f64) * (y as f64)).sum();
+    let na: f64 = a.iter().map(|&x| (x as f64) * (x as f64)).sum();
+    let nb: f64 = b.iter().map(|&x| (x as f64) * (x as f64)).sum();
+    if na < 1e-9 || nb < 1e-9 {
+        return if na < 1e-9 && nb < 1e-9 { 1.0 } else { 0.0 };
+    }
+    (dot / (na.sqrt() * nb.sqrt())).clamp(0.0, 1.0)
+}
+
+/// Fraction of pixels inside `text_mask` whose luma moved more than
+/// `threshold` (8-bit steps) — a direct "how much text got damaged" measure.
+///
+/// `text_mask` marks text pixels (true = text), row-major, same dimensions.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn text_corruption(
+    reference: &Raster,
+    distorted: &Raster,
+    text_mask: &[bool],
+    threshold: u8,
+) -> f64 {
+    assert_eq!(
+        text_mask.len(),
+        reference.width() * reference.height(),
+        "mask size mismatch"
+    );
+    let mut text_px = 0usize;
+    let mut corrupted = 0usize;
+    for y in 0..reference.height() {
+        for x in 0..reference.width() {
+            if !text_mask[y * reference.width() + x] {
+                continue;
+            }
+            text_px += 1;
+            let d = (reference.get(x, y).luma() as i32 - distorted.get(x, y).luma() as i32)
+                .unsigned_abs();
+            if d > threshold as u32 {
+                corrupted += 1;
+            }
+        }
+    }
+    if text_px == 0 {
+        0.0
+    } else {
+        corrupted as f64 / text_px as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interpolate::{blackout, recover, LossMask};
+    use crate::raster::Rgb;
+
+    fn text_page(w: usize, h: usize) -> (Raster, Vec<bool>) {
+        let mut img = Raster::new(w, h);
+        let mut mask = vec![false; w * h];
+        // Text *regions* include glyph and background pixels — blacking out
+        // a white background pixel damages readability just as much as
+        // whiting out a glyph. Use mid-gray glyphs so both directions of
+        // damage are measurable.
+        for y in (4..h - 4).step_by(8) {
+            for x in 4..w - 4 {
+                if x % 3 != 0 {
+                    img.set(x, y, Rgb::new(70, 70, 70));
+                }
+                mask[y * w + x] = true;
+            }
+        }
+        (img, mask)
+    }
+
+    #[test]
+    fn psnr_identity_is_max() {
+        let (img, _) = text_page(32, 32);
+        assert_eq!(psnr(&img, &img), 99.0);
+    }
+
+    #[test]
+    fn psnr_decreases_with_damage() {
+        let (img, _) = text_page(64, 64);
+        let light = blackout(&img, &LossMask::random(64, 64, 0.05, 1));
+        let heavy = blackout(&img, &LossMask::random(64, 64, 0.5, 1));
+        assert!(psnr(&img, &light) > psnr(&img, &heavy));
+    }
+
+    #[test]
+    fn edge_integrity_identity_is_one() {
+        let (img, _) = text_page(48, 48);
+        assert!((edge_integrity(&img, &img) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolation_improves_all_metrics() {
+        let (img, mask) = text_page(96, 96);
+        let loss = LossMask::random(96, 96, 0.2, 5);
+        let black = blackout(&img, &loss);
+        let fixed = recover(&img, &loss);
+        assert!(psnr(&img, &fixed) > psnr(&img, &black), "psnr");
+        assert!(
+            edge_integrity(&img, &fixed) > edge_integrity(&img, &black),
+            "edges"
+        );
+        assert!(
+            text_corruption(&img, &fixed, &mask, 32)
+                < text_corruption(&img, &black, &mask, 32),
+            "text"
+        );
+    }
+
+    #[test]
+    fn text_corruption_counts_only_text() {
+        let (img, mask) = text_page(32, 32);
+        // Damage only non-text pixels: corruption must stay zero.
+        let mut damaged = img.clone();
+        for x in 0..32 {
+            if !mask[x] {
+                damaged.set(x, 0, Rgb::new(1, 2, 3));
+            }
+        }
+        assert_eq!(text_corruption(&img, &damaged, &mask, 16), 0.0);
+    }
+
+    #[test]
+    fn corruption_scales_with_loss_rate() {
+        let (img, mask) = text_page(128, 128);
+        let c5 = text_corruption(
+            &img,
+            &blackout(&img, &LossMask::random(128, 128, 0.05, 9)),
+            &mask,
+            32,
+        );
+        let c50 = text_corruption(
+            &img,
+            &blackout(&img, &LossMask::random(128, 128, 0.5, 9)),
+            &mask,
+            32,
+        );
+        assert!(c50 > 5.0 * c5, "c5 {c5} c50 {c50}");
+    }
+}

@@ -1,0 +1,97 @@
+//! PPM/PGM export — the only file IO in the crate, so examples can write
+//! inspectable images (Figure 1 reproductions) without an image library.
+
+use crate::raster::Raster;
+use std::io::Write;
+use std::path::Path;
+
+/// Writes a binary PPM (P6).
+pub fn save_ppm(img: &Raster, path: &Path) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "P6\n{} {}\n255", img.width(), img.height())?;
+    f.write_all(img.bytes())?;
+    Ok(())
+}
+
+/// Writes a binary PGM (P5) of the luma plane.
+pub fn save_pgm(img: &Raster, path: &Path) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "P5\n{} {}\n255", img.width(), img.height())?;
+    let luma: Vec<u8> = (0..img.height())
+        .flat_map(|y| (0..img.width()).map(move |x| (x, y)))
+        .map(|(x, y)| img.get(x, y).luma())
+        .collect();
+    f.write_all(&luma)?;
+    Ok(())
+}
+
+/// Reads back a P6 PPM written by [`save_ppm`] (used in tests/examples).
+pub fn load_ppm(path: &Path) -> std::io::Result<Raster> {
+    let data = std::fs::read(path)?;
+    parse_ppm(&data).ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "not a P6 PPM")
+    })
+}
+
+fn parse_ppm(data: &[u8]) -> Option<Raster> {
+    // Parse "P6\n<w> <h>\n255\n" allowing arbitrary whitespace.
+    let mut fields = Vec::new();
+    let mut pos = 0usize;
+    while fields.len() < 4 && pos < data.len() {
+        while pos < data.len() && data[pos].is_ascii_whitespace() {
+            pos += 1;
+        }
+        let start = pos;
+        while pos < data.len() && !data[pos].is_ascii_whitespace() {
+            pos += 1;
+        }
+        fields.push(std::str::from_utf8(&data[start..pos]).ok()?.to_string());
+    }
+    if fields.len() < 4 || fields[0] != "P6" || fields[3] != "255" {
+        return None;
+    }
+    let w: usize = fields[1].parse().ok()?;
+    let h: usize = fields[2].parse().ok()?;
+    pos += 1; // single whitespace after maxval
+    let need = w * h * 3;
+    if data.len() < pos + need {
+        return None;
+    }
+    Some(Raster::from_rgb(w, h, data[pos..pos + need].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raster::Rgb;
+
+    #[test]
+    fn ppm_roundtrip() {
+        let mut img = Raster::new(7, 5);
+        img.set(3, 2, Rgb::new(10, 200, 30));
+        let dir = std::env::temp_dir().join("sonic_image_tests");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("roundtrip.ppm");
+        save_ppm(&img, &path).expect("write");
+        let back = load_ppm(&path).expect("read");
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn pgm_has_expected_size() {
+        let img = Raster::new(9, 4);
+        let dir = std::env::temp_dir().join("sonic_image_tests");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("luma.pgm");
+        save_pgm(&img, &path).expect("write");
+        let data = std::fs::read(&path).expect("read");
+        // Header "P5\n9 4\n255\n" = 11 bytes + 36 luma bytes.
+        assert_eq!(data.len(), 11 + 36);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_ppm(b"P3\n1 1\n255\n000").is_none());
+        assert!(parse_ppm(b"P6\n4 4\n255\nxx").is_none());
+    }
+}

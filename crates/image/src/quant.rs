@@ -1,0 +1,152 @@
+//! Quantization tables with the WebP-style 0–95 quality knob.
+//!
+//! The paper captures pages "as WebP with 10% quality". We reuse the
+//! Annex-K JPEG base tables (the de-facto standard perceptual weighting)
+//! and scale them with the libjpeg quality curve; quality is clamped to the
+//! WebP range 0..=95 at the API boundary.
+
+/// Zig-zag scan order for an 8×8 block.
+pub const ZIGZAG: [usize; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
+    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
+    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// JPEG Annex-K luminance base table.
+const BASE_LUMA: [u16; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69,
+    56, 14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81, 104,
+    113, 92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// JPEG Annex-K chrominance base table.
+const BASE_CHROMA: [u16; 64] = [
+    17, 18, 24, 47, 99, 99, 99, 99, 18, 21, 26, 66, 99, 99, 99, 99, 24, 26, 56, 99, 99, 99, 99,
+    99, 47, 66, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+];
+
+/// Maximum quality accepted (WebP's scale tops out at 95 in the paper).
+pub const MAX_QUALITY: u8 = 95;
+
+/// A pair of scaled quantization tables.
+#[derive(Debug, Clone)]
+pub struct QuantTables {
+    /// Luma divisors in natural (row-major) order.
+    pub luma: [u16; 64],
+    /// Chroma divisors in natural order.
+    pub chroma: [u16; 64],
+    /// The quality these tables were built for.
+    pub quality: u8,
+}
+
+impl QuantTables {
+    /// Builds tables for `quality` (0 = worst, 95 = best), clamping to the
+    /// valid range.
+    pub fn for_quality(quality: u8) -> Self {
+        let q = quality.min(MAX_QUALITY).max(1) as u32;
+        // libjpeg scaling curve.
+        let scale = if q < 50 { 5000 / q } else { 200 - 2 * q };
+        let scale_one = |base: u16| -> u16 {
+            (((base as u32 * scale) + 50) / 100).clamp(1, 4096) as u16
+        };
+        let mut luma = [0u16; 64];
+        let mut chroma = [0u16; 64];
+        for i in 0..64 {
+            luma[i] = scale_one(BASE_LUMA[i]);
+            chroma[i] = scale_one(BASE_CHROMA[i]);
+        }
+        QuantTables {
+            luma,
+            chroma,
+            quality: q as u8,
+        }
+    }
+
+    /// Quantizes a DCT coefficient block (natural order) with the luma or
+    /// chroma table, returning zig-zag-ordered integers.
+    pub fn quantize(&self, coeffs: &[f32; 64], chroma: bool) -> [i16; 64] {
+        let table = if chroma { &self.chroma } else { &self.luma };
+        let mut out = [0i16; 64];
+        for (k, &nat) in ZIGZAG.iter().enumerate() {
+            out[k] = (coeffs[nat] / table[nat] as f32).round() as i16;
+        }
+        out
+    }
+
+    /// Inverse of [`quantize`](Self::quantize): zig-zag integers → natural
+    /// order coefficients.
+    pub fn dequantize(&self, q: &[i16; 64], chroma: bool) -> [f32; 64] {
+        let table = if chroma { &self.chroma } else { &self.luma };
+        let mut out = [0.0f32; 64];
+        for (k, &nat) in ZIGZAG.iter().enumerate() {
+            out[nat] = q[k] as f32 * table[nat] as f32;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; 64];
+        for &i in &ZIGZAG {
+            assert!(!seen[i], "duplicate {i}");
+            seen[i] = true;
+        }
+    }
+
+    #[test]
+    fn zigzag_starts_at_dc_and_walks_the_antidiagonal() {
+        assert_eq!(&ZIGZAG[..6], &[0, 1, 8, 16, 9, 2]);
+        assert_eq!(ZIGZAG[63], 63);
+    }
+
+    #[test]
+    fn lower_quality_divides_harder() {
+        let q10 = QuantTables::for_quality(10);
+        let q90 = QuantTables::for_quality(90);
+        for i in 0..64 {
+            assert!(q10.luma[i] >= q90.luma[i], "luma[{i}]");
+        }
+        assert!(q10.luma[63] > 4 * q90.luma[63]);
+    }
+
+    #[test]
+    fn quality_is_clamped() {
+        assert_eq!(QuantTables::for_quality(200).quality, MAX_QUALITY);
+        assert_eq!(QuantTables::for_quality(0).quality, 1);
+    }
+
+    #[test]
+    fn quantize_dequantize_bounds_error() {
+        let q = QuantTables::for_quality(50);
+        let mut coeffs = [0.0f32; 64];
+        for (i, c) in coeffs.iter_mut().enumerate() {
+            *c = ((i as f32) - 32.0) * 7.3;
+        }
+        let qz = q.quantize(&coeffs, false);
+        let back = q.dequantize(&qz, false);
+        for i in 0..64 {
+            let step = q.luma[i] as f32;
+            assert!(
+                (coeffs[i] - back[i]).abs() <= step / 2.0 + 1e-3,
+                "coeff {i}: {} vs {} (step {step})",
+                coeffs[i],
+                back[i]
+            );
+        }
+    }
+
+    #[test]
+    fn high_frequencies_die_at_low_quality() {
+        let q = QuantTables::for_quality(10);
+        let mut coeffs = [0.0f32; 64];
+        coeffs[63] = 60.0; // strong highest-frequency coefficient
+        let qz = q.quantize(&coeffs, false);
+        assert_eq!(qz[63], 0, "Q10 must kill weak HF detail");
+    }
+}

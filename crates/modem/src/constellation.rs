@@ -1,0 +1,294 @@
+//! Gray-mapped square constellations with max-log soft demapping.
+//!
+//! Quiet exposes modulations from BPSK up to 1024-QAM; SONIC's profiles use
+//! QPSK (the audible-7k clone) and 64-QAM (the 10 kbps profile). All
+//! constellations are normalized to unit average symbol energy so channel
+//! SNR math stays modulation-independent.
+
+use sonic_dsp::C32;
+
+/// Supported modulations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Modulation {
+    /// 1 bit/symbol, real axis.
+    Bpsk,
+    /// 2 bits/symbol.
+    Qpsk,
+    /// 4 bits/symbol.
+    Qam16,
+    /// 6 bits/symbol.
+    Qam64,
+    /// 8 bits/symbol.
+    Qam256,
+    /// 10 bits/symbol (Quiet's headline "1024-QAM" cable-only mode).
+    Qam1024,
+}
+
+impl Modulation {
+    /// Bits carried per symbol.
+    pub fn bits_per_symbol(self) -> usize {
+        match self {
+            Modulation::Bpsk => 1,
+            Modulation::Qpsk => 2,
+            Modulation::Qam16 => 4,
+            Modulation::Qam64 => 6,
+            Modulation::Qam256 => 8,
+            Modulation::Qam1024 => 10,
+        }
+    }
+
+    /// Human-readable name matching Quiet's configuration strings.
+    pub fn name(self) -> &'static str {
+        match self {
+            Modulation::Bpsk => "bpsk",
+            Modulation::Qpsk => "qpsk",
+            Modulation::Qam16 => "qam16",
+            Modulation::Qam64 => "qam64",
+            Modulation::Qam256 => "qam256",
+            Modulation::Qam1024 => "qam1024",
+        }
+    }
+
+    /// PAM levels per axis (1 for BPSK's imaginary axis).
+    fn levels_per_axis(self) -> usize {
+        match self {
+            Modulation::Bpsk => 2, // degenerate: I axis only
+            Modulation::Qpsk => 2,
+            Modulation::Qam16 => 4,
+            Modulation::Qam64 => 8,
+            Modulation::Qam256 => 16,
+            Modulation::Qam1024 => 32,
+        }
+    }
+
+    /// Per-axis amplitude normalizer giving unit average symbol energy.
+    fn norm(self) -> f32 {
+        let m = self.levels_per_axis() as f32;
+        // Average energy of ±1, ±3, … ±(M-1) PAM is (M²-1)/3 per axis.
+        let per_axis = (m * m - 1.0) / 3.0;
+        let total = if self == Modulation::Bpsk { per_axis } else { 2.0 * per_axis };
+        1.0 / total.sqrt()
+    }
+}
+
+/// Binary-reflected Gray code of `v` (exercised directly by tests; the
+/// encoder path uses [`gray_inv`]).
+#[cfg_attr(not(test), allow(dead_code))]
+#[inline]
+fn gray(v: u32) -> u32 {
+    v ^ (v >> 1)
+}
+
+/// Inverse Gray code.
+#[inline]
+fn gray_inv(mut g: u32) -> u32 {
+    let mut v = g;
+    while g > 0 {
+        g >>= 1;
+        v ^= g;
+    }
+    v
+}
+
+/// Maps Gray-coded bits to one PAM level in ±1, ±3, … ±(M-1).
+fn pam_map(bits: u32, axis_bits: usize) -> f32 {
+    let idx = gray_inv(bits) as i32;
+    let m = 1i32 << axis_bits;
+    (2 * idx - (m - 1)) as f32
+}
+
+/// Maps `bits_per_symbol` bits (values 0/1, MSB first: first half I, second
+/// half Q) to a constellation point.
+pub fn map_bits(modulation: Modulation, bits: &[u8]) -> C32 {
+    let k = modulation.bits_per_symbol();
+    assert_eq!(bits.len(), k, "expected {k} bits");
+    let norm = modulation.norm();
+    if modulation == Modulation::Bpsk {
+        let v = if bits[0] == 1 { 1.0 } else { -1.0 };
+        return C32::new(v * norm, 0.0);
+    }
+    let half = k / 2;
+    let pack = |b: &[u8]| -> u32 { b.iter().fold(0u32, |acc, &bit| (acc << 1) | bit as u32) };
+    let i = pam_map(pack(&bits[..half]), half);
+    let q = pam_map(pack(&bits[half..]), half);
+    C32::new(i * norm, q * norm)
+}
+
+/// All 2^k points of a constellation, indexed by packed bit pattern.
+pub fn points(modulation: Modulation) -> Vec<C32> {
+    let k = modulation.bits_per_symbol();
+    (0..1u32 << k)
+        .map(|pattern| {
+            let bits: Vec<u8> = (0..k).map(|i| ((pattern >> (k - 1 - i)) & 1) as u8).collect();
+            map_bits(modulation, &bits)
+        })
+        .collect()
+}
+
+/// Max-log soft demapper: appends `bits_per_symbol` soft values (positive ⇔
+/// bit 1) for the received point `y`.
+///
+/// `scale` multiplies the output; pass the estimated SNR-ish confidence or
+/// 1.0 if the Viterbi input is normalized elsewhere.
+pub fn demap_soft(modulation: Modulation, y: C32, scale: f32, out: &mut Vec<f32>) {
+    let k = modulation.bits_per_symbol();
+    let pts = cached_points(modulation);
+    // min distance² separated per bit value.
+    let mut min0 = vec![f32::MAX; k];
+    let mut min1 = vec![f32::MAX; k];
+    for (pattern, &p) in pts.iter().enumerate() {
+        let d = (y - p).norm_sq();
+        for bit in 0..k {
+            let is_one = (pattern >> (k - 1 - bit)) & 1 == 1;
+            if is_one {
+                if d < min1[bit] {
+                    min1[bit] = d;
+                }
+            } else if d < min0[bit] {
+                min0[bit] = d;
+            }
+        }
+    }
+    for bit in 0..k {
+        out.push((min0[bit] - min1[bit]) * scale);
+    }
+}
+
+/// Hard decision: nearest constellation point's bit pattern, MSB first.
+pub fn demap_hard(modulation: Modulation, y: C32, out: &mut Vec<u8>) {
+    let k = modulation.bits_per_symbol();
+    let pts = cached_points(modulation);
+    let mut best = 0usize;
+    let mut best_d = f32::MAX;
+    for (pattern, &p) in pts.iter().enumerate() {
+        let d = (y - p).norm_sq();
+        if d < best_d {
+            best_d = d;
+            best = pattern;
+        }
+    }
+    for bit in 0..k {
+        out.push(((best >> (k - 1 - bit)) & 1) as u8);
+    }
+}
+
+fn cached_points(modulation: Modulation) -> &'static [C32] {
+    use std::sync::OnceLock;
+    static CACHE: OnceLock<[Vec<C32>; 6]> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| {
+        [
+            points(Modulation::Bpsk),
+            points(Modulation::Qpsk),
+            points(Modulation::Qam16),
+            points(Modulation::Qam64),
+            points(Modulation::Qam256),
+            points(Modulation::Qam1024),
+        ]
+    });
+    let idx = match modulation {
+        Modulation::Bpsk => 0,
+        Modulation::Qpsk => 1,
+        Modulation::Qam16 => 2,
+        Modulation::Qam64 => 3,
+        Modulation::Qam256 => 4,
+        Modulation::Qam1024 => 5,
+    };
+    &cache[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Modulation; 6] = [
+        Modulation::Bpsk,
+        Modulation::Qpsk,
+        Modulation::Qam16,
+        Modulation::Qam64,
+        Modulation::Qam256,
+        Modulation::Qam1024,
+    ];
+
+    #[test]
+    fn unit_average_energy() {
+        for m in ALL {
+            let pts = points(m);
+            let e: f32 = pts.iter().map(|p| p.norm_sq()).sum::<f32>() / pts.len() as f32;
+            assert!((e - 1.0).abs() < 1e-4, "{}: energy {e}", m.name());
+        }
+    }
+
+    #[test]
+    fn all_points_distinct() {
+        for m in ALL {
+            let pts = points(m);
+            for i in 0..pts.len() {
+                for j in i + 1..pts.len() {
+                    assert!((pts[i] - pts[j]).abs() > 1e-6, "{} duplicate point", m.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hard_demap_inverts_map() {
+        for m in ALL {
+            let k = m.bits_per_symbol();
+            for pattern in 0..1usize << k {
+                let bits: Vec<u8> = (0..k).map(|i| ((pattern >> (k - 1 - i)) & 1) as u8).collect();
+                let p = map_bits(m, &bits);
+                let mut got = Vec::new();
+                demap_hard(m, p, &mut got);
+                assert_eq!(got, bits, "{} pattern {pattern}", m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn soft_demap_sign_matches_bits_on_clean_points() {
+        for m in ALL {
+            let k = m.bits_per_symbol();
+            for pattern in 0..1usize << k {
+                let bits: Vec<u8> = (0..k).map(|i| ((pattern >> (k - 1 - i)) & 1) as u8).collect();
+                let p = map_bits(m, &bits);
+                let mut soft = Vec::new();
+                demap_soft(m, p, 1.0, &mut soft);
+                for (s, &b) in soft.iter().zip(&bits) {
+                    assert_eq!(*s > 0.0, b == 1, "{} pattern {pattern}", m.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gray_neighbors_differ_by_one_bit() {
+        // Adjacent PAM levels along each axis must differ in exactly one bit
+        // (the whole point of Gray mapping).
+        for m in [Modulation::Qam16, Modulation::Qam64] {
+            let k = m.bits_per_symbol();
+            let half = k / 2;
+            for v in 0..(1u32 << half) - 1 {
+                let g1 = gray(v);
+                let g2 = gray(v + 1);
+                assert_eq!((g1 ^ g2).count_ones(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_point_still_demaps_nearest() {
+        let m = Modulation::Qam64;
+        let bits = [1u8, 0, 1, 1, 0, 1];
+        let p = map_bits(m, &bits) + C32::new(0.02, -0.03);
+        let mut got = Vec::new();
+        demap_hard(m, p, &mut got);
+        assert_eq!(got, bits);
+    }
+
+    #[test]
+    fn gray_roundtrip() {
+        for v in 0..1024 {
+            assert_eq!(gray_inv(gray(v)), v);
+        }
+    }
+}

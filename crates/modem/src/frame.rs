@@ -1,0 +1,302 @@
+//! PHY frame assembly and recovery.
+//!
+//! A PHY frame carries one opaque payload (the link layer above stacks its
+//! own 100-byte SONIC frames inside). Wire format:
+//!
+//! ```text
+//! header symbol (BPSK, conv-coded): magic(4b) | payload_len(12b) | crc16(16b)
+//! payload symbols: FecPipeline(profile.fec) over the payload bytes
+//! ```
+//!
+//! The 12-bit length field caps a PHY payload at 4095 bytes — plenty, since
+//! the link layer never aggregates more than a few dozen 100-byte frames per
+//! burst.
+
+use crate::constellation::Modulation;
+use crate::ofdm::{Demodulator, Modulator};
+use crate::profile::Profile;
+use sonic_fec::code_spec::FecError;
+use sonic_fec::{bits::bytes_to_bits, bits::bits_to_bytes, FecPipeline};
+
+/// Maximum payload bytes per PHY frame (12-bit length field).
+pub const MAX_PAYLOAD: usize = 4095;
+
+/// 4-bit magic marking a SONIC PHY header.
+const MAGIC: u8 = 0xA;
+
+/// Errors produced while recovering a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhyError {
+    /// Header did not decode to a valid magic + CRC.
+    HeaderCorrupt,
+    /// Header fine, but the payload FEC could not repair the damage.
+    PayloadUnrecoverable,
+    /// The buffer ended before the full payload was received.
+    Truncated,
+}
+
+impl std::fmt::Display for PhyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PhyError::HeaderCorrupt => write!(f, "phy: header corrupt"),
+            PhyError::PayloadUnrecoverable => write!(f, "phy: payload unrecoverable"),
+            PhyError::Truncated => write!(f, "phy: burst truncated"),
+        }
+    }
+}
+
+impl std::error::Error for PhyError {}
+
+/// One recovered frame (or the reason it was lost) plus its position.
+#[derive(Debug, Clone)]
+pub struct DemodFrame {
+    /// Sample index where the burst's preamble began.
+    pub start_sample: usize,
+    /// Recovered payload or the failure mode.
+    pub payload: Result<Vec<u8>, PhyError>,
+}
+
+/// CRC-16-CCITT (poly 0x1021, init 0xFFFF) for the PHY header.
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &b in data {
+        crc ^= (b as u16) << 8;
+        for _ in 0..8 {
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ 0x1021
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+/// Builds the 32 header bits: magic(4) | len(12) | crc16(16).
+fn header_bits(payload_len: usize) -> Vec<u8> {
+    assert!(payload_len <= MAX_PAYLOAD, "payload too large: {payload_len}");
+    let word: u16 = ((MAGIC as u16) << 12) | payload_len as u16;
+    let crc = crc16(&word.to_be_bytes());
+    let mut bytes = Vec::with_capacity(4);
+    bytes.extend_from_slice(&word.to_be_bytes());
+    bytes.extend_from_slice(&crc.to_be_bytes());
+    bytes_to_bits(&bytes)
+}
+
+/// Parses header bits back into a payload length.
+fn parse_header(bits: &[u8]) -> Option<usize> {
+    if bits.len() < 32 {
+        return None;
+    }
+    let bytes = bits_to_bytes(&bits[..32]);
+    let word = u16::from_be_bytes([bytes[0], bytes[1]]);
+    let crc = u16::from_be_bytes([bytes[2], bytes[3]]);
+    if crc16(&word.to_be_bytes()) != crc {
+        return None;
+    }
+    if (word >> 12) as u8 != MAGIC {
+        return None;
+    }
+    Some((word & 0x0FFF) as usize)
+}
+
+/// Header bits are protected by the inner convolutional code only (they must
+/// decode before we know the payload length, so they cannot share the
+/// payload's RS blocks).
+fn header_coded_bits(payload_len: usize) -> Vec<u8> {
+    let bits = header_bits(payload_len);
+    sonic_fec::conv::encode(&bits)
+}
+
+fn header_decode(soft: &[f32]) -> Option<usize> {
+    // 32 info bits + 8 tail = 80 coded bits.
+    let coded = 80.min(soft.len());
+    if coded < 80 {
+        return None;
+    }
+    let bits = sonic_fec::viterbi::decode_soft(&soft[..80], 32);
+    parse_header(&bits)
+}
+
+/// Modulates one payload into audio samples with the given profile.
+///
+/// # Panics
+/// Panics if `payload.len() > MAX_PAYLOAD`.
+pub fn modulate_frame(profile: &Profile, payload: &[u8]) -> Vec<f32> {
+    let modulator = Modulator::new(profile.clone());
+    let fec = FecPipeline::new(profile.fec);
+    let header = header_coded_bits(payload.len());
+    let coded = fec.encode(payload);
+    modulator.modulate_bits(&header, &coded)
+}
+
+/// Scans an audio buffer and recovers every PHY frame in it.
+///
+/// Returns one entry per detected burst, in order. Bursts whose header or
+/// payload could not be recovered are reported with their [`PhyError`] so
+/// loss-rate experiments can count them.
+pub fn demodulate_frames(profile: &Profile, audio: &[f32]) -> Vec<DemodFrame> {
+    let demod = Demodulator::new(profile.clone());
+    let fec = FecPipeline::new(profile.fec);
+    let baseband = demod.to_baseband(audio);
+    let mut out = Vec::new();
+    let mut cursor = 0usize;
+
+    while let Some(mut reader) = demod.open_burst_baseband(&baseband, cursor) {
+        let start = reader.burst_start;
+        // Header symbol.
+        let mut hdr_soft = Vec::new();
+        if !reader.next_symbol(Modulation::Bpsk, &mut hdr_soft) {
+            out.push(DemodFrame {
+                start_sample: start,
+                payload: Err(PhyError::Truncated),
+            });
+            break;
+        }
+        let Some(payload_len) = header_decode(&hdr_soft) else {
+            out.push(DemodFrame {
+                start_sample: start,
+                payload: Err(PhyError::HeaderCorrupt),
+            });
+            // Skip past this burst's overhead symbols and rescan.
+            cursor = start + 4 * profile.symbol_len();
+            continue;
+        };
+
+        let coded_bits = profile.fec.coded_bits_len(payload_len);
+        let n_syms = coded_bits.div_ceil(profile.bits_per_symbol());
+        let mut soft = Vec::with_capacity(n_syms * profile.bits_per_symbol());
+        let mut truncated = false;
+        for _ in 0..n_syms {
+            if !reader.next_symbol(profile.modulation, &mut soft) {
+                truncated = true;
+                break;
+            }
+        }
+        let payload = if truncated {
+            Err(PhyError::Truncated)
+        } else {
+            soft.truncate(coded_bits);
+            match fec.decode_soft(&soft, payload_len) {
+                Ok(bytes) => Ok(bytes),
+                Err(FecError::Unrecoverable) | Err(FecError::LengthMismatch) => {
+                    Err(PhyError::PayloadUnrecoverable)
+                }
+            }
+        };
+        cursor = reader.position();
+        out.push(DemodFrame {
+            start_sample: start,
+            payload,
+        });
+        if truncated {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(n: usize, seed: u8) -> Vec<u8> {
+        (0..n).map(|i| (i as u8).wrapping_mul(57).wrapping_add(seed)).collect()
+    }
+
+    #[test]
+    fn crc16_known_vector() {
+        // CCITT-FALSE check value for "123456789".
+        assert_eq!(crc16(b"123456789"), 0x29B1);
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        for len in [0usize, 1, 100, 2048, MAX_PAYLOAD] {
+            let coded = header_coded_bits(len);
+            let soft: Vec<f32> = coded.iter().map(|&b| if b == 1 { 1.0 } else { -1.0 }).collect();
+            assert_eq!(header_decode(&soft), Some(len), "len {len}");
+        }
+    }
+
+    #[test]
+    fn header_rejects_noise() {
+        let soft: Vec<f32> = (0..92).map(|i| if i % 3 == 0 { 0.8 } else { -0.6 }).collect();
+        assert_eq!(header_decode(&soft), None);
+    }
+
+    #[test]
+    fn frame_roundtrip_clean_channel() {
+        let p = Profile::sonic_10k();
+        let data = payload(1000, 3);
+        let audio = modulate_frame(&p, &data);
+        let frames = demodulate_frames(&p, &audio);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].payload.as_ref().expect("decoded"), &data);
+    }
+
+    #[test]
+    fn frame_roundtrip_audible7k() {
+        let p = Profile::audible_7k();
+        let data = payload(500, 9);
+        let audio = modulate_frame(&p, &data);
+        let frames = demodulate_frames(&p, &audio);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].payload.as_ref().expect("decoded"), &data);
+    }
+
+    #[test]
+    fn multiple_frames_in_one_buffer() {
+        let p = Profile::sonic_10k();
+        let a = payload(300, 1);
+        let b = payload(150, 2);
+        let mut audio = modulate_frame(&p, &a);
+        audio.extend(std::iter::repeat(0.0).take(2000));
+        audio.extend(modulate_frame(&p, &b));
+        let frames = demodulate_frames(&p, &audio);
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].payload.as_ref().expect("first"), &a);
+        assert_eq!(frames[1].payload.as_ref().expect("second"), &b);
+    }
+
+    #[test]
+    fn truncated_burst_reported() {
+        let p = Profile::sonic_10k();
+        let data = payload(2000, 7);
+        let audio = modulate_frame(&p, &data);
+        let cut = &audio[..audio.len() / 2];
+        let frames = demodulate_frames(&p, cut);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].payload, Err(PhyError::Truncated));
+    }
+
+    #[test]
+    fn noise_only_buffer_yields_nothing() {
+        let p = Profile::sonic_10k();
+        let mut x = 99u32;
+        let noise: Vec<f32> = (0..40_000)
+            .map(|_| {
+                x = x.wrapping_mul(1103515245).wrapping_add(12345);
+                0.3 * (((x >> 16) as f32 / 32768.0) - 1.0)
+            })
+            .collect();
+        assert!(demodulate_frames(&p, &noise).is_empty());
+    }
+
+    #[test]
+    fn attenuated_frame_still_decodes() {
+        let p = Profile::sonic_10k();
+        let data = payload(800, 5);
+        let audio: Vec<f32> = modulate_frame(&p, &data).iter().map(|&x| x * 0.02).collect();
+        let frames = demodulate_frames(&p, &audio);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].payload.as_ref().expect("decoded"), &data);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversize_payload_rejected() {
+        let p = Profile::sonic_10k();
+        let _ = modulate_frame(&p, &vec![0u8; MAX_PAYLOAD + 1]);
+    }
+}

@@ -1,0 +1,34 @@
+//! # sonic-modem
+//!
+//! Data-over-sound modems for SONIC. The workhorse is the OFDM modem the
+//! paper builds on the Quiet library's "audible-7k-channel" profile: 92 data
+//! subcarriers around a 9.2 kHz audio carrier inside the FM mono band,
+//! reaching ~10 kbps with the sonic profile. Baseline modems from the
+//! related-work section (GGwave-style FSK, chirp signalling) are implemented
+//! for comparison benches.
+//!
+//! Layering (bottom up):
+//!
+//! * [`constellation`] — Gray-mapped BPSK…1024-QAM with max-log soft demap.
+//! * [`ofdm`] — modulator, synchronizer, equalizer, demodulator.
+//! * [`frame`] — PHY burst assembly: preamble, training, header, payload,
+//!   chained FEC from `sonic-fec`.
+//! * [`profile`] — named parameter sets with rate math.
+//! * [`fsk`], [`chirp`] — related-work baseline modems.
+//! * [`multi`] — multi-carrier aggregation (the paper's "multiple
+//!   frequencies" rate-scaling argument).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chirp;
+pub mod constellation;
+pub mod frame;
+pub mod fsk;
+pub mod multi;
+pub mod ofdm;
+pub mod profile;
+pub mod stream;
+
+pub use frame::{demodulate_frames, modulate_frame, PhyError};
+pub use profile::Profile;

@@ -1,0 +1,238 @@
+//! Subcarrier layout, pilot sequences and reference symbols.
+//!
+//! Logical carriers are numbered 0..active and mapped symmetrically around
+//! DC (which stays unused): offsets −A…−1, +1…+A. Pilots are spread evenly
+//! through the logical indices; the rest carry data.
+
+use crate::profile::Profile;
+use sonic_dsp::C32;
+
+/// A small PRBS used for pilot and reference values (x⁷+x⁶+1, period 127).
+#[derive(Debug, Clone)]
+pub struct Prbs {
+    state: u8,
+}
+
+impl Prbs {
+    /// Creates a generator with a fixed non-zero seed.
+    pub fn new(seed: u8) -> Self {
+        Prbs {
+            state: if seed == 0 { 0x5A } else { seed },
+        }
+    }
+
+    /// Next pseudo-random bit.
+    pub fn next_bit(&mut self) -> u8 {
+        let bit = ((self.state >> 6) ^ (self.state >> 5)) & 1;
+        self.state = ((self.state << 1) | bit) & 0x7F;
+        bit
+    }
+
+    /// Next BPSK value (±1).
+    pub fn next_bpsk(&mut self) -> C32 {
+        if self.next_bit() == 1 {
+            C32::new(1.0, 0.0)
+        } else {
+            C32::new(-1.0, 0.0)
+        }
+    }
+
+    /// Next QPSK value (unit magnitude, 4 phases).
+    pub fn next_qpsk(&mut self) -> C32 {
+        let b0 = self.next_bit();
+        let b1 = self.next_bit();
+        let s = std::f32::consts::FRAC_1_SQRT_2;
+        C32::new(
+            if b0 == 1 { s } else { -s },
+            if b1 == 1 { s } else { -s },
+        )
+    }
+}
+
+/// Fixed subcarrier plan derived from a [`Profile`].
+#[derive(Debug, Clone)]
+pub struct CarrierPlan {
+    /// FFT bin index (0..fft_size) for each logical carrier.
+    pub bins: Vec<usize>,
+    /// Logical indices that carry pilots.
+    pub pilot_idx: Vec<usize>,
+    /// Logical indices that carry data, in transmission order.
+    pub data_idx: Vec<usize>,
+    /// Pilot value for each pilot position (same every symbol).
+    pub pilot_values: Vec<C32>,
+    /// Known training-symbol values for every logical carrier.
+    pub training: Vec<C32>,
+    /// Known preamble values on the *even* logical carriers (Schmidl-Cox).
+    pub preamble: Vec<C32>,
+    fft_size: usize,
+}
+
+impl CarrierPlan {
+    /// Builds the plan for a profile.
+    pub fn new(profile: &Profile) -> Self {
+        profile.validate();
+        let active = profile.active_carriers();
+        let half = active / 2;
+        // Offsets −half…−1, +1…+(active-half); center bin of the *carrier*
+        // frequency is DC after downconversion.
+        let mut bins = Vec::with_capacity(active);
+        for k in 0..active {
+            let off: isize = if k < half {
+                k as isize - half as isize // −half … −1
+            } else {
+                k as isize - half as isize + 1 // +1 … +(active-half)
+            };
+            let bin = if off >= 0 {
+                off as usize
+            } else {
+                (profile.fft_size as isize + off) as usize
+            };
+            bins.push(bin);
+        }
+
+        // Pilots evenly spaced through logical indices.
+        let p = profile.pilot_carriers;
+        let mut pilot_idx = Vec::with_capacity(p);
+        if p > 0 {
+            let stride = active as f64 / p as f64;
+            for i in 0..p {
+                pilot_idx.push(((i as f64 + 0.5) * stride) as usize);
+            }
+        }
+        let data_idx: Vec<usize> = (0..active).filter(|i| !pilot_idx.contains(i)).collect();
+        assert_eq!(data_idx.len(), profile.data_carriers, "carrier bookkeeping");
+
+        let mut prbs = Prbs::new(0x2B);
+        let pilot_values: Vec<C32> = (0..p).map(|_| prbs.next_bpsk()).collect();
+        let mut prbs = Prbs::new(0x47);
+        let training: Vec<C32> = (0..active).map(|_| prbs.next_qpsk()).collect();
+        let mut prbs = Prbs::new(0x63);
+        // Schmidl-Cox needs energy on even *FFT bins* only — that makes the
+        // two time-domain halves identical. Bin parity equals offset parity
+        // because the FFT size is even.
+        let preamble: Vec<C32> = (0..active)
+            .map(|i| {
+                if bins[i] % 2 == 0 {
+                    // √2 boost keeps the preamble symbol energy comparable
+                    // to a full symbol even with half the carriers active.
+                    prbs.next_qpsk().scale(std::f32::consts::SQRT_2)
+                } else {
+                    C32::ZERO
+                }
+            })
+            .collect();
+
+        CarrierPlan {
+            bins,
+            pilot_idx,
+            data_idx,
+            pilot_values,
+            training,
+            preamble,
+            fft_size: profile.fft_size,
+        }
+    }
+
+    /// FFT size the bins index into.
+    pub fn fft_size(&self) -> usize {
+        self.fft_size
+    }
+
+    /// Places per-carrier values into a zeroed FFT buffer.
+    ///
+    /// # Panics
+    /// Panics if `values.len()` differs from the number of carriers or the
+    /// buffer from the FFT size.
+    pub fn scatter(&self, values: &[C32], fft_buf: &mut [C32]) {
+        assert_eq!(values.len(), self.bins.len());
+        assert_eq!(fft_buf.len(), self.fft_size);
+        fft_buf.fill(C32::ZERO);
+        for (v, &b) in values.iter().zip(&self.bins) {
+            fft_buf[b] = *v;
+        }
+    }
+
+    /// Collects per-carrier values from an FFT output buffer.
+    pub fn gather(&self, fft_buf: &[C32]) -> Vec<C32> {
+        assert_eq!(fft_buf.len(), self.fft_size);
+        self.bins.iter().map(|&b| fft_buf[b]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> CarrierPlan {
+        CarrierPlan::new(&Profile::sonic_10k())
+    }
+
+    #[test]
+    fn carrier_counts_match_profile() {
+        let p = Profile::sonic_10k();
+        let plan = plan();
+        assert_eq!(plan.bins.len(), p.active_carriers());
+        assert_eq!(plan.data_idx.len(), 92);
+        assert_eq!(plan.pilot_idx.len(), 4);
+    }
+
+    #[test]
+    fn dc_bin_is_unused() {
+        assert!(!plan().bins.contains(&0), "DC must stay empty");
+    }
+
+    #[test]
+    fn bins_are_unique_and_in_range() {
+        let plan = plan();
+        let mut seen = std::collections::HashSet::new();
+        for &b in &plan.bins {
+            assert!(b < plan.fft_size());
+            assert!(seen.insert(b), "bin {b} duplicated");
+        }
+    }
+
+    #[test]
+    fn scatter_gather_roundtrip() {
+        let plan = plan();
+        let values: Vec<C32> = (0..plan.bins.len())
+            .map(|i| C32::new(i as f32, -(i as f32)))
+            .collect();
+        let mut buf = vec![C32::ZERO; plan.fft_size()];
+        plan.scatter(&values, &mut buf);
+        assert_eq!(plan.gather(&buf), values);
+    }
+
+    #[test]
+    fn preamble_uses_only_even_bins() {
+        let plan = plan();
+        let mut active = 0usize;
+        for (i, v) in plan.preamble.iter().enumerate() {
+            if plan.bins[i] % 2 == 1 {
+                assert_eq!(*v, C32::ZERO, "odd bin (carrier {i}) must be empty");
+            } else {
+                assert!(v.abs() > 0.5, "even bin (carrier {i}) must be active");
+                active += 1;
+            }
+        }
+        assert!(active >= plan.bins.len() / 3, "enough preamble energy");
+    }
+
+    #[test]
+    fn prbs_is_balanced_and_periodic() {
+        let mut prbs = Prbs::new(1);
+        let bits: Vec<u8> = (0..127).map(|_| prbs.next_bit()).collect();
+        let ones: usize = bits.iter().map(|&b| b as usize).sum();
+        assert!((56..=72).contains(&ones), "ones {ones}");
+        // Period 127 for a maximal 7-bit LFSR.
+        let again: Vec<u8> = (0..127).map(|_| prbs.next_bit()).collect();
+        assert_eq!(bits, again);
+    }
+
+    #[test]
+    fn pilots_do_not_overlap_data() {
+        let plan = plan();
+        for p in &plan.pilot_idx {
+            assert!(!plan.data_idx.contains(p));
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! OFDM burst demodulator.
+//!
+//! Pipeline per burst: down-convert → Schmidl-Cox detect → CFO derotate →
+//! channel estimate from the two training symbols → per-symbol FFT →
+//! one-tap equalization → pilot common-phase-error correction → max-log soft
+//! demap. The caller (the PHY framer) decides how many payload symbols to
+//! read based on the decoded header.
+
+use super::carriers::CarrierPlan;
+use super::sync::{detect, SyncPoint};
+use crate::constellation::{demap_soft, Modulation};
+use crate::profile::Profile;
+use sonic_dsp::fir::{design_lowpass, Fir};
+use sonic_dsp::osc::{downconvert, Nco};
+use sonic_dsp::{C32, Fft};
+
+/// Taps of the image-rejection low-pass applied after downconversion.
+///
+/// Mixing a real passband signal down leaves an image at −2·f_c; without
+/// this filter the image corrupts both the Schmidl-Cox metric and the
+/// equalizer. Linear phase ⇒ a constant [`GROUP_DELAY`] sample shift.
+const LPF_TAPS: usize = 101;
+
+/// Group delay (samples) introduced by the baseband low-pass.
+pub const GROUP_DELAY: usize = (LPF_TAPS - 1) / 2;
+
+/// Reusable demodulator for one profile.
+#[derive(Debug)]
+pub struct Demodulator {
+    profile: Profile,
+    plan: CarrierPlan,
+    fft: Fft,
+    lpf_taps: Vec<f32>,
+}
+
+/// Demodulated symbols of one burst, produced lazily symbol-by-symbol.
+#[derive(Debug)]
+pub struct BurstReader<'a, 'b> {
+    demod: &'a Demodulator,
+    baseband: &'b [C32],
+    /// Channel estimate per logical carrier.
+    channel: Vec<C32>,
+    /// Index into `baseband` of the next symbol's CP start.
+    cursor: usize,
+    /// Sample position (in the original buffer) where the burst started.
+    pub burst_start: usize,
+    /// Sync diagnostics.
+    pub sync: SyncPoint,
+}
+
+impl Demodulator {
+    /// Creates a demodulator (validates the profile).
+    pub fn new(profile: Profile) -> Self {
+        let plan = CarrierPlan::new(&profile);
+        let fft = Fft::new(profile.fft_size);
+        // Pass the occupied band with margin, stop well before the −2·f_c image.
+        let cutoff = ((profile.bandwidth() / 2.0 + 600.0) / profile.sample_rate).min(0.45);
+        let lpf_taps = design_lowpass(LPF_TAPS, cutoff);
+        Demodulator {
+            profile,
+            plan,
+            fft,
+            lpf_taps,
+        }
+    }
+
+    /// The profile this demodulator implements.
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    /// Down-converts an audio buffer to complex baseband and rejects the
+    /// −2·f_c mixing image. The output is delayed by [`GROUP_DELAY`] samples.
+    pub fn to_baseband(&self, audio: &[f32]) -> Vec<C32> {
+        let mut nco = Nco::new(self.profile.sample_rate, self.profile.center_freq);
+        let mut mixed = Vec::with_capacity(audio.len());
+        downconvert(&mut nco, audio, &mut mixed);
+        let mut fir_re = Fir::new(self.lpf_taps.clone());
+        let mut fir_im = Fir::new(self.lpf_taps.clone());
+        mixed
+            .iter()
+            .map(|v| C32::new(fir_re.push(v.re), fir_im.push(v.im)))
+            .collect()
+    }
+
+    /// Searches `audio` from sample `from` for a burst; on success returns a
+    /// reader positioned at the header symbol. Prefer
+    /// [`open_burst_baseband`](Self::open_burst_baseband) when scanning one
+    /// buffer for many bursts (converts once).
+    pub fn open_burst<'a, 'b>(
+        &'a self,
+        baseband: &'b [C32],
+        from: usize,
+    ) -> Option<BurstReader<'a, 'b>> {
+        self.open_burst_baseband(baseband, from)
+    }
+
+    /// Finds the next burst in pre-converted baseband and prepares the
+    /// channel estimate. CFO is compensated lazily per symbol window.
+    pub fn open_burst_baseband<'a, 'b>(
+        &'a self,
+        baseband: &'b [C32],
+        from: usize,
+    ) -> Option<BurstReader<'a, 'b>> {
+        let sync = detect(&self.profile, &self.plan, baseband, from, 0.35)?;
+
+        let sym = self.profile.symbol_len();
+        let n = self.profile.fft_size;
+        let cp = self.profile.cp_len;
+        // Symbols: 0 preamble, 1..=2 training, 3 header, 4.. payload.
+        let t1 = sync.start + sym;
+        let t2 = t1 + sym;
+        if baseband.len() < t2 + sym {
+            return None;
+        }
+
+        let derotate = |window: &mut [C32], abs_start: usize| {
+            if sync.cfo.abs() > 1e-7 {
+                let mut phase = (abs_start - sync.start) as f64 * sync.cfo as f64;
+                for v in window.iter_mut() {
+                    *v = *v * C32::from_angle(-phase);
+                    phase += sync.cfo as f64;
+                }
+            }
+        };
+
+        // FFT windows start a quarter-CP early: small timing errors and
+        // filter tails then fall inside the cyclic prefix instead of
+        // spilling ISI into the window. The resulting linear phase is part
+        // of the channel estimate and cancels in equalization.
+        let backoff = cp / 4;
+        let mut channel = vec![C32::ZERO; self.plan.bins.len()];
+        for &t in &[t1, t2] {
+            let s = t + cp - backoff;
+            let mut buf: Vec<C32> = baseband[s..s + n].to_vec();
+            derotate(&mut buf, s);
+            self.fft.forward(&mut buf);
+            let vals = self.plan.gather(&buf);
+            for (h, (y, x)) in channel.iter_mut().zip(vals.iter().zip(&self.plan.training)) {
+                *h += *y / *x;
+            }
+        }
+        for h in channel.iter_mut() {
+            *h = h.scale(0.5 / (self.profile.fft_size as f32).sqrt());
+        }
+        // Guard against dead carriers (channel nulls): floor the magnitude.
+        // Soft outputs are additionally weighted by |h|² in `next_symbol`,
+        // so a floored carrier contributes near-zero confidence (an erasure)
+        // instead of amplified noise.
+        let avg: f32 =
+            channel.iter().map(|h| h.abs()).sum::<f32>() / channel.len().max(1) as f32;
+        let floor = (avg * 0.05).max(1e-6);
+        for h in channel.iter_mut() {
+            if h.abs() < floor {
+                *h = C32::new(floor, 0.0);
+            }
+        }
+
+        Some(BurstReader {
+            demod: self,
+            baseband,
+            channel,
+            cursor: t2 + sym,
+            burst_start: sync.start,
+            sync,
+        })
+    }
+}
+
+impl BurstReader<'_, '_> {
+    /// Sample index just past the last symbol consumed so far.
+    pub fn position(&self) -> usize {
+        self.cursor
+    }
+
+    /// Whether another whole symbol is available in the buffer.
+    pub fn has_symbol(&self) -> bool {
+        self.cursor + self.demod.profile.symbol_len() <= self.baseband.len()
+    }
+
+    /// Demodulates the next symbol with the given modulation, appending one
+    /// equalized soft value per data bit to `soft`. Returns `false` when the
+    /// buffer is exhausted.
+    pub fn next_symbol(&mut self, modulation: Modulation, soft: &mut Vec<f32>) -> bool {
+        if !self.has_symbol() {
+            return false;
+        }
+        let p = &self.demod.profile;
+        let plan = &self.demod.plan;
+        let cp = p.cp_len;
+        let n = p.fft_size;
+        let norm = 1.0 / (n as f32).sqrt();
+        // Same quarter-CP back-off as the channel estimator (phases cancel).
+        let s = self.cursor + cp - cp / 4;
+        let mut buf: Vec<C32> = self.baseband[s..s + n].to_vec();
+        if self.sync.cfo.abs() > 1e-7 {
+            let mut phase = (s - self.burst_start) as f64 * self.sync.cfo as f64;
+            for v in buf.iter_mut() {
+                *v = *v * C32::from_angle(-phase);
+                phase += self.sync.cfo as f64;
+            }
+        }
+        self.demod.fft.forward(&mut buf);
+        let mut vals = plan.gather(&buf);
+        for v in vals.iter_mut() {
+            *v = v.scale(norm);
+        }
+        // Equalize.
+        for (v, h) in vals.iter_mut().zip(&self.channel) {
+            *v = *v / *h;
+        }
+        // Common phase error from pilots.
+        let mut acc = C32::ZERO;
+        for (k, &idx) in plan.pilot_idx.iter().enumerate() {
+            acc += vals[idx].mul_conj(plan.pilot_values[k]);
+        }
+        if acc.abs() > 1e-9 {
+            let rot = acc.normalize().conj();
+            for v in vals.iter_mut() {
+                *v = *v * rot;
+            }
+        }
+        // Matched-filter weighting: scale each carrier's soft bits by its
+        // channel power relative to the mean, so faded carriers act like
+        // erasures for the Viterbi decoder instead of confident garbage.
+        let mean_h2: f32 = self.channel.iter().map(|h| h.norm_sq()).sum::<f32>()
+            / self.channel.len().max(1) as f32;
+        for &idx in &plan.data_idx {
+            let w = (self.channel[idx].norm_sq() / mean_h2.max(1e-12)).min(4.0);
+            demap_soft(modulation, vals[idx], w, soft);
+        }
+        self.cursor += p.symbol_len();
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constellation::Modulation;
+    use crate::ofdm::modulator::Modulator;
+
+    /// End-to-end symbol path over a clean channel.
+    fn roundtrip_soft(profile: Profile, payload_bits: &[u8]) -> Vec<f32> {
+        let m = Modulator::new(profile.clone());
+        let header: Vec<u8> = (0..80).map(|i| (i % 2) as u8).collect();
+        let audio = m.modulate_bits(&header, payload_bits);
+        let d = Demodulator::new(profile.clone());
+        let bb = d.to_baseband(&audio);
+        let mut reader = d.open_burst(&bb, 0).expect("burst detected");
+        // Header symbol first.
+        let mut hdr_soft = Vec::new();
+        assert!(reader.next_symbol(Modulation::Bpsk, &mut hdr_soft));
+        for (k, s) in hdr_soft.iter().take(80).enumerate() {
+            assert_eq!(*s > 0.0, header[k] == 1, "header bit {k}");
+        }
+        let per_sym = profile.bits_per_symbol();
+        let n_syms = payload_bits.len().div_ceil(per_sym);
+        let mut soft = Vec::new();
+        for _ in 0..n_syms {
+            assert!(reader.next_symbol(profile.modulation, &mut soft));
+        }
+        soft
+    }
+
+    fn pattern(n: usize) -> Vec<u8> {
+        let mut x = 0xDEADu32;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x & 1) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_channel_recovers_all_bits_qpsk() {
+        let p = Profile::audible_7k();
+        let bits = pattern(p.bits_per_symbol() * 5);
+        let soft = roundtrip_soft(p, &bits);
+        for (i, (&b, &s)) in bits.iter().zip(&soft).enumerate() {
+            assert_eq!(s > 0.0, b == 1, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn clean_channel_recovers_all_bits_qam64() {
+        let p = Profile::sonic_10k();
+        let bits = pattern(p.bits_per_symbol() * 5);
+        let soft = roundtrip_soft(p, &bits);
+        for (i, (&b, &s)) in bits.iter().zip(&soft).enumerate() {
+            assert_eq!(s > 0.0, b == 1, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn survives_attenuation_and_delay() {
+        let profile = Profile::sonic_10k();
+        let m = Modulator::new(profile.clone());
+        let bits = pattern(profile.bits_per_symbol() * 3);
+        let header: Vec<u8> = vec![1; 80];
+        let audio = m.modulate_bits(&header, &bits);
+        // 0.05× attenuation plus 777 samples of delay.
+        let mut rx = vec![0.0f32; 777];
+        rx.extend(audio.iter().map(|&x| x * 0.05));
+        let d = Demodulator::new(profile.clone());
+        let bb = d.to_baseband(&rx);
+        let mut reader = d.open_burst(&bb, 0).expect("detected");
+        let mut hdr = Vec::new();
+        assert!(reader.next_symbol(Modulation::Bpsk, &mut hdr));
+        for (k, s) in hdr.iter().take(80).enumerate() {
+            assert!(*s > 0.0, "header bit {k} flipped");
+        }
+        let mut soft = Vec::new();
+        for _ in 0..3 {
+            assert!(reader.next_symbol(profile.modulation, &mut soft));
+        }
+        for (i, (&b, &s)) in bits.iter().zip(&soft).enumerate() {
+            assert_eq!(s > 0.0, b == 1, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn open_burst_fails_on_silence() {
+        let d = Demodulator::new(Profile::sonic_10k());
+        let bb = d.to_baseband(&vec![0.0; 50_000]);
+        assert!(d.open_burst(&bb, 0).is_none());
+    }
+}

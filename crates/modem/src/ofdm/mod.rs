@@ -1,0 +1,24 @@
+//! OFDM modulator/demodulator.
+//!
+//! Structure of one PHY burst (all durations in OFDM symbols of
+//! `fft_size + cp_len` samples):
+//!
+//! ```text
+//! | preamble | training | training | header | payload ... |
+//! ```
+//!
+//! * **preamble** — Schmidl-Cox symbol (only even subcarriers active) whose
+//!   two identical time-domain halves give O(N) burst detection plus a
+//!   carrier-frequency-offset estimate.
+//! * **training ×2** — known QPSK on all active carriers; averaged into the
+//!   one-tap-per-subcarrier channel estimate.
+//! * **header** — BPSK, convolutionally coded: payload length + CRC-16.
+//! * **payload** — profile modulation, FEC chain from `sonic-fec`.
+
+pub mod carriers;
+pub mod demodulator;
+pub mod modulator;
+pub mod sync;
+
+pub use demodulator::Demodulator;
+pub use modulator::Modulator;

@@ -1,0 +1,216 @@
+//! Burst detection: Schmidl-Cox coarse timing + correlation fine timing.
+//!
+//! The preamble symbol only has even subcarriers active, so its time-domain
+//! body consists of two identical halves. The classic Schmidl-Cox metric
+//!
+//! ```text
+//! M(d) = |P(d)|² / R(d)²,   P(d) = Σ r*(d+m)·r(d+m+L/2),   R(d) = Σ |r(d+m+L/2)|²
+//! ```
+//!
+//! is computed with O(1) sliding updates, giving O(N) scanning over arbitrary
+//! audio. A threshold crossing yields a coarse position; a cross-correlation
+//! against the known preamble waveform within a small window pins the symbol
+//! boundary to the sample. The angle of `P` also estimates the carrier
+//! frequency offset, which the demodulator removes before the FFT.
+
+use super::carriers::CarrierPlan;
+use crate::profile::Profile;
+use sonic_dsp::{C32, Fft};
+
+/// Result of a successful burst detection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyncPoint {
+    /// Sample index (into the baseband buffer) of the first sample of the
+    /// preamble symbol's cyclic prefix.
+    pub start: usize,
+    /// Estimated carrier frequency offset in radians/sample.
+    pub cfo: f32,
+    /// Peak value of the timing metric (0..1, for diagnostics).
+    pub metric: f32,
+}
+
+/// Reference preamble generator: the time-domain body (no CP) at baseband.
+pub fn preamble_body(profile: &Profile, plan: &CarrierPlan) -> Vec<C32> {
+    let fft = Fft::new(profile.fft_size);
+    let mut buf = vec![C32::ZERO; profile.fft_size];
+    plan.scatter(&plan.preamble, &mut buf);
+    fft.inverse(&mut buf);
+    let gain = (profile.fft_size as f32).sqrt();
+    buf.iter_mut().for_each(|v| *v = v.scale(gain));
+    buf
+}
+
+/// Scans `baseband` from `from` for the next burst.
+///
+/// Returns `None` when no metric plateau above `threshold` exists after
+/// `from`. A typical threshold is 0.4; pure noise stays below ~0.1.
+pub fn detect(
+    profile: &Profile,
+    plan: &CarrierPlan,
+    baseband: &[C32],
+    from: usize,
+    threshold: f32,
+) -> Option<SyncPoint> {
+    let l = profile.fft_size;
+    let half = l / 2;
+    let cp = profile.cp_len;
+    if baseband.len() < from + l + cp + 1 {
+        return None;
+    }
+
+    // Sliding sums for P(d) and R(d).
+    let mut p = C32::ZERO;
+    let mut r = 0.0f32;
+    let d0 = from;
+    for m in 0..half {
+        p += baseband[d0 + m].mul_conj(baseband[d0 + m + half]).conj();
+        r += baseband[d0 + m + half].norm_sq();
+    }
+
+    let reference = preamble_body(profile, plan);
+    let ref_energy: f32 = reference.iter().map(|v| v.norm_sq()).sum();
+
+    let last = baseband.len() - l - 1;
+    let mut d = d0;
+    while d < last {
+        let metric = if r > 1e-9 { p.norm_sq() / (r * r) } else { 0.0 };
+        if metric > threshold {
+            // Coarse hit: search the correlation peak in a window around d.
+            // The threshold crossing happens on the metric's rising edge just
+            // before the CP-long plateau, so the true CP start lies within
+            // [d - cp, d + 2·cp].
+            let win_lo = d.saturating_sub(cp);
+            let win_hi = (d + 2 * cp).min(baseband.len().saturating_sub(l + cp));
+            let mut best = None::<(usize, f32)>;
+            for cand in win_lo..=win_hi {
+                // Correlate the *body* (skip CP) against the reference.
+                let body = &baseband[cand + cp..cand + cp + l];
+                let mut acc = C32::ZERO;
+                let mut energy = 0.0f32;
+                for (x, h) in body.iter().zip(&reference) {
+                    acc += x.mul_conj(*h);
+                    energy += x.norm_sq();
+                }
+                let score = if energy > 1e-9 {
+                    acc.norm_sq() / (energy * ref_energy)
+                } else {
+                    0.0
+                };
+                if best.map_or(true, |(_, s)| score > s) {
+                    best = Some((cand, score));
+                }
+            }
+            let (start, score) = best.expect("window non-empty");
+            if score > 0.1 {
+                // CFO from the Schmidl-Cox phase: Δφ over half a symbol.
+                let cfo = p.arg() / half as f32;
+                return Some(SyncPoint {
+                    start,
+                    cfo,
+                    metric,
+                });
+            }
+            // False alarm (e.g. tonal interference): skip past this plateau.
+            d += cp.max(1);
+            // Rebuild sliding sums at the new position.
+            if d >= last {
+                return None;
+            }
+            p = C32::ZERO;
+            r = 0.0;
+            for m in 0..half {
+                p += baseband[d + m].mul_conj(baseband[d + m + half]).conj();
+                r += baseband[d + m + half].norm_sq();
+            }
+            continue;
+        }
+        // Slide by one sample.
+        p -= baseband[d].mul_conj(baseband[d + half]).conj();
+        p += baseband[d + half].mul_conj(baseband[d + l]).conj();
+        r -= baseband[d + half].norm_sq();
+        r += baseband[d + l].norm_sq();
+        d += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ofdm::demodulator::{Demodulator, GROUP_DELAY};
+    use crate::ofdm::modulator::Modulator;
+
+    fn to_baseband(profile: &Profile, audio: &[f32]) -> Vec<C32> {
+        Demodulator::new(profile.clone()).to_baseband(audio)
+    }
+
+    #[test]
+    fn detects_burst_at_known_offset() {
+        let m = Modulator::new(Profile::sonic_10k());
+        let p = m.profile().clone();
+        let audio = m.modulate_bits(&[1; 80], &vec![0u8; p.bits_per_symbol()]);
+        // Prepend silence so the burst starts at a known sample.
+        let lead = 5000usize;
+        let mut signal = vec![0.0f32; lead];
+        signal.extend_from_slice(&audio);
+        let bb = to_baseband(&p, &signal);
+        let plan = CarrierPlan::new(&p);
+        let sp = detect(&p, &plan, &bb, 0, 0.4).expect("must detect");
+        // Burst audio begins with cp_len guard zeros, then the preamble CP;
+        // the baseband LPF shifts everything by its group delay.
+        let want = lead + p.cp_len + GROUP_DELAY;
+        assert!(
+            (sp.start as isize - want as isize).abs() <= 4,
+            "start {} want {want}",
+            sp.start
+        );
+        assert!(sp.cfo.abs() < 0.01, "cfo {}", sp.cfo);
+    }
+
+    #[test]
+    fn no_detection_in_noise() {
+        let p = Profile::sonic_10k();
+        let plan = CarrierPlan::new(&p);
+        // Deterministic pseudo-noise.
+        let mut x = 1u32;
+        let noise: Vec<f32> = (0..20000)
+            .map(|_| {
+                x = x.wrapping_mul(1103515245).wrapping_add(12345);
+                ((x >> 16) as f32 / 32768.0) - 1.0
+            })
+            .collect();
+        let bb = to_baseband(&p, &noise);
+        assert!(detect(&p, &plan, &bb, 0, 0.5).is_none());
+    }
+
+    #[test]
+    fn no_detection_in_silence() {
+        let p = Profile::sonic_10k();
+        let plan = CarrierPlan::new(&p);
+        let bb = vec![C32::ZERO; 30000];
+        assert!(detect(&p, &plan, &bb, 0, 0.4).is_none());
+    }
+
+    #[test]
+    fn detects_second_burst_after_first() {
+        let m = Modulator::new(Profile::sonic_10k());
+        let p = m.profile().clone();
+        let burst = m.modulate_bits(&[0; 80], &vec![1u8; p.bits_per_symbol()]);
+        let mut signal = vec![0.0f32; 1000];
+        signal.extend_from_slice(&burst);
+        signal.extend(std::iter::repeat(0.0).take(3000));
+        let second_at = signal.len();
+        signal.extend_from_slice(&burst);
+        let bb = to_baseband(&p, &signal);
+        let plan = CarrierPlan::new(&p);
+        let first = detect(&p, &plan, &bb, 0, 0.4).expect("first");
+        let next_from = first.start + p.symbol_len() * 5;
+        let second = detect(&p, &plan, &bb, next_from, 0.4).expect("second");
+        let want = second_at + p.cp_len + GROUP_DELAY;
+        assert!(
+            (second.start as isize - want as isize).abs() <= 4,
+            "second {} want {want}",
+            second.start
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! Streaming receiver: incremental, push-based demodulation.
+//!
+//! A phone app does not get the whole broadcast as one buffer — audio
+//! arrives in capture-callback chunks while the user does other things.
+//! [`StreamReceiver`] accepts arbitrary sample chunks, scans incrementally,
+//! emits recovered payloads as they complete, and bounds its memory by
+//! discarding audio that can no longer contain a frame start.
+
+use crate::frame::{demodulate_frames, DemodFrame};
+use crate::profile::Profile;
+
+/// Incremental receiver with bounded buffering.
+#[derive(Debug)]
+pub struct StreamReceiver {
+    profile: Profile,
+    /// Audio not yet consumed by a completed scan.
+    buffer: Vec<f32>,
+    /// Absolute sample index of `buffer[0]` since the stream began.
+    base: u64,
+    /// Max buffered samples before the head is dropped (≥ one max burst).
+    max_buffer: usize,
+    /// Completed results not yet taken by the caller.
+    ready: Vec<StreamEvent>,
+    /// Totals for diagnostics.
+    pub frames_recovered: usize,
+    /// Bursts that failed after detection.
+    pub bursts_failed: usize,
+}
+
+/// One event emitted by the receiver.
+#[derive(Debug, Clone)]
+pub struct StreamEvent {
+    /// Absolute sample position of the burst start.
+    pub at_sample: u64,
+    /// The recovered payload (None = burst detected but unrecoverable).
+    pub payload: Option<Vec<u8>>,
+}
+
+impl StreamReceiver {
+    /// Creates a receiver for a profile.
+    pub fn new(profile: Profile) -> Self {
+        // Largest possible burst: MAX_PAYLOAD at the profile's rate + sync
+        // overhead, doubled for safety.
+        let max_burst = profile.frame_samples(crate::frame::MAX_PAYLOAD) + 4 * profile.symbol_len();
+        StreamReceiver {
+            profile,
+            buffer: Vec::new(),
+            base: 0,
+            max_buffer: max_burst * 2,
+            ready: Vec::new(),
+            frames_recovered: 0,
+            bursts_failed: 0,
+        }
+    }
+
+    /// Pushes a chunk of captured audio; completed frames become events.
+    pub fn push(&mut self, samples: &[f32]) {
+        self.buffer.extend_from_slice(samples);
+        self.scan();
+        self.trim();
+    }
+
+    /// Takes all pending events.
+    pub fn poll(&mut self) -> Vec<StreamEvent> {
+        std::mem::take(&mut self.ready)
+    }
+
+    /// Buffered (unconsumed) sample count.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    fn scan(&mut self) {
+        // A frame can only be decoded if fully buffered; demodulate_frames
+        // reports Truncated for partial tails, which we leave in the buffer
+        // for the next push.
+        let results: Vec<DemodFrame> = demodulate_frames(&self.profile, &self.buffer);
+        let mut consumed = 0usize;
+        for r in results {
+            match r.payload {
+                Ok(bytes) => {
+                    self.frames_recovered += 1;
+                    // Consume through the end of this burst: estimate from
+                    // the payload length.
+                    let burst_len = self.profile.frame_samples(bytes.len()) + r.start_sample;
+                    consumed = consumed.max(burst_len.min(self.buffer.len()));
+                    self.ready.push(StreamEvent {
+                        at_sample: self.base + r.start_sample as u64,
+                        payload: Some(bytes),
+                    });
+                }
+                Err(crate::frame::PhyError::Truncated) => {
+                    // Wait for more samples; keep from this burst's start.
+                    consumed = consumed.min(r.start_sample);
+                    break;
+                }
+                Err(_) => {
+                    self.bursts_failed += 1;
+                    let skip = r.start_sample + 4 * self.profile.symbol_len();
+                    consumed = consumed.max(skip.min(self.buffer.len()));
+                    self.ready.push(StreamEvent {
+                        at_sample: self.base + r.start_sample as u64,
+                        payload: None,
+                    });
+                }
+            }
+        }
+        if consumed > 0 {
+            self.buffer.drain(..consumed);
+            self.base += consumed as u64;
+        }
+    }
+
+    fn trim(&mut self) {
+        if self.buffer.len() > self.max_buffer {
+            let drop = self.buffer.len() - self.max_buffer;
+            self.buffer.drain(..drop);
+            self.base += drop as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::modulate_frame;
+
+    fn payload(n: usize, seed: u8) -> Vec<u8> {
+        (0..n).map(|i| (i as u8).wrapping_mul(13).wrapping_add(seed)).collect()
+    }
+
+    #[test]
+    fn chunked_push_recovers_frames() {
+        let p = Profile::sonic_10k();
+        let a = payload(400, 1);
+        let b = payload(250, 2);
+        let mut audio = modulate_frame(&p, &a);
+        audio.extend(std::iter::repeat(0.0).take(3000));
+        audio.extend(modulate_frame(&p, &b));
+
+        let mut rx = StreamReceiver::new(p);
+        let mut got = Vec::new();
+        // Push in awkward 4096-sample capture chunks.
+        for chunk in audio.chunks(4096) {
+            rx.push(chunk);
+            got.extend(rx.poll());
+        }
+        got.extend(rx.poll());
+        let payloads: Vec<Vec<u8>> = got.into_iter().filter_map(|e| e.payload).collect();
+        assert_eq!(payloads, vec![a, b]);
+        assert_eq!(rx.frames_recovered, 2);
+    }
+
+    #[test]
+    fn event_positions_are_absolute() {
+        let p = Profile::sonic_10k();
+        let a = payload(120, 3);
+        let lead = 10_000usize;
+        let mut audio = vec![0.0f32; lead];
+        audio.extend(modulate_frame(&p, &a));
+        let mut rx = StreamReceiver::new(p.clone());
+        let mut events = Vec::new();
+        for chunk in audio.chunks(2000) {
+            rx.push(chunk);
+            events.extend(rx.poll());
+        }
+        assert_eq!(events.len(), 1);
+        // Burst begins after the lead + the modulator's guard (+ LPF delay).
+        let at = events[0].at_sample as usize;
+        assert!(
+            at >= lead && at < lead + p.symbol_len() * 2,
+            "at {at}, lead {lead}"
+        );
+    }
+
+    #[test]
+    fn silence_is_discarded_bounded() {
+        let p = Profile::sonic_10k();
+        let mut rx = StreamReceiver::new(p);
+        for _ in 0..100 {
+            rx.push(&vec![0.0f32; 50_000]);
+        }
+        assert!(rx.buffered() <= rx.max_buffer);
+        assert!(rx.poll().is_empty());
+    }
+
+    #[test]
+    fn split_exactly_mid_burst_still_decodes() {
+        let p = Profile::sonic_10k();
+        let a = payload(800, 9);
+        let audio = modulate_frame(&p, &a);
+        let mut rx = StreamReceiver::new(p);
+        let mid = audio.len() / 2;
+        rx.push(&audio[..mid]);
+        assert!(rx.poll().is_empty(), "half a burst must not decode");
+        rx.push(&audio[mid..]);
+        let got = rx.poll();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload.as_deref(), Some(&a[..]));
+    }
+}

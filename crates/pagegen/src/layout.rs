@@ -1,0 +1,296 @@
+//! Page layout model.
+//!
+//! A page is a vertical stack of blocks; each block carries its own derived
+//! seed, re-derived per churn epoch, so "the hero image changed this hour"
+//! is a pure function of `(site, page, block, hour)`.
+
+use crate::site::{SiteCategory, SiteProfile};
+use crate::tranco::mix;
+
+/// Which page of a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageKind {
+    /// The landing page.
+    Landing,
+    /// The i-th internal page (0-based; the corpus uses 0..3).
+    Internal(usize),
+}
+
+impl PageKind {
+    fn index(self) -> u64 {
+        match self {
+            PageKind::Landing => 0,
+            PageKind::Internal(i) => 1 + i as u64,
+        }
+    }
+}
+
+/// Kinds of layout blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// Site banner with the domain name and navigation links.
+    Header,
+    /// Large lead image with a headline (churns fastest).
+    Hero,
+    /// A teaser row: thumbnail + headline + snippet, linking to a page.
+    Teaser,
+    /// Flowing body text.
+    Paragraph,
+    /// E-commerce style product grid row.
+    ProductRow,
+    /// Advertisement banner.
+    AdBanner,
+    /// Site footer.
+    Footer,
+}
+
+/// One block instance.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// What to draw.
+    pub kind: BlockKind,
+    /// Height in logical pixels (1080-wide page).
+    pub height: usize,
+    /// Content seed (changes when the block's churn epoch rolls over).
+    pub seed: u64,
+}
+
+/// A generated page layout.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    /// Stacked blocks, top to bottom.
+    pub blocks: Vec<Block>,
+    /// Logical page width (always 1080).
+    pub width: usize,
+    /// Sum of block heights.
+    pub height: usize,
+    /// The page's canonical URL.
+    pub url: String,
+}
+
+/// Hours of the day (0-based) during which editorial content does not
+/// change — newsrooms sleep too. This nightly freeze is what gives the
+/// Figure 4c backlog its daily reset instead of unbounded growth.
+const QUIET_HOURS: u64 = 5;
+
+/// Cumulative count of *active* hours up to `hour` (hours 0..5 of each day
+/// are frozen).
+fn active_hours(hour: u64) -> u64 {
+    let days = hour / 24;
+    let in_day = hour % 24;
+    days * (24 - QUIET_HOURS) + in_day.saturating_sub(QUIET_HOURS)
+}
+
+/// Churn epoch of a block: seeds change when the active-hour count crosses
+/// a period boundary. `phase` staggers blocks with equal periods so the
+/// whole corpus does not refresh in lockstep (which would put implausible
+/// spikes into the Figure 4c inflow).
+fn epoch(hour: u64, period: u64, phase: u64) -> u64 {
+    (active_hours(hour) + phase % period.max(1)) / period.max(1)
+}
+
+/// Generates the layout of `page` on `site` at `hour`.
+pub fn generate(site: &SiteProfile, page: PageKind, hour: u64) -> Layout {
+    let cat = site.category;
+    let (churn, static_seed) = match page {
+        PageKind::Landing => (cat.landing_churn_hours(), mix(site.seed, 0xA11C)),
+        PageKind::Internal(_) => (cat.internal_churn_hours(), mix(site.seed, 0xB22D)),
+    };
+    let page_idx = page.index();
+    // One phase per page: all of a page's blocks roll over together (a CMS
+    // publishes a whole page), but different pages/sites roll at different
+    // offsets within their period.
+    let page_phase = mix(site.seed, page_idx);
+    let dynamic = |block_idx: u64, period: u64| -> u64 {
+        mix(
+            mix(site.seed, page_idx.wrapping_mul(0x9E37)),
+            mix(block_idx, epoch(hour, period, page_phase)),
+        )
+    };
+    let stat = |block_idx: u64| -> u64 { mix(static_seed, mix(page_idx, block_idx)) };
+
+    // Structural randomness (block counts) must be stable across hours or
+    // the page height would jump every epoch; derive it from static seeds.
+    let s = stat(0xFF);
+    let (lo, hi) = cat.height_range();
+    let target_height = lo + (s as usize % (hi - lo));
+    let scale = match page {
+        PageKind::Landing => 1.0,
+        PageKind::Internal(_) => 0.45, // internal pages run shorter
+    };
+    let target_height = (target_height as f64 * scale) as usize;
+
+    let mut blocks = Vec::new();
+    blocks.push(Block {
+        kind: BlockKind::Header,
+        height: 140,
+        seed: stat(0),
+    });
+    blocks.push(Block {
+        kind: BlockKind::Hero,
+        height: 620,
+        seed: dynamic(1, churn),
+    });
+
+    let mut h: usize = 760;
+    let mut idx = 2u64;
+    while h + 360 < target_height {
+        let kind = match (cat, idx % 7) {
+            (SiteCategory::ECommerce, 0 | 2 | 4) => BlockKind::ProductRow,
+            (_, 3) if idx % 14 == 3 => BlockKind::AdBanner,
+            (SiteCategory::News | SiteCategory::Sports | SiteCategory::Portal, 0 | 1 | 4 | 5) => {
+                BlockKind::Teaser
+            }
+            _ => BlockKind::Paragraph,
+        };
+        let (height, period) = match kind {
+            BlockKind::Teaser => (260, churn),
+            BlockKind::ProductRow => (420, churn.max(2)),
+            // Ads rotate per *load*, but the broadcaster would not re-send a
+            // page for an ad change — tie them to the site's churn period.
+            BlockKind::AdBanner => (180, churn),
+            _ => (300, churn.saturating_mul(2).max(4)),
+        };
+        blocks.push(Block {
+            kind,
+            height,
+            seed: dynamic(idx, period),
+        });
+        h += height;
+        idx += 1;
+    }
+    blocks.push(Block {
+        kind: BlockKind::Footer,
+        height: 200,
+        seed: stat(1),
+    });
+    h += 340; // header + footer already counted below
+
+    let height: usize = blocks.iter().map(|b| b.height).sum();
+    let _ = h;
+    let url = match page {
+        PageKind::Landing => format!("https://{}/", site.domain),
+        PageKind::Internal(i) => {
+            let mut tg = crate::text::TextGen::new(stat(0xE0 + i as u64));
+            format!("https://{}{}", site.domain, tg.url_path())
+        }
+    };
+    Layout {
+        blocks,
+        width: 1080,
+        height,
+        url,
+    }
+}
+
+/// Whether the page content differs between two hours (⇒ re-broadcast).
+pub fn page_changed(site: &SiteProfile, page: PageKind, h1: u64, h2: u64) -> bool {
+    if h1 == h2 {
+        return false;
+    }
+    let a = generate(site, page, h1);
+    let b = generate(site, page, h2);
+    a.blocks.len() != b.blocks.len()
+        || a.blocks.iter().zip(&b.blocks).any(|(x, y)| x.seed != y.seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tranco::pk_top_sites;
+
+    fn news_site() -> SiteProfile {
+        pk_top_sites(25, 7)
+            .into_iter()
+            .find(|s| s.category == SiteCategory::News)
+            .expect("mix contains news")
+    }
+
+    fn gov_site() -> SiteProfile {
+        pk_top_sites(25, 7)
+            .into_iter()
+            .find(|s| s.category == SiteCategory::Government)
+            .expect("mix contains government")
+    }
+
+    #[test]
+    fn layout_is_deterministic() {
+        let s = news_site();
+        let a = generate(&s, PageKind::Landing, 5);
+        let b = generate(&s, PageKind::Landing, 5);
+        assert_eq!(a.height, b.height);
+        assert_eq!(a.url, b.url);
+        for (x, y) in a.blocks.iter().zip(&b.blocks) {
+            assert_eq!(x.seed, y.seed);
+        }
+    }
+
+    #[test]
+    fn height_stays_stable_across_hours() {
+        let s = news_site();
+        let h0 = generate(&s, PageKind::Landing, 0).height;
+        for hour in 1..24 {
+            assert_eq!(generate(&s, PageKind::Landing, hour).height, h0);
+        }
+    }
+
+    #[test]
+    fn news_changes_hourly_gov_does_not() {
+        let news = news_site();
+        let gov = gov_site();
+        // Daytime hours: news churns hourly, government does not.
+        assert!(page_changed(&news, PageKind::Landing, 9, 10));
+        assert!(!page_changed(&gov, PageKind::Landing, 9, 10));
+        assert!(page_changed(&gov, PageKind::Landing, 6, 40));
+    }
+
+    #[test]
+    fn nothing_changes_during_quiet_hours() {
+        let news = news_site();
+        assert!(
+            !page_changed(&news, PageKind::Landing, 26, 28),
+            "hours 2–4 of day 2 are frozen"
+        );
+    }
+
+    #[test]
+    fn active_hours_skips_nights() {
+        assert_eq!(active_hours(0), 0);
+        assert_eq!(active_hours(5), 0);
+        assert_eq!(active_hours(6), 1);
+        assert_eq!(active_hours(24), 19);
+        assert_eq!(active_hours(48), 38);
+    }
+
+    #[test]
+    fn internal_pages_have_paths() {
+        let s = news_site();
+        let l = generate(&s, PageKind::Internal(2), 0);
+        assert!(l.url.contains(&s.domain));
+        assert!(l.url.split('/').count() > 3, "{}", l.url);
+    }
+
+    #[test]
+    fn structure_has_header_and_footer() {
+        let l = generate(&news_site(), PageKind::Landing, 1);
+        assert_eq!(l.blocks.first().map(|b| b.kind), Some(BlockKind::Header));
+        assert_eq!(l.blocks.last().map(|b| b.kind), Some(BlockKind::Footer));
+        assert!(l.height >= 2_000);
+    }
+
+    #[test]
+    fn landing_heights_span_category_range() {
+        let s = news_site();
+        let (lo, hi) = s.category.height_range();
+        let h = generate(&s, PageKind::Landing, 0).height;
+        assert!(h >= lo / 2 && h <= hi + 1_000, "h = {h} not near [{lo},{hi}]");
+    }
+
+    #[test]
+    fn internal_shorter_than_landing() {
+        let s = news_site();
+        let landing = generate(&s, PageKind::Landing, 0).height;
+        let internal = generate(&s, PageKind::Internal(0), 0).height;
+        assert!(internal < landing);
+    }
+}

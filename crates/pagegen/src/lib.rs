@@ -1,0 +1,28 @@
+//! # sonic-pagegen
+//!
+//! Deterministic synthetic webpage generator — the stand-in for "rendered
+//! the 100 most popular Pakistani webpages in Chrome hourly for three days"
+//! (§4 Methodology). Sites, layouts, text, imagery and hourly churn are all
+//! pure functions of seeds, so every experiment is reproducible bit-for-bit.
+//!
+//! * [`font`], [`text`] — 5×7 bitmap font and pseudo-text with natural
+//!   word statistics (text edges drive codec rate and readability).
+//! * [`site`], [`tranco`] — site categories and a Tranco-like ranked list.
+//! * [`layout`] — block-stack page model with per-block churn epochs.
+//! * [`render`] — rasterizer producing screenshot + text mask + click map.
+//! * [`corpus`] — the 25-site / 100-page evaluation corpus.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod font;
+pub mod layout;
+pub mod render;
+pub mod results;
+pub mod site;
+pub mod text;
+pub mod tranco;
+
+pub use corpus::{Corpus, PageId};
+pub use render::RenderedPage;

@@ -1,0 +1,205 @@
+//! Search/chat result pages.
+//!
+//! Uplink queries (§3.1: "send queries to search engines … and AI
+//! chatbots") come back to the user as rendered pages, broadcast like any
+//! other SONIC content. This module synthesizes those pages: a search page
+//! is a list of result teasers; a chat page is a conversational answer.
+//! Content is a deterministic function of the query text, so the same
+//! question broadcast to many users costs one page.
+
+use crate::render::RenderedPage;
+use crate::text::{wrap, TextGen};
+use sonic_image::clickmap::{ClickMap, ClickRegion};
+use sonic_image::raster::{Raster, Rgb};
+
+fn hash_query(q: &str) -> u64 {
+    q.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1_0000_01b3)
+    })
+}
+
+const INK: Rgb = Rgb::new(25, 25, 30);
+const LINK: Rgb = Rgb::new(20, 60, 160);
+const MUTED: Rgb = Rgb::new(90, 100, 90);
+
+/// Renders a search-results page for `query` with `n_results` hits.
+pub fn render_search_results(query: &str, n_results: usize, scale: f64) -> RenderedPage {
+    assert!(scale > 0.0 && scale <= 1.0, "scale in (0,1]");
+    let seed = hash_query(query);
+    let height = 260 + n_results * 230 + 120;
+    let w = ((1080.0 * scale) as usize).max(8);
+    let h = ((height as f64 * scale) as usize).max(8);
+    let mut img = Raster::new(w, h);
+    let mut mask = vec![false; w * h];
+    let mut clicks = Vec::new();
+
+    let s = |v: usize| -> usize { (v as f64 * scale) as usize };
+    let gpx = ((2.0 * scale).round() as usize).max(1);
+
+    // Header bar with the echoed query.
+    img.fill_rect(0, 0, w, s(120), Rgb::new(240, 240, 245));
+    draw_text(&mut img, &mut mask, s(40), s(40), gpx, INK, &format!("RESULTS: {query}"));
+
+    let mut tg = TextGen::new(seed);
+    for k in 0..n_results {
+        let y0 = 260 + k * 230;
+        let title = tg.headline();
+        let domain = format!("{}.pk", tg.word());
+        draw_text(&mut img, &mut mask, s(40), s(y0), gpx * 2, LINK, &title);
+        draw_text(&mut img, &mut mask, s(40), s(y0 + 60), gpx, MUTED, &domain);
+        let snippet = tg.sentence(12, 20);
+        for (i, line) in wrap(&snippet, 70).into_iter().take(2).enumerate() {
+            draw_text(&mut img, &mut mask, s(40), s(y0 + 100 + i * 35), gpx, INK, &line);
+        }
+        clicks.push(ClickRegion {
+            x: 30,
+            y: y0 as u16,
+            w: 1020,
+            h: 200,
+            target: format!("https://{domain}{}", tg.url_path()),
+        });
+    }
+
+    RenderedPage {
+        raster: img,
+        text_mask: mask,
+        clickmap: ClickMap { regions: clicks },
+        url: format!("sonic://search/{}", slug(query)),
+    }
+}
+
+/// Renders a chatbot answer page for `question`.
+pub fn render_chat_answer(question: &str, scale: f64) -> RenderedPage {
+    assert!(scale > 0.0 && scale <= 1.0, "scale in (0,1]");
+    let seed = hash_query(question);
+    let mut tg = TextGen::new(seed ^ 0xC4A7);
+    let paragraphs: Vec<String> = (0..3).map(|i| tg.paragraph(3 + i)).collect();
+    let total_lines: usize = paragraphs
+        .iter()
+        .map(|p| wrap(p, 74).len().min(12))
+        .sum();
+    let height = 220 + total_lines * 35 + 200;
+    let w = ((1080.0 * scale) as usize).max(8);
+    let h = ((height as f64 * scale) as usize).max(8);
+    let mut img = Raster::new(w, h);
+    let mut mask = vec![false; w * h];
+    let s = |v: usize| -> usize { (v as f64 * scale) as usize };
+    let gpx = ((2.0 * scale).round() as usize).max(1);
+
+    img.fill_rect(0, 0, w, s(120), Rgb::new(230, 240, 250));
+    draw_text(&mut img, &mut mask, s(40), s(40), gpx, INK, &format!("Q: {question}"));
+    let mut y = 220usize;
+    for p in &paragraphs {
+        for line in wrap(p, 74).into_iter().take(12) {
+            draw_text(&mut img, &mut mask, s(40), s(y), gpx, INK, &line);
+            y += 35;
+        }
+        y += 35;
+    }
+
+    RenderedPage {
+        raster: img,
+        text_mask: mask,
+        clickmap: ClickMap::default(),
+        url: format!("sonic://chat/{}", slug(question)),
+    }
+}
+
+fn slug(q: &str) -> String {
+    let s: String = q
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+        .collect();
+    s.trim_matches('-').to_string()
+}
+
+/// Minimal text blitter shared by the result renderers (the main layout
+/// renderer has its own canvas type).
+fn draw_text(
+    img: &mut Raster,
+    mask: &mut [bool],
+    x: usize,
+    y: usize,
+    gpx: usize,
+    color: Rgb,
+    text: &str,
+) {
+    use crate::font::{glyph, ADVANCE, GLYPH_H};
+    let (w, h) = (img.width(), img.height());
+    let line_w = (text.chars().count() * ADVANCE * gpx).min(w.saturating_sub(x));
+    for yy in y..(y + GLYPH_H * gpx).min(h) {
+        for xx in x..(x + line_w).min(w) {
+            mask[yy * w + xx] = true;
+        }
+    }
+    let mut pen = x;
+    for ch in text.chars() {
+        for (row, bits) in glyph(ch).iter().enumerate() {
+            for col in 0..5 {
+                if bits & (1 << (4 - col)) != 0 {
+                    for dy in 0..gpx {
+                        for dx in 0..gpx {
+                            let px = pen + col * gpx + dx;
+                            let py = y + row * gpx + dy;
+                            if px < w && py < h {
+                                img.set(px, py, color);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        pen += ADVANCE * gpx;
+        if pen >= w {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn search_page_is_deterministic() {
+        let a = render_search_results("cricket score", 5, 0.2);
+        let b = render_search_results("cricket score", 5, 0.2);
+        assert_eq!(a.raster, b.raster);
+        assert_eq!(a.url, "sonic://search/cricket-score");
+    }
+
+    #[test]
+    fn different_queries_differ() {
+        let a = render_search_results("cricket", 3, 0.2);
+        let b = render_search_results("weather", 3, 0.2);
+        assert_ne!(a.url, b.url);
+        // Same dimensions (same result count) but different content.
+        assert_eq!(a.raster.height(), b.raster.height());
+        assert!(a.raster.mean_abs_diff(&b.raster) > 0.1);
+    }
+
+    #[test]
+    fn results_are_clickable() {
+        let page = render_search_results("anything", 7, 0.2);
+        assert_eq!(page.clickmap.regions.len(), 7);
+        for r in &page.clickmap.regions {
+            assert!(r.target.starts_with("https://"));
+        }
+    }
+
+    #[test]
+    fn chat_answer_has_text_and_no_links() {
+        let page = render_chat_answer("how do i register to vote", 0.2);
+        let text_px = page.text_mask.iter().filter(|&&b| b).count();
+        assert!(text_px > 200, "text pixels {text_px}");
+        assert!(page.clickmap.regions.is_empty());
+        assert!(page.url.starts_with("sonic://chat/"));
+    }
+
+    #[test]
+    fn pages_scale() {
+        let small = render_search_results("q", 3, 0.1);
+        let big = render_search_results("q", 3, 0.3);
+        assert!(big.raster.width() > 2 * small.raster.width());
+    }
+}

@@ -1,0 +1,152 @@
+//! Site profiles: category, domain and churn behaviour.
+//!
+//! The paper's corpus is "the 25 most popular Pakistani websites from the
+//! Tranco list filtered using the .pk domain name". We cannot ship that
+//! list, so sites are synthesized with a category mix typical of a
+//! country-level top-25 (news-heavy, some commerce/portals, a long tail of
+//! institutional sites) — the properties that matter downstream are page
+//! size, text density and how often content changes.
+
+/// Editorial category of a site; drives layout and churn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SiteCategory {
+    /// Breaking-news outlets — long landing pages, hourly churn.
+    News,
+    /// Online shops — product grids, a few-hourly churn.
+    ECommerce,
+    /// Web portals/classifieds.
+    Portal,
+    /// Universities, exam boards.
+    Education,
+    /// Government services.
+    Government,
+    /// Sports coverage.
+    Sports,
+    /// Technology press.
+    Tech,
+    /// Personal/opinion blogs.
+    Blog,
+}
+
+impl SiteCategory {
+    /// How often (hours) the landing page's lead content changes.
+    pub fn landing_churn_hours(self) -> u64 {
+        match self {
+            SiteCategory::News => 1,
+            SiteCategory::Sports => 2,
+            SiteCategory::Portal => 3,
+            SiteCategory::ECommerce => 4,
+            SiteCategory::Tech => 6,
+            SiteCategory::Blog => 12,
+            SiteCategory::Education | SiteCategory::Government => 24,
+        }
+    }
+
+    /// How often (hours) internal pages change.
+    ///
+    /// Article pages are mostly write-once: they churn ~6× slower than the
+    /// landing page. Together with the nightly freeze this puts the
+    /// corpus's content inflow just under the 10 kbps drain on average
+    /// (above it during the day) — the regime Figure 4c depends on.
+    pub fn internal_churn_hours(self) -> u64 {
+        (self.landing_churn_hours() * 6).max(6)
+    }
+
+    /// Typical landing-page height range in pixels at 1080 width.
+    ///
+    /// Mobile pages are *long*: most of the corpus renders beyond the 10k-px
+    /// crop, which is what makes the paper's PH=10k crop save ~100 KB for
+    /// three quarters of the pages (Fig 4b).
+    pub fn height_range(self) -> (usize, usize) {
+        match self {
+            SiteCategory::News => (11_000, 24_000),
+            SiteCategory::Sports => (9_000, 18_000),
+            SiteCategory::ECommerce => (8_000, 18_000),
+            SiteCategory::Portal => (6_000, 14_000),
+            SiteCategory::Tech => (6_000, 15_000),
+            SiteCategory::Blog => (5_000, 12_000),
+            SiteCategory::Education => (3_000, 8_000),
+            SiteCategory::Government => (2_500, 7_000),
+        }
+    }
+
+    /// Category mix of a country top-25 (indices into the ranked list).
+    pub fn top25_mix() -> [SiteCategory; 25] {
+        use SiteCategory::*;
+        [
+            News, News, Portal, News, ECommerce, News, Sports, News, ECommerce, Portal, News,
+            Tech, Sports, News, ECommerce, Education, Blog, News, Portal, Government, Tech,
+            Sports, ECommerce, Blog, Education,
+        ]
+    }
+}
+
+/// One synthesized site.
+#[derive(Debug, Clone)]
+pub struct SiteProfile {
+    /// Tranco-style rank (1 = most popular).
+    pub rank: usize,
+    /// Synthetic `.pk` domain.
+    pub domain: String,
+    /// Category.
+    pub category: SiteCategory,
+    /// Stable per-site seed for all derived randomness.
+    pub seed: u64,
+}
+
+impl SiteProfile {
+    /// Zipf popularity weight (`1/rank^s`, s = 1.0).
+    pub fn popularity(&self) -> f64 {
+        1.0 / self.rank as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn news_churns_fastest() {
+        assert_eq!(SiteCategory::News.landing_churn_hours(), 1);
+        assert!(SiteCategory::Government.landing_churn_hours() >= 24);
+    }
+
+    #[test]
+    fn internal_pages_churn_slower_than_landing() {
+        for c in [
+            SiteCategory::News,
+            SiteCategory::ECommerce,
+            SiteCategory::Blog,
+        ] {
+            assert!(c.internal_churn_hours() >= c.landing_churn_hours());
+        }
+    }
+
+    #[test]
+    fn mix_is_news_heavy() {
+        let mix = SiteCategory::top25_mix();
+        let news = mix.iter().filter(|&&c| c == SiteCategory::News).count();
+        assert!(news >= 6, "top-25 of a developing market is news-heavy");
+        assert_eq!(mix.len(), 25);
+    }
+
+    #[test]
+    fn heights_are_sane() {
+        for c in SiteCategory::top25_mix() {
+            let (lo, hi) = c.height_range();
+            assert!(lo >= 1_000 && hi <= 26_000 && lo < hi);
+        }
+    }
+
+    #[test]
+    fn popularity_is_zipf() {
+        let a = SiteProfile {
+            rank: 1,
+            domain: "a.pk".into(),
+            category: SiteCategory::News,
+            seed: 0,
+        };
+        let b = SiteProfile { rank: 10, ..a.clone() };
+        assert!((a.popularity() / b.popularity() - 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,180 @@
+//! Deterministic pseudo-text generator.
+//!
+//! Pages need text with natural statistics (word-length distribution,
+//! sentence rhythm) so the codec sees realistic edge density. Words are
+//! built from syllables with a seeded RNG; the same seed always produces
+//! the same text, which is what makes the hourly-churn experiments
+//! reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ONSETS: [&str; 16] = [
+    "b", "ch", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "sh", "t",
+];
+const NUCLEI: [&str; 8] = ["a", "e", "i", "o", "u", "aa", "ai", "ee"];
+const CODAS: [&str; 8] = ["", "", "n", "r", "s", "t", "l", "m"];
+
+/// Deterministic text source.
+#[derive(Debug, Clone)]
+pub struct TextGen {
+    rng: StdRng,
+}
+
+impl TextGen {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        TextGen {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// One pseudo-word of 1–4 syllables.
+    pub fn word(&mut self) -> String {
+        let syllables = 1 + self.rng.random_range(0..4usize).min(3);
+        let mut w = String::new();
+        for _ in 0..syllables {
+            w.push_str(ONSETS[self.rng.random_range(0..ONSETS.len())]);
+            w.push_str(NUCLEI[self.rng.random_range(0..NUCLEI.len())]);
+            w.push_str(CODAS[self.rng.random_range(0..CODAS.len())]);
+        }
+        w
+    }
+
+    /// A sentence of `min..=max` words, capitalized, period-terminated.
+    pub fn sentence(&mut self, min: usize, max: usize) -> String {
+        let n = self.rng.random_range(min..=max.max(min));
+        let mut s = String::new();
+        for i in 0..n {
+            let w = self.word();
+            if i == 0 {
+                let mut cs = w.chars();
+                if let Some(f) = cs.next() {
+                    s.push(f.to_ascii_uppercase());
+                    s.push_str(cs.as_str());
+                }
+            } else {
+                s.push(' ');
+                s.push_str(&w);
+            }
+        }
+        s.push('.');
+        s
+    }
+
+    /// A headline: 3–8 words, title case, no period.
+    pub fn headline(&mut self) -> String {
+        let n = self.rng.random_range(3..=8usize);
+        let words: Vec<String> = (0..n)
+            .map(|_| {
+                let w = self.word();
+                let mut cs = w.chars();
+                match cs.next() {
+                    Some(f) => format!("{}{}", f.to_ascii_uppercase(), cs.as_str()),
+                    None => w,
+                }
+            })
+            .collect();
+        words.join(" ")
+    }
+
+    /// A paragraph of `sentences` sentences as one string.
+    pub fn paragraph(&mut self, sentences: usize) -> String {
+        (0..sentences)
+            .map(|_| self.sentence(5, 14))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// A plausible internal URL path like `/kashen/rito-maan`.
+    pub fn url_path(&mut self) -> String {
+        let segs = self.rng.random_range(1..=2usize);
+        let mut p = String::new();
+        for _ in 0..segs {
+            p.push('/');
+            p.push_str(&self.word());
+        }
+        p
+    }
+}
+
+/// Greedy word wrap to a column budget (in characters).
+pub fn wrap(text: &str, columns: usize) -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut cur = String::new();
+    for word in text.split_whitespace() {
+        if !cur.is_empty() && cur.len() + 1 + word.len() > columns {
+            lines.push(std::mem::take(&mut cur));
+        }
+        if !cur.is_empty() {
+            cur.push(' ');
+        }
+        cur.push_str(word);
+    }
+    if !cur.is_empty() {
+        lines.push(cur);
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_text() {
+        let a = TextGen::new(42).paragraph(3);
+        let b = TextGen::new(42).paragraph(3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(TextGen::new(1).paragraph(3), TextGen::new(2).paragraph(3));
+    }
+
+    #[test]
+    fn sentences_are_capitalized_and_terminated() {
+        let s = TextGen::new(7).sentence(4, 8);
+        assert!(s.ends_with('.'));
+        assert!(s.chars().next().expect("non-empty").is_ascii_uppercase());
+    }
+
+    #[test]
+    fn headline_is_title_case() {
+        let h = TextGen::new(9).headline();
+        for w in h.split(' ') {
+            assert!(w.chars().next().expect("word").is_ascii_uppercase(), "{h}");
+        }
+    }
+
+    #[test]
+    fn wrap_respects_budget() {
+        let text = TextGen::new(3).paragraph(6);
+        for line in wrap(&text, 40) {
+            assert!(line.len() <= 40, "line too long: {line:?}");
+        }
+    }
+
+    #[test]
+    fn wrap_preserves_all_words() {
+        let text = "alpha beta gamma delta epsilon zeta";
+        let joined = wrap(text, 12).join(" ");
+        assert_eq!(joined, text);
+    }
+
+    #[test]
+    fn url_paths_start_with_slash() {
+        let mut g = TextGen::new(11);
+        for _ in 0..10 {
+            assert!(g.url_path().starts_with('/'));
+        }
+    }
+
+    #[test]
+    fn word_lengths_vary() {
+        let mut g = TextGen::new(5);
+        let lens: std::collections::HashSet<usize> = (0..50).map(|_| g.word().len()).collect();
+        assert!(lens.len() > 4, "word lengths too uniform");
+    }
+}

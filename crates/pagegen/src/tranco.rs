@@ -1,0 +1,96 @@
+//! Tranco-like ranked site list generator.
+//!
+//! Reproduces the *structure* of "top-N sites of a region": Zipf-distributed
+//! popularity, category mix per [`SiteCategory::top25_mix`], deterministic
+//! synthetic domains.
+
+use crate::site::{SiteCategory, SiteProfile};
+use crate::text::TextGen;
+
+/// Stable 64-bit mix (splitmix64 finalizer) used for derived seeds.
+pub fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Builds a ranked `.pk` site list of up to 25 entries.
+///
+/// # Panics
+/// Panics if `n > 25` (the category mix covers a top-25, as in the paper).
+pub fn pk_top_sites(n: usize, seed: u64) -> Vec<SiteProfile> {
+    assert!(n <= 25, "mix covers a top-25");
+    let mix25 = SiteCategory::top25_mix();
+    (0..n)
+        .map(|i| {
+            let site_seed = mix(seed, i as u64 + 1);
+            let mut tg = TextGen::new(site_seed);
+            let name = tg.word();
+            let domain = format!("{name}{}.pk", if name.len() < 4 { "news" } else { "" });
+            SiteProfile {
+                rank: i + 1,
+                domain,
+                category: mix25[i],
+                seed: site_seed,
+            }
+        })
+        .collect()
+}
+
+/// Zipf sampler over the ranked list (used by the request workload).
+pub fn zipf_weights(sites: &[SiteProfile]) -> Vec<f64> {
+    let total: f64 = sites.iter().map(|s| s.popularity()).sum();
+    sites.iter().map(|s| s.popularity() / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_deterministic() {
+        let a = pk_top_sites(25, 7);
+        let b = pk_top_sites(25, 7);
+        assert_eq!(a.len(), 25);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.domain, y.domain);
+            assert_eq!(x.seed, y.seed);
+        }
+    }
+
+    #[test]
+    fn domains_end_in_pk_and_are_unique() {
+        let sites = pk_top_sites(25, 3);
+        let mut seen = std::collections::HashSet::new();
+        for s in &sites {
+            assert!(s.domain.ends_with(".pk"), "{}", s.domain);
+            assert!(seen.insert(s.domain.clone()), "duplicate {}", s.domain);
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one_and_decay() {
+        let sites = pk_top_sites(10, 1);
+        let w = zipf_weights(&sites);
+        let sum: f64 = w.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        for pair in w.windows(2) {
+            assert!(pair[0] > pair[1]);
+        }
+    }
+
+    #[test]
+    fn mix_avalanche() {
+        // Single-bit input changes flip many output bits.
+        let a = mix(1, 2);
+        let b = mix(1, 3);
+        assert!((a ^ b).count_ones() > 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "top-25")]
+    fn more_than_25_rejected() {
+        let _ = pk_top_sites(26, 0);
+    }
+}

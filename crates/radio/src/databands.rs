@@ -1,0 +1,131 @@
+//! Data beyond the mono band — the paper's future work, implemented.
+//!
+//! §4: "We envision that other bands can be used to increase the data rate,
+//! e.g., using the left and right band of the Stereo channel, or even the
+//! DARC band. We left this exploration as future work."
+//!
+//! This module carries a *second* OFDM stream in the stereo difference
+//! channel (L−R on the 38 kHz DSB subcarrier). A stereo-capable tuner
+//! recovers it exactly like music; mono receivers simply never see it, so
+//! the scheme is backward compatible: legacy listeners keep the mono
+//! program + mono-band data, stereo receivers get double the rate.
+//!
+//! The catch — and why the paper's authors were right to be cautious — is
+//! that the stereo subchannel suffers ~13 dB worse post-detection SNR than
+//! mono (FM noise grows quadratically with frequency and the stereo band
+//! sits at 23–53 kHz), so the second stream dies at a much higher RSSI than
+//! the first. [`stereo_rate_penalty_db`] quantifies it; the
+//! `radio_tour`-style test below demonstrates both directions.
+
+use crate::mpx::{compose, decompose, MpxInput};
+use crate::fm::{FmDemodulator, FmModulator};
+use crate::channel::RfChannel;
+
+/// Approximate post-detection SNR penalty of the stereo subchannel relative
+/// to mono, in dB, from the triangular FM noise spectrum integrated over
+/// 23–53 kHz vs 0–15 kHz (before de-emphasis).
+pub fn stereo_rate_penalty_db() -> f64 {
+    // Noise power ∝ ∫ f² df over the band; DSB demodulation folds the two
+    // sidebands coherently (3 dB back).
+    let band = |lo: f64, hi: f64| (hi.powi(3) - lo.powi(3)) / 3.0;
+    let mono = band(30.0, 15_000.0);
+    let stereo = band(23_000.0, 53_000.0);
+    10.0 * (stereo / mono).log10() - 3.0
+}
+
+/// Result of a dual-band transmission.
+#[derive(Debug, Clone)]
+pub struct DualBandOutput {
+    /// Audio recovered from the mono channel (carries stream A).
+    pub mono: Vec<f32>,
+    /// Audio recovered from the stereo difference (carries stream B), if a
+    /// pilot was detected.
+    pub stereo: Option<Vec<f32>>,
+}
+
+/// Transmits two independent data-audio streams over one FM carrier: one in
+/// the mono band, one in the stereo difference band.
+///
+/// Streams shorter than the other are zero-padded. Returns what a
+/// stereo-capable tuner outputs for each band.
+pub fn transmit_dual(
+    mono_data: &[f32],
+    stereo_data: &[f32],
+    rssi_db: f64,
+    seed: u64,
+) -> DualBandOutput {
+    let n = mono_data.len().max(stereo_data.len());
+    let mut mono = mono_data.to_vec();
+    mono.resize(n, 0.0);
+    let mut diff = stereo_data.to_vec();
+    diff.resize(n, 0.0);
+
+    let composite = compose(&MpxInput {
+        mono,
+        stereo_diff: Some(diff),
+        rds_bits: None,
+    });
+    let mut modulator = FmModulator::default();
+    let mut baseband = Vec::with_capacity(composite.len());
+    modulator.modulate_into(&composite, &mut baseband);
+    let received = RfChannel::new(rssi_db, seed).transmit(&baseband);
+    let mut demodulator = FmDemodulator::default();
+    let mut recovered = Vec::with_capacity(received.len());
+    demodulator.demodulate_into(&received, &mut recovered);
+    let out = decompose(&recovered);
+    DualBandOutput {
+        mono: out.mono,
+        stereo: out.stereo_diff,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sonic_dsp::goertzel;
+
+    fn tone(f: f64, n: usize, amp: f32) -> Vec<f32> {
+        (0..n)
+            .map(|i| amp * (std::f64::consts::TAU * f * i as f64 / crate::AUDIO_RATE).sin() as f32)
+            .collect()
+    }
+
+    #[test]
+    fn both_bands_carry_signal_at_high_rssi() {
+        let a = tone(9_200.0, 44_100, 0.3);
+        let b = tone(5_000.0, 44_100, 0.3);
+        let out = transmit_dual(&a, &b, -65.0, 3);
+        let mono_tone = goertzel::power(&out.mono[8_000..], crate::AUDIO_RATE, 9_200.0);
+        let stereo = out.stereo.expect("pilot detected");
+        let stereo_tone = goertzel::power(&stereo[8_000..], crate::AUDIO_RATE, 5_000.0);
+        assert!(mono_tone > 1e-4, "mono band dead: {mono_tone}");
+        assert!(stereo_tone > 1e-4, "stereo band dead: {stereo_tone}");
+    }
+
+    #[test]
+    fn stereo_band_is_noisier_than_mono() {
+        // Same tone frequency in both bands; at a mid RSSI the stereo copy
+        // must come back with visibly more noise.
+        let sig = tone(8_000.0, 44_100, 0.3);
+        let out = transmit_dual(&sig, &sig, -80.0, 5);
+        let noise = |x: &[f32]| -> f64 {
+            let p_tone = 2.0 * goertzel::power(&x[8_000..], crate::AUDIO_RATE, 8_000.0) as f64;
+            let p_tot = x[8_000..].iter().map(|&v| (v * v) as f64).sum::<f64>()
+                / (x.len() - 8_000) as f64;
+            (p_tot - p_tone / 2.0).max(1e-12)
+        };
+        let stereo = out.stereo.expect("pilot");
+        let snr_mono = 10.0 * (1.0 / noise(&out.mono)).log10();
+        let snr_stereo = 10.0 * (1.0 / noise(&stereo)).log10();
+        assert!(
+            snr_mono > snr_stereo + 6.0,
+            "mono {snr_mono:.1} dB vs stereo {snr_stereo:.1} dB"
+        );
+    }
+
+    #[test]
+    fn penalty_estimate_is_large() {
+        let p = stereo_rate_penalty_db();
+        assert!(p > 10.0 && p < 20.0, "penalty {p}");
+    }
+}

@@ -1,0 +1,285 @@
+//! FM stereo multiplex composer/decomposer (Figure 2 of the paper).
+//!
+//! Composite layout at the 228 kHz rate:
+//!
+//! ```text
+//! 0–15 kHz   mono (L+R)            — SONIC's data band lives here (9.2 kHz)
+//! 19 kHz     stereo pilot
+//! 23–53 kHz  stereo difference (L−R), DSB-SC on 38 kHz
+//! 57 kHz     RDS subcarrier (1187.5 bps)
+//! ```
+//!
+//! Pre-emphasis (50 µs) is applied to the audio channels before matrixing
+//! and undone by the decomposer, exactly as a real exciter/tuner pair does —
+//! this is what gives the 9.2 kHz data carrier its favourable post-detection
+//! SNR despite FM's triangular noise spectrum.
+
+use crate::{rds, AUDIO_RATE, MPX_RATE};
+use sonic_dsp::fir::{design_bandpass, design_lowpass, Fir};
+use sonic_dsp::iir::{Deemphasis, Preemphasis};
+use sonic_dsp::resample::Resampler;
+use std::f64::consts::TAU;
+
+/// Modulation levels (fractions of peak deviation).
+mod level {
+    /// Mono (or L+R) channel.
+    pub const MONO: f32 = 0.80;
+    /// 19 kHz pilot tone.
+    pub const PILOT: f32 = 0.09;
+    /// Stereo difference channel.
+    pub const STEREO: f32 = 0.80;
+    /// RDS subcarrier.
+    pub const RDS: f32 = 0.05;
+}
+
+/// Input to the composer.
+#[derive(Debug, Clone, Default)]
+pub struct MpxInput {
+    /// Mono program + data audio at 44.1 kHz (required).
+    pub mono: Vec<f32>,
+    /// Optional stereo difference (L−R) at 44.1 kHz, same length as `mono`.
+    pub stereo_diff: Option<Vec<f32>>,
+    /// Optional RDS bit stream (1187.5 bps).
+    pub rds_bits: Option<Vec<u8>>,
+}
+
+/// Builds the 228 kHz composite from audio channels and RDS bits.
+pub fn compose(input: &MpxInput) -> Vec<f32> {
+    let n_out_hint = input.mono.len() * (MPX_RATE / AUDIO_RATE) as usize + 64;
+
+    // Pre-emphasize then upsample the mono channel.
+    let mut mono = input.mono.clone();
+    Preemphasis::new(AUDIO_RATE, 50e-6).process(&mut mono);
+    let mut up = Resampler::new(AUDIO_RATE as usize, MPX_RATE as usize, 32);
+    let mut mono_up = Vec::with_capacity(n_out_hint);
+    up.process_into(&mono, &mut mono_up);
+
+    let stereo_up = input.stereo_diff.as_ref().map(|d| {
+        assert_eq!(d.len(), input.mono.len(), "stereo diff length mismatch");
+        let mut diff = d.clone();
+        Preemphasis::new(AUDIO_RATE, 50e-6).process(&mut diff);
+        let mut up = Resampler::new(AUDIO_RATE as usize, MPX_RATE as usize, 32);
+        let mut out = Vec::with_capacity(n_out_hint);
+        up.process_into(&diff, &mut out);
+        out
+    });
+
+    let rds_wave = input
+        .rds_bits
+        .as_ref()
+        .map(|bits| rds::modulate_subcarrier(bits, 1.0));
+
+    let n = mono_up.len();
+    let mut composite = Vec::with_capacity(n);
+    let stereo_present = stereo_up.is_some();
+    for i in 0..n {
+        let t = i as f64;
+        let mut s = 0.0f32;
+        let mono_gain = if stereo_present {
+            level::MONO * 0.5
+        } else {
+            level::MONO
+        };
+        s += mono_gain * mono_up[i];
+        if let Some(diff) = &stereo_up {
+            let sub = (TAU * 38_000.0 * t / MPX_RATE).cos() as f32;
+            s += level::PILOT * (TAU * 19_000.0 * t / MPX_RATE).sin() as f32;
+            s += level::STEREO * 0.5 * diff.get(i).copied().unwrap_or(0.0) * sub;
+        }
+        if let Some(rds) = &rds_wave {
+            s += level::RDS * rds.get(i).copied().unwrap_or(0.0);
+        }
+        composite.push(s.clamp(-1.0, 1.0));
+    }
+    composite
+}
+
+/// Output of the decomposer.
+#[derive(Debug, Clone)]
+pub struct MpxOutput {
+    /// Recovered mono audio at 44.1 kHz (de-emphasized).
+    pub mono: Vec<f32>,
+    /// Raw RDS bits sliced from the 57 kHz subcarrier (empty when absent).
+    pub rds_bits: Vec<u8>,
+    /// Recovered stereo difference at 44.1 kHz when a pilot was detected.
+    pub stereo_diff: Option<Vec<f32>>,
+}
+
+/// Splits a 228 kHz composite back into its services.
+pub fn decompose(composite: &[f32]) -> MpxOutput {
+    // --- mono path: LPF 15 kHz, downsample, de-emphasize ---
+    let mut lp = Fir::new(design_lowpass(257, 16_000.0 / MPX_RATE));
+    let mut mono_hi: Vec<f32> = composite.to_vec();
+    lp.process(&mut mono_hi);
+    let mut down = Resampler::new(MPX_RATE as usize, AUDIO_RATE as usize, 32);
+    let mut mono = Vec::with_capacity(composite.len() / 5);
+    down.process_into(&mono_hi, &mut mono);
+    Deemphasis::new(AUDIO_RATE, 50e-6).process(&mut mono);
+
+    // --- pilot detection ---
+    let mut pilot_bp = Fir::new(design_bandpass(257, 18_000.0 / MPX_RATE, 20_000.0 / MPX_RATE));
+    let mut pilot: Vec<f32> = composite.to_vec();
+    pilot_bp.process(&mut pilot);
+    let pilot_power: f32 =
+        pilot.iter().map(|&x| x * x).sum::<f32>() / composite.len().max(1) as f32;
+    let has_pilot = pilot_power > (level::PILOT * level::PILOT) * 0.5 * 0.2;
+
+    // --- stereo difference ---
+    let stereo_diff = if has_pilot {
+        let mut bp = Fir::new(design_bandpass(257, 22_000.0 / MPX_RATE, 54_000.0 / MPX_RATE));
+        let mut band: Vec<f32> = composite.to_vec();
+        bp.process(&mut band);
+        // Regenerate 38 kHz by squaring the pilot (classic receiver trick):
+        // sin²(ωt) = (1 − cos 2ωt)/2 ⇒ bandpass at 38 kHz gives −cos(2ωt)/2.
+        let mut sq: Vec<f32> = pilot.iter().map(|&p| p * p).collect();
+        let mut bp38 = Fir::new(design_bandpass(257, 36_000.0 / MPX_RATE, 40_000.0 / MPX_RATE));
+        bp38.process(&mut sq);
+        // Normalize the regenerated carrier to unit amplitude.
+        let carrier_rms =
+            (sq.iter().map(|&x| x * x).sum::<f32>() / sq.len().max(1) as f32).sqrt();
+        let norm = if carrier_rms > 1e-9 {
+            std::f32::consts::FRAC_1_SQRT_2 / carrier_rms
+        } else {
+            0.0
+        };
+        // The pilot path runs through two 257-tap FIRs (pilot BP, then the
+        // 38 kHz BP after squaring) = 256 samples of delay, while the stereo
+        // band passed only one (128). Delay the band by the difference or
+        // the product term lands 120° out of phase at 38 kHz.
+        let extra_delay = 128usize;
+        // Mix: diff·cos(2ω)·cos(2ω) = diff/2 + diff·cos(4ω)/2; LPF keeps diff/2.
+        let mut mixed: Vec<f32> = sq
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let b = if i >= extra_delay { band[i - extra_delay] } else { 0.0 };
+                -2.0 * b * c * norm * 2.0 / level::STEREO
+            })
+            .collect();
+        let mut lp2 = Fir::new(design_lowpass(257, 16_000.0 / MPX_RATE));
+        lp2.process(&mut mixed);
+        let mut down2 = Resampler::new(MPX_RATE as usize, AUDIO_RATE as usize, 32);
+        let mut diff = Vec::with_capacity(mixed.len() / 5);
+        down2.process_into(&mixed, &mut diff);
+        Deemphasis::new(AUDIO_RATE, 50e-6).process(&mut diff);
+        Some(diff)
+    } else {
+        None
+    };
+
+    // --- RDS ---
+    let mut rds_bp = Fir::new(design_bandpass(257, 54_500.0 / MPX_RATE, 59_500.0 / MPX_RATE));
+    let mut rds_band: Vec<f32> = composite.to_vec();
+    rds_bp.process(&mut rds_band);
+    let rds_power: f32 =
+        rds_band.iter().map(|&x| x * x).sum::<f32>() / rds_band.len().max(1) as f32;
+    let rds_bits = if rds_power > (level::RDS * level::RDS) * 0.05 {
+        rds::demodulate_subcarrier(&rds_band)
+    } else {
+        Vec::new()
+    };
+
+    MpxOutput {
+        mono,
+        rds_bits,
+        stereo_diff,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(f: f64, n: usize, amp: f32) -> Vec<f32> {
+        (0..n)
+            .map(|i| amp * (TAU * f * i as f64 / AUDIO_RATE).sin() as f32)
+            .collect()
+    }
+
+    fn rms(x: &[f32]) -> f32 {
+        (x.iter().map(|&v| v * v).sum::<f32>() / x.len() as f32).sqrt()
+    }
+
+    /// Correlation-based gain between a reference tone and a recovered one,
+    /// tolerant of the pipeline's group delay.
+    fn tone_level(signal: &[f32], f: f64) -> f32 {
+        2.0 * sonic_dsp::goertzel::power(signal, AUDIO_RATE, f).sqrt()
+    }
+
+    #[test]
+    fn mono_roundtrip_preserves_tone() {
+        let mono = tone(9_200.0, 44_100, 0.5);
+        let comp = compose(&MpxInput {
+            mono: mono.clone(),
+            ..Default::default()
+        });
+        let out = decompose(&comp);
+        let skip = 4000;
+        let got = tone_level(&out.mono[skip..], 9_200.0);
+        // Composite path applies level::MONO then recovers; compare shape.
+        let want = 0.5 * level::MONO;
+        assert!((got - want).abs() / want < 0.15, "got {got} want {want}");
+    }
+
+    #[test]
+    fn mono_only_has_no_pilot_or_stereo() {
+        let comp = compose(&MpxInput {
+            mono: tone(1_000.0, 22_050, 0.5),
+            ..Default::default()
+        });
+        let out = decompose(&comp);
+        assert!(out.stereo_diff.is_none());
+        assert!(out.rds_bits.is_empty());
+    }
+
+    #[test]
+    fn rds_survives_the_multiplex() {
+        let g = rds::Group([0x54A8, 0x0408, 0x2020, 0x4849]);
+        let mut bits = Vec::new();
+        for _ in 0..4 {
+            bits.extend(rds::encode_group(&g));
+        }
+        let n_audio = (bits.len() * rds::SAMPLES_PER_BIT) / 5 + 4410;
+        let comp = compose(&MpxInput {
+            mono: tone(800.0, n_audio, 0.4),
+            rds_bits: Some(bits),
+            ..Default::default()
+        });
+        let out = decompose(&comp);
+        let groups = rds::decode_groups(&out.rds_bits);
+        assert!(!groups.is_empty(), "no RDS groups recovered");
+        assert!(groups.iter().all(|got| *got == g));
+    }
+
+    #[test]
+    fn stereo_difference_roundtrips() {
+        let mono = tone(1_000.0, 66_150, 0.4);
+        let diff = tone(2_500.0, 66_150, 0.3);
+        let comp = compose(&MpxInput {
+            mono: mono.clone(),
+            stereo_diff: Some(diff.clone()),
+            ..Default::default()
+        });
+        let out = decompose(&comp);
+        let rec = out.stereo_diff.expect("pilot must be detected");
+        let skip = 8000;
+        let got = tone_level(&rec[skip..], 2_500.0);
+        // Stereo path halves the diff level at compose (0.5·STEREO); the
+        // decomposer rescales by 2/STEREO, so expect ≈ the original 0.3.
+        assert!((got - 0.3).abs() < 0.08, "stereo diff level {got}");
+        // Mono leak into the stereo channel should be small.
+        let leak = tone_level(&rec[skip..], 1_000.0);
+        assert!(leak < 0.1, "mono leak {leak}");
+    }
+
+    #[test]
+    fn composite_is_bounded() {
+        let comp = compose(&MpxInput {
+            mono: tone(5_000.0, 44_100, 1.0),
+            stereo_diff: Some(tone(3_000.0, 44_100, 1.0)),
+            rds_bits: Some(vec![1, 0, 1, 1, 0, 0, 1, 0].repeat(32)),
+        });
+        assert!(comp.iter().all(|&x| x.abs() <= 1.0));
+        assert!(rms(&comp) > 0.05);
+    }
+}

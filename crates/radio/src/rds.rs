@@ -1,0 +1,308 @@
+//! Radio Data System (RDS) encoder/decoder.
+//!
+//! RDS carries 1187.5 bps on the 57 kHz subcarrier of the FM multiplex —
+//! the substrate of the RevCast baseline (§2) and of Figure 2's spectrum
+//! sketch. Implemented here:
+//!
+//! * the 26-bit block code: 16 information bits + 10-bit checkword, where
+//!   `check = info·x¹⁰ mod g(x) ⊕ offset` with `g(x) = x¹⁰+x⁸+x⁷+x⁵+x⁴+x³+1`;
+//! * group assembly from four blocks with offsets A, B, C/C′, D;
+//! * the physical modem: differential encoding, biphase (Manchester)
+//!   symbols, DSB-SC on 57 kHz at exactly fs/4 of the 228 kHz composite
+//!   rate (192 samples per bit);
+//! * a generic data-group API (what an ODA like RevCast would use).
+
+use sonic_dsp::C32;
+
+/// RDS bit rate: 57 kHz / 48.
+pub const RDS_BPS: f64 = 1_187.5;
+/// Samples per RDS bit at the 228 kHz composite rate.
+pub const SAMPLES_PER_BIT: usize = 192;
+
+/// Generator polynomial g(x) = x¹⁰+x⁸+x⁷+x⁵+x⁴+x³+1 (11 bits).
+const POLY: u32 = 0b101_1011_1001;
+
+/// Offset words for blocks A, B, C, C', D.
+const OFFSETS: [u16; 5] = [0x0FC, 0x198, 0x168, 0x350, 0x1B4];
+
+/// Block positions within a group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockId {
+    /// First block (PI code).
+    A,
+    /// Second block (group type etc.).
+    B,
+    /// Third block, version A groups.
+    C,
+    /// Third block, version B groups.
+    CPrime,
+    /// Fourth block.
+    D,
+}
+
+impl BlockId {
+    fn offset(self) -> u16 {
+        match self {
+            BlockId::A => OFFSETS[0],
+            BlockId::B => OFFSETS[1],
+            BlockId::C => OFFSETS[2],
+            BlockId::CPrime => OFFSETS[3],
+            BlockId::D => OFFSETS[4],
+        }
+    }
+}
+
+/// Computes `info(x)·x¹⁰ mod g(x)` — the raw 10-bit CRC.
+fn crc10(info: u16) -> u16 {
+    let mut reg: u32 = (info as u32) << 10;
+    for bit in (10..26).rev() {
+        if reg & (1 << bit) != 0 {
+            reg ^= POLY << (bit - 10);
+        }
+    }
+    (reg & 0x3FF) as u16
+}
+
+/// Encodes one block: returns the 26-bit word (info ‖ checkword).
+pub fn encode_block(info: u16, id: BlockId) -> u32 {
+    ((info as u32) << 10) | (crc10(info) ^ id.offset()) as u32
+}
+
+/// Verifies a received 26-bit block against an expected position; returns
+/// the info bits when the checkword matches.
+pub fn decode_block(word: u32, id: BlockId) -> Option<u16> {
+    let info = (word >> 10) as u16;
+    let check = (word & 0x3FF) as u16;
+    if crc10(info) ^ id.offset() == check {
+        Some(info)
+    } else {
+        None
+    }
+}
+
+/// A full RDS group: four 16-bit words (version A layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Group(pub [u16; 4]);
+
+/// Encodes a group into 104 bits (values 0/1, MSB of block A first).
+pub fn encode_group(g: &Group) -> Vec<u8> {
+    let ids = [BlockId::A, BlockId::B, BlockId::C, BlockId::D];
+    let mut bits = Vec::with_capacity(104);
+    for (w, id) in g.0.iter().zip(ids) {
+        let block = encode_block(*w, id);
+        for i in (0..26).rev() {
+            bits.push(((block >> i) & 1) as u8);
+        }
+    }
+    bits
+}
+
+/// Scans a bit stream for valid groups (self-synchronizing via checkwords).
+///
+/// Corrupted groups are skipped; the scan realigns on the next position where
+/// all four block syndromes match.
+pub fn decode_groups(bits: &[u8]) -> Vec<Group> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 104 <= bits.len() {
+        if let Some(g) = try_group(&bits[i..i + 104]) {
+            out.push(g);
+            i += 104;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn try_group(bits: &[u8]) -> Option<Group> {
+    let ids = [BlockId::A, BlockId::B, BlockId::C, BlockId::D];
+    let mut words = [0u16; 4];
+    for (k, id) in ids.iter().enumerate() {
+        let mut w: u32 = 0;
+        for &b in &bits[k * 26..(k + 1) * 26] {
+            w = (w << 1) | b as u32;
+        }
+        words[k] = decode_block(w, *id)?;
+    }
+    Some(Group(words))
+}
+
+// ---------------------------------------------------------------------------
+// Physical modem on the 57 kHz subcarrier.
+// ---------------------------------------------------------------------------
+
+/// Modulates bits onto the 57 kHz subcarrier at the composite rate.
+///
+/// Differential encoding then biphase: bit 1 ⇒ +half/−half, bit 0 inverted,
+/// each half shaped with a half-cosine and multiplied by the carrier.
+pub fn modulate_subcarrier(bits: &[u8], level: f32) -> Vec<f32> {
+    let mut out = Vec::with_capacity(bits.len() * SAMPLES_PER_BIT);
+    let half = SAMPLES_PER_BIT / 2;
+    let mut diff = 0u8;
+    for (n, &b) in bits.iter().enumerate() {
+        diff ^= b & 1;
+        let sign = if diff == 1 { 1.0f32 } else { -1.0 };
+        for i in 0..SAMPLES_PER_BIT {
+            let t = (n * SAMPLES_PER_BIT + i) as f64;
+            // fs/4 carrier: cos(π/2 · t).
+            let carrier = (std::f64::consts::FRAC_PI_2 * t).cos() as f32;
+            let ph = std::f64::consts::PI * (i % half) as f64 / half as f64;
+            let shape = (ph.sin()) as f32;
+            let sym = if i < half { sign } else { -sign };
+            out.push(level * sym * shape * carrier);
+        }
+    }
+    out
+}
+
+/// Demodulates the 57 kHz subcarrier back into bits.
+///
+/// `composite` must be at the 228 kHz rate and should already be bandpass-
+/// limited around 57 kHz (the MPX decomposer does that). Bit timing and
+/// carrier phase are recovered blindly, so any integer sample delay is fine.
+pub fn demodulate_subcarrier(composite: &[f32]) -> Vec<u8> {
+    if composite.len() < 4 * SAMPLES_PER_BIT {
+        return Vec::new();
+    }
+    // Mix to baseband: z[n] = x[n]·e^{-jπn/2} (exact fs/4 shift).
+    let z: Vec<C32> = composite
+        .iter()
+        .enumerate()
+        .map(|(n, &x)| {
+            let c = match n % 4 {
+                0 => C32::new(1.0, 0.0),
+                1 => C32::new(0.0, -1.0),
+                2 => C32::new(-1.0, 0.0),
+                _ => C32::new(0.0, 1.0),
+            };
+            c.scale(x)
+        })
+        .collect();
+
+    // Carrier phase: DSB-SC ⇒ z ≈ m(t)·e^{jθ}; angle(Σ z²) = 2θ.
+    let sq: C32 = z.iter().map(|v| *v * *v).sum();
+    let theta = 0.5 * sq.arg();
+    let rot = C32::from_angle(-(theta as f64));
+    // Real projection onto the recovered phase.
+    let m: Vec<f32> = z.iter().map(|v| (*v * rot).re).collect();
+
+    // Bit timing: choose the offset whose half-bit integrals have maximal
+    // biphase contrast over the first ~40 bits.
+    let half = SAMPLES_PER_BIT / 2;
+    let probe_bits = ((m.len() / SAMPLES_PER_BIT).saturating_sub(1)).min(40);
+    let mut best = (0usize, f32::MIN);
+    for off in (0..SAMPLES_PER_BIT).step_by(4) {
+        let mut score = 0.0f32;
+        for b in 0..probe_bits {
+            let s = off + b * SAMPLES_PER_BIT;
+            if s + SAMPLES_PER_BIT > m.len() {
+                break;
+            }
+            let first: f32 = m[s..s + half].iter().sum();
+            let second: f32 = m[s + half..s + SAMPLES_PER_BIT].iter().sum();
+            score += (first - second).abs();
+        }
+        if score > best.1 {
+            best = (off, score);
+        }
+    }
+    let off = best.0;
+
+    // Slice symbols then differentially decode.
+    let mut symbols = Vec::new();
+    let mut s = off;
+    while s + SAMPLES_PER_BIT <= m.len() {
+        let first: f32 = m[s..s + half].iter().sum();
+        let second: f32 = m[s + half..s + SAMPLES_PER_BIT].iter().sum();
+        symbols.push(u8::from(first - second > 0.0));
+        s += SAMPLES_PER_BIT;
+    }
+    let mut bits = Vec::with_capacity(symbols.len());
+    let mut prev = 0u8;
+    for &sym in &symbols {
+        bits.push(sym ^ prev);
+        prev = sym;
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_roundtrip_all_offsets() {
+        for id in [BlockId::A, BlockId::B, BlockId::C, BlockId::CPrime, BlockId::D] {
+            for info in [0u16, 1, 0xABCD, 0xFFFF, 0x1234] {
+                let w = encode_block(info, id);
+                assert_eq!(decode_block(w, id), Some(info));
+            }
+        }
+    }
+
+    #[test]
+    fn block_detects_bit_errors() {
+        let w = encode_block(0xBEEF, BlockId::B);
+        for bit in 0..26 {
+            assert_eq!(decode_block(w ^ (1 << bit), BlockId::B), None, "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn wrong_offset_rejected() {
+        let w = encode_block(0x1111, BlockId::A);
+        assert_eq!(decode_block(w, BlockId::B), None);
+    }
+
+    #[test]
+    fn group_bits_roundtrip() {
+        let g = Group([0x54A8, 0x0408, 0x2020, 0x4849]);
+        let bits = encode_group(&g);
+        assert_eq!(bits.len(), 104);
+        let got = decode_groups(&bits);
+        assert_eq!(got, vec![g]);
+    }
+
+    #[test]
+    fn decoder_self_synchronizes_after_garbage() {
+        let g1 = Group([1, 2, 3, 4]);
+        let g2 = Group([0xAAAA, 0x5555, 0x0F0F, 0xF0F0]);
+        let mut bits = vec![1u8, 0, 1, 1, 0, 0, 1]; // junk prefix
+        bits.extend(encode_group(&g1));
+        bits.extend([0u8, 1, 1]); // mid-stream slip
+        bits.extend(encode_group(&g2));
+        let got = decode_groups(&bits);
+        assert_eq!(got, vec![g1, g2]);
+    }
+
+    #[test]
+    fn subcarrier_roundtrip() {
+        let g = Group([0x54A8, 0x0408, 0x2020, 0x4849]);
+        let bits = encode_group(&g);
+        let wave = modulate_subcarrier(&bits, 0.06);
+        let got_bits = demodulate_subcarrier(&wave);
+        let groups = decode_groups(&got_bits);
+        assert_eq!(groups, vec![g]);
+    }
+
+    #[test]
+    fn subcarrier_roundtrip_with_delay_and_noise() {
+        let g = Group([0xDEAD, 0xBEEF, 0x1234, 0x5678]);
+        let bits = encode_group(&g);
+        let mut wave = vec![0.0f32; 777];
+        wave.extend(modulate_subcarrier(&bits, 0.06));
+        let mut x = 11u32;
+        for v in wave.iter_mut() {
+            x = x.wrapping_mul(1103515245).wrapping_add(12345);
+            *v += 0.002 * (((x >> 16) as f32 / 32768.0) - 1.0);
+        }
+        let groups = decode_groups(&demodulate_subcarrier(&wave));
+        assert_eq!(groups, vec![g]);
+    }
+
+    #[test]
+    fn rate_constant_is_consistent() {
+        assert!((crate::MPX_RATE / SAMPLES_PER_BIT as f64 - RDS_BPS).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,162 @@
+//! Standard RDS application groups: PS name (0A) and RadioText (2A).
+//!
+//! A SONIC station is still a radio station: it announces its name and a
+//! "now playing"-style text (which SONIC can use to announce the broadcast
+//! schedule — "NEXT: cnn.com 14:05"). Group layouts follow the RDS standard
+//! closely enough to interoperate with the block layer in [`crate::rds`].
+
+use crate::rds::Group;
+
+/// Builds the four 0A groups carrying an 8-character Program Service name.
+///
+/// Each 0A group carries 2 characters (segment address in B's low bits).
+/// `pi` is the station's Program Identification code.
+pub fn encode_ps_name(pi: u16, name: &str) -> Vec<Group> {
+    let mut padded: Vec<u8> = name.bytes().take(8).collect();
+    padded.resize(8, b' ');
+    (0..4)
+        .map(|seg| {
+            let b: u16 = (0b0000_0 << 11) | seg as u16; // group 0A, segment in bits 0-1
+            let d = ((padded[seg * 2] as u16) << 8) | padded[seg * 2 + 1] as u16;
+            // Block C of 0A carries alternative frequencies; we send 0xE0CD
+            // ("no AF list" filler pair).
+            Group([pi, b, 0xE0CD, d])
+        })
+        .collect()
+}
+
+/// Extracts a PS name from a stream of groups (returns once all four
+/// segments of a consistent PI have been seen).
+pub fn decode_ps_name(groups: &[Group]) -> Option<(u16, String)> {
+    let mut chars = [None::<[u8; 2]>; 4];
+    let mut pi = None;
+    for g in groups {
+        let group_type = g.0[1] >> 11;
+        if group_type != 0 {
+            continue;
+        }
+        let seg = (g.0[1] & 0b11) as usize;
+        if let Some(p) = pi {
+            if p != g.0[0] {
+                continue;
+            }
+        } else {
+            pi = Some(g.0[0]);
+        }
+        chars[seg] = Some([(g.0[3] >> 8) as u8, (g.0[3] & 0xFF) as u8]);
+    }
+    let pi = pi?;
+    let mut name = Vec::with_capacity(8);
+    for c in chars {
+        let pair = c?;
+        name.extend_from_slice(&pair);
+    }
+    Some((pi, String::from_utf8_lossy(&name).trim_end().to_string()))
+}
+
+/// Builds 2A groups carrying a RadioText message (≤ 64 chars, 4 per group).
+pub fn encode_radiotext(pi: u16, text: &str) -> Vec<Group> {
+    let mut padded: Vec<u8> = text.bytes().take(64).collect();
+    // 0x0D terminates early RadioText; pad the rest with spaces.
+    if padded.len() < 64 {
+        padded.push(0x0D);
+    }
+    while padded.len() % 4 != 0 {
+        padded.push(b' ');
+    }
+    padded
+        .chunks(4)
+        .enumerate()
+        .map(|(seg, chunk)| {
+            let b: u16 = (0b0010_0 << 11) | seg as u16; // group 2A
+            let c = ((chunk[0] as u16) << 8) | chunk[1] as u16;
+            let d = ((chunk[2] as u16) << 8) | chunk[3] as u16;
+            Group([pi, b, c, d])
+        })
+        .collect()
+}
+
+/// Reassembles RadioText from received groups.
+pub fn decode_radiotext(groups: &[Group]) -> Option<String> {
+    let mut segs: Vec<Option<[u8; 4]>> = vec![None; 16];
+    let mut max_seg = 0usize;
+    let mut any = false;
+    for g in groups {
+        if g.0[1] >> 11 != 0b0010_0 {
+            continue;
+        }
+        let seg = (g.0[1] & 0x0F) as usize;
+        segs[seg] = Some([
+            (g.0[2] >> 8) as u8,
+            (g.0[2] & 0xFF) as u8,
+            (g.0[3] >> 8) as u8,
+            (g.0[3] & 0xFF) as u8,
+        ]);
+        max_seg = max_seg.max(seg);
+        any = true;
+    }
+    if !any {
+        return None;
+    }
+    let mut bytes = Vec::new();
+    for s in segs.iter().take(max_seg + 1) {
+        bytes.extend_from_slice(&(*s)?);
+    }
+    let text: Vec<u8> = bytes.into_iter().take_while(|&b| b != 0x0D).collect();
+    Some(String::from_utf8_lossy(&text).trim_end().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rds::{decode_groups, encode_group};
+
+    #[test]
+    fn ps_name_roundtrip() {
+        let groups = encode_ps_name(0x54A8, "SONIC FM");
+        assert_eq!(groups.len(), 4);
+        let (pi, name) = decode_ps_name(&groups).expect("complete");
+        assert_eq!(pi, 0x54A8);
+        assert_eq!(name, "SONIC FM");
+    }
+
+    #[test]
+    fn short_name_is_padded_and_trimmed() {
+        let groups = encode_ps_name(1, "PK1");
+        let (_, name) = decode_ps_name(&groups).expect("complete");
+        assert_eq!(name, "PK1");
+    }
+
+    #[test]
+    fn missing_segment_yields_none() {
+        let mut groups = encode_ps_name(1, "SONIC FM");
+        groups.remove(2);
+        assert_eq!(decode_ps_name(&groups), None);
+    }
+
+    #[test]
+    fn radiotext_roundtrip() {
+        let msg = "NEXT: cnn.com at 14:05, weather.pk at 14:20";
+        let groups = encode_radiotext(0x1234, msg);
+        assert_eq!(decode_radiotext(&groups).expect("complete"), msg);
+    }
+
+    #[test]
+    fn radiotext_survives_the_block_layer() {
+        let msg = "SONIC schedule follows";
+        let mut bits = Vec::new();
+        for g in encode_radiotext(7, msg) {
+            bits.extend(encode_group(&g));
+        }
+        let back = decode_groups(&bits);
+        assert_eq!(decode_radiotext(&back).expect("complete"), msg);
+    }
+
+    #[test]
+    fn mixed_services_do_not_confuse_each_other() {
+        let mut groups = encode_ps_name(9, "SONIC FM");
+        groups.extend(encode_radiotext(9, "hello"));
+        assert_eq!(decode_ps_name(&groups).expect("ps").1, "SONIC FM");
+        assert_eq!(decode_radiotext(&groups).expect("rt"), "hello");
+    }
+}

@@ -1,0 +1,147 @@
+//! Minimal discrete-event simulation core.
+//!
+//! Drives the end-to-end day-in-the-life simulations: SMS requests arrive,
+//! the server renders and enqueues, transmitters drain, clients receive.
+//! Events are `(time, tag)` pairs; the caller interprets tags.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event with an opaque payload.
+#[derive(Debug, Clone)]
+pub struct Event<T> {
+    /// Absolute time in seconds.
+    pub time: f64,
+    /// Payload.
+    pub payload: T,
+    seq: u64,
+}
+
+impl<T> PartialEq for Event<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for Event<T> {}
+impl<T> Ord for Event<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by time; FIFO among equal times.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("finite times")
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+impl<T> PartialOrd for Event<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The event queue + clock.
+#[derive(Debug)]
+pub struct Simulator<T> {
+    heap: BinaryHeap<Event<T>>,
+    now: f64,
+    seq: u64,
+}
+
+impl<T> Default for Simulator<T> {
+    fn default() -> Self {
+        Simulator {
+            heap: BinaryHeap::new(),
+            now: 0.0,
+            seq: 0,
+        }
+    }
+}
+
+impl<T> Simulator<T> {
+    /// Creates an empty simulator at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Schedules a payload at an absolute time.
+    ///
+    /// # Panics
+    /// Panics if `time` is in the past.
+    pub fn schedule_at(&mut self, time: f64, payload: T) {
+        assert!(time >= self.now, "cannot schedule in the past");
+        self.seq += 1;
+        self.heap.push(Event {
+            time,
+            payload,
+            seq: self.seq,
+        });
+    }
+
+    /// Schedules `dt` seconds from now.
+    pub fn schedule_in(&mut self, dt: f64, payload: T) {
+        let t = self.now + dt.max(0.0);
+        self.schedule_at(t, payload);
+    }
+
+    /// Pops the next event, advancing the clock.
+    pub fn next(&mut self) -> Option<Event<T>> {
+        let e = self.heap.pop()?;
+        self.now = e.time;
+        Some(e)
+    }
+
+    /// Pending event count.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(5.0, "b");
+        sim.schedule_at(1.0, "a");
+        sim.schedule_at(9.0, "c");
+        let order: Vec<&str> = std::iter::from_fn(|| sim.next().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(sim.now(), 9.0);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(1.0, 1);
+        sim.schedule_at(1.0, 2);
+        sim.schedule_at(1.0, 3);
+        let order: Vec<i32> = std::iter::from_fn(|| sim.next().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(10.0, "x");
+        sim.next();
+        sim.schedule_in(5.0, "y");
+        let e = sim.next().expect("y");
+        assert_eq!(e.time, 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn past_scheduling_panics() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(10.0, ());
+        sim.next();
+        sim.schedule_at(5.0, ());
+    }
+}

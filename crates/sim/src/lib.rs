@@ -1,0 +1,25 @@
+//! # sonic-sim
+//!
+//! Simulation and measurement harnesses reproducing the SONIC paper's
+//! evaluation (§4). Each figure/table has a module under [`experiments`];
+//! the `sonic-bench` crate wraps them in runnable bench targets.
+//!
+//! * [`linksim`] — frames → modem → FM/acoustic channel → frames, with loss
+//!   accounting (Figures 4a and the RSSI sweep).
+//! * [`broadcast`] — hourly backlog recurrence (Figure 4c).
+//! * [`study`] — the 151-rater perceptual panel model (Figure 5).
+//! * [`workload`], [`des`] — request workloads and a small event simulator
+//!   for day-in-the-life runs.
+//! * [`stats`], [`report`] — percentiles/CDFs/boxplots and table output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod broadcast;
+pub mod des;
+pub mod experiments;
+pub mod linksim;
+pub mod report;
+pub mod stats;
+pub mod study;
+pub mod workload;

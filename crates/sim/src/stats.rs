@@ -1,0 +1,142 @@
+//! Small statistics toolkit for the experiment harnesses.
+
+/// Arithmetic mean (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Linear-interpolated percentile, `p` in [0, 100].
+///
+/// # Panics
+/// Panics on empty input or `p` outside [0, 100].
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of empty sample");
+    assert!((0.0..=100.0).contains(&p), "p in [0,100]");
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let rank = p / 100.0 * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let w = rank - lo as f64;
+        v[lo] * (1.0 - w) + v[hi] * w
+    }
+}
+
+/// Median.
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// Five-number summary for boxplots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxStats {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl BoxStats {
+    /// Computes the summary.
+    ///
+    /// # Panics
+    /// Panics on empty input.
+    pub fn of(xs: &[f64]) -> BoxStats {
+        BoxStats {
+            min: percentile(xs, 0.0),
+            q1: percentile(xs, 25.0),
+            median: percentile(xs, 50.0),
+            q3: percentile(xs, 75.0),
+            max: percentile(xs, 100.0),
+        }
+    }
+}
+
+impl std::fmt::Display for BoxStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "min {:.2} | q1 {:.2} | med {:.2} | q3 {:.2} | max {:.2}",
+            self.min, self.q1, self.median, self.q3, self.max
+        )
+    }
+}
+
+/// Empirical CDF: returns `(value, fraction ≤ value)` points.
+pub fn cdf(xs: &[f64]) -> Vec<(f64, f64)> {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let n = v.len() as f64;
+    v.into_iter()
+        .enumerate()
+        .map(|(i, x)| (x, (i + 1) as f64 / n))
+        .collect()
+}
+
+/// Value at a given CDF fraction (inverse CDF at `frac` in [0,1]).
+pub fn cdf_value_at(xs: &[f64], frac: f64) -> f64 {
+    percentile(xs, frac * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_median_simple() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 100.0];
+        assert!((mean(&xs) - 22.0).abs() < 1e-12);
+        assert!((median(&xs) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert!((percentile(&xs, 50.0) - 5.0).abs() < 1e-12);
+        assert!((percentile(&xs, 0.0) - 0.0).abs() < 1e-12);
+        assert!((percentile(&xs, 100.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert!((median(&xs) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boxstats_ordering() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let b = BoxStats::of(&xs);
+        assert!(b.min <= b.q1 && b.q1 <= b.median && b.median <= b.q3 && b.q3 <= b.max);
+        assert!((b.median - 49.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let xs = [3.0, 1.0, 2.0, 2.0];
+        let c = cdf(&xs);
+        assert_eq!(c.len(), 4);
+        assert!((c.last().expect("non-empty").1 - 1.0).abs() < 1e-12);
+        for w in c.windows(2) {
+            assert!(w[1].0 >= w[0].0 && w[1].1 > w[0].1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_percentile_panics() {
+        let _ = percentile(&[], 50.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Request workloads: who asks for what, when.
+//!
+//! Uplink-capable users issue Zipf-distributed page requests following a
+//! diurnal intensity curve (quiet at night, peaks morning and evening) —
+//! the workload behind the end-to-end day simulation example.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sonic_pagegen::{Corpus, PageId};
+use sonic_sms::geo::GeoPoint;
+
+/// One user request.
+#[derive(Debug, Clone)]
+pub struct PageRequest {
+    /// Absolute time in seconds.
+    pub at_s: f64,
+    /// The requested page.
+    pub page: PageId,
+    /// Requester location.
+    pub location: GeoPoint,
+}
+
+/// Diurnal intensity multiplier for an hour of day (0–23), peaking at
+/// 8–9 am and 7–9 pm.
+pub fn diurnal_factor(hour_of_day: u64) -> f64 {
+    const CURVE: [f64; 24] = [
+        0.2, 0.1, 0.1, 0.1, 0.2, 0.4, 0.8, 1.2, 1.5, 1.2, 1.0, 1.0, 1.1, 1.0, 0.9, 0.9, 1.0, 1.2,
+        1.4, 1.6, 1.5, 1.2, 0.8, 0.4,
+    ];
+    CURVE[(hour_of_day % 24) as usize]
+}
+
+/// Generates requests over `hours` with `base_rate_per_hour` average
+/// intensity, Zipf page popularity and locations near the given cities.
+pub fn generate(
+    corpus: &Corpus,
+    hours: u64,
+    base_rate_per_hour: f64,
+    cities: &[GeoPoint],
+    seed: u64,
+) -> Vec<PageRequest> {
+    assert!(!cities.is_empty(), "need at least one city");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weights = sonic_pagegen::tranco::zipf_weights(&corpus.sites);
+    let mut out = Vec::new();
+    for hour in 0..hours {
+        let lambda = base_rate_per_hour * diurnal_factor(hour % 24);
+        // Poisson-ish: sample count from a geometric-corrected uniform.
+        let count = (lambda * (0.5 + rng.random::<f64>())).round() as usize;
+        for _ in 0..count {
+            let at_s = hour as f64 * 3600.0 + rng.random::<f64>() * 3600.0;
+            // Zipf site pick.
+            let u: f64 = rng.random();
+            let mut acc = 0.0;
+            let mut site = 0usize;
+            for (i, w) in weights.iter().enumerate() {
+                acc += w;
+                if u <= acc {
+                    site = i;
+                    break;
+                }
+            }
+            // Landing pages dominate; internals follow clicks.
+            let page = if rng.random::<f64>() < 0.7 {
+                0
+            } else {
+                1 + rng.random_range(0..3usize)
+            };
+            let city = cities[rng.random_range(0..cities.len())];
+            let jitter = |v: f64, r: &mut StdRng| v + (r.random::<f64>() - 0.5) * 0.2;
+            out.push(PageRequest {
+                at_s,
+                page: PageId { site, page },
+                location: GeoPoint::new(jitter(city.lat, &mut rng), jitter(city.lon, &mut rng)),
+            });
+        }
+    }
+    out.sort_by(|a, b| a.at_s.partial_cmp(&b.at_s).expect("finite"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cities() -> Vec<GeoPoint> {
+        vec![GeoPoint::new(31.52, 74.35), GeoPoint::new(24.86, 67.00)]
+    }
+
+    #[test]
+    fn requests_are_time_sorted() {
+        let c = Corpus::small(5);
+        let reqs = generate(&c, 12, 20.0, &cities(), 1);
+        for w in reqs.windows(2) {
+            assert!(w[1].at_s >= w[0].at_s);
+        }
+        assert!(!reqs.is_empty());
+    }
+
+    #[test]
+    fn popularity_is_skewed_to_top_sites() {
+        let c = Corpus::small(10);
+        let reqs = generate(&c, 48, 50.0, &cities(), 2);
+        let top = reqs.iter().filter(|r| r.page.site == 0).count();
+        let bottom = reqs.iter().filter(|r| r.page.site == 9).count();
+        assert!(top > 3 * bottom.max(1), "top {top} vs bottom {bottom}");
+    }
+
+    #[test]
+    fn diurnal_curve_peaks_in_the_evening() {
+        assert!(diurnal_factor(19) > diurnal_factor(3) * 3.0);
+        assert!(diurnal_factor(8) > diurnal_factor(14));
+    }
+
+    #[test]
+    fn night_hours_are_quieter() {
+        let c = Corpus::small(5);
+        let reqs = generate(&c, 24, 40.0, &cities(), 3);
+        let night = reqs.iter().filter(|r| (r.at_s / 3600.0) < 4.0).count();
+        let evening = reqs
+            .iter()
+            .filter(|r| (18.0..22.0).contains(&(r.at_s / 3600.0)))
+            .count();
+        assert!(evening > night, "evening {evening} vs night {night}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = Corpus::small(3);
+        let a = generate(&c, 6, 10.0, &cities(), 9);
+        let b = generate(&c, 6, 10.0, &cities(), 9);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.at_s, y.at_s);
+            assert_eq!(x.page, y.page);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! The SONIC SMS gateway grammar (§3.1).
+//!
+//! Uplink request: `GET <url> AT <lat>,<lon>` — the URL plus the user's
+//! location so the server can pick the right transmitter. The server
+//! "quickly responds to the user via SMS to acknowledge the request, and
+//! provide an estimate on when the page will be received":
+//! `ACK <url> ETA <seconds>S FREQ <mhz>MHZ`, or `ERR <reason>`.
+//!
+//! All messages must fit GSM-7 and ideally a single segment (they are the
+//! paid part of SONIC).
+
+use crate::geo::GeoPoint;
+
+/// A parsed uplink request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Requested URL (no scheme required; stored as sent).
+    pub url: String,
+    /// User location.
+    pub location: GeoPoint,
+}
+
+/// A parsed downlink acknowledgement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ack {
+    /// Echoed URL.
+    pub url: String,
+    /// Estimated seconds until the page finishes broadcasting.
+    pub eta_s: u64,
+    /// Frequency to tune to, MHz.
+    pub freq_mhz: f64,
+}
+
+/// Formats a request message.
+pub fn format_request(url: &str, location: &GeoPoint) -> String {
+    format!("GET {url} AT {:.4},{:.4}", location.lat, location.lon)
+}
+
+/// Parses a request; `None` when malformed.
+pub fn parse_request(msg: &str) -> Option<Request> {
+    let rest = msg.strip_prefix("GET ")?;
+    let (url, loc) = rest.rsplit_once(" AT ")?;
+    let (lat, lon) = loc.split_once(',')?;
+    let lat: f64 = lat.trim().parse().ok()?;
+    let lon: f64 = lon.trim().parse().ok()?;
+    if !(-90.0..=90.0).contains(&lat) || !(-180.0..=180.0).contains(&lon) {
+        return None;
+    }
+    if url.is_empty() || url.contains(' ') {
+        return None;
+    }
+    Some(Request {
+        url: url.to_string(),
+        location: GeoPoint::new(lat, lon),
+    })
+}
+
+/// Formats an acknowledgement.
+pub fn format_ack(url: &str, eta_s: u64, freq_mhz: f64) -> String {
+    format!("ACK {url} ETA {eta_s}S FREQ {freq_mhz:.1}MHZ")
+}
+
+/// Parses an acknowledgement.
+pub fn parse_ack(msg: &str) -> Option<Ack> {
+    let rest = msg.strip_prefix("ACK ")?;
+    let (url, rest) = rest.split_once(" ETA ")?;
+    let (eta, freq) = rest.split_once(" FREQ ")?;
+    let eta_s: u64 = eta.strip_suffix('S')?.parse().ok()?;
+    let freq_mhz: f64 = freq.strip_suffix("MHZ")?.parse().ok()?;
+    Some(Ack {
+        url: url.to_string(),
+        eta_s,
+        freq_mhz,
+    })
+}
+
+/// Formats an error reply.
+pub fn format_err(reason: &str) -> String {
+    format!("ERR {reason}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let loc = GeoPoint::new(31.5204, 74.3587);
+        let msg = format_request("cnn.com/index.html", &loc);
+        let req = parse_request(&msg).expect("parse");
+        assert_eq!(req.url, "cnn.com/index.html");
+        assert!((req.location.lat - 31.5204).abs() < 1e-4);
+        assert!((req.location.lon - 74.3587).abs() < 1e-4);
+    }
+
+    #[test]
+    fn request_fits_one_sms() {
+        let loc = GeoPoint::new(-31.5204, -74.3587);
+        let msg = format_request(
+            "some-quite-long-domain-name.com.pk/section/article-slug-here",
+            &loc,
+        );
+        assert_eq!(crate::pdu::segment_count(&msg).expect("gsm7"), 1);
+    }
+
+    #[test]
+    fn ack_roundtrip() {
+        let msg = format_ack("cnn.com", 340, 93.7);
+        let ack = parse_ack(&msg).expect("parse");
+        assert_eq!(ack.url, "cnn.com");
+        assert_eq!(ack.eta_s, 340);
+        assert!((ack.freq_mhz - 93.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn malformed_requests_rejected() {
+        for bad in [
+            "GET",
+            "GET  AT 1,2",
+            "GET cnn.com",
+            "GET cnn.com AT abc,def",
+            "GET cnn.com AT 95.0,10.0", // latitude out of range
+            "PUT cnn.com AT 1,2",
+            "GET two words AT 1,2",
+        ] {
+            assert!(parse_request(bad).is_none(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn malformed_acks_rejected() {
+        for bad in ["ACK", "ACK x ETA 5 FREQ 93.7MHZ", "ACK x ETA 5S FREQ 93.7"] {
+            assert!(parse_ack(bad).is_none(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn err_is_gsm7() {
+        let msg = format_err("no coverage at your location");
+        assert!(crate::gsm7::septet_len(&msg).is_some());
+    }
+}

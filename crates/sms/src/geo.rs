@@ -1,0 +1,142 @@
+//! Geography: user locations and transmitter coverage.
+//!
+//! SONIC requests carry the user's location so the server can pick the FM
+//! transmitter (and frequency) that physically reaches them (§3.1).
+
+/// A WGS-84 point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoPoint {
+    /// Latitude in degrees.
+    pub lat: f64,
+    /// Longitude in degrees.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        GeoPoint { lat, lon }
+    }
+
+    /// Great-circle distance in kilometers (haversine).
+    pub fn distance_km(&self, other: &GeoPoint) -> f64 {
+        let r = 6_371.0;
+        let dlat = (other.lat - self.lat).to_radians();
+        let dlon = (other.lon - self.lon).to_radians();
+        let a = (dlat / 2.0).sin().powi(2)
+            + self.lat.to_radians().cos() * other.lat.to_radians().cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * r * a.sqrt().asin()
+    }
+}
+
+/// One FM transmitter site.
+#[derive(Debug, Clone)]
+pub struct TransmitterSite {
+    /// Stable id.
+    pub id: u32,
+    /// Location.
+    pub location: GeoPoint,
+    /// Usable broadcast radius in km.
+    pub radius_km: f64,
+    /// Broadcast frequency in MHz (e.g. the paper's 93.7).
+    pub freq_mhz: f64,
+}
+
+/// A set of transmitter sites with coverage queries.
+#[derive(Debug, Clone, Default)]
+pub struct Coverage {
+    /// All sites.
+    pub sites: Vec<TransmitterSite>,
+}
+
+impl Coverage {
+    /// A toy Pakistan-like deployment: transmitters near major cities.
+    pub fn pakistan_demo() -> Self {
+        Coverage {
+            sites: vec![
+                TransmitterSite {
+                    id: 1,
+                    location: GeoPoint::new(31.52, 74.35), // Lahore
+                    radius_km: 40.0,
+                    freq_mhz: 93.7,
+                },
+                TransmitterSite {
+                    id: 2,
+                    location: GeoPoint::new(24.86, 67.00), // Karachi
+                    radius_km: 45.0,
+                    freq_mhz: 95.1,
+                },
+                TransmitterSite {
+                    id: 3,
+                    location: GeoPoint::new(33.68, 73.05), // Islamabad
+                    radius_km: 35.0,
+                    freq_mhz: 98.3,
+                },
+                TransmitterSite {
+                    id: 4,
+                    location: GeoPoint::new(34.01, 71.58), // Peshawar
+                    radius_km: 30.0,
+                    freq_mhz: 91.5,
+                },
+            ],
+        }
+    }
+
+    /// The best (nearest in-range) transmitter for a user, if any.
+    pub fn best_for(&self, p: &GeoPoint) -> Option<&TransmitterSite> {
+        self.sites
+            .iter()
+            .map(|s| (s, s.location.distance_km(p)))
+            .filter(|(s, d)| *d <= s.radius_km)
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .map(|(s, _)| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haversine_known_distance() {
+        // Lahore ↔ Islamabad ≈ 270 km.
+        let lhr = GeoPoint::new(31.52, 74.35);
+        let isb = GeoPoint::new(33.68, 73.05);
+        let d = lhr.distance_km(&isb);
+        assert!((d - 270.0).abs() < 20.0, "d = {d}");
+    }
+
+    #[test]
+    fn zero_distance_to_self() {
+        let p = GeoPoint::new(10.0, 20.0);
+        assert!(p.distance_km(&p) < 1e-9);
+    }
+
+    #[test]
+    fn coverage_finds_city_transmitter() {
+        let cov = Coverage::pakistan_demo();
+        let near_lahore = GeoPoint::new(31.6, 74.4);
+        let t = cov.best_for(&near_lahore).expect("in range");
+        assert_eq!(t.id, 1);
+    }
+
+    #[test]
+    fn remote_location_has_no_coverage() {
+        let cov = Coverage::pakistan_demo();
+        let desert = GeoPoint::new(28.0, 63.0);
+        assert!(cov.best_for(&desert).is_none());
+    }
+
+    #[test]
+    fn nearest_wins_on_overlap() {
+        let mut cov = Coverage::pakistan_demo();
+        cov.sites.push(TransmitterSite {
+            id: 99,
+            location: GeoPoint::new(31.53, 74.36),
+            radius_km: 100.0,
+            freq_mhz: 100.1,
+        });
+        let p = GeoPoint::new(31.53, 74.36);
+        assert_eq!(cov.best_for(&p).expect("covered").id, 99);
+    }
+}

@@ -1,0 +1,164 @@
+//! GSM 03.38 7-bit default alphabet encoding and septet packing.
+//!
+//! SMS payload budgets (160 chars single / 153 per concatenated segment)
+//! come from packing 7-bit characters into 140 octets; SONIC's uplink
+//! protocol has to respect them, so we implement the real thing.
+
+/// The GSM 7-bit default alphabet (code points 0–127).
+const ALPHABET: &str = "@£$¥èéùìòÇ\nØø\rÅåΔ_ΦΓΛΩΠΨΣΘΞ\u{1b}ÆæßÉ !\"#¤%&'()*+,-./0123456789:;<=>?¡ABCDEFGHIJKLMNOPQRSTUVWXYZÄÖÑÜ§¿abcdefghijklmnopqrstuvwxyzäöñüà";
+
+/// Characters in the GSM extension table (cost two septets: ESC + code).
+const EXTENSION: [(char, u8); 9] = [
+    ('\u{0c}', 0x0A),
+    ('^', 0x14),
+    ('{', 0x28),
+    ('}', 0x29),
+    ('\\', 0x2F),
+    ('[', 0x3C),
+    ('~', 0x3D),
+    (']', 0x3E),
+    ('|', 0x40),
+];
+
+/// Encodes a char to one or two septets; `None` if unrepresentable.
+pub fn char_to_septets(c: char) -> Option<Vec<u8>> {
+    if let Some(pos) = ALPHABET.chars().position(|a| a == c) {
+        return Some(vec![pos as u8]);
+    }
+    EXTENSION
+        .iter()
+        .find(|&&(e, _)| e == c)
+        .map(|&(_, code)| vec![0x1B, code])
+}
+
+/// Septet cost of a string; `None` if any char is unrepresentable.
+pub fn septet_len(s: &str) -> Option<usize> {
+    s.chars().map(|c| char_to_septets(c).map(|v| v.len())).sum()
+}
+
+/// Encodes a string to septets.
+pub fn encode(s: &str) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(s.len());
+    for c in s.chars() {
+        out.extend(char_to_septets(c)?);
+    }
+    Some(out)
+}
+
+/// Decodes septets back to a string (ESC sequences resolved).
+pub fn decode(septets: &[u8]) -> String {
+    let chars: Vec<char> = ALPHABET.chars().collect();
+    let mut out = String::with_capacity(septets.len());
+    let mut i = 0usize;
+    while i < septets.len() {
+        let s = septets[i] & 0x7F;
+        if s == 0x1B && i + 1 < septets.len() {
+            let code = septets[i + 1] & 0x7F;
+            if let Some(&(c, _)) = EXTENSION.iter().find(|&&(_, e)| e == code) {
+                out.push(c);
+                i += 2;
+                continue;
+            }
+        }
+        out.push(*chars.get(s as usize).unwrap_or(&'?'));
+        i += 1;
+    }
+    out
+}
+
+/// Packs septets into octets (GSM 03.38 §6.1.2.1.1).
+pub fn pack(septets: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(septets.len() * 7 / 8 + 1);
+    let mut carry = 0u16;
+    let mut carry_bits = 0u8;
+    for &s in septets {
+        carry |= ((s & 0x7F) as u16) << carry_bits;
+        carry_bits += 7;
+        while carry_bits >= 8 {
+            out.push((carry & 0xFF) as u8);
+            carry >>= 8;
+            carry_bits -= 8;
+        }
+    }
+    if carry_bits > 0 {
+        out.push((carry & 0xFF) as u8);
+    }
+    out
+}
+
+/// Unpacks octets back into `count` septets.
+pub fn unpack(octets: &[u8], count: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(count);
+    let mut carry = 0u16;
+    let mut carry_bits = 0u8;
+    let mut idx = 0usize;
+    while out.len() < count {
+        if carry_bits < 7 {
+            if idx >= octets.len() {
+                break;
+            }
+            carry |= (octets[idx] as u16) << carry_bits;
+            carry_bits += 8;
+            idx += 1;
+        }
+        out.push((carry & 0x7F) as u8);
+        carry >>= 7;
+        carry_bits -= 7;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_roundtrip() {
+        let msg = "GET cnn.com/index.html AT 31.52,74.35";
+        let septets = encode(msg).expect("encodable");
+        assert_eq!(decode(&septets), msg);
+    }
+
+    #[test]
+    fn packing_roundtrip() {
+        let msg = "hello world HELLO 12345";
+        let septets = encode(msg).expect("encodable");
+        let octets = pack(&septets);
+        assert!(octets.len() < septets.len(), "packing must save space");
+        assert_eq!(unpack(&octets, septets.len()), septets);
+    }
+
+    #[test]
+    fn seven_chars_pack_less_or_equal_seven_octets() {
+        // Canonical example: 8 septets fit in 7 octets.
+        let septets = encode("ABCDEFGH").expect("encodable");
+        assert_eq!(pack(&septets).len(), 7);
+    }
+
+    #[test]
+    fn extension_chars_cost_two() {
+        assert_eq!(septet_len("{}").expect("ext"), 4);
+        assert_eq!(septet_len("a").expect("basic"), 1);
+        let septets = encode("a{b}").expect("encodable");
+        assert_eq!(decode(&septets), "a{b}");
+    }
+
+    #[test]
+    fn unrepresentable_rejected() {
+        assert!(septet_len("网页").is_none());
+        assert!(encode("emoji 😀").is_none());
+    }
+
+    #[test]
+    fn at_sign_is_code_zero() {
+        assert_eq!(encode("@").expect("gsm"), vec![0]);
+        assert_eq!(decode(&[0]), "@");
+    }
+
+    #[test]
+    fn full_160_char_message_is_140_octets() {
+        let msg: String = std::iter::repeat('x').take(160).collect();
+        let septets = encode(&msg).expect("encodable");
+        assert_eq!(pack(&septets).len(), 140);
+    }
+}

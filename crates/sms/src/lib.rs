@@ -1,0 +1,21 @@
+//! # sonic-sms
+//!
+//! The SMS uplink substrate (§3.1): GSM-7 alphabet and septet packing,
+//! message segmentation with UDH concatenation, a carrier delivery model
+//! with realistic latency tails and loss, the SONIC gateway grammar
+//! (`GET <url> AT <lat>,<lon>` / `ACK … ETA … FREQ …`), and the geography
+//! that maps a requesting user to the FM transmitter that can reach them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gateway;
+pub mod geo;
+pub mod gsm7;
+pub mod network;
+pub mod pdu;
+pub mod queries;
+
+pub use gateway::{format_ack, format_request, parse_ack, parse_request, Ack, Request};
+pub use geo::{Coverage, GeoPoint, TransmitterSite};
+pub use network::{Delivery, SmsNetwork};

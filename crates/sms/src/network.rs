@@ -1,0 +1,150 @@
+//! SMS delivery model.
+//!
+//! Carrier-grade SMS in developing regions is best-effort store-and-forward:
+//! seconds of latency in the common case, heavy tails, and occasional loss.
+//! The model delivers each segment independently (base latency + lognormal-
+//! ish jitter, Bernoulli loss); a multi-segment message completes when its
+//! last segment lands and fails if any segment is lost.
+
+use crate::pdu::{segment, SmsError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Delivery model parameters.
+#[derive(Debug, Clone)]
+pub struct SmsNetwork {
+    /// Median per-segment latency in seconds.
+    pub base_latency_s: f64,
+    /// Jitter scale (multiplies a heavy-tailed random factor).
+    pub jitter_s: f64,
+    /// Per-segment loss probability.
+    pub loss_prob: f64,
+    rng: StdRng,
+    next_reference: u8,
+}
+
+/// Outcome of sending one message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Delivery {
+    /// All segments arrived; the message is readable at this time.
+    Delivered {
+        /// Absolute arrival time (seconds) of the final segment.
+        at: f64,
+        /// Number of billed segments.
+        segments: usize,
+    },
+    /// At least one segment was lost.
+    Lost,
+}
+
+impl SmsNetwork {
+    /// A typical developing-region carrier: ~6 s median, fat jitter, 2 % loss.
+    pub fn typical(seed: u64) -> Self {
+        SmsNetwork {
+            base_latency_s: 6.0,
+            jitter_s: 4.0,
+            loss_prob: 0.02,
+            rng: StdRng::seed_from_u64(seed),
+            next_reference: 0,
+        }
+    }
+
+    /// A perfect network (unit tests / best-case analyses).
+    pub fn perfect(seed: u64) -> Self {
+        SmsNetwork {
+            base_latency_s: 1.0,
+            jitter_s: 0.0,
+            loss_prob: 0.0,
+            rng: StdRng::seed_from_u64(seed),
+            next_reference: 0,
+        }
+    }
+
+    fn segment_latency(&mut self) -> f64 {
+        // Exponentiated uniform gives the long right tail SMS is famous for.
+        let u: f64 = self.rng.random();
+        self.base_latency_s + self.jitter_s * (1.0 / (1.0 - u * 0.98) - 1.0).min(30.0)
+    }
+
+    /// Sends `text` at absolute time `now`; returns the delivery outcome.
+    pub fn send(&mut self, text: &str, now: f64) -> Result<Delivery, SmsError> {
+        self.next_reference = self.next_reference.wrapping_add(1);
+        let segs = segment(text, self.next_reference)?;
+        let mut last = now;
+        for _ in &segs {
+            if self.rng.random::<f64>() < self.loss_prob {
+                return Ok(Delivery::Lost);
+            }
+            let t = now + self.segment_latency();
+            last = last.max(t);
+        }
+        Ok(Delivery::Delivered {
+            at: last,
+            segments: segs.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_network_delivers_quickly() {
+        let mut net = SmsNetwork::perfect(1);
+        match net.send("GET cnn.com", 100.0).expect("gsm7") {
+            Delivery::Delivered { at, segments } => {
+                assert_eq!(segments, 1);
+                assert!((at - 101.0).abs() < 1e-9);
+            }
+            Delivery::Lost => panic!("perfect network lost a message"),
+        }
+    }
+
+    #[test]
+    fn long_message_bills_multiple_segments() {
+        let mut net = SmsNetwork::perfect(1);
+        let text: String = std::iter::repeat('q').take(400).collect();
+        match net.send(&text, 0.0).expect("gsm7") {
+            Delivery::Delivered { segments, .. } => assert_eq!(segments, 3),
+            Delivery::Lost => panic!("perfect network lost a message"),
+        }
+    }
+
+    #[test]
+    fn latency_has_a_tail() {
+        let mut net = SmsNetwork::typical(7);
+        let mut latencies = Vec::new();
+        for i in 0..500 {
+            if let Delivery::Delivered { at, .. } = net.send("ping", i as f64 * 1000.0).expect("gsm7") {
+                latencies.push(at - i as f64 * 1000.0);
+            }
+        }
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let p50 = latencies[latencies.len() / 2];
+        let p95 = latencies[latencies.len() * 95 / 100];
+        assert!(p50 > 5.0 && p50 < 15.0, "p50 {p50}");
+        assert!(p95 > p50 * 1.5, "p95 {p95} must show the tail");
+    }
+
+    #[test]
+    fn losses_occur_at_expected_rate() {
+        let mut net = SmsNetwork::typical(11);
+        let lost = (0..2000)
+            .filter(|&i| {
+                matches!(
+                    net.send("x", i as f64).expect("gsm7"),
+                    Delivery::Lost
+                )
+            })
+            .count();
+        let rate = lost as f64 / 2000.0;
+        assert!((rate - 0.02).abs() < 0.012, "loss rate {rate}");
+    }
+
+    #[test]
+    fn non_gsm_content_is_an_error() {
+        let mut net = SmsNetwork::perfect(0);
+        assert!(net.send("🛰", 0.0).is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! Search-engine and chatbot queries over SMS (§3.1).
+//!
+//! "SONIC users with an active uplink can … send queries to search engines
+//! (e.g., Google and Duckduckgo) and AI chatbots (e.g., chatGPT)." The
+//! uplink grammar: `ASK <engine> <query…> AT <lat>,<lon>` — the answer comes
+//! back as a rendered results page over the broadcast, like any other page.
+
+use crate::geo::GeoPoint;
+
+/// Query backends the gateway recognizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Web search.
+    Search,
+    /// Conversational AI.
+    Chat,
+}
+
+impl Engine {
+    /// Wire token.
+    pub fn token(self) -> &'static str {
+        match self {
+            Engine::Search => "SEARCH",
+            Engine::Chat => "CHAT",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Engine> {
+        match s {
+            "SEARCH" => Some(Engine::Search),
+            "CHAT" => Some(Engine::Chat),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed query request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Which backend.
+    pub engine: Engine,
+    /// Free-text query.
+    pub text: String,
+    /// Requester location (for transmitter selection).
+    pub location: GeoPoint,
+}
+
+impl Query {
+    /// A synthetic URL under which the rendered answer page is cached and
+    /// broadcast (queries become pages like everything else in SONIC).
+    pub fn result_url(&self) -> String {
+        let slug: String = self
+            .text
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+            .collect();
+        format!(
+            "sonic://{}/{}",
+            self.engine.token().to_ascii_lowercase(),
+            slug.trim_matches('-')
+        )
+    }
+}
+
+/// Formats a query message.
+pub fn format_query(engine: Engine, text: &str, location: &GeoPoint) -> String {
+    format!(
+        "ASK {} {text} AT {:.4},{:.4}",
+        engine.token(),
+        location.lat,
+        location.lon
+    )
+}
+
+/// Parses a query; `None` when malformed.
+pub fn parse_query(msg: &str) -> Option<Query> {
+    let rest = msg.strip_prefix("ASK ")?;
+    let (engine_tok, rest) = rest.split_once(' ')?;
+    let engine = Engine::parse(engine_tok)?;
+    let (text, loc) = rest.rsplit_once(" AT ")?;
+    let (lat, lon) = loc.split_once(',')?;
+    let lat: f64 = lat.trim().parse().ok()?;
+    let lon: f64 = lon.trim().parse().ok()?;
+    if !(-90.0..=90.0).contains(&lat) || !(-180.0..=180.0).contains(&lon) {
+        return None;
+    }
+    let text = text.trim();
+    if text.is_empty() {
+        return None;
+    }
+    Some(Query {
+        engine,
+        text: text.to_string(),
+        location: GeoPoint::new(lat, lon),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_roundtrip() {
+        let loc = GeoPoint::new(31.52, 74.35);
+        let msg = format_query(Engine::Search, "cricket score pakistan", &loc);
+        let q = parse_query(&msg).expect("parse");
+        assert_eq!(q.engine, Engine::Search);
+        assert_eq!(q.text, "cricket score pakistan");
+    }
+
+    #[test]
+    fn chat_queries_parse() {
+        let loc = GeoPoint::new(-10.0, 20.0);
+        let msg = format_query(Engine::Chat, "how do I register to vote?", &loc);
+        let q = parse_query(&msg).expect("parse");
+        assert_eq!(q.engine, Engine::Chat);
+        assert!(q.text.contains("register"));
+    }
+
+    #[test]
+    fn result_url_is_stable_and_clean() {
+        let q = Query {
+            engine: Engine::Search,
+            text: "Cricket Score!".into(),
+            location: GeoPoint::new(0.0, 0.0),
+        };
+        assert_eq!(q.result_url(), "sonic://search/cricket-score");
+    }
+
+    #[test]
+    fn queries_fit_single_sms() {
+        let loc = GeoPoint::new(31.5204, 74.3587);
+        let msg = format_query(Engine::Chat, &"word ".repeat(20), &loc);
+        assert!(crate::pdu::segment_count(msg.trim()).expect("gsm7") <= 2);
+    }
+
+    #[test]
+    fn malformed_queries_rejected() {
+        for bad in [
+            "ASK",
+            "ASK SEARCH",
+            "ASK GOOGLE thing AT 1,2",
+            "ASK SEARCH  AT 1,2",
+            "ASK CHAT hello AT abc,def",
+        ] {
+            assert!(parse_query(bad).is_none(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn get_and_ask_grammars_are_disjoint() {
+        let loc = GeoPoint::new(1.0, 2.0);
+        let ask = format_query(Engine::Search, "x", &loc);
+        assert!(crate::gateway::parse_request(&ask).is_none());
+        let get = crate::gateway::format_request("a.pk", &loc);
+        assert!(parse_query(&get).is_none());
+    }
+}

@@ -1,0 +1,105 @@
+//! A day in the life of a SONIC transmitter: 24 hours of hourly content
+//! churn, popularity pushes, and SMS-driven requests, simulated with the
+//! discrete-event core. Prints the hourly backlog and request statistics.
+//!
+//! Run with: `cargo run --release --example broadcast_day`
+
+use sonic::core::server::render::Renderer;
+use sonic::core::SonicServer;
+use sonic::pagegen::Corpus;
+use sonic::sim::des::Simulator;
+use sonic::sim::workload::{generate, PageRequest};
+use sonic::sms::gateway;
+use sonic::sms::geo::Coverage;
+use sonic::sms::{Delivery, SmsNetwork};
+
+#[derive(Debug)]
+enum Ev {
+    /// A user's SMS request arrives at the gateway.
+    Request(PageRequest),
+    /// Hourly tick: popularity push + stats snapshot.
+    HourTick(u64),
+}
+
+fn main() {
+    let corpus = Corpus::standard();
+    let cities = vec![
+        sonic::sms::GeoPoint::new(31.52, 74.35),
+        sonic::sms::GeoPoint::new(24.86, 67.00),
+        sonic::sms::GeoPoint::new(33.68, 73.05),
+    ];
+    let requests = generate(&corpus, 24, 12.0, &cities, 0xDA7);
+    println!(
+        "== broadcast day: {} SMS requests over 24 h, 3 cities, 4 transmitters ==",
+        requests.len()
+    );
+
+    let renderer = Renderer::new(corpus, 0.05);
+    let mut server = SonicServer::new(renderer, Coverage::pakistan_demo(), 10_000.0);
+    let mut sms = SmsNetwork::typical(1);
+    let mut sim: Simulator<Ev> = Simulator::new();
+    for r in requests {
+        sim.schedule_at(r.at_s, Ev::Request(r));
+    }
+    for h in 0..24u64 {
+        sim.schedule_at(h as f64 * 3600.0 + 1.0, Ev::HourTick(h));
+    }
+
+    let mut acked = 0usize;
+    let mut errors = 0usize;
+    let mut lost = 0usize;
+    let mut last_drain = 0.0f64;
+    while let Some(ev) = sim.next() {
+        // Drain all transmitters for the elapsed wall time.
+        let dt = sim.now() - last_drain;
+        last_drain = sim.now();
+        for sched in server.schedulers.values_mut() {
+            let _ = sched.advance(dt);
+        }
+        match ev.payload {
+            Ev::Request(r) => {
+                let hour = (r.at_s / 3600.0) as u64;
+                let url = server
+                    .renderer()
+                    .corpus()
+                    .layout(r.page, hour)
+                    .url;
+                let msg = gateway::format_request(&url, &r.location);
+                match sms.send(&msg, r.at_s).expect("gsm7") {
+                    Delivery::Lost => lost += 1,
+                    Delivery::Delivered { at, .. } => {
+                        let reply = server.handle_sms(&msg, at);
+                        if reply.starts_with("ACK") {
+                            acked += 1;
+                        } else {
+                            errors += 1;
+                        }
+                    }
+                }
+            }
+            Ev::HourTick(h) => {
+                // Morning push of the most popular landing pages (§3.1).
+                if h == 6 {
+                    server.push_popular(h, 5, sim.now());
+                    println!("hour {h:>2}: morning popularity push (top 5 landing pages)");
+                }
+                let backlog_mb: f64 = server
+                    .schedulers
+                    .values()
+                    .map(|s| s.backlog_bytes() as f64)
+                    .sum::<f64>()
+                    / 1e6;
+                let sent_mb: f64 = server
+                    .schedulers
+                    .values()
+                    .map(|s| s.transmitted_bytes as f64)
+                    .sum::<f64>()
+                    / 1e6;
+                println!(
+                    "hour {h:>2}: backlog {backlog_mb:>6.2} MB | transmitted {sent_mb:>6.2} MB | acks {acked} | errs {errors} | sms lost {lost}"
+                );
+            }
+        }
+    }
+    println!("== done: {acked} pages acknowledged, {errors} gateway errors, {lost} SMS lost ==");
+}

@@ -1,0 +1,60 @@
+//! Tour of the FM physical layer: program audio + SONIC data + RDS share
+//! one multiplex, transmitted at several RSSI levels.
+//!
+//! Shows what makes SONIC practical: the data rides the ordinary mono
+//! channel while RDS keeps carrying station metadata, and reception quality
+//! degrades exactly the way a car radio does.
+//!
+//! Run with: `cargo run --release --example radio_tour`
+
+use sonic::core::link;
+use sonic::dsp::goertzel;
+use sonic::modem::profile::Profile;
+use sonic::radio::rds::{decode_groups, encode_group, Group};
+use sonic::radio::stack::FmLink;
+use sonic::sim::linksim::test_frames;
+
+fn main() {
+    let profile = Profile::sonic_10k();
+    println!("== FM radio tour: music + SONIC data + RDS on one carrier ==");
+
+    // "Program audio": a 440 Hz tone standing in for the music.
+    let n = 6 * 44_100;
+    let music: Vec<f32> = (0..n)
+        .map(|i| 0.05 * (std::f64::consts::TAU * 440.0 * i as f64 / 44_100.0).sin() as f32)
+        .collect();
+
+    // SONIC data on the 9.2 kHz carrier, mixed with the music.
+    let frames = test_frames(40, 1);
+    let data_audio = link::modulate(&profile, &frames);
+    let mut mono = music;
+    let g = 0.08 / (data_audio.iter().map(|&x| x * x).sum::<f32>() / data_audio.len() as f32).sqrt();
+    for (i, d) in data_audio.iter().enumerate() {
+        if i < mono.len() {
+            mono[i] += d * g;
+        }
+    }
+
+    // RDS: the station identifies itself.
+    let group = Group([0x5350, 0x0408, 0x4F4E, 0x4943]); // "SP…ONIC"
+    let mut rds_bits = Vec::new();
+    for _ in 0..8 {
+        rds_bits.extend(encode_group(&group));
+    }
+
+    for rssi in [-70.0, -85.0, -95.0] {
+        let link_ = FmLink::new(rssi, 42);
+        let out = link_.transmit(&mono, Some(rds_bits.clone()));
+        let (rx, stats) = link::demodulate(&profile, &out.mono);
+        let groups = decode_groups(&out.rds_bits);
+        let tone = goertzel::power(&out.mono[..44_100.min(out.mono.len())], 44_100.0, 440.0);
+        println!(
+            "RSSI {rssi:>5.0} dB | music tone {} | SONIC frames {:>2}/40 (bursts failed {}) | RDS groups {}",
+            if tone > 1e-5 { "audible" } else { "buried " },
+            rx.len(),
+            stats.bursts_failed,
+            groups.len()
+        );
+    }
+    println!("expected: everything clean at -70; RDS (uncoded 26-bit blocks) dies first near the threshold; SONIC data holds to ~-86 thanks to its FEC; below -90 only the strongest audio tones survive");
+}
