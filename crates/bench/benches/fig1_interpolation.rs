@@ -15,7 +15,7 @@ fn main() {
     let corpus = Corpus::standard();
     let page = corpus.render(PageId { site: 0, page: 0 }, 9, scale);
     let (w, h) = (page.raster.width(), page.raster.height());
-    let mask = LossMask::random(w, h, 0.10, 0xF16_1);
+    let mask = LossMask::random(w, h, 0.10, 0xF161);
 
     let lossy = blackout(&page.raster, &mask);
     let fixed = recover(&page.raster, &mask);

@@ -8,11 +8,13 @@ use sonic_sim::experiments::fig4b::{run_experiment, Config};
 use sonic_sim::report::{kb, Table};
 
 fn main() {
-    let mut cfg = Config::default();
     // Single-core default trims; export the env vars to run closer to paper
     // scale (see EXPERIMENTS.md).
-    cfg.scale = sonic_sim::experiments::env_or("SONIC_FIG4B_SCALE", 0.12);
-    cfg.hours = sonic_sim::experiments::env_or("SONIC_FIG4B_HOURS", 8);
+    let cfg = Config {
+        scale: sonic_sim::experiments::env_or("SONIC_FIG4B_SCALE", 0.12),
+        hours: sonic_sim::experiments::env_or("SONIC_FIG4B_HOURS", 8),
+        ..Config::default()
+    };
     println!(
         "Figure 4(b) — image size CDFs (scale {}, {} hourly snapshots, 100 pages)",
         cfg.scale, cfg.hours

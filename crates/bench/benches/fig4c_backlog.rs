@@ -7,8 +7,10 @@ use sonic_sim::experiments::fig4c::{run_experiment, Config};
 use sonic_sim::report::Table;
 
 fn main() {
-    let mut cfg = Config::default();
-    cfg.scale = sonic_sim::experiments::env_or("SONIC_FIG4C_SCALE", 0.08);
+    let cfg = Config {
+        scale: sonic_sim::experiments::env_or("SONIC_FIG4C_SCALE", 0.08),
+        ..Config::default()
+    };
     println!(
         "Figure 4(c) — backlog over {} h (size scale {}, calibration applied)",
         cfg.hours, cfg.scale

@@ -6,9 +6,11 @@ use sonic_sim::experiments::rssi::{run_experiment, Config};
 use sonic_sim::report::{pct, Table};
 
 fn main() {
-    let mut cfg = Config::default();
-    cfg.reps = sonic_sim::experiments::env_or("SONIC_RSSI_REPS", 8);
-    cfg.bursts_per_rep = sonic_sim::experiments::env_or("SONIC_RSSI_BURSTS", 2);
+    let cfg = Config {
+        reps: sonic_sim::experiments::env_or("SONIC_RSSI_REPS", 8),
+        bursts_per_rep: sonic_sim::experiments::env_or("SONIC_RSSI_BURSTS", 2),
+        ..Config::default()
+    };
     println!(
         "Variable RSSI — frame loss over the FM chain, cable client ({} reps x {} bursts)",
         cfg.reps, cfg.bursts_per_rep

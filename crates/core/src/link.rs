@@ -37,7 +37,7 @@ pub fn modulate(profile: &Profile, frames: &[Frame]) -> Vec<f32> {
         }
         audio.extend(modulate_frame(profile, &payload));
         // Half a symbol of guard between bursts.
-        audio.extend(std::iter::repeat(0.0).take(profile.symbol_len() / 2));
+        audio.extend(std::iter::repeat_n(0.0, profile.symbol_len() / 2));
     }
     audio
 }

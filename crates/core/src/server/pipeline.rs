@@ -1,0 +1,401 @@
+//! Multi-threaded broadcast pipeline: render → SWP encode → chunk → OFDM.
+//!
+//! The serial broadcast path costs hundreds of milliseconds per page (raster
+//! render, strip/SWP encoding, chunking, OFDM modulation), which caps how
+//! fast a transmitter fleet can be fed. This module runs those four stages
+//! as a pipeline of worker pools connected by **bounded** crossbeam
+//! channels: every stage can run concurrently on different pages, the
+//! bounded queues give back-pressure (a slow consumer stalls producers
+//! instead of buffering unboundedly), and a sequence-tagged reorder buffer
+//! at the sink makes the output order — and therefore everything fed into a
+//! [`BroadcastScheduler`] — deterministic and identical to the serial path.
+//!
+//! Stage outputs are bit-identical to [`run_serial`]: every stage is a pure
+//! function of its input (modulation goes through `sonic-modem`'s cached
+//! `FrameCodec`, which is bit-exact versus its reference path), so the only
+//! difference parallelism could introduce is ordering, and the reorder
+//! buffer removes it.
+
+use crate::chunker::page_to_frames;
+use crate::frame::Frame;
+use crate::link;
+use crate::page::SimplifiedPage;
+use crate::server::render::Renderer;
+use crate::server::scheduler::BroadcastScheduler;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use sonic_modem::profile::Profile;
+use sonic_pagegen::{PageId, RenderedPage};
+use std::collections::BTreeMap;
+
+/// One render request: a corpus page at an hour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageJob {
+    /// Corpus page to render.
+    pub id: PageId,
+    /// Render hour (drives versioning).
+    pub hour: u64,
+}
+
+/// Everything the broadcast chain produces for one page, in job order.
+#[derive(Debug, Clone)]
+pub struct BroadcastArtifact {
+    /// Index of the originating job in the input slice.
+    pub seq: usize,
+    /// The simplified page (strip/SWP-encoded screenshot + metadata).
+    pub page: SimplifiedPage,
+    /// The page's link-frame sequence.
+    pub frames: Vec<Frame>,
+    /// OFDM audio for the whole frame sequence.
+    pub audio: Vec<f32>,
+}
+
+/// Pipeline tuning knobs.
+#[derive(Debug, Clone)]
+pub struct PipelineOptions {
+    /// Worker threads for each of the two heavy pools (render+encode and
+    /// modulate). Clamped to at least 1.
+    pub workers: usize,
+    /// Capacity of every inter-stage channel; this bounds in-flight pages
+    /// and is what back-pressure is made of. Clamped to at least 1.
+    pub queue_depth: usize,
+    /// Modem profile for the modulation stage.
+    pub profile: Profile,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            queue_depth: 4,
+            profile: Profile::sonic_10k(),
+        }
+    }
+}
+
+/// Stage 1: raster render (the "headless browser").
+fn stage_render(renderer: &Renderer, job: PageJob) -> (RenderedPage, u16, u16) {
+    let rendered = renderer
+        .corpus()
+        .render(job.id, job.hour, renderer.scale());
+    let site = &renderer.corpus().sites[job.id.site];
+    let ttl = site.category.landing_churn_hours().max(1) as u16;
+    let version = (job.hour % u16::MAX as u64) as u16;
+    (rendered, version, ttl)
+}
+
+/// Stage 2: SWP/strip image encoding into a broadcastable page.
+fn stage_encode(rendered: &RenderedPage, version: u16, ttl: u16) -> SimplifiedPage {
+    SimplifiedPage::from_raster(
+        &rendered.url,
+        &rendered.raster,
+        rendered.clickmap.clone(),
+        version,
+        ttl,
+    )
+}
+
+/// Stage 3: page → link frames.
+fn stage_chunk(page: &SimplifiedPage) -> Vec<Frame> {
+    page_to_frames(page)
+}
+
+/// Stage 4: link frames → OFDM audio.
+fn stage_modulate(profile: &Profile, frames: &[Frame]) -> Vec<f32> {
+    link::modulate(profile, frames)
+}
+
+/// Single-threaded reference: runs the four stages back-to-back per job.
+/// The parallel pipeline must produce bit-identical artifacts.
+pub fn run_serial(renderer: &Renderer, profile: &Profile, jobs: &[PageJob]) -> Vec<BroadcastArtifact> {
+    jobs.iter()
+        .enumerate()
+        .map(|(seq, &job)| {
+            let (rendered, version, ttl) = stage_render(renderer, job);
+            let page = stage_encode(&rendered, version, ttl);
+            let frames = stage_chunk(&page);
+            let audio = stage_modulate(profile, &frames);
+            BroadcastArtifact {
+                seq,
+                page,
+                frames,
+                audio,
+            }
+        })
+        .collect()
+}
+
+/// Pulls final-stage results and yields them in `seq` order via a reorder
+/// buffer, applying `emit` to each as soon as its turn arrives.
+fn reorder_sink(
+    rx: Receiver<BroadcastArtifact>,
+    total: usize,
+    mut emit: impl FnMut(&BroadcastArtifact),
+) -> Vec<BroadcastArtifact> {
+    let mut pending: BTreeMap<usize, BroadcastArtifact> = BTreeMap::new();
+    let mut out = Vec::with_capacity(total);
+    let mut next = 0usize;
+    for artifact in rx {
+        pending.insert(artifact.seq, artifact);
+        while let Some(a) = pending.remove(&next) {
+            emit(&a);
+            out.push(a);
+            next += 1;
+        }
+    }
+    // Channel closed: all workers exited, everything must have drained.
+    assert!(pending.is_empty(), "pipeline lost artifacts");
+    out
+}
+
+/// Runs the broadcast pipeline over `jobs`, returning artifacts in job
+/// order. `on_ready` fires on the caller thread for each artifact as it
+/// clears the reorder buffer (still in job order) — this is where
+/// [`run_pipeline_into_scheduler`] hooks the scheduler in.
+pub fn run_pipeline_with(
+    renderer: &Renderer,
+    jobs: &[PageJob],
+    opts: &PipelineOptions,
+    on_ready: impl FnMut(&BroadcastArtifact),
+) -> Vec<BroadcastArtifact> {
+    let workers = opts.workers.max(1);
+    let depth = opts.queue_depth.max(1);
+    let profile = &opts.profile;
+
+    // Stage channels. Bounded: a full queue blocks the upstream stage, so
+    // memory stays at O(queue_depth) pages regardless of job count.
+    let (job_tx, job_rx) = bounded::<(usize, PageJob)>(depth);
+    let (page_tx, page_rx) = bounded::<(usize, SimplifiedPage)>(depth);
+    let (frame_tx, frame_rx) = bounded::<(usize, SimplifiedPage, Vec<Frame>)>(depth);
+    let (out_tx, out_rx) = bounded::<BroadcastArtifact>(depth);
+
+    std::thread::scope(|scope| {
+        // Render + SWP-encode pool (stages 1–2 share a worker: the encode
+        // input is the render output and both are per-page pure functions).
+        for _ in 0..workers {
+            let job_rx: Receiver<(usize, PageJob)> = job_rx.clone();
+            let page_tx: Sender<(usize, SimplifiedPage)> = page_tx.clone();
+            scope.spawn(move || {
+                for (seq, job) in job_rx {
+                    let (rendered, version, ttl) = stage_render(renderer, job);
+                    let page = stage_encode(&rendered, version, ttl);
+                    if page_tx.send((seq, page)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        // Chunking stage (cheap; one worker keeps it a distinct stage
+        // without burning threads).
+        {
+            let page_rx = page_rx.clone();
+            let frame_tx = frame_tx.clone();
+            scope.spawn(move || {
+                for (seq, page) in page_rx {
+                    let frames = stage_chunk(&page);
+                    if frame_tx.send((seq, page, frames)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        // Modulation pool. Each worker thread keeps its own cached
+        // `FrameCodec` (thread-local inside sonic-modem), so the OFDM plan
+        // and scratch buffers are built once per thread, not per page.
+        for _ in 0..workers {
+            let frame_rx = frame_rx.clone();
+            let out_tx = out_tx.clone();
+            scope.spawn(move || {
+                for (seq, page, frames) in frame_rx {
+                    let audio = stage_modulate(profile, &frames);
+                    if out_tx
+                        .send(BroadcastArtifact {
+                            seq,
+                            page,
+                            frames,
+                            audio,
+                        })
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+            });
+        }
+        // The scope owns the original senders/receivers; drop our copies so
+        // the chain closes stage by stage once the feeder finishes.
+        drop(page_tx);
+        drop(page_rx);
+        drop(frame_tx);
+        drop(frame_rx);
+        drop(out_tx);
+
+        // Feed jobs from a scoped thread so the caller thread can sink.
+        scope.spawn(move || {
+            for (seq, &job) in jobs.iter().enumerate() {
+                if job_tx.send((seq, job)).is_err() {
+                    return;
+                }
+            }
+        });
+        drop(job_rx);
+
+        reorder_sink(out_rx, jobs.len(), on_ready)
+    })
+}
+
+/// [`run_pipeline_with`] without a sink callback.
+pub fn run_pipeline(
+    renderer: &Renderer,
+    jobs: &[PageJob],
+    opts: &PipelineOptions,
+) -> Vec<BroadcastArtifact> {
+    run_pipeline_with(renderer, jobs, opts, |_| {})
+}
+
+/// Runs the pipeline and enqueues every page into `scheduler` as it clears
+/// the reorder buffer, in job order. The bounded stage queues mean a
+/// transmitter that stops draining its scheduler does not cause unbounded
+/// pipeline buffering — at most `queue_depth` pages per stage are in
+/// flight. Returns the artifacts (audio included) in job order.
+pub fn run_pipeline_into_scheduler(
+    renderer: &Renderer,
+    jobs: &[PageJob],
+    opts: &PipelineOptions,
+    scheduler: &mut BroadcastScheduler,
+    now_s: f64,
+) -> Vec<BroadcastArtifact> {
+    run_pipeline_with(renderer, jobs, opts, |artifact| {
+        scheduler.enqueue(artifact.page.clone(), now_s);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sonic_pagegen::Corpus;
+
+    fn renderer() -> Renderer {
+        Renderer::new(Corpus::small(3), 0.05)
+    }
+
+    fn jobs() -> Vec<PageJob> {
+        // Mix sites, pages and hours so artifacts differ.
+        vec![
+            PageJob {
+                id: PageId { site: 0, page: 0 },
+                hour: 1,
+            },
+            PageJob {
+                id: PageId { site: 1, page: 1 },
+                hour: 2,
+            },
+            PageJob {
+                id: PageId { site: 2, page: 0 },
+                hour: 3,
+            },
+            PageJob {
+                id: PageId { site: 0, page: 2 },
+                hour: 1,
+            },
+            PageJob {
+                id: PageId { site: 1, page: 0 },
+                hour: 7,
+            },
+            PageJob {
+                id: PageId { site: 2, page: 3 },
+                hour: 9,
+            },
+        ]
+    }
+
+    fn assert_artifacts_identical(a: &[BroadcastArtifact], b: &[BroadcastArtifact]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.seq, y.seq);
+            assert_eq!(x.page.page_id, y.page.page_id);
+            assert_eq!(x.page.url, y.page.url);
+            assert_eq!(x.page.meta_blob(), y.page.meta_blob());
+            assert_eq!(x.page.strips.strips, y.page.strips.strips);
+            assert_eq!(x.frames, y.frames);
+            assert_eq!(x.audio.len(), y.audio.len(), "seq {}", x.seq);
+            for (i, (s, t)) in x.audio.iter().zip(&y.audio).enumerate() {
+                assert_eq!(s.to_bits(), t.to_bits(), "seq {} sample {i}", x.seq);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_output_is_bit_identical_to_serial() {
+        let r = renderer();
+        let jobs = jobs();
+        let opts = PipelineOptions {
+            workers: 4,
+            queue_depth: 2,
+            ..PipelineOptions::default()
+        };
+        let serial = run_serial(&r, &opts.profile, &jobs);
+        let parallel = run_pipeline(&r, &jobs, &opts);
+        assert_artifacts_identical(&serial, &parallel);
+    }
+
+    #[test]
+    fn single_worker_and_tiny_queue_still_complete() {
+        let r = renderer();
+        let jobs = jobs();
+        let opts = PipelineOptions {
+            workers: 1,
+            queue_depth: 1,
+            ..PipelineOptions::default()
+        };
+        let out = run_pipeline(&r, &jobs, &opts);
+        assert_eq!(out.len(), jobs.len());
+        for (i, a) in out.iter().enumerate() {
+            assert_eq!(a.seq, i, "artifacts must arrive in job order");
+            assert!(!a.audio.is_empty());
+        }
+    }
+
+    #[test]
+    fn zero_workers_clamps_instead_of_hanging() {
+        let r = renderer();
+        let jobs = &jobs()[..2];
+        let opts = PipelineOptions {
+            workers: 0,
+            queue_depth: 0,
+            ..PipelineOptions::default()
+        };
+        assert_eq!(run_pipeline(&r, jobs, &opts).len(), 2);
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let r = renderer();
+        assert!(run_pipeline(&r, &[], &PipelineOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn scheduler_sink_enqueues_in_job_order() {
+        let r = renderer();
+        let jobs = jobs();
+        let opts = PipelineOptions {
+            workers: 3,
+            queue_depth: 2,
+            ..PipelineOptions::default()
+        };
+        let mut sched = BroadcastScheduler::new(10_000.0);
+        let artifacts = run_pipeline_into_scheduler(&r, &jobs, &opts, &mut sched, 0.0);
+        assert_eq!(sched.backlog_pages(), jobs.len(), "all pages queued");
+        let total: usize = artifacts
+            .iter()
+            .map(|a| a.frames.len() * crate::frame::FRAME_SIZE)
+            .sum();
+        assert_eq!(sched.backlog_bytes(), total);
+        // ETAs must reflect job order: later jobs sit deeper in the queue.
+        let mut last_eta = 0.0;
+        for a in &artifacts {
+            let eta = sched.eta_for(a.page.page_id).expect("queued");
+            assert!(eta > last_eta, "eta must grow with queue position");
+            last_eta = eta;
+        }
+    }
+}

@@ -28,6 +28,10 @@ pub struct BroadcastScheduler {
     queue: VecDeque<Queued>,
     /// Fractional frame budget carried between `advance` calls.
     budget_bytes: f64,
+    /// Maintained sum of `remaining_bytes` over the queue, so
+    /// [`backlog_bytes`](Self::backlog_bytes) is O(1) for the monitoring
+    /// paths that poll it every tick.
+    backlog_bytes: usize,
     /// Total bytes ever transmitted.
     pub transmitted_bytes: u64,
 }
@@ -43,6 +47,7 @@ impl BroadcastScheduler {
             rate_bps,
             queue: VecDeque::new(),
             budget_bytes: 0.0,
+            backlog_bytes: 0,
             transmitted_bytes: 0,
         }
     }
@@ -52,9 +57,15 @@ impl BroadcastScheduler {
         self.rate_bps
     }
 
-    /// Bytes waiting to be broadcast.
+    /// Bytes waiting to be broadcast. O(1): maintained on enqueue/advance.
     pub fn backlog_bytes(&self) -> usize {
-        self.queue.iter().map(|q| q.remaining_bytes).sum()
+        self.backlog_bytes
+    }
+
+    /// Pages waiting to be broadcast (alias of [`queue_len`](Self::queue_len)
+    /// named for the backlog monitoring API). O(1).
+    pub fn backlog_pages(&self) -> usize {
+        self.queue.len()
     }
 
     /// Queued page count.
@@ -77,12 +88,13 @@ impl BroadcastScheduler {
         }
         let frames = page_to_frames(&page);
         let remaining_bytes = frames.len() * FRAME_SIZE;
+        self.backlog_bytes += remaining_bytes;
         self.queue.push_back(Queued {
             page,
             frames: frames.into(),
             remaining_bytes,
         });
-        self.backlog_bytes() as f64 * 8.0 / self.rate_bps
+        self.backlog_bytes as f64 * 8.0 / self.rate_bps
     }
 
     /// ETA in seconds for a queued url (None if not queued).
@@ -111,6 +123,7 @@ impl BroadcastScheduler {
             };
             let frame = front.frames.pop_front().expect("queued pages have frames");
             front.remaining_bytes -= FRAME_SIZE;
+            self.backlog_bytes -= FRAME_SIZE;
             self.budget_bytes -= FRAME_SIZE as f64;
             self.transmitted_bytes += FRAME_SIZE as u64;
             out.push(frame);
@@ -188,6 +201,29 @@ mod tests {
         assert_eq!(got.len(), want.len());
         assert_eq!(s.backlog_bytes(), 0);
         assert_eq!(s.transmitted_bytes as usize, want.len() * FRAME_SIZE);
+    }
+
+    #[test]
+    fn maintained_backlog_counter_matches_queue_scan() {
+        let mut s = BroadcastScheduler::new(80_000.0);
+        let check = |s: &BroadcastScheduler| {
+            let scanned: usize = s.queue.iter().map(|q| q.remaining_bytes).sum();
+            assert_eq!(s.backlog_bytes(), scanned);
+            assert_eq!(s.backlog_pages(), s.queue.len());
+        };
+        check(&s);
+        s.enqueue(page("a", 60), 0.0);
+        check(&s);
+        s.enqueue(page("b", 100), 0.0);
+        check(&s);
+        s.enqueue(page("a", 60), 0.0); // duplicate: no change
+        check(&s);
+        for _ in 0..200 {
+            s.advance(0.05);
+            check(&s);
+        }
+        assert_eq!(s.backlog_bytes(), 0);
+        assert_eq!(s.backlog_pages(), 0);
     }
 
     #[test]

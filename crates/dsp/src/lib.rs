@@ -35,4 +35,4 @@ pub mod resample;
 pub mod window;
 
 pub use complex::C32;
-pub use fft::Fft;
+pub use fft::{Fft, RealFft};

@@ -28,6 +28,7 @@ impl Nco {
     }
 
     /// Returns the next complex phasor sample.
+    #[allow(clippy::should_implement_trait)] // not an Iterator: infinite, never yields None
     #[inline]
     pub fn next(&mut self) -> C32 {
         let z = C32::from_angle(self.phase);
@@ -54,6 +55,79 @@ impl Nco {
     /// Resets phase to zero.
     pub fn reset(&mut self) {
         self.phase = 0.0;
+    }
+}
+
+/// A cached phasor sequence replaying an [`Nco`]'s exact output.
+///
+/// `Nco::next` costs an `f64` sin+cos per sample, which dominates the OFDM
+/// modulate path. The phase sequence is a pure function of the sample index
+/// for a given `(fs, freq)`, so a table built by running the *same* phase
+/// recurrence (including the ±τ wraps) is bit-identical to a fresh `Nco` —
+/// mixing through the table produces byte-identical audio while paying the
+/// trig cost only once per table slot.
+///
+/// Tables grow on demand and are reused across bursts; one 1 kB frame at
+/// 44.1 kHz needs ~60 k phasors (~470 KB), retained for the codec lifetime.
+#[derive(Debug, Clone)]
+pub struct PhasorTable {
+    step: f64,
+    /// Phase of the *next* (not yet tabulated) sample.
+    phase_end: f64,
+    table: Vec<C32>,
+}
+
+impl PhasorTable {
+    /// Creates an empty table for `freq` Hz at sample rate `fs`.
+    pub fn new(fs: f64, freq: f64) -> Self {
+        PhasorTable {
+            step: TAU * freq / fs,
+            phase_end: 0.0,
+            table: Vec::new(),
+        }
+    }
+
+    /// Extends the table so at least `n` phasors are cached.
+    pub fn ensure(&mut self, n: usize) {
+        self.table.reserve(n.saturating_sub(self.table.len()));
+        while self.table.len() < n {
+            // Exactly Nco::next: emit at the current phase, then advance
+            // and wrap. Any deviation here would break bit-exactness with
+            // the reference oscillator.
+            self.table.push(C32::from_angle(self.phase_end));
+            self.phase_end += self.step;
+            if self.phase_end > TAU {
+                self.phase_end -= TAU;
+            } else if self.phase_end < -TAU {
+                self.phase_end += TAU;
+            }
+        }
+    }
+
+    /// The first `n` phasors (growing the table if needed).
+    pub fn phasors(&mut self, n: usize) -> &[C32] {
+        self.ensure(n);
+        &self.table[..n]
+    }
+
+    /// [`upconvert`] from sample index 0 using cached phasors; appends to
+    /// `out`. Bit-identical to mixing with a fresh `Nco`.
+    pub fn upconvert(&mut self, baseband: &[C32], out: &mut Vec<f32>) {
+        let phasors = self.phasors(baseband.len());
+        out.reserve(baseband.len());
+        for (&x, &c) in baseband.iter().zip(phasors) {
+            out.push((x * c).re * std::f32::consts::SQRT_2);
+        }
+    }
+
+    /// [`downconvert`] from sample index 0 using cached phasors; appends to
+    /// `out`. Bit-identical to mixing with a fresh `Nco`.
+    pub fn downconvert(&mut self, passband: &[f32], out: &mut Vec<C32>) {
+        let phasors = self.phasors(passband.len());
+        out.reserve(passband.len());
+        for (&x, &c) in passband.iter().zip(phasors) {
+            out.push(c.conj().scale(x * std::f32::consts::SQRT_2));
+        }
     }
 }
 
@@ -130,6 +204,49 @@ mod tests {
             n += 1;
         }
         assert!(err / (n as f32) < 0.1, "residual {}", err / n as f32);
+    }
+
+    #[test]
+    fn phasor_table_matches_nco_bit_for_bit() {
+        for freq in [9_200.0, -9_200.0, 123.456] {
+            let mut nco = Nco::new(44_100.0, freq);
+            let mut table = PhasorTable::new(44_100.0, freq);
+            // Grow in stages to exercise incremental extension.
+            table.ensure(10);
+            let phasors = table.phasors(5000).to_vec();
+            for (k, &p) in phasors.iter().enumerate() {
+                let want = nco.next();
+                assert_eq!(p.re.to_bits(), want.re.to_bits(), "re at {k}");
+                assert_eq!(p.im.to_bits(), want.im.to_bits(), "im at {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn phasor_table_mixing_matches_nco_mixing() {
+        let fs = 44_100.0;
+        let fc = 9_200.0;
+        let baseband: Vec<C32> = (0..3000)
+            .map(|i| C32::from_angle(TAU * 43.0 * i as f64 / fs))
+            .collect();
+        let mut want = Vec::new();
+        upconvert(&mut Nco::new(fs, fc), &baseband, &mut want);
+        let mut table = PhasorTable::new(fs, fc);
+        let mut got = Vec::new();
+        table.upconvert(&baseband, &mut got);
+        assert_eq!(
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+
+        let mut want_bb = Vec::new();
+        downconvert(&mut Nco::new(fs, fc), &want, &mut want_bb);
+        let mut got_bb = Vec::new();
+        table.downconvert(&want, &mut got_bb);
+        for (w, g) in want_bb.iter().zip(&got_bb) {
+            assert_eq!(w.re.to_bits(), g.re.to_bits());
+            assert_eq!(w.im.to_bits(), g.im.to_bits());
+        }
     }
 
     #[test]

@@ -24,7 +24,7 @@ fn parity(x: u16) -> u8 {
 pub fn encode(bits: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity((bits.len() + TAIL) * 2);
     let mut sr: u16 = 0;
-    for &b in bits.iter().chain(std::iter::repeat(&0u8).take(TAIL)) {
+    for &b in bits.iter().chain(std::iter::repeat_n(&0u8, TAIL)) {
         sr = ((sr << 1) | (b & 1) as u16) & 0x1FF;
         out.push(parity(sr & POLY_A));
         out.push(parity(sr & POLY_B));

@@ -37,8 +37,10 @@ impl std::error::Error for RsError {}
 #[derive(Debug, Clone)]
 pub struct RsCodec {
     nroots: usize,
-    /// Generator polynomial, highest-degree first, monic.
-    generator: Vec<u8>,
+    /// `feedback_rows[f*nroots..][i] = f · generator[i+1]` for every possible
+    /// feedback byte `f`, so the encoder's inner loop is straight XORs
+    /// instead of per-symbol log/exp multiplies.
+    feedback_rows: Vec<u8>,
 }
 
 impl RsCodec {
@@ -55,7 +57,17 @@ impl RsCodec {
         for j in 0..nroots {
             generator = gf.poly_mul(&generator, &[1, gf.alpha_pow(FCR + j)]);
         }
-        RsCodec { nroots, generator }
+        let mut feedback_rows = vec![0u8; 256 * nroots];
+        for f in 1..256usize {
+            let row = &mut feedback_rows[f * nroots..(f + 1) * nroots];
+            for (i, r) in row.iter_mut().enumerate() {
+                *r = gf.mul(f as u8, generator[i + 1]);
+            }
+        }
+        RsCodec {
+            nroots,
+            feedback_rows,
+        }
     }
 
     /// Number of parity symbols appended by [`encode`](Self::encode).
@@ -79,17 +91,16 @@ impl RsCodec {
             data.len(),
             self.max_data_len()
         );
-        let gf = Gf256::get();
         // Systematic encoding: remainder of data·x^nroots divided by g(x).
         let mut parity = vec![0u8; self.nroots];
         for &d in data {
-            let feedback = d ^ parity[0];
+            let feedback = (d ^ parity[0]) as usize;
             parity.rotate_left(1);
             parity[self.nroots - 1] = 0;
             if feedback != 0 {
-                for (i, p) in parity.iter_mut().enumerate() {
-                    // generator[0] is the monic leading 1; skip it.
-                    *p ^= gf.mul(feedback, self.generator[i + 1]);
+                let row = &self.feedback_rows[feedback * self.nroots..(feedback + 1) * self.nroots];
+                for (p, &r) in parity.iter_mut().zip(row) {
+                    *p ^= r;
                 }
             }
         }

@@ -4,11 +4,32 @@
 //! soft inputs (positive soft value ⇔ bit 1). The encoder terminates in the
 //! zero state, so the decoder anchors its traceback there, which buys ~0.5 dB
 //! over free-running traceback at SONIC's frame sizes.
+//!
+//! Two implementations live here:
+//!
+//! * [`decode_soft`] — the production path: gather-form add-compare-select
+//!   over flat path-metric arrays with precomputed branch-metric selectors,
+//!   one-bit-per-edge packed traceback decisions, and all working memory
+//!   reusable across calls via [`ViterbiScratch`].
+//! * [`decode_soft_reference`] — the original scatter-form decoder, kept as
+//!   the executable specification. The fast path is bit-identical to it: the
+//!   branch metric keeps the exact `(pm + (±s0)) + (±s1)` float association,
+//!   and the gather order (low predecessor first, strict `>` to switch)
+//!   reproduces the reference's first-wins tie-break.
 
 use crate::conv::{step, K, TAIL};
 
 /// Number of trellis states (2^(K-1)).
 const STATES: usize = 1 << (K - 1);
+
+/// `u64` words per trellis step in the packed decision array.
+const WORDS: usize = STATES / 64;
+
+/// Path-metric value for unreachable states. Large enough that no real path
+/// metric (sums of |soft| ≤ a few thousand) ever approaches it, and exact in
+/// f32 arithmetic: `NEG + x == NEG` for any |x| ≤ 2, so an unreachable
+/// predecessor can never win the compare-select against a reachable one.
+const NEG: f32 = -1e30;
 
 /// Precomputed branch outputs: `outputs[state][bit] = (next, out_a, out_b)`.
 fn transition_table() -> &'static Vec<[(u16, u8, u8); 2]> {
@@ -21,6 +42,53 @@ fn transition_table() -> &'static Vec<[(u16, u8, u8); 2]> {
     })
 }
 
+/// Per-target-state output selectors for the gather-form ACS loop.
+///
+/// State `n` has exactly two trellis predecessors, `p0 = n >> 1` and
+/// `p1 = p0 | STATES/2`, both via input bit `n & 1`. `combo[n]` and
+/// `combo[n + STATES]` hold `oa * 2 + ob` for the p0 and p1 edges, indexing
+/// the four `±s0/±s1` branch-metric combinations of the current step.
+fn combo_table() -> &'static [u8; 2 * STATES] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u8; 2 * STATES]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u8; 2 * STATES];
+        for n in 0..STATES {
+            let bit = (n & 1) as u8;
+            let p0 = (n >> 1) as u16;
+            let p1 = p0 | (STATES as u16 >> 1);
+            let (n0, oa0, ob0) = step(p0, bit);
+            let (n1, oa1, ob1) = step(p1, bit);
+            debug_assert_eq!(n0 as usize, n);
+            debug_assert_eq!(n1 as usize, n);
+            t[n] = oa0 * 2 + ob0;
+            t[n + STATES] = oa1 * 2 + ob1;
+        }
+        t
+    })
+}
+
+/// Reusable working memory for [`decode_soft_into`].
+///
+/// Holds the two flat path-metric arrays and the packed decision bits
+/// (1 bit per trellis edge, `steps × STATES / 64` words — ~52 KB for a
+/// 4 kB payload versus ~1.2 MB for the reference decoder's per-edge
+/// `u8`/`u16` traceback arrays). Decoding never allocates once the
+/// decision buffer has grown to the largest block seen.
+#[derive(Default)]
+pub struct ViterbiScratch {
+    pm: Vec<f32>,
+    next_pm: Vec<f32>,
+    decisions: Vec<u64>,
+}
+
+impl ViterbiScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Decodes `soft` coded values (2 per info bit, in [-1,1], positive ⇔ 1)
 /// produced from a terminated block of `info_bits` information bits.
 ///
@@ -29,6 +97,124 @@ fn transition_table() -> &'static Vec<[(u16, u8, u8); 2]> {
 /// # Panics
 /// Panics if `soft.len() != (info_bits + 8) * 2`.
 pub fn decode_soft(soft: &[f32], info_bits: usize) -> Vec<u8> {
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<ViterbiScratch> =
+            std::cell::RefCell::new(ViterbiScratch::new());
+    }
+    SCRATCH.with(|s| {
+        let mut out = Vec::new();
+        decode_soft_into(soft, info_bits, &mut s.borrow_mut(), &mut out);
+        out
+    })
+}
+
+/// Allocation-free variant of [`decode_soft`]: decodes into `out` using
+/// caller-provided scratch. `out` is cleared first.
+///
+/// # Panics
+/// Panics if `soft.len() != (info_bits + 8) * 2`.
+pub fn decode_soft_into(
+    soft: &[f32],
+    info_bits: usize,
+    scratch: &mut ViterbiScratch,
+    out: &mut Vec<u8>,
+) {
+    let steps = info_bits + TAIL;
+    assert_eq!(
+        soft.len(),
+        steps * 2,
+        "soft input length {} does not match {} trellis steps",
+        soft.len(),
+        steps
+    );
+    let combos = combo_table();
+
+    scratch.pm.clear();
+    scratch.pm.resize(STATES, NEG);
+    scratch.pm[0] = 0.0;
+    scratch.next_pm.clear();
+    scratch.next_pm.resize(STATES, NEG);
+    if scratch.decisions.len() < steps * WORDS {
+        scratch.decisions.resize(steps * WORDS, 0);
+    }
+
+    let pm = &mut scratch.pm;
+    let next_pm = &mut scratch.next_pm;
+
+    for t in 0..steps {
+        let s0 = soft[2 * t];
+        let s1 = soft[2 * t + 1];
+        // The four branch metrics of this step, split into addends so the
+        // reference's `(pm + x) + y` float association is preserved.
+        let xs = [-s0, s0];
+        let ys = [-s1, s1];
+        // Fixed-size views keep the trellis indexing bounds-check free.
+        let cur: &[f32; STATES] = pm.as_slice().try_into().expect("STATES metrics");
+        let next: &mut [f32; STATES] =
+            next_pm.as_mut_slice().try_into().expect("STATES metrics");
+        let row = &mut scratch.decisions[t * WORDS..(t + 1) * WORDS];
+        // Butterfly over predecessor pairs: states 2p and 2p+1 share the
+        // predecessors p and p + STATES/2, so each pair of path metrics is
+        // loaded once and feeds four branch metrics. No reachability gate
+        // is needed: NEG is so large that `(NEG + x) + y == NEG` exactly in
+        // f32 for any sane soft value, so an unreachable predecessor loses
+        // every strict compare just as it does in the reference's gated
+        // scatter loop.
+        for (w, word) in row.iter_mut().enumerate() {
+            let mut bits = 0u64;
+            for i in 0..32 {
+                let p = w * 32 + i;
+                let b0 = cur[p];
+                let b1 = cur[p + STATES / 2];
+                let c00 = combos[2 * p] as usize;
+                let c01 = combos[2 * p + STATES] as usize;
+                let c10 = combos[2 * p + 1] as usize;
+                let c11 = combos[2 * p + 1 + STATES] as usize;
+                let m00 = (b0 + xs[c00 >> 1]) + ys[c00 & 1];
+                let m01 = (b1 + xs[c01 >> 1]) + ys[c01 & 1];
+                let m10 = (b0 + xs[c10 >> 1]) + ys[c10 & 1];
+                let m11 = (b1 + xs[c11 >> 1]) + ys[c11 & 1];
+                // Strict `>`: ties keep the low predecessor, matching the
+                // reference's first-wins scatter order (p0 < p1 is always
+                // visited first).
+                let sel0 = m01 > m00;
+                let sel1 = m11 > m10;
+                next[2 * p] = if sel0 { m01 } else { m00 };
+                next[2 * p + 1] = if sel1 { m11 } else { m10 };
+                bits |= ((sel0 as u64) | ((sel1 as u64) << 1)) << (2 * i);
+            }
+            *word = bits;
+        }
+        std::mem::swap(pm, next_pm);
+    }
+
+    // Anchor at the zero state (termination); fall back to the best state if
+    // the zero state was somehow unreachable (cannot happen with valid input
+    // lengths, but stay total).
+    let mut state = if pm[0] > NEG {
+        0usize
+    } else {
+        pm.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("metrics are finite"))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    };
+
+    out.clear();
+    out.resize(steps, 0);
+    for t in (0..steps).rev() {
+        out[t] = (state & 1) as u8;
+        let sel = (scratch.decisions[t * WORDS + (state >> 6)] >> (state & 63)) & 1;
+        state = (state >> 1) | ((sel as usize) << (K - 2));
+    }
+    out.truncate(info_bits);
+}
+
+/// Original scatter-form decoder, kept as the executable specification for
+/// the optimized [`decode_soft`] path. Allocates fresh traceback arrays per
+/// call; property tests assert `decode_soft` matches it bit for bit.
+pub fn decode_soft_reference(soft: &[f32], info_bits: usize) -> Vec<u8> {
     let steps = info_bits + TAIL;
     assert_eq!(
         soft.len(),
@@ -39,7 +225,6 @@ pub fn decode_soft(soft: &[f32], info_bits: usize) -> Vec<u8> {
     );
     let table = transition_table();
 
-    const NEG: f32 = -1e30;
     let mut pm = vec![NEG; STATES];
     pm[0] = 0.0;
     let mut next_pm = vec![NEG; STATES];
@@ -56,8 +241,7 @@ pub fn decode_soft(soft: &[f32], info_bits: usize) -> Vec<u8> {
             if base <= NEG {
                 continue;
             }
-            for bit in 0..2usize {
-                let (next, oa, ob) = table[state][bit];
+            for (bit, &(next, oa, ob)) in table[state].iter().enumerate() {
                 let m = base
                     + if oa == 1 { s0 } else { -s0 }
                     + if ob == 1 { s1 } else { -s1 };
@@ -72,9 +256,6 @@ pub fn decode_soft(soft: &[f32], info_bits: usize) -> Vec<u8> {
         std::mem::swap(&mut pm, &mut next_pm);
     }
 
-    // Anchor at the zero state (termination); fall back to the best state if
-    // the zero state was somehow unreachable (cannot happen with valid input
-    // lengths, but stay total).
     let mut state = if pm[0] > NEG {
         0usize
     } else {
@@ -183,5 +364,46 @@ mod tests {
     #[should_panic(expected = "trellis")]
     fn rejects_wrong_length() {
         decode_soft(&[0.0; 10], 100);
+    }
+
+    #[test]
+    fn matches_reference_on_noisy_blocks() {
+        // The fast path must be bit-identical to the reference decoder even
+        // on garbage input (where the decoded bits are arbitrary but must
+        // still agree).
+        let mut x = 99u32;
+        for (len, seed) in [(1usize, 1u32), (17, 2), (100, 3), (400, 4)] {
+            let info = pattern(len, seed);
+            let coded = encode(&info);
+            let mut soft: Vec<f32> = coded
+                .iter()
+                .map(|&b| if b == 1 { 1.0 } else { -1.0 })
+                .collect();
+            for s in soft.iter_mut() {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                // Perturb amplitudes and flip signs pseudo-randomly.
+                let r = (x % 2000) as f32 / 1000.0 - 1.0;
+                *s = (*s * 0.3) + r;
+            }
+            assert_eq!(decode_soft(&soft, len), decode_soft_reference(&soft, len));
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_stable_across_block_sizes() {
+        let mut scratch = ViterbiScratch::new();
+        let mut out = Vec::new();
+        for (len, seed) in [(300usize, 8u32), (10, 9), (120, 10)] {
+            let info = pattern(len, seed);
+            let coded = encode(&info);
+            let soft: Vec<f32> = coded
+                .iter()
+                .map(|&b| if b == 1 { 1.0 } else { -1.0 })
+                .collect();
+            decode_soft_into(&soft, len, &mut scratch, &mut out);
+            assert_eq!(out, info);
+        }
     }
 }

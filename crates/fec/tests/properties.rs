@@ -86,6 +86,27 @@ proptest! {
         prop_assert_eq!(p.decode_soft(&soft, payload.len()).expect("repairable"), payload);
     }
 
+    /// The table-driven soft-decision decoder is bit-identical to the
+    /// reference implementation on arbitrary noisy inputs, not just on
+    /// clean codewords.
+    #[test]
+    fn viterbi_optimized_matches_reference(
+        bits in proptest::collection::vec(0u8..2, 1..300),
+        noise in proptest::collection::vec(-0.9f32..0.9, 1..400),
+    ) {
+        let coded = conv::encode(&bits);
+        let mut soft: Vec<f32> =
+            coded.iter().map(|&b| if b == 1 { 1.0 } else { -1.0 }).collect();
+        for (i, n) in noise.iter().enumerate() {
+            let j = (i * 7 + 3) % soft.len();
+            soft[j] = (soft[j] + n).clamp(-1.0, 1.0);
+        }
+        prop_assert_eq!(
+            viterbi::decode_soft(&soft, bits.len()),
+            viterbi::decode_soft_reference(&soft, bits.len()),
+        );
+    }
+
     /// Coded length formula matches the actual encoder for every spec.
     #[test]
     fn coded_len_formula(n in 0usize..700) {

@@ -83,6 +83,7 @@ fn magnitude_decode(cat: u8, bits: u32) -> i32 {
 }
 
 /// Symbol produced by the block coder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Sym {
     symbol: u8,
     extra: u32,
@@ -93,7 +94,12 @@ fn encode_plane_symbols(plane: &PlaneSpec, q: &QuantTables, out: &mut Vec<Sym>) 
     let bw = plane.width.div_ceil(8);
     let bh = plane.height.div_ceil(8);
     let mut prev_dc = 0i32;
+    // Row-major block scratch reused across the whole plane: every slot is
+    // fully rewritten per block, so no clearing is needed.
     let mut block = [0.0f32; 64];
+    let mut coeffs = [0.0f32; 64];
+    let mut qz = [0i16; 64];
+    out.reserve(bw * bh * 4);
     for by in 0..bh {
         for bx in 0..bw {
             // Gather with edge replication.
@@ -104,8 +110,8 @@ fn encode_plane_symbols(plane: &PlaneSpec, q: &QuantTables, out: &mut Vec<Sym>) 
                     block[y * 8 + x] = plane.data[sy * plane.width + sx] - 128.0;
                 }
             }
-            let coeffs = dct::forward(&block);
-            let qz = q.quantize(&coeffs, plane.chroma);
+            dct::forward_into(&block, &mut coeffs);
+            q.quantize_into(&coeffs, plane.chroma, &mut qz);
 
             // DC.
             let diff = qz[0] as i32 - prev_dc;
@@ -119,8 +125,8 @@ fn encode_plane_symbols(plane: &PlaneSpec, q: &QuantTables, out: &mut Vec<Sym>) 
 
             // AC run-length.
             let mut run = 0u8;
-            for k in 1..64 {
-                let v = qz[k] as i32;
+            for &qv in &qz[1..64] {
+                let v = qv as i32;
                 if v == 0 {
                     run += 1;
                     continue;
@@ -218,9 +224,14 @@ fn decode_plane(
     let bh = height.div_ceil(8);
     let mut plane = vec![0.0f32; width * height];
     let mut prev_dc = 0i32;
+    // Block scratch reused across the plane; qz is re-zeroed per block
+    // because the AC loop only writes non-zero coefficients.
+    let mut qz = [0i16; 64];
+    let mut coeffs = [0.0f32; 64];
+    let mut px = [0.0f32; 64];
     for by in 0..bh {
         for bx in 0..bw {
-            let mut qz = [0i16; 64];
+            qz.fill(0);
             // DC.
             let cat = fd.decode(r).ok_or(CodecError::Truncated)?;
             let bits = r.read_bits(cat).ok_or(CodecError::Truncated)?;
@@ -247,8 +258,8 @@ fn decode_plane(
                 qz[k] = magnitude_decode(cat, bits) as i16;
                 k += 1;
             }
-            let coeffs = q.dequantize(&qz, chroma);
-            let px = dct::inverse(&coeffs);
+            q.dequantize_into(&qz, chroma, &mut coeffs);
+            dct::inverse_into(&coeffs, &mut px);
             for y in 0..8 {
                 for x in 0..8 {
                     let dx = bx * 8 + x;
@@ -314,12 +325,96 @@ mod tests {
         for y in (h / 4)..(h / 4 + h / 8) {
             for xx in (w / 10)..(w * 9 / 10) {
                 x = x.wrapping_mul(1103515245).wrapping_add(12345);
-                if x % 5 == 0 {
+                if x.is_multiple_of(5) {
                     img.set(xx, y, Rgb::BLACK);
                 }
             }
         }
         img
+    }
+
+    /// The original per-block-allocation symbol coder, kept as the
+    /// executable specification for the scratch-reusing version.
+    fn encode_plane_symbols_reference(plane: &PlaneSpec, q: &QuantTables, out: &mut Vec<Sym>) {
+        let bw = plane.width.div_ceil(8);
+        let bh = plane.height.div_ceil(8);
+        let mut prev_dc = 0i32;
+        let mut block = [0.0f32; 64];
+        for by in 0..bh {
+            for bx in 0..bw {
+                for y in 0..8 {
+                    for x in 0..8 {
+                        let sx = (bx * 8 + x).min(plane.width - 1);
+                        let sy = (by * 8 + y).min(plane.height - 1);
+                        block[y * 8 + x] = plane.data[sy * plane.width + sx] - 128.0;
+                    }
+                }
+                let coeffs = dct::forward(&block);
+                let qz = q.quantize(&coeffs, plane.chroma);
+                let diff = qz[0] as i32 - prev_dc;
+                prev_dc = qz[0] as i32;
+                let (cat, bits) = magnitude_bits(diff);
+                out.push(Sym {
+                    symbol: cat,
+                    extra: bits,
+                    extra_len: cat,
+                });
+                let mut run = 0u8;
+                for &qv in &qz[1..64] {
+                    let v = qv as i32;
+                    if v == 0 {
+                        run += 1;
+                        continue;
+                    }
+                    while run >= 16 {
+                        out.push(Sym {
+                            symbol: 0xF0,
+                            extra: 0,
+                            extra_len: 0,
+                        });
+                        run -= 16;
+                    }
+                    let (cat, bits) = magnitude_bits(v);
+                    out.push(Sym {
+                        symbol: (run << 4) | cat,
+                        extra: bits,
+                        extra_len: cat,
+                    });
+                    run = 0;
+                }
+                if run > 0 {
+                    out.push(Sym {
+                        symbol: 0x00,
+                        extra: 0,
+                        extra_len: 0,
+                    });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_symbol_coder_matches_reference() {
+        let img = page(117, 83);
+        let q = QuantTables::for_quality(10);
+        let planes = Ycbcr420::from_raster(&img);
+        for (data, width, height, chroma) in [
+            (&planes.y, planes.width, planes.height, false),
+            (&planes.cb, planes.cw(), planes.ch(), true),
+            (&planes.cr, planes.cw(), planes.ch(), true),
+        ] {
+            let spec = PlaneSpec {
+                data,
+                width,
+                height,
+                chroma,
+            };
+            let mut got = Vec::new();
+            encode_plane_symbols(&spec, &q, &mut got);
+            let mut want = Vec::new();
+            encode_plane_symbols_reference(&spec, &q, &mut want);
+            assert_eq!(got, want, "plane chroma={chroma}");
+        }
     }
 
     #[test]

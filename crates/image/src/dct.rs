@@ -31,6 +31,15 @@ fn tables() -> &'static Tables {
 
 /// Forward DCT of an 8×8 block (row-major), input centered around 0.
 pub fn forward(block: &[f32; N * N]) -> [f32; N * N] {
+    let mut out = [0.0f32; N * N];
+    forward_into(block, &mut out);
+    out
+}
+
+/// [`forward`] into a caller-provided block, so tight block loops can hoist
+/// the output array instead of copying a fresh one out per block. The
+/// arithmetic is identical; results are bit-for-bit the same.
+pub fn forward_into(block: &[f32; N * N], out: &mut [f32; N * N]) {
     let t = tables();
     let mut tmp = [0.0f32; N * N];
     // Rows.
@@ -44,7 +53,6 @@ pub fn forward(block: &[f32; N * N]) -> [f32; N * N] {
         }
     }
     // Columns.
-    let mut out = [0.0f32; N * N];
     for u in 0..N {
         for v in 0..N {
             let mut acc = 0.0f32;
@@ -54,11 +62,17 @@ pub fn forward(block: &[f32; N * N]) -> [f32; N * N] {
             out[v * N + u] = acc * t.alpha[v];
         }
     }
-    out
 }
 
 /// Inverse DCT.
 pub fn inverse(coeffs: &[f32; N * N]) -> [f32; N * N] {
+    let mut out = [0.0f32; N * N];
+    inverse_into(coeffs, &mut out);
+    out
+}
+
+/// [`inverse`] into a caller-provided block; bit-identical results.
+pub fn inverse_into(coeffs: &[f32; N * N], out: &mut [f32; N * N]) {
     let t = tables();
     let mut tmp = [0.0f32; N * N];
     // Columns.
@@ -72,7 +86,6 @@ pub fn inverse(coeffs: &[f32; N * N]) -> [f32; N * N] {
         }
     }
     // Rows.
-    let mut out = [0.0f32; N * N];
     for y in 0..N {
         for x in 0..N {
             let mut acc = 0.0f32;
@@ -82,7 +95,6 @@ pub fn inverse(coeffs: &[f32; N * N]) -> [f32; N * N] {
             out[y * N + x] = acc;
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -100,6 +112,30 @@ mod tests {
         let back = inverse(&forward(&block));
         for (a, b) in block.iter().zip(&back) {
             assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn into_variants_are_bit_identical_and_reusable() {
+        let mut x = 77u32;
+        let mut fwd = [0.0f32; 64];
+        let mut inv = [0.0f32; 64];
+        // Reuse the same output arrays across blocks — stale contents must
+        // not leak into results.
+        for _ in 0..4 {
+            let mut block = [0.0f32; 64];
+            for v in block.iter_mut() {
+                x = x.wrapping_mul(1103515245).wrapping_add(12345);
+                *v = ((x >> 16) % 256) as f32 - 128.0;
+            }
+            forward_into(&block, &mut fwd);
+            let want_fwd = forward(&block);
+            inverse_into(&fwd, &mut inv);
+            let want_inv = inverse(&want_fwd);
+            for i in 0..64 {
+                assert_eq!(fwd[i].to_bits(), want_fwd[i].to_bits(), "fwd {i}");
+                assert_eq!(inv[i].to_bits(), want_inv[i].to_bits(), "inv {i}");
+            }
         }
     }
 

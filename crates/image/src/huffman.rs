@@ -131,8 +131,8 @@ impl Huffman {
     /// Serializes the lengths nibble-packed (128 bytes).
     pub fn serialize(&self) -> [u8; 128] {
         let mut out = [0u8; 128];
-        for i in 0..128 {
-            out[i] = (self.lengths[2 * i] << 4) | (self.lengths[2 * i + 1] & 0x0F);
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = (self.lengths[2 * i] << 4) | (self.lengths[2 * i + 1] & 0x0F);
         }
         out
     }
@@ -339,8 +339,8 @@ mod tests {
     #[test]
     fn kraft_inequality_holds() {
         let mut f = [0u64; 256];
-        for s in 0..256 {
-            f[s] = (s as u64 + 1) * (s as u64 + 1);
+        for (s, v) in f.iter_mut().enumerate() {
+            *v = (s as u64 + 1) * (s as u64 + 1);
         }
         let h = Huffman::from_freqs(&f);
         let unit = 1u64 << MAX_LEN;

@@ -177,8 +177,8 @@ mod tests {
         let (img, mask) = text_page(32, 32);
         // Damage only non-text pixels: corruption must stay zero.
         let mut damaged = img.clone();
-        for x in 0..32 {
-            if !mask[x] {
+        for (x, &text) in mask.iter().enumerate().take(32) {
+            if !text {
                 damaged.set(x, 0, Rgb::new(1, 2, 3));
             }
         }

@@ -44,7 +44,7 @@ impl QuantTables {
     /// Builds tables for `quality` (0 = worst, 95 = best), clamping to the
     /// valid range.
     pub fn for_quality(quality: u8) -> Self {
-        let q = quality.min(MAX_QUALITY).max(1) as u32;
+        let q = quality.clamp(1, MAX_QUALITY) as u32;
         // libjpeg scaling curve.
         let scale = if q < 50 { 5000 / q } else { 200 - 2 * q };
         let scale_one = |base: u16| -> u16 {
@@ -66,23 +66,35 @@ impl QuantTables {
     /// Quantizes a DCT coefficient block (natural order) with the luma or
     /// chroma table, returning zig-zag-ordered integers.
     pub fn quantize(&self, coeffs: &[f32; 64], chroma: bool) -> [i16; 64] {
-        let table = if chroma { &self.chroma } else { &self.luma };
         let mut out = [0i16; 64];
+        self.quantize_into(coeffs, chroma, &mut out);
+        out
+    }
+
+    /// [`quantize`](Self::quantize) into a caller-provided block so tight
+    /// loops can hoist the array; bit-identical results.
+    pub fn quantize_into(&self, coeffs: &[f32; 64], chroma: bool, out: &mut [i16; 64]) {
+        let table = if chroma { &self.chroma } else { &self.luma };
         for (k, &nat) in ZIGZAG.iter().enumerate() {
             out[k] = (coeffs[nat] / table[nat] as f32).round() as i16;
         }
-        out
     }
 
     /// Inverse of [`quantize`](Self::quantize): zig-zag integers → natural
     /// order coefficients.
     pub fn dequantize(&self, q: &[i16; 64], chroma: bool) -> [f32; 64] {
-        let table = if chroma { &self.chroma } else { &self.luma };
         let mut out = [0.0f32; 64];
+        self.dequantize_into(q, chroma, &mut out);
+        out
+    }
+
+    /// [`dequantize`](Self::dequantize) into a caller-provided block;
+    /// bit-identical results.
+    pub fn dequantize_into(&self, q: &[i16; 64], chroma: bool, out: &mut [f32; 64]) {
+        let table = if chroma { &self.chroma } else { &self.luma };
         for (k, &nat) in ZIGZAG.iter().enumerate() {
             out[nat] = q[k] as f32 * table[nat] as f32;
         }
-        out
     }
 }
 

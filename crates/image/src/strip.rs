@@ -186,15 +186,14 @@ pub fn decode_partial(
     assert_eq!(received.len(), img.width, "one count per column");
     let mut out = Raster::new(img.width, img.height);
     let mut mask = crate::interpolate::LossMask::none(img.width, img.height);
-    for x in 0..img.width {
-        let n = received[x].min(img.strips[x].len());
+    for (x, &count) in received.iter().enumerate() {
+        let n = count.min(img.strips[x].len());
         let (pixels, valid) = decode_column_prefix(&img.strips[x][..n], img.height);
-        for y in 0..img.height {
-            if y < valid {
-                out.set(x, y, pixels[y]);
-            } else {
-                mask.set_lost(x, y);
-            }
+        for (y, &px) in pixels.iter().enumerate().take(valid) {
+            out.set(x, y, px);
+        }
+        for y in valid..img.height {
+            mask.set_lost(x, y);
         }
     }
     (out, mask)

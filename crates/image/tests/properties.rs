@@ -1,0 +1,90 @@
+//! Property tests: the `_into` scratch variants of the SWP transform stages
+//! are bit-identical to the allocating originals, and whole-image encoding
+//! is deterministic under scratch-buffer reuse.
+
+use proptest::prelude::*;
+use sonic_image::codec;
+use sonic_image::dct;
+use sonic_image::quant::QuantTables;
+use sonic_image::raster::Rgb;
+use sonic_image::Raster;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// DCT `_into` variants match the allocating versions exactly, even when
+    /// the output arrays are reused (stale contents must not leak through).
+    #[test]
+    fn dct_into_is_bit_identical(
+        blocks in proptest::collection::vec(
+            proptest::collection::vec(-255.0f32..255.0, 64), 1..4),
+    ) {
+        let mut coeffs = [1e9f32; 64];
+        let mut pixels = [-1e9f32; 64];
+        for b in &blocks {
+            let mut block = [0.0f32; 64];
+            block.copy_from_slice(b);
+            dct::forward_into(&block, &mut coeffs);
+            let reference = dct::forward(&block);
+            for (x, y) in coeffs.iter().zip(&reference) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+            dct::inverse_into(&coeffs, &mut pixels);
+            let reference = dct::inverse(&coeffs);
+            for (x, y) in pixels.iter().zip(&reference) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    /// Quantizer `_into` variants match the allocating versions exactly.
+    #[test]
+    fn quant_into_is_bit_identical(
+        coeffs in proptest::collection::vec(-2000.0f32..2000.0, 64),
+        quality in 1u8..=100,
+        chroma in any::<bool>(),
+    ) {
+        let q = QuantTables::for_quality(quality);
+        let mut block = [0.0f32; 64];
+        block.copy_from_slice(&coeffs);
+        let mut qz = [i16::MAX; 64];
+        q.quantize_into(&block, chroma, &mut qz);
+        prop_assert_eq!(qz, q.quantize(&block, chroma));
+        let mut deq = [f32::NAN; 64];
+        q.dequantize_into(&qz, chroma, &mut deq);
+        let reference = q.dequantize(&qz, chroma);
+        for (x, y) in deq.iter().zip(&reference) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Encoding the same raster repeatedly yields identical bytes: the
+    /// hoisted per-plane scratch buffers carry no state between calls.
+    #[test]
+    fn swp_encode_is_deterministic(
+        w in 8usize..80,
+        h in 8usize..60,
+        quality in 5u8..60,
+        seed in any::<u32>(),
+    ) {
+        let mut img = Raster::new(w, h);
+        let mut s = seed | 1;
+        for y in 0..h {
+            for x in 0..w {
+                s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+                let v = (s >> 24) as u8;
+                img.set(x, y, Rgb::new(v, v.wrapping_add(40), v ^ 0x5A));
+            }
+        }
+        let a = codec::encode(&img, quality);
+        let b = codec::encode(&img, quality);
+        prop_assert_eq!(&a, &b);
+        let back = codec::decode(&a).expect("own output decodes");
+        prop_assert_eq!(back.width(), w);
+        prop_assert_eq!(back.height(), h);
+    }
+}

@@ -13,10 +13,14 @@
 //! burst.
 
 use crate::constellation::Modulation;
+use crate::ofdm::modulator::ModulatorScratch;
 use crate::ofdm::{Demodulator, Modulator};
 use crate::profile::Profile;
+use sonic_dsp::osc::PhasorTable;
+use sonic_dsp::C32;
 use sonic_fec::code_spec::FecError;
 use sonic_fec::{bits::bytes_to_bits, bits::bits_to_bytes, FecPipeline};
+use std::cell::RefCell;
 
 /// Maximum payload bytes per PHY frame (12-bit length field).
 pub const MAX_PAYLOAD: usize = 4095;
@@ -118,11 +122,188 @@ fn header_decode(soft: &[f32]) -> Option<usize> {
     parse_header(&bits)
 }
 
+/// Reusable PHY codec for one profile.
+///
+/// Owns the modulator, demodulator, FEC pipeline and all scratch memory
+/// (phasor tables, symbol buffers, soft-bit buffers), so repeated
+/// modulate/demodulate calls pay none of the per-call setup of the free
+/// functions' original implementations. Output is bit-identical to
+/// [`modulate_frame_reference`] / [`demodulate_frames_reference`].
+#[derive(Debug)]
+pub struct FrameCodec {
+    modulator: Modulator,
+    demodulator: Demodulator,
+    fec: FecPipeline,
+    mod_scratch: ModulatorScratch,
+    down_phasors: PhasorTable,
+    mixed: Vec<C32>,
+    baseband: Vec<C32>,
+    hdr_soft: Vec<f32>,
+    soft: Vec<f32>,
+}
+
+impl FrameCodec {
+    /// Builds a codec (validates the profile).
+    pub fn new(profile: &Profile) -> Self {
+        FrameCodec {
+            modulator: Modulator::new(profile.clone()),
+            demodulator: Demodulator::new(profile.clone()),
+            fec: FecPipeline::new(profile.fec),
+            mod_scratch: ModulatorScratch::new(profile),
+            down_phasors: PhasorTable::new(profile.sample_rate, profile.center_freq),
+            mixed: Vec::new(),
+            baseband: Vec::new(),
+            hdr_soft: Vec::new(),
+            soft: Vec::new(),
+        }
+    }
+
+    /// The profile this codec implements.
+    pub fn profile(&self) -> &Profile {
+        self.modulator.profile()
+    }
+
+    /// Modulates one payload into audio samples.
+    ///
+    /// # Panics
+    /// Panics if `payload.len() > MAX_PAYLOAD`.
+    pub fn modulate(&mut self, payload: &[u8]) -> Vec<f32> {
+        let mut audio = Vec::new();
+        self.modulate_into(payload, &mut audio);
+        audio
+    }
+
+    /// [`modulate`](Self::modulate) into a reused output buffer (cleared
+    /// first). Between the internal scratch and a caller-reused `audio`,
+    /// steady-state modulation does no allocation beyond table growth.
+    ///
+    /// # Panics
+    /// Panics if `payload.len() > MAX_PAYLOAD`.
+    pub fn modulate_into(&mut self, payload: &[u8], audio: &mut Vec<f32>) {
+        let header = header_coded_bits(payload.len());
+        let coded = self.fec.encode(payload);
+        self.modulator
+            .modulate_bits_into(&header, &coded, &mut self.mod_scratch, audio);
+    }
+
+    /// Scans an audio buffer and recovers every PHY frame in it.
+    ///
+    /// Returns one entry per detected burst, in order. Bursts whose header
+    /// or payload could not be recovered are reported with their
+    /// [`PhyError`] so loss-rate experiments can count them.
+    pub fn demodulate(&mut self, audio: &[f32]) -> Vec<DemodFrame> {
+        let profile = self.modulator.profile().clone();
+        self.demodulator.to_baseband_with(
+            audio,
+            &mut self.down_phasors,
+            &mut self.mixed,
+            &mut self.baseband,
+        );
+        let mut out = Vec::new();
+        let mut cursor = 0usize;
+
+        while let Some(mut reader) = self.demodulator.open_burst_baseband(&self.baseband, cursor) {
+            let start = reader.burst_start;
+            // Header symbol.
+            self.hdr_soft.clear();
+            if !reader.next_symbol(Modulation::Bpsk, &mut self.hdr_soft) {
+                out.push(DemodFrame {
+                    start_sample: start,
+                    payload: Err(PhyError::Truncated),
+                });
+                break;
+            }
+            let Some(payload_len) = header_decode(&self.hdr_soft) else {
+                out.push(DemodFrame {
+                    start_sample: start,
+                    payload: Err(PhyError::HeaderCorrupt),
+                });
+                // Skip past this burst's overhead symbols and rescan.
+                cursor = start + 4 * profile.symbol_len();
+                continue;
+            };
+
+            let coded_bits = profile.fec.coded_bits_len(payload_len);
+            let n_syms = coded_bits.div_ceil(profile.bits_per_symbol());
+            self.soft.clear();
+            self.soft.reserve(n_syms * profile.bits_per_symbol());
+            let mut truncated = false;
+            for _ in 0..n_syms {
+                if !reader.next_symbol(profile.modulation, &mut self.soft) {
+                    truncated = true;
+                    break;
+                }
+            }
+            let payload = if truncated {
+                Err(PhyError::Truncated)
+            } else {
+                self.soft.truncate(coded_bits);
+                match self.fec.decode_soft(&self.soft, payload_len) {
+                    Ok(bytes) => Ok(bytes),
+                    Err(FecError::Unrecoverable) | Err(FecError::LengthMismatch) => {
+                        Err(PhyError::PayloadUnrecoverable)
+                    }
+                }
+            };
+            cursor = reader.position();
+            out.push(DemodFrame {
+                start_sample: start,
+                payload,
+            });
+            if truncated {
+                break;
+            }
+        }
+        out
+    }
+}
+
+thread_local! {
+    /// Codecs cached per profile so the free functions amortize plan
+    /// construction and scratch memory across calls.
+    static CODECS: RefCell<Vec<FrameCodec>> = const { RefCell::new(Vec::new()) };
+}
+
+fn with_codec<R>(profile: &Profile, f: impl FnOnce(&mut FrameCodec) -> R) -> R {
+    CODECS.with(|cell| {
+        let mut codecs = cell.borrow_mut();
+        let idx = match codecs.iter().position(|c| c.profile() == profile) {
+            Some(i) => i,
+            None => {
+                codecs.push(FrameCodec::new(profile));
+                codecs.len() - 1
+            }
+        };
+        f(&mut codecs[idx])
+    })
+}
+
 /// Modulates one payload into audio samples with the given profile.
+///
+/// Uses a thread-local [`FrameCodec`] cache keyed by profile; output is
+/// bit-identical to [`modulate_frame_reference`].
 ///
 /// # Panics
 /// Panics if `payload.len() > MAX_PAYLOAD`.
 pub fn modulate_frame(profile: &Profile, payload: &[u8]) -> Vec<f32> {
+    with_codec(profile, |codec| codec.modulate(payload))
+}
+
+/// Scans an audio buffer and recovers every PHY frame in it.
+///
+/// Returns one entry per detected burst, in order. Bursts whose header or
+/// payload could not be recovered are reported with their [`PhyError`] so
+/// loss-rate experiments can count them. Uses a thread-local [`FrameCodec`]
+/// cache keyed by profile.
+pub fn demodulate_frames(profile: &Profile, audio: &[f32]) -> Vec<DemodFrame> {
+    with_codec(profile, |codec| codec.demodulate(audio))
+}
+
+/// Original per-call implementation of [`modulate_frame`], kept as the
+/// executable specification: builds a fresh modulator and FEC pipeline and
+/// mixes with a live oscillator. Property tests assert the cached path
+/// produces byte-identical audio.
+pub fn modulate_frame_reference(profile: &Profile, payload: &[u8]) -> Vec<f32> {
     let modulator = Modulator::new(profile.clone());
     let fec = FecPipeline::new(profile.fec);
     let header = header_coded_bits(payload.len());
@@ -130,12 +311,9 @@ pub fn modulate_frame(profile: &Profile, payload: &[u8]) -> Vec<f32> {
     modulator.modulate_bits(&header, &coded)
 }
 
-/// Scans an audio buffer and recovers every PHY frame in it.
-///
-/// Returns one entry per detected burst, in order. Bursts whose header or
-/// payload could not be recovered are reported with their [`PhyError`] so
-/// loss-rate experiments can count them.
-pub fn demodulate_frames(profile: &Profile, audio: &[f32]) -> Vec<DemodFrame> {
+/// Original per-call implementation of [`demodulate_frames`], kept as the
+/// executable specification for the scratch-reusing path.
+pub fn demodulate_frames_reference(profile: &Profile, audio: &[f32]) -> Vec<DemodFrame> {
     let demod = Demodulator::new(profile.clone());
     let fec = FecPipeline::new(profile.fec);
     let baseband = demod.to_baseband(audio);
@@ -251,7 +429,7 @@ mod tests {
         let a = payload(300, 1);
         let b = payload(150, 2);
         let mut audio = modulate_frame(&p, &a);
-        audio.extend(std::iter::repeat(0.0).take(2000));
+        audio.extend(std::iter::repeat_n(0.0, 2000));
         audio.extend(modulate_frame(&p, &b));
         let frames = demodulate_frames(&p, &audio);
         assert_eq!(frames.len(), 2);
@@ -298,5 +476,63 @@ mod tests {
     fn oversize_payload_rejected() {
         let p = Profile::sonic_10k();
         let _ = modulate_frame(&p, &vec![0u8; MAX_PAYLOAD + 1]);
+    }
+
+    #[test]
+    fn cached_modulate_is_bit_identical_to_reference() {
+        for p in [Profile::sonic_10k(), Profile::audible_7k()] {
+            let mut codec = FrameCodec::new(&p);
+            for (n, seed) in [(0usize, 0u8), (1, 4), (333, 8), (1000, 12)] {
+                let data = payload(n, seed);
+                let fast = codec.modulate(&data);
+                let free = modulate_frame(&p, &data);
+                let reference = modulate_frame_reference(&p, &data);
+                assert_eq!(fast.len(), reference.len(), "len {n}");
+                for (i, (a, b)) in fast.iter().zip(&reference).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "len {n} sample {i}");
+                }
+                assert_eq!(free, reference, "free fn, len {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn cached_demodulate_matches_reference() {
+        let p = Profile::sonic_10k();
+        let a = payload(300, 21);
+        let b = payload(777, 22);
+        let mut audio = modulate_frame_reference(&p, &a);
+        audio.extend(std::iter::repeat_n(0.0, 1500));
+        audio.extend(modulate_frame_reference(&p, &b));
+        // Also exercise the truncated-tail path.
+        let cut = audio.len() - p.symbol_len();
+        for slice in [&audio[..], &audio[..cut]] {
+            let mut codec = FrameCodec::new(&p);
+            let fast = codec.demodulate(slice);
+            let reference = demodulate_frames_reference(&p, slice);
+            assert_eq!(fast.len(), reference.len());
+            for (x, y) in fast.iter().zip(&reference) {
+                assert_eq!(x.start_sample, y.start_sample);
+                assert_eq!(x.payload, y.payload);
+            }
+            assert_eq!(demodulate_frames(&p, slice).len(), reference.len());
+        }
+    }
+
+    #[test]
+    fn codec_reuse_across_mixed_calls_stays_consistent() {
+        let p = Profile::sonic_10k();
+        let mut codec = FrameCodec::new(&p);
+        // Interleave modulate/demodulate so every scratch buffer is reused
+        // with different lengths in between.
+        for (n, seed) in [(900usize, 1u8), (10, 2), (450, 3)] {
+            let data = payload(n, seed);
+            let audio = codec.modulate(&data);
+            let reference = modulate_frame_reference(&p, &data);
+            assert_eq!(audio, reference, "modulate len {n}");
+            let frames = codec.demodulate(&audio);
+            assert_eq!(frames.len(), 1);
+            assert_eq!(frames[0].payload.as_ref().expect("decoded"), &data);
+        }
     }
 }

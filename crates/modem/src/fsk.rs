@@ -114,7 +114,7 @@ pub fn modulate(cfg: &FskConfig, payload: &[u8]) -> Vec<f32> {
     }
     // Trailing guard so a slightly-late sync refinement never pushes the last
     // symbol window past the buffer.
-    audio.extend(std::iter::repeat(0.0).take(cfg.symbol_len / 2));
+    audio.extend(std::iter::repeat_n(0.0, cfg.symbol_len / 2));
     audio
 }
 

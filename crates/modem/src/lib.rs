@@ -30,5 +30,8 @@ pub mod ofdm;
 pub mod profile;
 pub mod stream;
 
-pub use frame::{demodulate_frames, modulate_frame, PhyError};
+pub use frame::{
+    demodulate_frames, demodulate_frames_reference, modulate_frame, modulate_frame_reference,
+    FrameCodec, PhyError,
+};
 pub use profile::Profile;

@@ -157,6 +157,13 @@ impl CarrierPlan {
         assert_eq!(fft_buf.len(), self.fft_size);
         self.bins.iter().map(|&b| fft_buf[b]).collect()
     }
+
+    /// [`gather`](Self::gather) into a reused buffer (cleared first).
+    pub fn gather_into(&self, fft_buf: &[C32], out: &mut Vec<C32>) {
+        assert_eq!(fft_buf.len(), self.fft_size);
+        out.clear();
+        out.extend(self.bins.iter().map(|&b| fft_buf[b]));
+    }
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@ use super::sync::{detect, SyncPoint};
 use crate::constellation::{demap_soft, Modulation};
 use crate::profile::Profile;
 use sonic_dsp::fir::{design_lowpass, Fir};
-use sonic_dsp::osc::{downconvert, Nco};
+use sonic_dsp::osc::{downconvert, Nco, PhasorTable};
 use sonic_dsp::{C32, Fft};
 
 /// Taps of the image-rejection low-pass applied after downconversion.
@@ -46,6 +46,10 @@ pub struct BurstReader<'a, 'b> {
     pub burst_start: usize,
     /// Sync diagnostics.
     pub sync: SyncPoint,
+    /// Reused FFT window (avoids a per-symbol allocation).
+    sym_buf: Vec<C32>,
+    /// Reused gathered-carrier buffer (avoids a per-symbol allocation).
+    vals_buf: Vec<C32>,
 }
 
 impl Demodulator {
@@ -83,6 +87,29 @@ impl Demodulator {
             .collect()
     }
 
+    /// [`to_baseband`](Self::to_baseband) with cached oscillator phasors and
+    /// reused buffers: `out` receives the baseband, `mixed` is working
+    /// memory. Bit-identical to the allocating path.
+    pub fn to_baseband_with(
+        &self,
+        audio: &[f32],
+        phasors: &mut PhasorTable,
+        mixed: &mut Vec<C32>,
+        out: &mut Vec<C32>,
+    ) {
+        mixed.clear();
+        phasors.downconvert(audio, mixed);
+        let mut fir_re = Fir::new(self.lpf_taps.clone());
+        let mut fir_im = Fir::new(self.lpf_taps.clone());
+        out.clear();
+        out.reserve(mixed.len());
+        out.extend(
+            mixed
+                .iter()
+                .map(|v| C32::new(fir_re.push(v.re), fir_im.push(v.im))),
+        );
+    }
+
     /// Searches `audio` from sample `from` for a burst; on success returns a
     /// reader positioned at the header symbol. Prefer
     /// [`open_burst_baseband`](Self::open_burst_baseband) when scanning one
@@ -118,7 +145,7 @@ impl Demodulator {
             if sync.cfo.abs() > 1e-7 {
                 let mut phase = (abs_start - sync.start) as f64 * sync.cfo as f64;
                 for v in window.iter_mut() {
-                    *v = *v * C32::from_angle(-phase);
+                    *v *= C32::from_angle(-phase);
                     phase += sync.cfo as f64;
                 }
             }
@@ -130,12 +157,15 @@ impl Demodulator {
         // of the channel estimate and cancels in equalization.
         let backoff = cp / 4;
         let mut channel = vec![C32::ZERO; self.plan.bins.len()];
+        let mut buf: Vec<C32> = Vec::with_capacity(n);
+        let mut vals: Vec<C32> = Vec::with_capacity(self.plan.bins.len());
         for &t in &[t1, t2] {
             let s = t + cp - backoff;
-            let mut buf: Vec<C32> = baseband[s..s + n].to_vec();
+            buf.clear();
+            buf.extend_from_slice(&baseband[s..s + n]);
             derotate(&mut buf, s);
             self.fft.forward(&mut buf);
-            let vals = self.plan.gather(&buf);
+            self.plan.gather_into(&buf, &mut vals);
             for (h, (y, x)) in channel.iter_mut().zip(vals.iter().zip(&self.plan.training)) {
                 *h += *y / *x;
             }
@@ -163,6 +193,8 @@ impl Demodulator {
             cursor: t2 + sym,
             burst_start: sync.start,
             sync,
+            sym_buf: buf,
+            vals_buf: vals,
         })
     }
 }
@@ -192,16 +224,19 @@ impl BurstReader<'_, '_> {
         let norm = 1.0 / (n as f32).sqrt();
         // Same quarter-CP back-off as the channel estimator (phases cancel).
         let s = self.cursor + cp - cp / 4;
-        let mut buf: Vec<C32> = self.baseband[s..s + n].to_vec();
+        let buf = &mut self.sym_buf;
+        buf.clear();
+        buf.extend_from_slice(&self.baseband[s..s + n]);
         if self.sync.cfo.abs() > 1e-7 {
             let mut phase = (s - self.burst_start) as f64 * self.sync.cfo as f64;
             for v in buf.iter_mut() {
-                *v = *v * C32::from_angle(-phase);
+                *v *= C32::from_angle(-phase);
                 phase += self.sync.cfo as f64;
             }
         }
-        self.demod.fft.forward(&mut buf);
-        let mut vals = plan.gather(&buf);
+        self.demod.fft.forward(buf);
+        let vals = &mut self.vals_buf;
+        plan.gather_into(buf, vals);
         for v in vals.iter_mut() {
             *v = v.scale(norm);
         }
@@ -217,7 +252,7 @@ impl BurstReader<'_, '_> {
         if acc.abs() > 1e-9 {
             let rot = acc.normalize().conj();
             for v in vals.iter_mut() {
-                *v = *v * rot;
+                *v *= rot;
             }
         }
         // Matched-filter weighting: scale each carrier's soft bits by its

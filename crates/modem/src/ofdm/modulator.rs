@@ -7,9 +7,41 @@
 use super::carriers::CarrierPlan;
 use crate::constellation::{map_bits, Modulation};
 use crate::profile::Profile;
-use sonic_dsp::osc::{upconvert, Nco};
+use sonic_dsp::osc::{upconvert, Nco, PhasorTable};
 use sonic_dsp::window::raised_cosine_edge;
 use sonic_dsp::{C32, Fft};
+
+/// Reusable working memory for [`Modulator::modulate_bits_into`].
+///
+/// Replaces the per-call oscillator trig and the per-symbol `Vec`
+/// allocations of [`Modulator::modulate_bits`]; output is bit-identical
+/// (the phasor table replays the NCO recurrence exactly, and every reused
+/// buffer is fully rewritten before use).
+#[derive(Debug)]
+pub struct ModulatorScratch {
+    phasors: PhasorTable,
+    /// FFT-size symbol buffer.
+    sym: Vec<C32>,
+    /// Active-carrier value buffer.
+    vals: Vec<C32>,
+    /// Complex-baseband burst buffer.
+    baseband: Vec<C32>,
+    /// Cached raised-cosine edge ramp (keyed by its length).
+    ramp: Vec<f32>,
+}
+
+impl ModulatorScratch {
+    /// Creates scratch sized lazily for `profile`'s oscillator.
+    pub fn new(profile: &Profile) -> Self {
+        ModulatorScratch {
+            phasors: PhasorTable::new(profile.sample_rate, profile.center_freq),
+            sym: Vec::new(),
+            vals: Vec::new(),
+            baseband: Vec::new(),
+            ramp: Vec::new(),
+        }
+    }
+}
 
 /// Reusable modulator for one profile.
 #[derive(Debug)]
@@ -49,8 +81,8 @@ impl Modulator {
         let cp = self.profile.cp_len;
         let n = self.profile.fft_size;
         // Cyclic prefix: last cp samples first.
-        for i in n - cp..n {
-            out.push(buf[i].scale(gain));
+        for v in &buf[n - cp..n] {
+            out.push(v.scale(gain));
         }
         for v in buf.iter() {
             out.push(v.scale(gain));
@@ -91,9 +123,9 @@ impl Modulator {
             }
             for (c, &idx) in plan.data_idx.iter().enumerate() {
                 let mut bits = [0u8; 10];
-                for b in 0..bps {
+                for (b, bit) in bits.iter_mut().enumerate().take(bps) {
                     let pos = s * per_sym + c * bps + b;
-                    bits[b] = payload_bits.get(pos).copied().unwrap_or(((pos ^ (pos >> 3)) % 2) as u8);
+                    *bit = payload_bits.get(pos).copied().unwrap_or(((pos ^ (pos >> 3)) % 2) as u8);
                 }
                 vals[idx] = map_bits(self.profile.modulation, &bits[..bps]);
             }
@@ -135,6 +167,108 @@ impl Modulator {
         }
         audio.resize(end + self.profile.cp_len, 0.0);
         audio
+    }
+
+    /// [`push_symbol`](Self::push_symbol) with a caller-provided FFT buffer.
+    fn push_symbol_into(&self, values: &[C32], out: &mut Vec<C32>, buf: &mut Vec<C32>) {
+        buf.resize(self.profile.fft_size, C32::ZERO);
+        self.plan.scatter(values, buf); // zeroes the buffer before writing
+        self.fft.inverse(buf);
+        let gain = (self.profile.fft_size as f32).sqrt();
+        let cp = self.profile.cp_len;
+        let n = self.profile.fft_size;
+        out.reserve(n + cp);
+        for v in &buf[n - cp..n] {
+            out.push(v.scale(gain));
+        }
+        for v in buf.iter() {
+            out.push(v.scale(gain));
+        }
+    }
+
+    /// Allocation-free variant of [`modulate_bits`](Self::modulate_bits):
+    /// all working memory lives in `scratch`, the audio is appended to a
+    /// cleared `audio`, and the oscillator trig comes from the scratch's
+    /// phasor table. Output is bit-identical to `modulate_bits`.
+    pub fn modulate_bits_into(
+        &self,
+        header_bits: &[u8],
+        payload_bits: &[u8],
+        scratch: &mut ModulatorScratch,
+        audio: &mut Vec<f32>,
+    ) {
+        let plan = &self.plan;
+        let active = plan.bins.len();
+        let baseband = &mut scratch.baseband;
+        baseband.clear();
+
+        // Preamble (Schmidl-Cox) and two training symbols.
+        self.push_symbol_into(&plan.preamble, baseband, &mut scratch.sym);
+        self.push_symbol_into(&plan.training, baseband, &mut scratch.sym);
+        self.push_symbol_into(&plan.training, baseband, &mut scratch.sym);
+
+        // Header symbol: BPSK on data carriers, pilots in place.
+        let vals = &mut scratch.vals;
+        vals.clear();
+        vals.resize(active, C32::ZERO);
+        for (k, &idx) in plan.pilot_idx.iter().enumerate() {
+            vals[idx] = plan.pilot_values[k];
+        }
+        for (k, &idx) in plan.data_idx.iter().enumerate() {
+            let bit = header_bits.get(k).copied().unwrap_or((k % 2) as u8);
+            vals[idx] = map_bits(Modulation::Bpsk, &[bit]);
+        }
+        self.push_symbol_into(vals, baseband, &mut scratch.sym);
+
+        // Payload symbols.
+        let bps = self.profile.modulation.bits_per_symbol();
+        let per_sym = self.profile.data_carriers * bps;
+        let n_syms = payload_bits.len().div_ceil(per_sym);
+        for s in 0..n_syms {
+            vals.fill(C32::ZERO);
+            for (k, &idx) in plan.pilot_idx.iter().enumerate() {
+                vals[idx] = plan.pilot_values[k];
+            }
+            for (c, &idx) in plan.data_idx.iter().enumerate() {
+                let mut bits = [0u8; 10];
+                for (b, bit) in bits.iter_mut().enumerate().take(bps) {
+                    let pos = s * per_sym + c * bps + b;
+                    *bit = payload_bits.get(pos).copied().unwrap_or(((pos ^ (pos >> 3)) % 2) as u8);
+                }
+                vals[idx] = map_bits(self.profile.modulation, &bits[..bps]);
+            }
+            self.push_symbol_into(vals, baseband, &mut scratch.sym);
+        }
+
+        // Upconvert with cached phasors and apply the same normalization and
+        // edge ramps as `modulate_bits`.
+        audio.clear();
+        audio.reserve(baseband.len() + 2 * self.profile.cp_len);
+        audio.resize(self.profile.cp_len, 0.0);
+        scratch.phasors.upconvert(baseband, audio);
+
+        let body = &audio[self.profile.cp_len..];
+        let rms = (body.iter().map(|&x| x * x).sum::<f32>() / body.len().max(1) as f32).sqrt();
+        if rms > 1e-12 {
+            let g = self.profile.tx_level / rms;
+            for v in audio.iter_mut() {
+                *v *= g;
+            }
+        }
+
+        let ramp_len = 64.min(baseband.len() / 2);
+        if scratch.ramp.len() != ramp_len {
+            scratch.ramp = raised_cosine_edge(ramp_len);
+        }
+        let start = self.profile.cp_len;
+        for (i, &r) in scratch.ramp.iter().enumerate() {
+            audio[start + i] *= r;
+        }
+        let end = audio.len();
+        for (i, &r) in scratch.ramp.iter().enumerate() {
+            audio[end - 1 - i] *= r;
+        }
+        audio.resize(end + self.profile.cp_len, 0.0);
     }
 }
 
@@ -200,6 +334,25 @@ mod tests {
         let cp = m.profile().cp_len;
         assert!(audio[..cp].iter().all(|&x| x == 0.0));
         assert!(audio[audio.len() - cp..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn scratch_path_is_bit_identical_to_reference() {
+        for p in [Profile::sonic_10k(), Profile::audible_7k()] {
+            let m = Modulator::new(p.clone());
+            let mut scratch = ModulatorScratch::new(&p);
+            let header: Vec<u8> = (0..80).map(|i| ((i * 5) % 2) as u8).collect();
+            let mut audio = Vec::new();
+            for payload_len in [0usize, 552, 552 * 3 + 17] {
+                let payload: Vec<u8> = (0..payload_len).map(|i| ((i ^ (i >> 2)) % 2) as u8).collect();
+                let want = m.modulate_bits(&header, &payload);
+                m.modulate_bits_into(&header, &payload, &mut scratch, &mut audio);
+                assert_eq!(want.len(), audio.len(), "{}: len {payload_len}", p.name);
+                for (k, (w, g)) in want.iter().zip(&audio).enumerate() {
+                    assert_eq!(w.to_bits(), g.to_bits(), "{}: sample {k}", p.name);
+                }
+            }
+        }
     }
 
     #[test]

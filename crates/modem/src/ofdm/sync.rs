@@ -96,7 +96,7 @@ pub fn detect(
                 } else {
                     0.0
                 };
-                if best.map_or(true, |(_, s)| score > s) {
+                if best.is_none_or(|(_, s)| score > s) {
                     best = Some((cand, score));
                 }
             }
@@ -198,7 +198,7 @@ mod tests {
         let burst = m.modulate_bits(&[0; 80], &vec![1u8; p.bits_per_symbol()]);
         let mut signal = vec![0.0f32; 1000];
         signal.extend_from_slice(&burst);
-        signal.extend(std::iter::repeat(0.0).take(3000));
+        signal.extend(std::iter::repeat_n(0.0, 3000));
         let second_at = signal.len();
         signal.extend_from_slice(&burst);
         let bb = to_baseband(&p, &signal);

@@ -135,7 +135,7 @@ mod tests {
         let a = payload(400, 1);
         let b = payload(250, 2);
         let mut audio = modulate_frame(&p, &a);
-        audio.extend(std::iter::repeat(0.0).take(3000));
+        audio.extend(std::iter::repeat_n(0.0, 3000));
         audio.extend(modulate_frame(&p, &b));
 
         let mut rx = StreamReceiver::new(p);

@@ -148,7 +148,7 @@ mod tests {
             x = x.wrapping_mul(1103515245).wrapping_add(12345);
             let n2 = ((x >> 16) as f32 / 32768.0) - 1.0;
             // Noise ~3 dB above the unit carrier.
-            *v = *v + C32::new(n1, n2).scale(1.2);
+            *v += C32::new(n1, n2).scale(1.2);
         }
         let mut out = Vec::new();
         d.demodulate_into(&bb, &mut out);

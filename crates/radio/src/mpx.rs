@@ -72,7 +72,7 @@ pub fn compose(input: &MpxInput) -> Vec<f32> {
     let n = mono_up.len();
     let mut composite = Vec::with_capacity(n);
     let stereo_present = stereo_up.is_some();
-    for i in 0..n {
+    for (i, &mono) in mono_up.iter().enumerate() {
         let t = i as f64;
         let mut s = 0.0f32;
         let mono_gain = if stereo_present {
@@ -80,7 +80,7 @@ pub fn compose(input: &MpxInput) -> Vec<f32> {
         } else {
             level::MONO
         };
-        s += mono_gain * mono_up[i];
+        s += mono_gain * mono;
         if let Some(diff) = &stereo_up {
             let sub = (TAU * 38_000.0 * t / MPX_RATE).cos() as f32;
             s += level::PILOT * (TAU * 19_000.0 * t / MPX_RATE).sin() as f32;
@@ -277,7 +277,7 @@ mod tests {
         let comp = compose(&MpxInput {
             mono: tone(5_000.0, 44_100, 1.0),
             stereo_diff: Some(tone(3_000.0, 44_100, 1.0)),
-            rds_bits: Some(vec![1, 0, 1, 1, 0, 0, 1, 0].repeat(32)),
+            rds_bits: Some([1, 0, 1, 1, 0, 0, 1, 0].repeat(32)),
         });
         assert!(comp.iter().all(|&x| x.abs() <= 1.0));
         assert!(rms(&comp) > 0.05);

@@ -16,7 +16,7 @@ pub fn encode_ps_name(pi: u16, name: &str) -> Vec<Group> {
     padded.resize(8, b' ');
     (0..4)
         .map(|seg| {
-            let b: u16 = (0b0000_0 << 11) | seg as u16; // group 0A, segment in bits 0-1
+            let b: u16 = seg as u16; // group 0A (type code 0 in bits 15-11), segment in bits 0-1
             let d = ((padded[seg * 2] as u16) << 8) | padded[seg * 2 + 1] as u16;
             // Block C of 0A carries alternative frequencies; we send 0xE0CD
             // ("no AF list" filler pair).
@@ -61,14 +61,14 @@ pub fn encode_radiotext(pi: u16, text: &str) -> Vec<Group> {
     if padded.len() < 64 {
         padded.push(0x0D);
     }
-    while padded.len() % 4 != 0 {
+    while !padded.len().is_multiple_of(4) {
         padded.push(b' ');
     }
     padded
         .chunks(4)
         .enumerate()
         .map(|(seg, chunk)| {
-            let b: u16 = (0b0010_0 << 11) | seg as u16; // group 2A
+            let b: u16 = (0b00100 << 11) | seg as u16; // group 2A
             let c = ((chunk[0] as u16) << 8) | chunk[1] as u16;
             let d = ((chunk[2] as u16) << 8) | chunk[3] as u16;
             Group([pi, b, c, d])
@@ -82,7 +82,7 @@ pub fn decode_radiotext(groups: &[Group]) -> Option<String> {
     let mut max_seg = 0usize;
     let mut any = false;
     for g in groups {
-        if g.0[1] >> 11 != 0b0010_0 {
+        if g.0[1] >> 11 != 0b00100 {
             continue;
         }
         let seg = (g.0[1] & 0x0F) as usize;

@@ -89,6 +89,7 @@ impl<T> Simulator<T> {
     }
 
     /// Pops the next event, advancing the clock.
+    #[allow(clippy::should_implement_trait)] // advances the simulation clock, not a plain iterator
     pub fn next(&mut self) -> Option<Event<T>> {
         let e = self.heap.pop()?;
         self.now = e.time;

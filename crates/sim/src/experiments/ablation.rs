@@ -77,7 +77,8 @@ pub struct InterpRow {
 /// lower halves (the strip-coding loss shape).
 pub fn run_interp_ablation(loss: f64, n_pages: usize, scale: f64, seed: u64) -> Vec<InterpRow> {
     let corpus = Corpus::standard();
-    let mut cases: Vec<(&'static str, Option<Strategy>, Vec<f64>, Vec<f64>)> = vec![
+    type Case = (&'static str, Option<Strategy>, Vec<f64>, Vec<f64>);
+    let mut cases: Vec<Case> = vec![
         ("no repair", None, Vec::new(), Vec::new()),
         ("left priority (paper)", Some(Strategy::LeftPriority), Vec::new(), Vec::new()),
         ("above priority", Some(Strategy::AbovePriority), Vec::new(), Vec::new()),

@@ -35,7 +35,7 @@ impl Default for Config {
             reps: super::env_or("SONIC_FIG4A_REPS", 10),
             bursts_per_rep: super::env_or("SONIC_FIG4A_BURSTS", 5),
             profile: Profile::sonic_10k(),
-            seed: 0xF16_4A,
+            seed: 0xF164A,
         }
     }
 }

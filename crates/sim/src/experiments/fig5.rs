@@ -118,12 +118,7 @@ pub fn run_experiment(cfg: &Config) -> Vec<Cell> {
 }
 
 /// Looks up a cell.
-pub fn cell<'a>(
-    cells: &'a [Cell],
-    loss: f64,
-    interpolated: bool,
-    question: Question,
-) -> &'a Cell {
+pub fn cell(cells: &[Cell], loss: f64, interpolated: bool, question: Question) -> &Cell {
     cells
         .iter()
         .find(|c| {

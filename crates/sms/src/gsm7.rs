@@ -157,7 +157,7 @@ mod tests {
 
     #[test]
     fn full_160_char_message_is_140_octets() {
-        let msg: String = std::iter::repeat('x').take(160).collect();
+        let msg: String = "x".repeat(160);
         let septets = encode(&msg).expect("encodable");
         assert_eq!(pack(&septets).len(), 140);
     }

@@ -104,7 +104,7 @@ mod tests {
     #[test]
     fn long_message_bills_multiple_segments() {
         let mut net = SmsNetwork::perfect(1);
-        let text: String = std::iter::repeat('q').take(400).collect();
+        let text: String = "q".repeat(400);
         match net.send(&text, 0.0).expect("gsm7") {
             Delivery::Delivered { segments, .. } => assert_eq!(segments, 3),
             Delivery::Lost => panic!("perfect network lost a message"),

@@ -128,13 +128,13 @@ mod tests {
 
     #[test]
     fn exactly_160_is_single() {
-        let text: String = std::iter::repeat('a').take(160).collect();
+        let text: String = "a".repeat(160);
         assert_eq!(segment_count(&text).expect("count"), 1);
     }
 
     #[test]
     fn one_sixty_one_splits_in_two() {
-        let text: String = std::iter::repeat('a').take(161).collect();
+        let text: String = "a".repeat(161);
         let segs = segment(&text, 1).expect("segment");
         assert_eq!(segs.len(), 2);
         assert_eq!(segs[0].septets.len(), SEGMENT_LIMIT);
@@ -151,7 +151,7 @@ mod tests {
 
     #[test]
     fn missing_part_returns_none() {
-        let text: String = std::iter::repeat('z').take(400).collect();
+        let text: String = "z".repeat(400);
         let mut segs = segment(&text, 3).expect("segment");
         segs.remove(1);
         assert_eq!(reassemble(&segs), None);
@@ -160,7 +160,7 @@ mod tests {
     #[test]
     fn esc_pairs_never_split() {
         // 152 'a' + '{' (2 septets) would straddle the 153 boundary.
-        let mut text: String = std::iter::repeat('a').take(152 + 100).collect();
+        let mut text: String = "a".repeat(152 + 100);
         text.insert(152, '{');
         let segs = segment(&text, 5).expect("segment");
         for s in &segs {

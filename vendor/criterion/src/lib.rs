@@ -1,0 +1,198 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides `Criterion`, `Bencher::iter`, `criterion_group!` and
+//! `criterion_main!` with wall-clock timing: each benchmark is auto-calibrated
+//! to a target sample duration, run `sample_size` times, and reported as
+//! min/median/max ns per iteration. No plots, no statistics beyond the
+//! three-point summary — enough to compare hot-path changes offline.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers work.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Benchmark harness configuration and runner.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    target_sample: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            target_sample: Duration::from_millis(40),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Target wall-clock duration of one sample (calibration knob).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.target_sample = d;
+        self
+    }
+
+    /// Runs one benchmark closure.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters_per_sample: 0,
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            target_sample: self.target_sample,
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<f64>,
+    sample_size: usize,
+    target_sample: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, auto-calibrating the per-sample iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: double iterations until one sample exceeds ~1/4 target.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Self::time(&mut routine, iters);
+            if t >= self.target_sample.as_secs_f64() / 4.0 || iters > (1 << 30) {
+                let per_iter = t / iters as f64;
+                let want = self.target_sample.as_secs_f64() / per_iter.max(1e-12);
+                iters = (want as u64).clamp(1, 1 << 32);
+                break;
+            }
+            iters *= 2;
+        }
+        self.iters_per_sample = iters;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Self::time(&mut routine, iters);
+            self.samples.push(t / iters as f64);
+        }
+    }
+
+    fn time<O, R: FnMut() -> O>(routine: &mut R, iters: u64) -> f64 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std_black_box(routine());
+        }
+        start.elapsed().as_secs_f64()
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let mut s = self.samples.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let ns = |x: f64| x * 1e9;
+        println!(
+            "{name:<40} time: [{} {} {}]  ({} iters x {} samples)",
+            format_ns(ns(s[0])),
+            format_ns(ns(s[s.len() / 2])),
+            format_ns(ns(s[s.len() - 1])),
+            self.iters_per_sample,
+            s.len(),
+        );
+    }
+
+    /// Median seconds per iteration of the last `iter` call (for harnesses).
+    pub fn median_s(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut s = self.samples.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        s[s.len() / 2]
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a benchmark group (both upstream forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(2));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+
+    criterion_group! {
+        name = quick;
+        config = Criterion::default().sample_size(2).measurement_time(Duration::from_millis(1));
+        targets = target
+    }
+
+    #[test]
+    fn group_macro_compiles() {
+        quick();
+    }
+}

@@ -1,0 +1,348 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Implements `crossbeam::channel`'s core: MPMC `bounded`/`unbounded`
+//! channels with blocking `send`/`recv`, `try_recv`, iteration, and
+//! disconnect semantics, built on `Mutex` + two `Condvar`s. This is not a
+//! lock-free queue — at the SONIC pipeline's message granularity (whole
+//! pages, frame batches, audio bursts) channel overhead is irrelevant; what
+//! matters is correct back-pressure and clean shutdown, which this provides.
+
+pub mod channel {
+    //! MPMC channels with the crossbeam-channel API subset SONIC uses.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Inner<T> {
+        state: Mutex<State<T>>,
+        /// Signalled when an item arrives or all senders disconnect.
+        not_empty: Condvar,
+        /// Signalled when space frees or all receivers disconnect.
+        not_full: Condvar,
+        cap: Option<usize>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty.
+        Empty,
+        /// Channel empty and all senders dropped.
+        Disconnected,
+    }
+
+    /// The sending half; clonable.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half; clonable (MPMC).
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Creates a channel holding at most `cap` in-flight items.
+    ///
+    /// `cap == 0` is rendered as capacity 1 (this stand-in has no
+    /// zero-capacity rendezvous mode).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        make(Some(cap.max(1)))
+    }
+
+    /// Creates a channel without a capacity bound.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        make(None)
+    }
+
+    fn make<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap,
+        });
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Inner<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+            self.state.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the item is enqueued or every receiver is dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.inner.lock();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                let full = self
+                    .inner
+                    .cap
+                    .is_some_and(|c| st.queue.len() >= c);
+                if !full {
+                    st.queue.push_back(value);
+                    self.inner.not_empty.notify_one();
+                    return Ok(());
+                }
+                st = self
+                    .inner
+                    .not_full
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Number of items currently queued.
+        pub fn len(&self) -> usize {
+            self.inner.lock().queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until an item arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.inner.lock();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    self.inner.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self
+                    .inner
+                    .not_empty
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.inner.lock();
+            if let Some(v) = st.queue.pop_front() {
+                self.inner.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Blocking iterator that ends when the channel disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+
+        /// Number of items currently queued.
+        pub fn len(&self) -> usize {
+            self.inner.lock().queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    /// See [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter { rx: self }
+        }
+    }
+
+    /// Owning blocking iterator.
+    pub struct IntoIter<T> {
+        rx: Receiver<T>,
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.lock().senders += 1;
+            Sender {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.lock().receivers += 1;
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.inner.lock();
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                self.inner.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.inner.lock();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                self.inner.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Sender {{ len: {} }}", self.len())
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Receiver {{ len: {} }}", self.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::thread;
+
+    #[test]
+    fn roundtrip_fifo() {
+        let (tx, rx) = channel::unbounded();
+        for i in 0..10 {
+            tx.send(i).expect("send");
+        }
+        drop(tx);
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_blocks_and_resumes() {
+        let (tx, rx) = channel::bounded(2);
+        let producer = thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).expect("send");
+            }
+        });
+        let mut got = Vec::new();
+        for v in rx.iter() {
+            got.push(v);
+        }
+        producer.join().expect("join");
+        assert_eq!(got.len(), 100);
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mpmc_distributes_all_items() {
+        let (tx, rx) = channel::bounded::<u32>(4);
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let rx = rx.clone();
+            handles.push(thread::spawn(move || rx.iter().count()));
+        }
+        drop(rx);
+        for i in 0..300 {
+            tx.send(i).expect("send");
+        }
+        drop(tx);
+        let total: usize = handles.into_iter().map(|h| h.join().expect("join")).sum();
+        assert_eq!(total, 300);
+    }
+
+    #[test]
+    fn send_fails_after_receivers_drop() {
+        let (tx, rx) = channel::bounded(1);
+        drop(rx);
+        assert!(tx.send(7u8).is_err());
+    }
+
+    #[test]
+    fn try_recv_reports_state() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+        tx.send(3).expect("send");
+        assert_eq!(rx.try_recv(), Ok(3));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
+    }
+}

@@ -1,0 +1,303 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no access to the crates.io registry, so the
+//! workspace vendors the small API surface SONIC actually uses: a seedable
+//! deterministic generator (`rngs::StdRng`), `Rng::random` and
+//! `Rng::random_range`. The generator is xoshiro256++ seeded via SplitMix64,
+//! which matches the statistical quality the simulations need; all SONIC
+//! experiments fix their seeds, so determinism — not compatibility with
+//! upstream `rand`'s exact stream — is the requirement.
+
+/// Types that can be sampled uniformly from an RNG's raw 64-bit output.
+pub trait Standard: Sized {
+    /// Draws one value from `next_u64` output(s).
+    fn from_u64(bits: u64) -> Self;
+}
+
+impl Standard for u8 {
+    fn from_u64(bits: u64) -> Self {
+        (bits >> 56) as u8
+    }
+}
+
+impl Standard for u16 {
+    fn from_u64(bits: u64) -> Self {
+        (bits >> 48) as u16
+    }
+}
+
+impl Standard for u32 {
+    fn from_u64(bits: u64) -> Self {
+        (bits >> 32) as u32
+    }
+}
+
+impl Standard for u64 {
+    fn from_u64(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl Standard for usize {
+    fn from_u64(bits: u64) -> Self {
+        bits as usize
+    }
+}
+
+impl Standard for i32 {
+    fn from_u64(bits: u64) -> Self {
+        (bits >> 32) as i32
+    }
+}
+
+impl Standard for i64 {
+    fn from_u64(bits: u64) -> Self {
+        bits as i64
+    }
+}
+
+impl Standard for bool {
+    fn from_u64(bits: u64) -> Self {
+        bits >> 63 != 0
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in [0, 1) with 24 bits of precision.
+    fn from_u64(bits: u64) -> Self {
+        ((bits >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in [0, 1) with 53 bits of precision.
+    fn from_u64(bits: u64) -> Self {
+        ((bits >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges usable with [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws a value uniformly from the range.
+    fn sample(self, rng: &mut impl Rng) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, rng: &mut impl Rng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                self.start + (reject_sample(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut impl Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as u128) - (lo as u128) + 1;
+                if span > u64::MAX as u128 {
+                    return <$t as Standard>::from_u64(rng.next_u64());
+                }
+                lo + (reject_sample(rng, span as u64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, rng: &mut impl Rng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let u: $t = Standard::from_u64(rng.next_u64());
+                self.start + u * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut impl Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                let u: $t = Standard::from_u64(rng.next_u64());
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+/// Unbiased `[0, span)` sampling by rejection (span 0 means the full u64 range).
+fn reject_sample(rng: &mut impl Rng, span: u64) -> u64 {
+    if span == 0 {
+        return rng.next_u64();
+    }
+    if span.is_power_of_two() {
+        return rng.next_u64() & (span - 1);
+    }
+    let zone = u64::MAX - (u64::MAX % span) - 1;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+/// Core RNG interface (the subset of upstream `rand::Rng` SONIC uses).
+pub trait Rng {
+    /// Raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample of `T` (floats in [0,1), integers over the full range).
+    fn random<T: Standard>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    /// Uniform sample from a range.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Legacy spelling kept for drop-in compatibility.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable constructor interface.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Named generator types.
+
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stand-in for upstream StdRng).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn next_raw(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the canonical xoshiro seeding procedure.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.next_raw()
+        }
+    }
+}
+
+/// Convenience module mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::{Rng, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: f64 = r.random();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = r.random_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = r.random_range(1u16..=4);
+            assert!((1..=4).contains(&w));
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_the_interval() {
+        let mut r = StdRng::seed_from_u64(11);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..10_000 {
+            let v: f64 = r.random();
+            lo |= v < 0.1;
+            hi |= v > 0.9;
+        }
+        assert!(lo && hi, "samples must spread across [0,1)");
+    }
+}
