@@ -2,10 +2,26 @@
 
 use proptest::prelude::*;
 use sonic_dsp::fft::Fft;
-use sonic_dsp::fir::{design_lowpass, Fir};
+use sonic_dsp::fir::{design_lowpass, BlockFir, Fir};
 use sonic_dsp::resample::Resampler;
 use sonic_dsp::window::{generate, Window};
 use sonic_dsp::C32;
+
+/// Feeds `signal` through a fresh direct-form FIR, one sample at a time.
+fn direct_form(taps: &[f32], signal: &[f32]) -> Vec<f32> {
+    let mut fir = Fir::new(taps.to_vec());
+    signal.iter().map(|&x| fir.push(x)).collect()
+}
+
+/// Feeds `signal` through a fresh overlap-save FIR in chunks of `block`.
+fn overlap_save(taps: &[f32], signal: &[f32], block: usize) -> Vec<f32> {
+    let mut fir = BlockFir::new(taps);
+    let mut out = signal.to_vec();
+    for chunk in out.chunks_mut(block.max(1)) {
+        fir.process(chunk);
+    }
+    out
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -64,6 +80,57 @@ proptest! {
             .collect();
         for (g, t) in got.iter().zip(&taps) {
             prop_assert!((g - t).abs() < 1e-6);
+        }
+    }
+
+    /// Overlap-save equals the direct form on an impulse for any tap count
+    /// (including the FFT path's minimum and odd lengths) and any block size.
+    #[test]
+    fn overlap_save_impulse(n_taps in 1usize..300, block in 1usize..700) {
+        let taps: Vec<f32> = (0..n_taps)
+            .map(|i| ((i as f32 * 0.37).sin() * 0.9) / (1.0 + i as f32 * 0.01))
+            .collect();
+        let mut signal = vec![0.0f32; (2 * n_taps).max(64)];
+        signal[0] = 1.0;
+        let want = direct_form(&taps, &signal);
+        let got = overlap_save(&taps, &signal, block);
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            prop_assert!((g - w).abs() < 1e-4, "tap-impulse sample {i}: {g} vs {w}");
+        }
+    }
+
+    /// Overlap-save equals the direct form on a step input (worst case for
+    /// accumulated DC error) for odd block sizes.
+    #[test]
+    fn overlap_save_step(n_taps in 1usize..300, block in 1usize..700) {
+        let taps = design_lowpass(n_taps.max(3) | 1, 0.1);
+        let signal = vec![1.0f32; 1000];
+        let want = direct_form(&taps, &signal);
+        let got = overlap_save(&taps, &signal, block | 1);
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            prop_assert!((g - w).abs() < 1e-4, "step sample {i}: {g} vs {w}");
+        }
+    }
+
+    /// Overlap-save equals the direct form on random signals, random tap
+    /// sets, and random (odd and even) streaming block sizes.
+    #[test]
+    fn overlap_save_random(
+        n_taps in 1usize..300,
+        block in 1usize..700,
+        seed in any::<u32>(),
+    ) {
+        let mut x = seed | 1;
+        let mut rnd = move || {
+            x = x.wrapping_mul(1103515245).wrapping_add(12345);
+            ((x >> 16) as f32 / 32768.0) - 1.0
+        };
+        let taps: Vec<f32> = (0..n_taps).map(|_| rnd() * 0.5).collect();
+        let signal: Vec<f32> = (0..1200).map(|_| rnd()).collect();
+        let want = direct_form(&taps, &signal);
+        let got = overlap_save(&taps, &signal, block);
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            prop_assert!((g - w).abs() < 2e-4, "random sample {i}: {g} vs {w}");
         }
     }
 

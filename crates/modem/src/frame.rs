@@ -127,8 +127,10 @@ fn header_decode(soft: &[f32]) -> Option<usize> {
 /// Owns the modulator, demodulator, FEC pipeline and all scratch memory
 /// (phasor tables, symbol buffers, soft-bit buffers), so repeated
 /// modulate/demodulate calls pay none of the per-call setup of the free
-/// functions' original implementations. Output is bit-identical to
-/// [`modulate_frame_reference`] / [`demodulate_frames_reference`].
+/// functions' original implementations. Modulation is bit-identical to
+/// [`modulate_frame_reference`]; demodulation runs the overlap-save receive
+/// path, which recovers the same frames as [`demodulate_frames_reference`]
+/// (baseband differs only by FFT rounding, ~1e-6 relative).
 #[derive(Debug)]
 pub struct FrameCodec {
     modulator: Modulator,
@@ -316,7 +318,7 @@ pub fn modulate_frame_reference(profile: &Profile, payload: &[u8]) -> Vec<f32> {
 pub fn demodulate_frames_reference(profile: &Profile, audio: &[f32]) -> Vec<DemodFrame> {
     let demod = Demodulator::new(profile.clone());
     let fec = FecPipeline::new(profile.fec);
-    let baseband = demod.to_baseband(audio);
+    let baseband = demod.to_baseband_reference(audio);
     let mut out = Vec::new();
     let mut cursor = 0usize;
 

@@ -54,6 +54,7 @@ impl FmModulator {
 pub struct FmDemodulator {
     inv_k: f64,
     prev: C32,
+    scratch: Vec<C32>,
 }
 
 impl Default for FmDemodulator {
@@ -62,17 +63,76 @@ impl Default for FmDemodulator {
     }
 }
 
+/// Polynomial `atan` on `[-1, 1]` (Abramowitz & Stegun 4.4.49 form),
+/// max error ≈ 1e-5 rad.
+#[inline(always)]
+fn fast_atan(z: f32) -> f32 {
+    let z2 = z * z;
+    z * (0.999_866
+        + z2 * (-0.330_299_5 + z2 * (0.180_141 + z2 * (-0.085_133 + 0.020_835_1 * z2))))
+}
+
+/// Branch-light `atan2` built on [`fast_atan`]; max error ≈ 1e-5 rad.
+/// Returns 0 at the origin (the discriminator maps a dead carrier to silence).
+#[inline(always)]
+fn fast_atan2(y: f32, x: f32) -> f32 {
+    use std::f32::consts::{FRAC_PI_2, PI};
+    let ax = x.abs();
+    let ay = y.abs();
+    if ax == 0.0 && ay == 0.0 {
+        return 0.0;
+    }
+    let mut a = if ay > ax {
+        FRAC_PI_2 - fast_atan(ax / ay)
+    } else {
+        fast_atan(ay / ax)
+    };
+    if x < 0.0 {
+        a = PI - a;
+    }
+    if y < 0.0 {
+        a = -a;
+    }
+    a
+}
+
 impl FmDemodulator {
     /// Creates a demodulator matching [`FmModulator::new`].
     pub fn new(sample_rate: f64, deviation: f64) -> Self {
         FmDemodulator {
             inv_k: sample_rate / (TAU * deviation),
             prev: C32::new(1.0, 0.0),
+            scratch: Vec::new(),
         }
     }
 
     /// Demodulates a block, appending recovered composite samples to `out`.
+    ///
+    /// Fast path: the quadrature products `x[n]·x*[n-1]` are computed in one
+    /// vectorizable pass into a scratch buffer, then converted to angles with
+    /// a polynomial `atan2` (error ≈ 1e-5 rad ≈ 5e-6 composite units — far
+    /// below the discriminator's own noise floor). The libm-per-sample
+    /// original is kept as [`FmDemodulator::demodulate_into_reference`].
     pub fn demodulate_into(&mut self, baseband: &[C32], out: &mut Vec<f32>) {
+        self.scratch.clear();
+        self.scratch.reserve(baseband.len());
+        let mut prev = self.prev;
+        for &x in baseband {
+            self.scratch.push(x.mul_conj(prev));
+            prev = x;
+        }
+        self.prev = prev;
+        let inv_k = self.inv_k as f32;
+        let start = out.len();
+        out.resize(start + baseband.len(), 0.0);
+        for (d, o) in self.scratch.iter().zip(out[start..].iter_mut()) {
+            *o = fast_atan2(d.im, d.re) * inv_k;
+        }
+    }
+
+    /// Original per-sample discriminator using libm `atan2`; kept as the
+    /// executable specification for [`FmDemodulator::demodulate_into`].
+    pub fn demodulate_into_reference(&mut self, baseband: &[C32], out: &mut Vec<f32>) {
         for &x in baseband {
             let d = x.mul_conj(self.prev);
             self.prev = x;
@@ -130,6 +190,34 @@ mod tests {
         let mut out = Vec::new();
         d.demodulate_into(&bb, &mut out);
         assert!(rms(&out[10..]) < 1e-4);
+    }
+
+    #[test]
+    fn fast_discriminator_matches_reference() {
+        // Noisy baseband exercises every quadrant of the atan2.
+        let mut m = FmModulator::default();
+        let sig = tone(MPX_RATE, 7_000.0, 30_000, 0.8);
+        let mut bb = Vec::new();
+        m.modulate_into(&sig, &mut bb);
+        let mut x = 7u32;
+        for v in bb.iter_mut() {
+            x = x.wrapping_mul(1103515245).wrapping_add(12345);
+            let n1 = ((x >> 16) as f32 / 32768.0) - 1.0;
+            x = x.wrapping_mul(1103515245).wrapping_add(12345);
+            let n2 = ((x >> 16) as f32 / 32768.0) - 1.0;
+            *v += C32::new(n1, n2).scale(0.4);
+        }
+        let mut fast = FmDemodulator::default();
+        let mut refd = FmDemodulator::default();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        // Split feed checks the carried `prev` state too.
+        fast.demodulate_into(&bb[..11_111], &mut a);
+        fast.demodulate_into(&bb[11_111..], &mut a);
+        refd.demodulate_into_reference(&bb, &mut b);
+        assert_eq!(a.len(), b.len());
+        for (u, v) in a.iter().zip(&b) {
+            assert!((u - v).abs() < 2e-4, "{u} vs {v}");
+        }
     }
 
     #[test]

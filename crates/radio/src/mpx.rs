@@ -15,7 +15,7 @@
 //! SNR despite FM's triangular noise spectrum.
 
 use crate::{rds, AUDIO_RATE, MPX_RATE};
-use sonic_dsp::fir::{design_bandpass, design_lowpass, Fir};
+use sonic_dsp::fir::{design_bandpass, design_lowpass, BlockFir, Fir};
 use sonic_dsp::iir::{Deemphasis, Preemphasis};
 use sonic_dsp::resample::Resampler;
 use std::f64::consts::TAU;
@@ -105,35 +105,74 @@ pub struct MpxOutput {
     pub stereo_diff: Option<Vec<f32>>,
 }
 
+/// Number of taps in every band-select filter of the decomposer.
+const BAND_TAPS: usize = 257;
+
+/// Applies a band-select FIR in place, either with the fast overlap-save
+/// engine or the direct form the decomposer originally used. The two differ
+/// only by FFT rounding (~1e-6 relative).
+fn band_filter(signal: &mut [f32], taps: Vec<f32>, fast: bool) {
+    if fast {
+        BlockFir::new(&taps).process(signal);
+    } else {
+        Fir::new(taps).process(signal);
+    }
+}
+
 /// Splits a 228 kHz composite back into its services.
+///
+/// This is the fast receive path: every 257-tap band filter runs through the
+/// FFT overlap-save engine ([`BlockFir`]) instead of the direct form, and the
+/// 44.1 kHz conversions stay in the polyphase [`Resampler`], which only
+/// computes taps at the decimated output rate. Output matches
+/// [`decompose_reference`] to within FFT rounding (~1e-6 relative — property
+/// tests bound the RMS error and check the frame-loss curve is unchanged).
 pub fn decompose(composite: &[f32]) -> MpxOutput {
+    decompose_impl(composite, true)
+}
+
+/// Direct-form reference decomposer (the original implementation), kept as
+/// the executable specification for the fast path.
+pub fn decompose_reference(composite: &[f32]) -> MpxOutput {
+    decompose_impl(composite, false)
+}
+
+fn decompose_impl(composite: &[f32], fast: bool) -> MpxOutput {
     // --- mono path: LPF 15 kHz, downsample, de-emphasize ---
-    let mut lp = Fir::new(design_lowpass(257, 16_000.0 / MPX_RATE));
     let mut mono_hi: Vec<f32> = composite.to_vec();
-    lp.process(&mut mono_hi);
+    band_filter(&mut mono_hi, design_lowpass(BAND_TAPS, 16_000.0 / MPX_RATE), fast);
     let mut down = Resampler::new(MPX_RATE as usize, AUDIO_RATE as usize, 32);
     let mut mono = Vec::with_capacity(composite.len() / 5);
     down.process_into(&mono_hi, &mut mono);
     Deemphasis::new(AUDIO_RATE, 50e-6).process(&mut mono);
 
     // --- pilot detection ---
-    let mut pilot_bp = Fir::new(design_bandpass(257, 18_000.0 / MPX_RATE, 20_000.0 / MPX_RATE));
     let mut pilot: Vec<f32> = composite.to_vec();
-    pilot_bp.process(&mut pilot);
+    band_filter(
+        &mut pilot,
+        design_bandpass(BAND_TAPS, 18_000.0 / MPX_RATE, 20_000.0 / MPX_RATE),
+        fast,
+    );
     let pilot_power: f32 =
         pilot.iter().map(|&x| x * x).sum::<f32>() / composite.len().max(1) as f32;
     let has_pilot = pilot_power > (level::PILOT * level::PILOT) * 0.5 * 0.2;
 
     // --- stereo difference ---
     let stereo_diff = if has_pilot {
-        let mut bp = Fir::new(design_bandpass(257, 22_000.0 / MPX_RATE, 54_000.0 / MPX_RATE));
         let mut band: Vec<f32> = composite.to_vec();
-        bp.process(&mut band);
+        band_filter(
+            &mut band,
+            design_bandpass(BAND_TAPS, 22_000.0 / MPX_RATE, 54_000.0 / MPX_RATE),
+            fast,
+        );
         // Regenerate 38 kHz by squaring the pilot (classic receiver trick):
         // sin²(ωt) = (1 − cos 2ωt)/2 ⇒ bandpass at 38 kHz gives −cos(2ωt)/2.
         let mut sq: Vec<f32> = pilot.iter().map(|&p| p * p).collect();
-        let mut bp38 = Fir::new(design_bandpass(257, 36_000.0 / MPX_RATE, 40_000.0 / MPX_RATE));
-        bp38.process(&mut sq);
+        band_filter(
+            &mut sq,
+            design_bandpass(BAND_TAPS, 36_000.0 / MPX_RATE, 40_000.0 / MPX_RATE),
+            fast,
+        );
         // Normalize the regenerated carrier to unit amplitude.
         let carrier_rms =
             (sq.iter().map(|&x| x * x).sum::<f32>() / sq.len().max(1) as f32).sqrt();
@@ -156,8 +195,7 @@ pub fn decompose(composite: &[f32]) -> MpxOutput {
                 -2.0 * b * c * norm * 2.0 / level::STEREO
             })
             .collect();
-        let mut lp2 = Fir::new(design_lowpass(257, 16_000.0 / MPX_RATE));
-        lp2.process(&mut mixed);
+        band_filter(&mut mixed, design_lowpass(BAND_TAPS, 16_000.0 / MPX_RATE), fast);
         let mut down2 = Resampler::new(MPX_RATE as usize, AUDIO_RATE as usize, 32);
         let mut diff = Vec::with_capacity(mixed.len() / 5);
         down2.process_into(&mixed, &mut diff);
@@ -168,9 +206,12 @@ pub fn decompose(composite: &[f32]) -> MpxOutput {
     };
 
     // --- RDS ---
-    let mut rds_bp = Fir::new(design_bandpass(257, 54_500.0 / MPX_RATE, 59_500.0 / MPX_RATE));
     let mut rds_band: Vec<f32> = composite.to_vec();
-    rds_bp.process(&mut rds_band);
+    band_filter(
+        &mut rds_band,
+        design_bandpass(BAND_TAPS, 54_500.0 / MPX_RATE, 59_500.0 / MPX_RATE),
+        fast,
+    );
     let rds_power: f32 =
         rds_band.iter().map(|&x| x * x).sum::<f32>() / rds_band.len().max(1) as f32;
     let rds_bits = if rds_power > (level::RDS * level::RDS) * 0.05 {
@@ -270,6 +311,35 @@ mod tests {
         // Mono leak into the stereo channel should be small.
         let leak = tone_level(&rec[skip..], 1_000.0);
         assert!(leak < 0.1, "mono leak {leak}");
+    }
+
+    #[test]
+    fn fast_decompose_matches_reference() {
+        // All services active so every band filter (including the stereo
+        // branch with its squared-pilot 38 kHz regeneration) runs.
+        let comp = compose(&MpxInput {
+            mono: tone(1_000.0, 44_100, 0.4),
+            stereo_diff: Some(tone(2_500.0, 44_100, 0.3)),
+            rds_bits: Some([1, 0, 1, 1, 0, 0, 1, 0].repeat(24)),
+        });
+        let fast = decompose(&comp);
+        let slow = decompose_reference(&comp);
+
+        let rel_rms = |a: &[f32], b: &[f32]| -> f64 {
+            assert_eq!(a.len(), b.len());
+            let mut err = 0.0f64;
+            let mut pow = 0.0f64;
+            for (x, y) in a.iter().zip(b) {
+                err += ((x - y) as f64).powi(2);
+                pow += (*y as f64).powi(2);
+            }
+            (err / pow.max(1e-30)).sqrt()
+        };
+        assert!(rel_rms(&fast.mono, &slow.mono) < 1e-4, "mono diverged");
+        let fd = fast.stereo_diff.expect("fast pilot");
+        let sd = slow.stereo_diff.expect("reference pilot");
+        assert!(rel_rms(&fd, &sd) < 1e-4, "stereo diff diverged");
+        assert_eq!(fast.rds_bits, slow.rds_bits, "RDS bits must be identical");
     }
 
     #[test]

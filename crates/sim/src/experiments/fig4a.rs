@@ -6,7 +6,7 @@
 //! considering about one meter … We also observe a 100 % loss rate at
 //! distances above 1.1 m."
 
-use crate::linksim::{run, ChannelSetup};
+use crate::linksim::{run_batch, ChannelSetup, LinkJob};
 use crate::stats::BoxStats;
 use sonic_modem::profile::Profile;
 
@@ -52,22 +52,34 @@ pub struct DistanceResult {
 }
 
 /// Runs the full figure.
+///
+/// Every distance × repetition receiver runs as an independent job on the
+/// worker pool (per-job channel seeds), so the result is identical to the
+/// serial loop for any worker count.
 pub fn run_experiment(cfg: &Config) -> Vec<DistanceResult> {
     let frames = cfg.bursts_per_rep * sonic_core::link::FRAMES_PER_BURST;
+    let jobs: Vec<LinkJob> = cfg
+        .distances_m
+        .iter()
+        .flat_map(|&d| {
+            (0..cfg.reps).map(move |rep| LinkJob {
+                setup: if d <= 0.0 {
+                    ChannelSetup::Cable
+                } else {
+                    ChannelSetup::Acoustic { distance_m: d }
+                },
+                n_frames: frames,
+                seed: cfg.seed ^ ((d * 1000.0) as u64) << 8 ^ rep as u64,
+            })
+        })
+        .collect();
+    let results = run_batch(&cfg.profile, jobs);
     cfg.distances_m
         .iter()
-        .map(|&d| {
-            let losses: Vec<f64> = (0..cfg.reps)
-                .map(|rep| {
-                    let setup = if d <= 0.0 {
-                        ChannelSetup::Cable
-                    } else {
-                        ChannelSetup::Acoustic { distance_m: d }
-                    };
-                    let seed = cfg.seed ^ ((d * 1000.0) as u64) << 8 ^ rep as u64;
-                    run(&cfg.profile, setup, frames, seed).frame_loss
-                })
-                .collect();
+        .enumerate()
+        .map(|(i, &d)| {
+            let runs = &results[i * cfg.reps..(i + 1) * cfg.reps];
+            let losses: Vec<f64> = runs.iter().map(|r| r.frame_loss).collect();
             DistanceResult {
                 distance_m: d,
                 summary: BoxStats::of(&losses),

@@ -75,33 +75,59 @@ fn top_pages(corpus: &Corpus, n: usize) -> Vec<PageId> {
 }
 
 /// Runs the study.
+///
+/// The expensive half — render, synthetic loss, interpolate, measure — is a
+/// pure function per (loss rate, interpolation, page) and fans out on the
+/// worker pool. The panel then consumes the precomputed degradations
+/// serially in the original (loss, interpolation, question, page) order, so
+/// its RNG stream — and therefore every rating — is identical to the serial
+/// implementation for any worker count.
 pub fn run_experiment(cfg: &Config) -> Vec<Cell> {
     let corpus = Corpus::standard();
     let pages = top_pages(&corpus, cfg.n_pages);
     let mut panel = Panel::new(cfg.raters, cfg.seed);
 
+    // Measurement jobs, one per (loss, interpolated, page).
+    let n_pages = pages.len();
+    let jobs: Vec<(f64, bool, usize)> = cfg
+        .loss_rates
+        .iter()
+        .flat_map(|&loss| {
+            [false, true]
+                .into_iter()
+                .flat_map(move |interp| (0..n_pages).map(move |k| (loss, interp, k)))
+        })
+        .collect();
+    let degradations = crate::pool::run_ordered(
+        jobs,
+        crate::pool::default_workers(),
+        |(loss, interpolated, k)| {
+            let rendered = corpus.render(pages[k], 0, cfg.scale);
+            let w = rendered.raster.width();
+            let h = rendered.raster.height();
+            let mask = LossMask::random(
+                w,
+                h,
+                loss,
+                cfg.seed ^ ((loss * 1e4) as u64) << 16 ^ k as u64,
+            );
+            let distorted = if interpolated {
+                recover(&rendered.raster, &mask)
+            } else {
+                blackout(&rendered.raster, &mask)
+            };
+            measure(&rendered.raster, &distorted, &rendered.text_mask)
+        },
+    );
+
     let mut cells: Vec<Cell> = Vec::new();
-    for &loss in &cfg.loss_rates {
-        for interpolated in [false, true] {
+    for (li, &loss) in cfg.loss_rates.iter().enumerate() {
+        for (ii, interpolated) in [false, true].into_iter().enumerate() {
             for question in [Question::Content, Question::Text] {
                 let mut medians = Vec::with_capacity(pages.len());
-                for (k, &id) in pages.iter().enumerate() {
-                    let rendered = corpus.render(id, 0, cfg.scale);
-                    let w = rendered.raster.width();
-                    let h = rendered.raster.height();
-                    let mask = LossMask::random(
-                        w,
-                        h,
-                        loss,
-                        cfg.seed ^ ((loss * 1e4) as u64) << 16 ^ k as u64,
-                    );
-                    let distorted = if interpolated {
-                        recover(&rendered.raster, &mask)
-                    } else {
-                        blackout(&rendered.raster, &mask)
-                    };
-                    let d = measure(&rendered.raster, &distorted, &rendered.text_mask);
-                    let ratings = panel.rate(question, &d, cfg.ratings_per_shot);
+                for k in 0..pages.len() {
+                    let d = &degradations[(li * 2 + ii) * pages.len() + k];
+                    let ratings = panel.rate(question, d, cfg.ratings_per_shot);
                     medians.push(crate::stats::median(&ratings));
                 }
                 cells.push(Cell {

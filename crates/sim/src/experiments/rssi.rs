@@ -6,7 +6,7 @@
 //! −90 dB range, we record a fluctuating frame loss rate between 2 and
 //! 15 %. … for RSSI below −90 dB, we are unable to receive any frames."
 
-use crate::linksim::{run, ChannelSetup};
+use crate::linksim::{run_batch, ChannelSetup, LinkJob};
 use crate::stats::{mean, BoxStats};
 use sonic_modem::profile::Profile;
 
@@ -54,23 +54,30 @@ pub struct RssiResult {
 }
 
 /// Runs the sweep (client in "cable" mode, per the paper's setup).
+///
+/// All point × repetition receivers are independent (per-job channel seeds),
+/// so the whole sweep fans out on the worker pool; results are regrouped in
+/// point order and are identical to the serial loop for any worker count.
 pub fn run_experiment(cfg: &Config) -> Vec<RssiResult> {
     let frames = cfg.bursts_per_rep * sonic_core::link::FRAMES_PER_BURST;
+    let jobs: Vec<LinkJob> = cfg
+        .rssi_db
+        .iter()
+        .flat_map(|&rssi| {
+            (0..cfg.reps).map(move |rep| LinkJob {
+                setup: ChannelSetup::Fm { rssi_db: rssi },
+                n_frames: frames,
+                seed: cfg.seed ^ ((-rssi * 10.0) as u64) << 10 ^ rep as u64,
+            })
+        })
+        .collect();
+    let results = run_batch(&cfg.profile, jobs);
     cfg.rssi_db
         .iter()
-        .map(|&rssi| {
-            let losses: Vec<f64> = (0..cfg.reps)
-                .map(|rep| {
-                    let seed = cfg.seed ^ ((-rssi * 10.0) as u64) << 10 ^ rep as u64;
-                    run(
-                        &cfg.profile,
-                        ChannelSetup::Fm { rssi_db: rssi },
-                        frames,
-                        seed,
-                    )
-                    .frame_loss
-                })
-                .collect();
+        .enumerate()
+        .map(|(i, &rssi)| {
+            let runs = &results[i * cfg.reps..(i + 1) * cfg.reps];
+            let losses: Vec<f64> = runs.iter().map(|r| r.frame_loss).collect();
             RssiResult {
                 rssi_db: rssi,
                 mean_loss: mean(&losses),

@@ -6,6 +6,7 @@
 //!
 //! * [`linksim`] — frames → modem → FM/acoustic channel → frames, with loss
 //!   accounting (Figures 4a and the RSSI sweep).
+//! * [`pool`] — deterministic worker pool the sweeps fan out on.
 //! * [`broadcast`] — hourly backlog recurrence (Figure 4c).
 //! * [`study`] — the 151-rater perceptual panel model (Figure 5).
 //! * [`workload`], [`des`] — request workloads and a small event simulator
@@ -19,6 +20,7 @@ pub mod broadcast;
 pub mod des;
 pub mod experiments;
 pub mod linksim;
+pub mod pool;
 pub mod report;
 pub mod stats;
 pub mod study;

@@ -115,9 +115,62 @@ pub fn run(profile: &Profile, setup: ChannelSetup, n_frames: usize, seed: u64) -
     }
 }
 
+/// One independent receiver run in a batch.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkJob {
+    /// Channel chain to exercise.
+    pub setup: ChannelSetup,
+    /// Frames offered.
+    pub n_frames: usize,
+    /// Channel RNG seed (fully determines the run together with the setup).
+    pub seed: u64,
+}
+
+/// Runs a batch of independent link jobs on the worker pool, returning one
+/// result per job **in job order**.
+///
+/// Every job is a pure function of `(profile, setup, n_frames, seed)` — each
+/// run seeds its own channel RNG — so `run_batch` returns exactly what
+/// calling [`run`] in a loop would, independent of worker count. This is the
+/// receiver fan-out behind the RSSI sweep and Figure 4(a): the sweeps build
+/// their full point × repetition job list and hand it here.
+pub fn run_batch(profile: &Profile, jobs: Vec<LinkJob>) -> Vec<LinkRunResult> {
+    run_batch_on(profile, jobs, crate::pool::default_workers())
+}
+
+/// [`run_batch`] with an explicit worker count (1 = serial; used by the
+/// determinism tests).
+pub fn run_batch_on(profile: &Profile, jobs: Vec<LinkJob>, workers: usize) -> Vec<LinkRunResult> {
+    crate::pool::run_ordered(jobs, workers, |job| {
+        run(profile, job.setup, job.n_frames, job.seed)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn batch_results_are_worker_count_independent() {
+        let profile = Profile::sonic_10k();
+        let jobs: Vec<LinkJob> = (0..4)
+            .map(|i| LinkJob {
+                setup: ChannelSetup::Fm {
+                    rssi_db: -86.0 - i as f64,
+                },
+                n_frames: FRAMES_PER_BURST,
+                seed: 0xBA7C ^ i,
+            })
+            .collect();
+        let serial = run_batch_on(&profile, jobs.clone(), 1);
+        let parallel = run_batch_on(&profile, jobs, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.frames_received, b.frames_received);
+            assert_eq!(a.bursts_failed, b.bursts_failed);
+            assert_eq!(a.frame_loss, b.frame_loss);
+        }
+    }
 
     #[test]
     fn cable_is_lossless() {

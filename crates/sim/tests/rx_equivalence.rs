@@ -1,0 +1,61 @@
+//! Fast-vs-reference receive-path equivalence at the experiment level.
+//!
+//! The RSSI sweep is the paper's headline receiver experiment; the fast
+//! receive path (overlap-save FIR banks, block FM discriminator, per-axis
+//! demapper) must reproduce the reference path's frame-loss curve *exactly*
+//! at seeded sweep points, not just approximately — otherwise every figure
+//! regenerated after the optimization would silently shift.
+
+use sonic_core::link;
+use sonic_modem::{demodulate_frames, demodulate_frames_reference, Profile};
+use sonic_radio::stack::FmLink;
+use sonic_sim::linksim::test_frames;
+
+/// Mirrors the link harness' FM input drive level.
+fn scale_to_rms(audio: &mut [f32], target: f32) {
+    let rms = (audio.iter().map(|&x| x * x).sum::<f32>() / audio.len().max(1) as f32).sqrt();
+    if rms > 1e-12 {
+        let g = target / rms;
+        for v in audio.iter_mut() {
+            *v *= g;
+        }
+    }
+}
+
+/// Runs one seeded RSSI point through both receive paths and returns the
+/// number of PHY frames recovered by (fast, reference).
+fn frames_recovered(profile: &Profile, rssi_db: f64, seed: u64) -> (usize, usize) {
+    let frames = test_frames(sonic_core::link::FRAMES_PER_BURST, seed as u8);
+    let mut audio = link::modulate(profile, &frames);
+    scale_to_rms(&mut audio, 0.08);
+
+    let link_pair = FmLink::new(rssi_db, seed);
+    let fast_mono = link_pair.transmit(&audio, None).mono;
+    let ref_mono = link_pair.transmit_reference(&audio, None).mono;
+
+    let fast = demodulate_frames(profile, &fast_mono)
+        .iter()
+        .filter(|f| f.payload.is_ok())
+        .count();
+    let reference = demodulate_frames_reference(profile, &ref_mono)
+        .iter()
+        .filter(|f| f.payload.is_ok())
+        .count();
+    (fast, reference)
+}
+
+#[test]
+fn seeded_rssi_points_lose_identical_frame_counts() {
+    let profile = Profile::sonic_10k();
+    // Sweep seed formula from `experiments::rssi` (base seed 0x2551): one
+    // clean point, one marginal point near the paper's −85…−90 dB band, and
+    // one dead point.
+    for rssi in [-70.0f64, -87.0, -92.0] {
+        let seed = 0x2551u64 ^ ((-rssi * 10.0) as u64) << 10;
+        let (fast, reference) = frames_recovered(&profile, rssi, seed);
+        assert_eq!(
+            fast, reference,
+            "frame-loss mismatch at {rssi} dB (seed {seed:#x}): fast {fast} vs reference {reference}"
+        );
+    }
+}
