@@ -1,0 +1,361 @@
+//! Performance acceptance bench for the content-addressed broadcast
+//! artifact cache.
+//!
+//! Two workloads, both over the standard 100-page corpus rendered at hour
+//! 12 (audio included — render → strip encode → chunk → OFDM modulate):
+//!
+//! 1. **Strip-mutation carousel** (the acceptance target). 15% of the
+//!    pages get a localized edit — a widget-sized block of a few columns
+//!    changes, the rest of the page doesn't — and the carousel re-pushes
+//!    within the same content version. This is the workload the delta
+//!    machinery is built for: unchanged pages are served verbatim off
+//!    their layout hash, mutated pages re-encode only dirty strips and
+//!    re-modulate only bursts the cached burst table doesn't recognize.
+//!    Warm refresh must be ≥5x faster than the cold build of the same
+//!    content.
+//! 2. **Hourly churn refresh** (informational). The corpus' own hour
+//!    12→13 transition mutates ~18% of pages, but those are the
+//!    churn-heavy news pages — the most expensive fraction of the corpus
+//!    — and their content genuinely changed, so re-render + re-encode +
+//!    re-modulate is mandatory work no cache can skip (new version ⇒ new
+//!    page id in every frame). The speedup here is bounded by the changed
+//!    pages' cost share (~55%), and the number is reported to keep the
+//!    bench honest about it.
+//!
+//! Results (timings, pages/s, hit rates) go to `BENCH_broadcast.json` at
+//! the repo root. `--smoke` runs a reduced corpus once and reports ratios
+//! informationally — CI uses it to prove the bench builds and the cache
+//! paths work end to end.
+
+use sonic_core::server::cache::ArtifactCache;
+use sonic_core::server::pipeline::{
+    refresh_page_with, refresh_pages, PageJob, RefreshPath, RefreshStats, RenderedContent,
+};
+use sonic_core::server::render::Renderer;
+use sonic_image::hash::Fnv64;
+use sonic_image::raster::Rgb;
+use sonic_modem::Profile;
+use sonic_pagegen::{Corpus, PageId};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Fraction of pages mutated in the strip-mutation workload.
+const MUTATED_PERCENT: usize = 15;
+/// Width of the mutated column band, as a percentage of the page width.
+const BAND_PERCENT: usize = 6;
+
+/// Synthetic render-input content address for prepared pages: the page key
+/// folded with an edit epoch (0 = original render, 1 = after the edit).
+fn prepared_layout_hash(id: PageId, epoch: u64) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(id.site as u64)
+        .write_u64(id.page as u64)
+        .write_u64(epoch);
+    h.finish()
+}
+
+struct Prepared {
+    id: PageId,
+    /// The original render (what the cold carousel pushes).
+    content: RenderedContent,
+    /// The localized edit of the same page (what the warm refresh pushes),
+    /// for the mutated subset.
+    edited: Option<RenderedContent>,
+}
+
+/// Renders the whole corpus once (untimed) and prepares the localized edits.
+fn prepare_pages(renderer: &Renderer, hour: u64) -> Vec<Prepared> {
+    let corpus = renderer.corpus();
+    let ids = corpus.pages();
+    let n_mutated = ids.len() * MUTATED_PERCENT / 100;
+    let stride = ids.len() / n_mutated.max(1);
+    ids.into_iter()
+        .enumerate()
+        .map(|(i, id)| {
+            let rendered = corpus.render(id, hour, renderer.scale());
+            let ttl = corpus.sites[id.site].category.landing_churn_hours().max(1) as u16;
+            let content = RenderedContent {
+                url: rendered.url,
+                raster: rendered.raster,
+                clickmap: rendered.clickmap,
+                version: (hour % u16::MAX as u64) as u16,
+                ttl_hours: ttl,
+            };
+            let mutated = stride > 0 && i % stride == 0 && i / stride < n_mutated;
+            let edited = mutated.then(|| {
+                // A localized edit: a widget-sized block (BAND_PERCENT of the
+                // width × 1/16 of the height, e.g. a ticker or sidebar item)
+                // changes somewhere in the page; the rest of the page is
+                // untouched.
+                let mut e = content.clone();
+                let (w, h) = (e.raster.width(), e.raster.height());
+                let band_w = (w * BAND_PERCENT / 100).max(1);
+                let x0 = (i * 37) % (w - band_w).max(1);
+                for y in h / 3..(h / 3 + h / 16).min(h) {
+                    for x in x0..x0 + band_w {
+                        let p = e.raster.get(x, y);
+                        e.raster.set(x, y, Rgb::new(p.r ^ 0x40, p.g, p.b));
+                    }
+                }
+                e
+            });
+            Prepared { id, content, edited }
+        })
+        .collect()
+}
+
+/// Pushes every prepared page through the cache at `epoch`, returning the
+/// wall time and per-path counts. Mutated pages advance to `epoch`; the
+/// rest keep their original layout hash so the cache can prove them
+/// unchanged without touching the raster.
+fn push_carousel(
+    cache: &mut ArtifactCache,
+    pages: &[Prepared],
+    profile: &Profile,
+    hour: u64,
+    epoch: u64,
+) -> (f64, RefreshStats) {
+    let mut stats = RefreshStats {
+        pages: pages.len(),
+        ..RefreshStats::default()
+    };
+    let t0 = Instant::now();
+    for p in pages {
+        let push_edit = epoch > 0 && p.edited.is_some();
+        let lh = prepared_layout_hash(p.id, if push_edit { epoch } else { 0 });
+        let content = if push_edit {
+            p.edited.as_ref().expect("edited content")
+        } else {
+            &p.content
+        };
+        let (artifact, path) =
+            refresh_page_with(cache, p.id, lh, hour, Some(profile), || content.clone());
+        match path {
+            RefreshPath::FullHit => stats.full_hits += 1,
+            RefreshPath::Delta => stats.delta_hits += 1,
+            RefreshPath::Cold => stats.misses += 1,
+        }
+        black_box(&artifact);
+    }
+    (t0.elapsed().as_secs_f64(), stats)
+}
+
+/// One cold-build + hourly-churn-refresh cycle on a fresh cache (workload 2).
+fn churn_cycle(renderer: &Renderer, profile: &Profile, hour: u64) -> (f64, f64, RefreshStats) {
+    let jobs_cold: Vec<PageJob> = renderer
+        .corpus()
+        .pages()
+        .into_iter()
+        .map(|id| PageJob { id, hour })
+        .collect();
+    let jobs_warm: Vec<PageJob> = jobs_cold
+        .iter()
+        .map(|j| PageJob {
+            hour: hour + 1,
+            ..*j
+        })
+        .collect();
+    let mut cache = ArtifactCache::unbounded();
+    let t0 = Instant::now();
+    let (cold, _) = refresh_pages(renderer, &mut cache, &jobs_cold, Some(profile));
+    let cold_s = t0.elapsed().as_secs_f64();
+    black_box(&cold);
+    let t1 = Instant::now();
+    let (warm, stats) = refresh_pages(renderer, &mut cache, &jobs_warm, Some(profile));
+    let warm_s = t1.elapsed().as_secs_f64();
+    black_box(&warm);
+    (cold_s, warm_s, stats)
+}
+
+/// Untimed bit-identity spot check: the delta-spliced artifact of one
+/// mutated page must equal a cold build of the same content.
+fn verify_delta_identity(pages: &[Prepared], profile: &Profile, hour: u64) {
+    let base = pages.iter().find(|p| p.edited.is_some()).expect("a mutated page");
+    let edited = base.edited.as_ref().expect("edited content");
+    let mut warm_cache = ArtifactCache::unbounded();
+    let (_, path) = refresh_page_with(
+        &mut warm_cache,
+        base.id,
+        prepared_layout_hash(base.id, 0),
+        hour,
+        Some(profile),
+        || base.content.clone(),
+    );
+    assert_eq!(path, RefreshPath::Cold);
+    let (delta_artifact, path) = refresh_page_with(
+        &mut warm_cache,
+        base.id,
+        prepared_layout_hash(base.id, 1),
+        hour,
+        Some(profile),
+        || edited.clone(),
+    );
+    assert_eq!(path, RefreshPath::Delta);
+    let mut cold_cache = ArtifactCache::unbounded();
+    let (cold_artifact, _) = refresh_page_with(
+        &mut cold_cache,
+        base.id,
+        prepared_layout_hash(base.id, 1),
+        hour,
+        Some(profile),
+        || edited.clone(),
+    );
+    assert_eq!(*delta_artifact.frames, *cold_artifact.frames, "frames must splice bit-identically");
+    assert_eq!(delta_artifact.audio.len(), cold_artifact.audio.len());
+    for (i, (a, b)) in delta_artifact
+        .audio
+        .iter()
+        .zip(cold_artifact.audio.iter())
+        .enumerate()
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "audio sample {i}");
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (corpus, scale, samples) = if smoke {
+        (Corpus::small(6), 0.05, 1)
+    } else {
+        (
+            Corpus::standard(),
+            sonic_sim::experiments::env_or("SONIC_CACHE_BENCH_SCALE", 0.1),
+            2,
+        )
+    };
+    let hour = 12u64;
+    let renderer = Renderer::new(corpus, scale);
+    let profile = Profile::sonic_10k();
+
+    // --- workload 1: strip-mutation carousel -------------------------------
+    let pages = prepare_pages(&renderer, hour);
+    let n_pages = pages.len();
+    let n_mutated = pages.iter().filter(|p| p.edited.is_some()).count();
+    println!(
+        "strip-mutation carousel: {n_pages} pages at scale {scale}, {n_mutated} mutated \
+         ({}% of pages, {BAND_PERCENT}% column band each){}",
+        100 * n_mutated / n_pages,
+        if smoke { "  [smoke]" } else { "" }
+    );
+    verify_delta_identity(&pages, &profile, hour);
+
+    let mut best_cold = f64::INFINITY;
+    let mut best_warm = f64::INFINITY;
+    let mut warm_stats = RefreshStats::default();
+    let mut reuse_stats = sonic_core::server::cache::ArtifactCacheStats::default();
+    for _ in 0..=samples {
+        // First iteration doubles as warm-up for codec/alloc caches.
+        let mut cache = ArtifactCache::unbounded();
+        let (cold_s, cold_stats) = push_carousel(&mut cache, &pages, &profile, hour, 0);
+        assert_eq!(cold_stats.misses, n_pages, "cold cache: all misses");
+        cache.stats = Default::default();
+        let (warm_s, stats) = push_carousel(&mut cache, &pages, &profile, hour, 1);
+        assert_eq!(stats.full_hits, n_pages - n_mutated);
+        assert_eq!(stats.delta_hits, n_mutated, "every edit takes the delta path");
+        best_cold = best_cold.min(cold_s);
+        if warm_s < best_warm {
+            best_warm = warm_s;
+            warm_stats = stats;
+            reuse_stats = cache.stats;
+        }
+    }
+    let speedup = best_cold / best_warm;
+    let hit_rate = warm_stats.full_hits as f64 / n_pages as f64;
+    println!(
+        "  cold build    {:>8.3} s   {:>7.2} pages/s",
+        best_cold,
+        n_pages as f64 / best_cold
+    );
+    println!(
+        "  warm refresh  {:>8.3} s   {:>7.2} pages/s   {} full hits / {} delta / {} cold \
+         (hit rate {:.0}%)",
+        best_warm,
+        n_pages as f64 / best_warm,
+        warm_stats.full_hits,
+        warm_stats.delta_hits,
+        warm_stats.misses,
+        hit_rate * 100.0
+    );
+    println!(
+        "  delta reuse: {}/{} strips spliced, {}/{} bursts spliced",
+        reuse_stats.strips_reused,
+        reuse_stats.strips_reused + reuse_stats.strips_reencoded,
+        reuse_stats.bursts_reused,
+        reuse_stats.bursts_reused + reuse_stats.bursts_modulated
+    );
+    let need = if smoke { 0.0 } else { 5.0 };
+    let pass = speedup >= need;
+    let verdict = if smoke {
+        "info"
+    } else if pass {
+        "PASS"
+    } else {
+        "FAIL"
+    };
+    println!("  speedup {speedup:>5.2}x (need >= {need:.1}x)  [{verdict}]");
+
+    // --- workload 2: hourly churn (informational) --------------------------
+    let n_changed = renderer
+        .corpus()
+        .pages()
+        .into_iter()
+        .filter(|&id| renderer.corpus().changed(id, hour, hour + 1))
+        .count();
+    println!(
+        "\nhourly churn refresh: hour {hour}->{} ({n_changed} pages genuinely changed, \
+         rebuild mandatory)",
+        hour + 1
+    );
+    let mut churn_cold = f64::INFINITY;
+    let mut churn_warm = f64::INFINITY;
+    let mut churn_stats = RefreshStats::default();
+    for _ in 0..samples.max(1) {
+        let (c, w, s) = churn_cycle(&renderer, &profile, hour);
+        churn_cold = churn_cold.min(c);
+        if w < churn_warm {
+            churn_warm = w;
+            churn_stats = s;
+        }
+    }
+    let churn_speedup = churn_cold / churn_warm;
+    println!(
+        "  cold {churn_cold:>7.3} s   warm {churn_warm:>7.3} s   speedup {churn_speedup:.2}x  \
+         ({} full hits / {} delta / {} cold)  [info: bounded by changed pages' cost share]",
+        churn_stats.full_hits, churn_stats.delta_hits, churn_stats.misses
+    );
+
+    // Machine-readable results at the repo root.
+    let json = format!(
+        "{{\n  \"bench\": \"perf_broadcast_cache\",\n  \"smoke\": {smoke},\n  \
+         \"pages\": {n_pages},\n  \"scale\": {scale},\n  \
+         \"strip_mutation\": {{\n    \"mutated_pages\": {n_mutated},\n    \
+         \"cold_s\": {best_cold:.6},\n    \"warm_s\": {best_warm:.6},\n    \
+         \"speedup\": {speedup:.3},\n    \
+         \"pages_per_s_cold\": {:.3},\n    \"pages_per_s_warm\": {:.3},\n    \
+         \"full_hits\": {},\n    \"delta_hits\": {},\n    \"hit_rate\": {hit_rate:.4}\n  }},\n  \
+         \"hourly_churn\": {{\n    \"changed_pages\": {n_changed},\n    \
+         \"cold_s\": {churn_cold:.6},\n    \"warm_s\": {churn_warm:.6},\n    \
+         \"speedup\": {churn_speedup:.3},\n    \"full_hits\": {},\n    \
+         \"delta_hits\": {},\n    \"misses\": {}\n  }}\n}}\n",
+        n_pages as f64 / best_cold,
+        n_pages as f64 / best_warm,
+        warm_stats.full_hits,
+        warm_stats.delta_hits,
+        churn_stats.full_hits,
+        churn_stats.delta_hits,
+        churn_stats.misses,
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_broadcast.json");
+    match std::fs::write(&out, json) {
+        Ok(()) => println!("\nresults written to {}", out.display()),
+        Err(e) => println!("\ncould not write {}: {e}", out.display()),
+    }
+
+    if !pass {
+        println!("perf_broadcast_cache: acceptance check FAILED");
+        std::process::exit(1);
+    }
+    println!("perf_broadcast_cache: acceptance check PASS");
+}

@@ -55,6 +55,28 @@ impl SimplifiedPage {
         }
     }
 
+    /// Assembles a page from an already strip-encoded screenshot — the
+    /// artifact cache's delta path, where unchanged columns were spliced
+    /// from a previous encode. Produces exactly what
+    /// [`from_raster`](Self::from_raster) would, given strips equal to what
+    /// it would have encoded.
+    pub fn from_parts(
+        url: &str,
+        strips: StripImage,
+        clickmap: ClickMap,
+        version: u16,
+        ttl_hours: u16,
+    ) -> Self {
+        SimplifiedPage {
+            page_id: page_id_for(url, version),
+            url: url.to_string(),
+            strips,
+            clickmap,
+            ttl_hours,
+            version,
+        }
+    }
+
     /// Total broadcast bytes (strips + metadata estimate).
     pub fn broadcast_bytes(&self) -> usize {
         self.strips.total_bytes() + self.meta_blob().len()

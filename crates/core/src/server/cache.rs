@@ -1,4 +1,5 @@
-//! Server-side render cache.
+//! Server-side caches: the TTL-bound render cache and the
+//! content-addressed broadcast artifact cache.
 //!
 //! "The SONIC server produces a simplified version of the webpage, either
 //! from its cache, e.g., if recently requested by another user, or by
@@ -7,9 +8,14 @@
 //! Shared behind `parking_lot::RwLock` because the server's SMS handler and
 //! the popularity pusher run concurrently in the pipeline example.
 
+use crate::frame::{Frame, FRAME_SIZE};
+use crate::link::BurstTable;
 use crate::page::SimplifiedPage;
 use parking_lot::RwLock;
+use sonic_image::clickmap::ClickMap;
+use sonic_pagegen::PageId;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// TTL-bound URL → page cache.
 #[derive(Debug, Default)]
@@ -19,7 +25,7 @@ pub struct RenderCache {
 
 #[derive(Debug, Clone)]
 struct Entry {
-    page: SimplifiedPage,
+    page: Arc<SimplifiedPage>,
     expires_hour: u64,
 }
 
@@ -29,8 +35,9 @@ impl RenderCache {
         Self::default()
     }
 
-    /// Fetches a live entry.
-    pub fn get(&self, url: &str, hour: u64) -> Option<SimplifiedPage> {
+    /// Fetches a live entry. The page is `Arc`-shared — a hit costs a
+    /// refcount bump, not a deep clone of the strip payload.
+    pub fn get(&self, url: &str, hour: u64) -> Option<Arc<SimplifiedPage>> {
         let map = self.inner.read();
         let e = map.get(url)?;
         if hour < e.expires_hour {
@@ -41,7 +48,8 @@ impl RenderCache {
     }
 
     /// Inserts a page, expiring `ttl_hours` from `hour`.
-    pub fn put(&self, page: SimplifiedPage, hour: u64) {
+    pub fn put(&self, page: impl Into<Arc<SimplifiedPage>>, hour: u64) {
+        let page = page.into();
         let expires_hour = hour + page.ttl_hours.max(1) as u64;
         self.inner.write().insert(
             page.url.clone(),
@@ -72,6 +80,284 @@ impl RenderCache {
     /// Whether no live entries exist.
     pub fn is_empty(&self, hour: u64) -> bool {
         self.len(hour) == 0
+    }
+}
+
+/// Everything the broadcast pipeline produced for one page, `Arc`-shared so
+/// the cache, every transmitter's scheduler and the caller can hold the
+/// same bytes without copying.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// The simplified page (strip-coded screenshot + metadata).
+    pub page: Arc<SimplifiedPage>,
+    /// The page's link-frame sequence.
+    pub frames: Arc<Vec<Frame>>,
+    /// OFDM audio for the whole frame sequence (empty when the refresh ran
+    /// frames-only, e.g. the SMS push path that never reaches a modulator).
+    pub audio: Arc<Vec<f32>>,
+    /// Per-burst span index of `audio`, for splicing on the next refresh.
+    pub bursts: BurstTable,
+}
+
+impl Artifact {
+    /// Whether this artifact carries modulated audio.
+    pub fn has_audio(&self) -> bool {
+        !self.audio.is_empty()
+    }
+
+    /// Approximate resident bytes (audio + frames + strips + metadata).
+    pub fn resident_bytes(&self) -> usize {
+        self.audio.len() * std::mem::size_of::<f32>()
+            + self.frames.len() * FRAME_SIZE
+            + self.page.strips.total_bytes()
+            + self.page.url.len()
+    }
+}
+
+/// One cached artifact plus the content addresses that decide reuse.
+#[derive(Debug)]
+struct ArtifactEntry {
+    artifact: Artifact,
+    /// Hash of the render *inputs* (layout ⊕ scale): equal hash ⇒ the
+    /// raster is bit-identical without rendering it.
+    layout_hash: u64,
+    /// Hash of the rendered raster: catches "layout hash changed but the
+    /// pixels happen to be the same" (e.g. a seed that redraws identically).
+    raster_hash: u64,
+    /// Per-column raster hashes for dirty-strip diffing.
+    column_hashes: Arc<Vec<u64>>,
+    /// Hour the artifact was built (diagnostics; reuse is purely
+    /// content-addressed).
+    rendered_hour: u64,
+    /// LRU clock value of the last touch.
+    last_used: u64,
+    /// Cached [`Artifact::resident_bytes`] + hash-index overhead.
+    bytes: usize,
+}
+
+/// Counters the acceptance bench and Figure 4c reporting read.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArtifactCacheStats {
+    /// Refreshes served verbatim (layout or raster hash matched).
+    pub full_hits: u64,
+    /// Refreshes that re-encoded only dirty strips against a cached basis.
+    pub delta_hits: u64,
+    /// Refreshes built cold.
+    pub misses: u64,
+    /// Entries evicted to stay under the byte budget.
+    pub evictions: u64,
+    /// Columns spliced from a cached encode during delta refreshes.
+    pub strips_reused: u64,
+    /// Columns re-encoded during delta refreshes.
+    pub strips_reencoded: u64,
+    /// Audio bursts spliced from cached audio during delta refreshes.
+    pub bursts_reused: u64,
+    /// Audio bursts re-modulated during delta refreshes.
+    pub bursts_modulated: u64,
+}
+
+impl ArtifactCacheStats {
+    /// Fraction of refresh lookups that avoided a cold build.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.full_hits + self.delta_hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            (self.full_hits + self.delta_hits) as f64 / total as f64
+        }
+    }
+}
+
+/// Content-addressed broadcast artifact cache (the tentpole of the warm
+/// refresh path).
+///
+/// Keyed by corpus [`PageId`]; each entry holds the page's full pipeline
+/// product (strips, frames, audio, burst table) plus the content addresses
+/// — layout hash, raster hash, per-column hashes — that let a refresh
+/// decide between three paths without re-running the pipeline:
+///
+/// 1. **Full hit**: layout hash (or raster hash) unchanged ⇒ the artifact
+///    is reused verbatim, old version and all.
+/// 2. **Delta hit**: same dimensions, some columns changed ⇒ only dirty
+///    strips re-encode and only bursts not found in the cached burst table
+///    re-modulate (see `pipeline::refresh_pages`).
+/// 3. **Miss**: cold build, bit-identical to the uncached pipeline.
+///
+/// Eviction is LRU over a resident-byte budget: every touch bumps a logical
+/// clock, and inserts evict least-recently-used entries until the new total
+/// fits.
+#[derive(Debug)]
+pub struct ArtifactCache {
+    entries: HashMap<PageId, ArtifactEntry>,
+    byte_budget: usize,
+    bytes: usize,
+    clock: u64,
+    /// Reuse counters (reset with [`reset_stats`](Self::reset_stats)).
+    pub stats: ArtifactCacheStats,
+}
+
+impl ArtifactCache {
+    /// Cache bounded to `byte_budget` resident artifact bytes.
+    pub fn new(byte_budget: usize) -> Self {
+        ArtifactCache {
+            entries: HashMap::new(),
+            byte_budget,
+            bytes: 0,
+            clock: 0,
+            stats: ArtifactCacheStats::default(),
+        }
+    }
+
+    /// Cache with no byte bound (benchmarks, small corpora).
+    pub fn unbounded() -> Self {
+        Self::new(usize::MAX)
+    }
+
+    /// Resident artifact bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Configured byte budget.
+    pub fn byte_budget(&self) -> usize {
+        self.byte_budget
+    }
+
+    /// Cached page count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Zeroes the reuse counters (the cache contents stay).
+    pub fn reset_stats(&mut self) {
+        self.stats = ArtifactCacheStats::default();
+    }
+
+    fn touch(entries: &mut HashMap<PageId, ArtifactEntry>, clock: &mut u64, id: PageId) {
+        *clock += 1;
+        if let Some(e) = entries.get_mut(&id) {
+            e.last_used = *clock;
+        }
+    }
+
+    /// Full-reuse lookup by render-input hash. `want_audio` refuses
+    /// frames-only artifacts so an audio-producing refresh rebuilds them.
+    /// Counts a full hit on success (the miss/delta counters are bumped by
+    /// the refresh driver once it knows which path it took).
+    pub fn get_if_layout(
+        &mut self,
+        id: PageId,
+        layout_hash: u64,
+        want_audio: bool,
+    ) -> Option<Artifact> {
+        let e = self.entries.get(&id)?;
+        if e.layout_hash != layout_hash || (want_audio && !e.artifact.has_audio()) {
+            return None;
+        }
+        let artifact = e.artifact.clone();
+        Self::touch(&mut self.entries, &mut self.clock, id);
+        self.stats.full_hits += 1;
+        Some(artifact)
+    }
+
+    /// Full-reuse lookup by raster hash, for when the layout hash moved but
+    /// the pixels did not. Everything that reaches the client must match —
+    /// raster, click map, TTL, URL — because the click map and TTL ride in
+    /// the meta frames. On success the entry's layout hash is refreshed so
+    /// the next refresh takes the cheaper [`get_if_layout`] path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn get_if_raster(
+        &mut self,
+        id: PageId,
+        raster_hash: u64,
+        layout_hash: u64,
+        url: &str,
+        clickmap: &ClickMap,
+        ttl_hours: u16,
+        want_audio: bool,
+    ) -> Option<Artifact> {
+        let e = self.entries.get_mut(&id)?;
+        let p = &e.artifact.page;
+        if e.raster_hash != raster_hash
+            || (want_audio && !e.artifact.has_audio())
+            || p.url != url
+            || p.clickmap != *clickmap
+            || p.ttl_hours != ttl_hours
+        {
+            return None;
+        }
+        e.layout_hash = layout_hash;
+        let artifact = e.artifact.clone();
+        Self::touch(&mut self.entries, &mut self.clock, id);
+        self.stats.full_hits += 1;
+        Some(artifact)
+    }
+
+    /// The cached basis a delta re-encode splices against: the previous
+    /// artifact and its per-column raster hashes.
+    pub fn delta_basis(&self, id: PageId) -> Option<(Artifact, Arc<Vec<u64>>)> {
+        let e = self.entries.get(&id)?;
+        Some((e.artifact.clone(), e.column_hashes.clone()))
+    }
+
+    /// Inserts (or replaces) a page's artifact, then evicts LRU entries
+    /// until the byte budget holds. The freshly inserted entry is never
+    /// evicted by its own insert.
+    pub fn insert(
+        &mut self,
+        id: PageId,
+        layout_hash: u64,
+        raster_hash: u64,
+        column_hashes: Arc<Vec<u64>>,
+        artifact: Artifact,
+        hour: u64,
+    ) {
+        let bytes = artifact.resident_bytes() + column_hashes.len() * 8;
+        self.clock += 1;
+        if let Some(old) = self.entries.insert(
+            id,
+            ArtifactEntry {
+                artifact,
+                layout_hash,
+                raster_hash,
+                column_hashes,
+                rendered_hour: hour,
+                last_used: self.clock,
+                bytes,
+            },
+        ) {
+            self.bytes -= old.bytes;
+        }
+        self.bytes += bytes;
+        self.evict_to_budget(Some(id));
+    }
+
+    /// Evicts least-recently-used entries until `bytes <= byte_budget`,
+    /// sparing `keep` (the entry that triggered the eviction).
+    fn evict_to_budget(&mut self, keep: Option<PageId>) {
+        while self.bytes > self.byte_budget && self.entries.len() > 1 {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(k, _)| Some(**k) != keep)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            let Some(victim) = victim else { break };
+            if let Some(e) = self.entries.remove(&victim) {
+                self.bytes -= e.bytes;
+                self.stats.evictions += 1;
+            }
+        }
+    }
+
+    /// Hour the cached artifact for `id` was built, if cached.
+    pub fn rendered_hour(&self, id: PageId) -> Option<u64> {
+        self.entries.get(&id).map(|e| e.rendered_hour)
     }
 }
 
@@ -124,5 +410,128 @@ mod tests {
         c.put(page("a", 0), 0);
         assert!(c.get("a", 0).is_some());
         assert!(c.get("a", 1).is_none());
+    }
+
+    #[test]
+    fn get_shares_instead_of_cloning() {
+        let c = RenderCache::new();
+        c.put(page("a", 4), 0);
+        let x = c.get("a", 0).expect("hit");
+        let y = c.get("a", 0).expect("hit");
+        assert!(Arc::ptr_eq(&x, &y), "hits must share one allocation");
+    }
+
+    // --- ArtifactCache ---
+
+    fn artifact(url: &str, height: usize, with_audio: bool) -> Artifact {
+        let p = Arc::new(SimplifiedPage::from_raster(
+            url,
+            &Raster::new(6, height),
+            ClickMap::default(),
+            0,
+            2,
+        ));
+        let frames = Arc::new(crate::chunker::page_to_frames(&p));
+        let audio = if with_audio {
+            Arc::new(vec![0.0f32; height * 100])
+        } else {
+            Arc::new(Vec::new())
+        };
+        Artifact {
+            page: p,
+            frames,
+            audio,
+            bursts: BurstTable::default(),
+        }
+    }
+
+    fn pid(site: usize) -> PageId {
+        PageId { site, page: 0 }
+    }
+
+    #[test]
+    fn layout_hit_requires_matching_hash() {
+        let mut c = ArtifactCache::unbounded();
+        let a = artifact("https://a.pk/", 40, true);
+        c.insert(pid(0), 111, 222, Arc::new(vec![1; 6]), a, 5);
+        assert!(c.get_if_layout(pid(0), 111, true).is_some());
+        assert!(c.get_if_layout(pid(0), 999, true).is_none());
+        assert!(c.get_if_layout(pid(1), 111, true).is_none());
+        assert_eq!(c.stats.full_hits, 1);
+        assert_eq!(c.rendered_hour(pid(0)), Some(5));
+    }
+
+    #[test]
+    fn frames_only_artifact_rejected_when_audio_wanted() {
+        let mut c = ArtifactCache::unbounded();
+        c.insert(pid(0), 1, 2, Arc::new(vec![0; 6]), artifact("u", 30, false), 0);
+        assert!(c.get_if_layout(pid(0), 1, true).is_none());
+        assert!(c.get_if_layout(pid(0), 1, false).is_some());
+    }
+
+    #[test]
+    fn raster_hit_checks_meta_and_refreshes_layout_hash() {
+        let mut c = ArtifactCache::unbounded();
+        let a = artifact("https://a.pk/", 40, true);
+        let cm = a.page.clickmap.clone();
+        let ttl = a.page.ttl_hours;
+        c.insert(pid(0), 111, 222, Arc::new(vec![1; 6]), a, 0);
+        // Layout hash moved, raster identical: hit, and the layout hash is
+        // refreshed so the next lookup hits the cheap path.
+        let hit = c.get_if_raster(pid(0), 222, 333, "https://a.pk/", &cm, ttl, true);
+        assert!(hit.is_some());
+        assert!(c.get_if_layout(pid(0), 333, true).is_some());
+        // Any meta mismatch refuses the hit (meta rides in the frames).
+        assert!(c.get_if_raster(pid(0), 222, 444, "https://b.pk/", &cm, ttl, true).is_none());
+        assert!(c.get_if_raster(pid(0), 222, 444, "https://a.pk/", &cm, ttl + 1, true).is_none());
+        assert!(c.get_if_raster(pid(0), 999, 444, "https://a.pk/", &cm, ttl, true).is_none());
+    }
+
+    #[test]
+    fn delta_basis_returns_cached_state() {
+        let mut c = ArtifactCache::unbounded();
+        let hashes = Arc::new(vec![7u64; 6]);
+        c.insert(pid(0), 1, 2, hashes.clone(), artifact("u", 30, true), 0);
+        let (a, h) = c.delta_basis(pid(0)).expect("cached");
+        assert!(Arc::ptr_eq(&h, &hashes));
+        assert_eq!(a.page.url, "u");
+        assert!(c.delta_basis(pid(1)).is_none());
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru() {
+        let a0 = artifact("a", 200, true);
+        let budget = 2 * (a0.resident_bytes() + 6 * 8) + 64;
+        let mut c = ArtifactCache::new(budget);
+        c.insert(pid(0), 1, 1, Arc::new(vec![0; 6]), a0, 0);
+        c.insert(pid(1), 2, 2, Arc::new(vec![0; 6]), artifact("b", 200, true), 0);
+        // Touch page 0 so page 1 is the LRU victim.
+        assert!(c.get_if_layout(pid(0), 1, true).is_some());
+        c.insert(pid(2), 3, 3, Arc::new(vec![0; 6]), artifact("c", 200, true), 0);
+        assert_eq!(c.stats.evictions, 1);
+        assert!(c.get_if_layout(pid(0), 1, true).is_some(), "recently used survives");
+        assert!(c.get_if_layout(pid(1), 2, true).is_none(), "LRU evicted");
+        assert!(c.get_if_layout(pid(2), 3, true).is_some(), "new entry survives");
+        assert!(c.bytes() <= budget);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_leaking_bytes() {
+        let mut c = ArtifactCache::unbounded();
+        c.insert(pid(0), 1, 1, Arc::new(vec![0; 6]), artifact("a", 100, true), 0);
+        let after_first = c.bytes();
+        c.insert(pid(0), 2, 2, Arc::new(vec![0; 6]), artifact("a", 100, true), 1);
+        assert_eq!(c.bytes(), after_first, "replacement must not accumulate");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn hit_rate_accounts_all_paths() {
+        let mut s = ArtifactCacheStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        s.full_hits = 3;
+        s.delta_hits = 1;
+        s.misses = 1;
+        assert!((s.hit_rate() - 0.8).abs() < 1e-12);
     }
 }

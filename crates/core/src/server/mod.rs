@@ -7,18 +7,25 @@ pub mod render;
 pub mod scheduler;
 
 use crate::page::SimplifiedPage;
-use cache::RenderCache;
+use cache::{ArtifactCache, RenderCache};
 use render::Renderer;
 use scheduler::BroadcastScheduler;
 use sonic_sms::gateway;
 use sonic_sms::geo::Coverage;
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Default artifact-cache byte budget: enough for a full standard corpus of
+/// frames-only artifacts at experiment scales, small enough to bound a
+/// long-running server (audio-carrying refreshes size their own caches).
+const ARTIFACT_CACHE_BYTES: usize = 256 << 20;
 
 /// The central SONIC server plus its transmitter fleet.
 #[derive(Debug)]
 pub struct SonicServer {
     renderer: Renderer,
     cache: RenderCache,
+    artifacts: ArtifactCache,
     coverage: Coverage,
     /// One broadcast scheduler per transmitter site id.
     pub schedulers: HashMap<u32, BroadcastScheduler>,
@@ -36,18 +43,19 @@ impl SonicServer {
         SonicServer {
             renderer,
             cache: RenderCache::new(),
+            artifacts: ArtifactCache::new(ARTIFACT_CACHE_BYTES),
             coverage,
             schedulers,
         }
     }
 
     /// Renders (or serves from cache) the simplified page for `url` at
-    /// `hour`.
-    pub fn get_page(&mut self, url: &str, hour: u64) -> Option<SimplifiedPage> {
+    /// `hour`. The page is `Arc`-shared with the cache — no deep clone.
+    pub fn get_page(&mut self, url: &str, hour: u64) -> Option<Arc<SimplifiedPage>> {
         if let Some(p) = self.cache.get(url, hour) {
             return Some(p);
         }
-        let page = self.renderer.fetch(url, hour)?;
+        let page = Arc::new(self.renderer.fetch(url, hour)?);
         self.cache.put(page.clone(), hour);
         Some(page)
     }
@@ -81,13 +89,13 @@ impl SonicServer {
                             sonic_pagegen::results::render_chat_answer(&q.text, scale)
                         }
                     };
-                    let page = crate::page::SimplifiedPage::from_raster(
+                    let page = Arc::new(crate::page::SimplifiedPage::from_raster(
                         &rendered.url,
                         &rendered.raster,
                         rendered.clickmap,
                         (hour % u16::MAX as u64) as u16,
                         6,
-                    );
+                    ));
                     self.cache.put(page.clone(), hour);
                     page
                 }
@@ -122,13 +130,26 @@ impl SonicServer {
     /// Preemptively pushes the `top_n` most popular landing pages to every
     /// transmitter ("popular news sites can be pushed early in the
     /// morning").
+    ///
+    /// Runs through the content-addressed artifact cache: pages whose
+    /// content is unchanged since the last push reuse their cached
+    /// `SimplifiedPage`/frames verbatim (skipping render, encode and
+    /// chunk), and every scheduler receives the same `Arc`-shared frames —
+    /// a second push of an unchanged carousel costs hash lookups, and the
+    /// schedulers' page-id dedupe keeps the backlog flat.
     pub fn push_popular(&mut self, hour: u64, top_n: usize, now_s: f64) {
-        let urls = self.renderer.popular_landing_urls(top_n, hour);
-        for url in urls {
-            if let Some(page) = self.get_page(&url, hour) {
-                for sched in self.schedulers.values_mut() {
-                    sched.enqueue(page.clone(), now_s);
-                }
+        let n = top_n.min(self.renderer.corpus().sites.len());
+        let jobs: Vec<pipeline::PageJob> = (0..n)
+            .map(|s| pipeline::PageJob {
+                id: sonic_pagegen::PageId { site: s, page: 0 },
+                hour,
+            })
+            .collect();
+        let (artifacts, _) =
+            pipeline::refresh_pages(&self.renderer, &mut self.artifacts, &jobs, None);
+        for a in &artifacts {
+            for sched in self.schedulers.values_mut() {
+                sched.enqueue_prechunked(a.page.clone(), a.frames.clone(), now_s);
             }
         }
     }
@@ -136,6 +157,11 @@ impl SonicServer {
     /// Access to the renderer (for examples/benches).
     pub fn renderer(&self) -> &Renderer {
         &self.renderer
+    }
+
+    /// The broadcast artifact cache (reuse stats, byte budget).
+    pub fn artifact_cache(&self) -> &ArtifactCache {
+        &self.artifacts
     }
 }
 
@@ -229,6 +255,22 @@ mod tests {
         for sched in srv.schedulers.values() {
             assert!(sched.backlog_bytes() > 0, "scheduler must have work");
             assert_eq!(sched.queue_len(), 2);
+        }
+    }
+
+    #[test]
+    fn repeated_push_popular_hits_artifact_cache_and_keeps_backlog_flat() {
+        let mut srv = server();
+        srv.push_popular(9, 3, 0.0);
+        assert_eq!(srv.artifact_cache().stats.misses, 3, "cold push builds all");
+        let backlog: Vec<usize> = srv.schedulers.values().map(|s| s.backlog_bytes()).collect();
+        // Same hour again: pure cache hits, schedulers dedupe by page id.
+        srv.push_popular(9, 3, 10.0);
+        assert_eq!(srv.artifact_cache().stats.full_hits, 3);
+        let backlog2: Vec<usize> = srv.schedulers.values().map(|s| s.backlog_bytes()).collect();
+        assert_eq!(backlog, backlog2, "re-push must not double the backlog");
+        for sched in srv.schedulers.values() {
+            assert_eq!(sched.queue_len(), 3);
         }
     }
 

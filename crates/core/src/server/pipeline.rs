@@ -18,14 +18,20 @@
 
 use crate::chunker::page_to_frames;
 use crate::frame::Frame;
-use crate::link;
+use crate::link::{self, BurstTable};
 use crate::page::SimplifiedPage;
+use crate::server::cache::{Artifact, ArtifactCache};
 use crate::server::render::Renderer;
 use crate::server::scheduler::BroadcastScheduler;
 use crossbeam::channel::{bounded, Receiver, Sender};
+use sonic_image::clickmap::ClickMap;
+use sonic_image::hash::Fnv64;
+use sonic_image::raster::Raster;
+use sonic_image::strip;
 use sonic_modem::profile::Profile;
 use sonic_pagegen::{PageId, RenderedPage};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// One render request: a corpus page at an hour.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -243,6 +249,237 @@ pub fn run_pipeline_with(
     })
 }
 
+/// Per-call accounting from [`refresh_pages`] (the cumulative counters,
+/// including strip/burst reuse, live in `ArtifactCache::stats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefreshStats {
+    /// Pages refreshed.
+    pub pages: usize,
+    /// Pages served verbatim from the cache (unchanged content).
+    pub full_hits: usize,
+    /// Pages rebuilt by strip-delta + burst-splice against a cached basis.
+    pub delta_hits: usize,
+    /// Pages built cold.
+    pub misses: usize,
+}
+
+/// Render-input content address: the layout hash folded with the device
+/// scaling factor (the raster is a pure function of both).
+fn layout_hash_scaled(renderer: &Renderer, id: PageId, hour: u64) -> u64 {
+    let lh = renderer.corpus().layout(id, hour).content_hash();
+    let mut h = Fnv64::new();
+    h.write_u64(lh).write_u64(renderer.scale().to_bits());
+    h.finish()
+}
+
+/// Rendered page content handed to [`refresh_page_with`] by a page source —
+/// everything the encode → chunk → modulate stages need. The corpus
+/// renderer is one producer ([`refresh_pages`] wraps it); benches and a
+/// live fetcher can feed arbitrary rasters through the same cache.
+#[derive(Debug, Clone)]
+pub struct RenderedContent {
+    /// Canonical URL (rides in the meta frames).
+    pub url: String,
+    /// Rendered screenshot.
+    pub raster: Raster,
+    /// Interactivity map.
+    pub clickmap: ClickMap,
+    /// Content version (page-id component; the hour on the corpus path).
+    pub version: u16,
+    /// Client cache TTL in hours.
+    pub ttl_hours: u16,
+}
+
+/// Which path one page took through [`refresh_page_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshPath {
+    /// Cached artifact reused verbatim (layout or raster hash hit).
+    FullHit,
+    /// Rebuilt against a cached basis: only dirty strips re-encoded, only
+    /// unrecognized bursts re-modulated.
+    Delta,
+    /// Built cold through the full pipeline.
+    Cold,
+}
+
+/// Runs one page through the artifact cache, rendering lazily.
+///
+/// `layout_hash` is the content address of the *render input*: if it equals
+/// the cached entry's, the raster is known to be bit-identical without
+/// rendering and `render` is never called. Otherwise `render` produces the
+/// content and the raster hash decides between verbatim reuse, strip-delta
+/// rebuild and a cold build (see [`refresh_pages`] for the path rules).
+pub fn refresh_page_with(
+    cache: &mut ArtifactCache,
+    key: PageId,
+    layout_hash: u64,
+    hour: u64,
+    profile: Option<&Profile>,
+    render: impl FnOnce() -> RenderedContent,
+) -> (Artifact, RefreshPath) {
+    let want_audio = profile.is_some();
+    if let Some(a) = cache.get_if_layout(key, layout_hash, want_audio) {
+        return (a, RefreshPath::FullHit);
+    }
+    let content = render();
+    // The pixels are hashed exactly once: the per-column index serves the
+    // whole-raster address, the dirty-strip diff, and the next refresh's
+    // delta basis.
+    let new_hashes = strip::column_hashes(&content.raster);
+    let rh = strip::raster_hash_from(
+        content.raster.width(),
+        content.raster.height(),
+        &new_hashes,
+    );
+    if let Some(a) = cache.get_if_raster(
+        key,
+        rh,
+        layout_hash,
+        &content.url,
+        &content.clickmap,
+        content.ttl_hours,
+        want_audio,
+    ) {
+        return (a, RefreshPath::FullHit);
+    }
+
+    let basis = cache.delta_basis(key);
+    let (strips, col_hashes, delta) = match &basis {
+        Some((prev, prev_hashes))
+            if prev.page.strips.width == content.raster.width()
+                && prev.page.strips.height == content.raster.height() =>
+        {
+            let d = strip::encode_delta_prehashed(
+                &content.raster,
+                &prev.page.strips,
+                prev_hashes,
+                new_hashes,
+            );
+            cache.stats.strips_reused += d.reused as u64;
+            cache.stats.strips_reencoded += d.reencoded as u64;
+            (d.strips, d.hashes, true)
+        }
+        _ => (strip::encode(&content.raster), new_hashes, false),
+    };
+    let page = Arc::new(SimplifiedPage::from_parts(
+        &content.url,
+        strips,
+        content.clickmap,
+        content.version,
+        content.ttl_hours,
+    ));
+    let frames = Arc::new(page_to_frames(&page));
+    let (audio, bursts) = match profile {
+        Some(p) => match &basis {
+            Some((prev, _)) if delta && prev.has_audio() => {
+                let s = link::modulate_spliced(p, &frames, &prev.audio, &prev.bursts);
+                cache.stats.bursts_reused += s.reused as u64;
+                cache.stats.bursts_modulated += s.modulated as u64;
+                (s.audio, s.table)
+            }
+            _ => link::modulate_with_table(p, &frames),
+        },
+        None => (Vec::new(), BurstTable::default()),
+    };
+    let path = if delta {
+        cache.stats.delta_hits += 1;
+        RefreshPath::Delta
+    } else {
+        cache.stats.misses += 1;
+        RefreshPath::Cold
+    };
+    let artifact = Artifact {
+        page,
+        frames,
+        audio: Arc::new(audio),
+        bursts,
+    };
+    cache.insert(
+        key,
+        layout_hash,
+        rh,
+        Arc::new(col_hashes),
+        artifact.clone(),
+        hour,
+    );
+    (artifact, path)
+}
+
+/// Runs one carousel refresh through the artifact cache.
+///
+/// For every job the driver picks the cheapest sound path:
+///
+/// 1. **Layout hit** — the layout hash (render input) is unchanged, so the
+///    raster would be bit-identical: the cached artifact is reused verbatim,
+///    keeping its original version (and therefore page id, frames, audio).
+///    The render, encode, chunk and modulate stages all get skipped.
+/// 2. **Raster hit** — the layout hash moved but the rendered pixels (and
+///    the click map / TTL / URL that ride in the meta frames) did not:
+///    reuse as above, after refreshing the stored layout hash.
+/// 3. **Delta** — same dimensions but some columns changed: re-encode only
+///    dirty strips ([`strip::encode_delta`]) and re-modulate only bursts
+///    whose payload is not in the cached burst table
+///    ([`link::modulate_spliced`]). The page takes the hour-derived version
+///    exactly like the cold path, so the result is bit-identical to a cold
+///    build of the same inputs.
+/// 4. **Cold** — no usable basis: the full pipeline runs, identical to
+///    [`run_serial`]'s stages.
+///
+/// `profile: None` runs frames-only (no audio is produced or cached) — the
+/// SMS push path uses this since its product is scheduler frames, not FM
+/// audio. Cached frames-only artifacts are never served to a refresh that
+/// wants audio; they are rebuilt (still reusing strips via the delta path).
+pub fn refresh_pages(
+    renderer: &Renderer,
+    cache: &mut ArtifactCache,
+    jobs: &[PageJob],
+    profile: Option<&Profile>,
+) -> (Vec<Artifact>, RefreshStats) {
+    let mut out = Vec::with_capacity(jobs.len());
+    let mut stats = RefreshStats {
+        pages: jobs.len(),
+        ..RefreshStats::default()
+    };
+    for &job in jobs {
+        let lh = layout_hash_scaled(renderer, job.id, job.hour);
+        let (artifact, path) = refresh_page_with(cache, job.id, lh, job.hour, profile, || {
+            let rendered = renderer.corpus().render(job.id, job.hour, renderer.scale());
+            let site = &renderer.corpus().sites[job.id.site];
+            RenderedContent {
+                url: rendered.url,
+                raster: rendered.raster,
+                clickmap: rendered.clickmap,
+                version: (job.hour % u16::MAX as u64) as u16,
+                ttl_hours: site.category.landing_churn_hours().max(1) as u16,
+            }
+        });
+        match path {
+            RefreshPath::FullHit => stats.full_hits += 1,
+            RefreshPath::Delta => stats.delta_hits += 1,
+            RefreshPath::Cold => stats.misses += 1,
+        }
+        out.push(artifact);
+    }
+    (out, stats)
+}
+
+/// [`refresh_pages`] that also enqueues every artifact into `scheduler`,
+/// zero-copy: the scheduler holds the cache's `Arc`s, not copies.
+pub fn refresh_into_scheduler(
+    renderer: &Renderer,
+    cache: &mut ArtifactCache,
+    jobs: &[PageJob],
+    profile: Option<&Profile>,
+    scheduler: &mut BroadcastScheduler,
+    now_s: f64,
+) -> (Vec<Artifact>, RefreshStats) {
+    let (artifacts, stats) = refresh_pages(renderer, cache, jobs, profile);
+    for a in &artifacts {
+        scheduler.enqueue_prechunked(a.page.clone(), a.frames.clone(), now_s);
+    }
+    (artifacts, stats)
+}
+
 /// [`run_pipeline_with`] without a sink callback.
 pub fn run_pipeline(
     renderer: &Renderer,
@@ -371,6 +608,135 @@ mod tests {
     fn empty_job_list_is_fine() {
         let r = renderer();
         assert!(run_pipeline(&r, &[], &PipelineOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn cold_refresh_is_bit_identical_to_serial_pipeline() {
+        let r = renderer();
+        let jobs = jobs();
+        let profile = Profile::sonic_10k();
+        let mut cache = ArtifactCache::unbounded();
+        let (warm, stats) = refresh_pages(&r, &mut cache, &jobs, Some(&profile));
+        assert_eq!(stats.misses, jobs.len(), "cold cache: every page is a miss");
+        let serial = run_serial(&r, &profile, &jobs);
+        assert_eq!(warm.len(), serial.len());
+        for (a, s) in warm.iter().zip(&serial) {
+            assert_eq!(a.page.page_id, s.page.page_id);
+            assert_eq!(a.page.meta_blob(), s.page.meta_blob());
+            assert_eq!(a.page.strips.strips, s.page.strips.strips);
+            assert_eq!(*a.frames, s.frames);
+            assert_eq!(a.audio.len(), s.audio.len());
+            for (x, y) in a.audio.iter().zip(&s.audio) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn repeat_refresh_reuses_artifacts_verbatim() {
+        let r = renderer();
+        let jobs = jobs();
+        let mut cache = ArtifactCache::unbounded();
+        let (first, _) = refresh_pages(&r, &mut cache, &jobs, Some(&Profile::sonic_10k()));
+        let (second, stats) = refresh_pages(&r, &mut cache, &jobs, Some(&Profile::sonic_10k()));
+        assert_eq!(stats.full_hits, jobs.len());
+        assert_eq!(stats.misses + stats.delta_hits, 0);
+        for (a, b) in first.iter().zip(&second) {
+            assert!(std::sync::Arc::ptr_eq(&a.audio, &b.audio), "audio shared, not copied");
+            assert!(std::sync::Arc::ptr_eq(&a.frames, &b.frames));
+        }
+    }
+
+    #[test]
+    fn hourly_refresh_reuses_unchanged_pages_and_rebuilds_changed() {
+        let r = renderer();
+        let corpus = r.corpus();
+        let jobs_h: Vec<PageJob> = corpus
+            .pages()
+            .into_iter()
+            .map(|id| PageJob { id, hour: 12 })
+            .collect();
+        let jobs_h1: Vec<PageJob> = jobs_h.iter().map(|j| PageJob { hour: 13, ..*j }).collect();
+        let mut cache = ArtifactCache::unbounded();
+        let profile = Profile::sonic_10k();
+        let (first, _) = refresh_pages(&r, &mut cache, &jobs_h, Some(&profile));
+        let (second, stats) = refresh_pages(&r, &mut cache, &jobs_h1, Some(&profile));
+        let changed: Vec<bool> = jobs_h
+            .iter()
+            .map(|j| corpus.changed(j.id, 12, 13))
+            .collect();
+        let n_changed = changed.iter().filter(|&&c| c).count();
+        assert!(n_changed > 0, "hour 12→13 must change something");
+        assert_eq!(stats.full_hits, jobs_h.len() - n_changed);
+        assert_eq!(stats.delta_hits + stats.misses, n_changed);
+        for ((a, b), &ch) in first.iter().zip(&second).zip(&changed) {
+            if ch {
+                // Rebuilt at the new hour: bit-identical to a cold build.
+                let serial = run_serial(
+                    &r,
+                    &profile,
+                    &[PageJob {
+                        id: corpus.find_url(&b.page.url, 13).expect("corpus url"),
+                        hour: 13,
+                    }],
+                );
+                assert_eq!(b.page.strips.strips, serial[0].page.strips.strips);
+                assert_eq!(*b.frames, serial[0].frames);
+                assert_eq!(b.audio.len(), serial[0].audio.len());
+                for (x, y) in b.audio.iter().zip(&serial[0].audio) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            } else {
+                // Unchanged: the very same artifact, old version included.
+                assert!(std::sync::Arc::ptr_eq(&a.page, &b.page));
+                assert!(std::sync::Arc::ptr_eq(&a.audio, &b.audio));
+            }
+        }
+    }
+
+    #[test]
+    fn frames_only_refresh_skips_audio_then_audio_refresh_rebuilds() {
+        let r = renderer();
+        let jobs = &jobs()[..2];
+        let mut cache = ArtifactCache::unbounded();
+        let (no_audio, _) = refresh_pages(&r, &mut cache, jobs, None);
+        assert!(no_audio.iter().all(|a| !a.has_audio()));
+        // Frames-only again: full hits are fine without audio.
+        let (_, s2) = refresh_pages(&r, &mut cache, jobs, None);
+        assert_eq!(s2.full_hits, 2);
+        // Now audio is wanted: the cached frames-only artifacts are not
+        // served verbatim; strips are still reused via the delta basis.
+        let profile = Profile::sonic_10k();
+        let (with_audio, s3) = refresh_pages(&r, &mut cache, jobs, Some(&profile));
+        assert_eq!(s3.full_hits, 0);
+        assert!(with_audio.iter().all(|a| a.has_audio()));
+        let serial = run_serial(&r, &profile, jobs);
+        for (a, s) in with_audio.iter().zip(&serial) {
+            assert_eq!(a.audio.len(), s.audio.len());
+            for (x, y) in a.audio.iter().zip(&s.audio) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn refresh_into_scheduler_enqueues_shared_frames() {
+        let r = renderer();
+        let jobs = jobs();
+        let mut cache = ArtifactCache::unbounded();
+        let mut sched = BroadcastScheduler::new(10_000.0);
+        let (artifacts, _) =
+            refresh_into_scheduler(&r, &mut cache, &jobs, None, &mut sched, 0.0);
+        assert_eq!(sched.backlog_pages(), jobs.len());
+        let total: usize = artifacts
+            .iter()
+            .map(|a| a.frames.len() * crate::frame::FRAME_SIZE)
+            .sum();
+        assert_eq!(sched.backlog_bytes(), total);
+        // Re-push the same refresh: dedupe keeps the backlog flat.
+        let _ = refresh_into_scheduler(&r, &mut cache, &jobs, None, &mut sched, 1.0);
+        assert_eq!(sched.backlog_pages(), jobs.len());
+        assert_eq!(sched.backlog_bytes(), total);
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Content addressing for broadcast artifacts.
+//!
+//! The artifact cache identifies rendered content by value, not by name:
+//! a page (or a single 1-px column strip) hashes to the same address
+//! whenever its pixels are the same, so "did this change since the last
+//! carousel refresh?" is one 64-bit compare instead of a re-encode.
+//!
+//! FNV-1a is used because it is tiny, allocation-free, byte-order stable
+//! and fast enough that hashing a raster costs ~1% of strip-encoding it.
+//! These are content addresses, not security boundaries — an adversarial
+//! collision would only cause a stale strip to be re-broadcast.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV64_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64-bit hasher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64(FNV64_OFFSET)
+    }
+}
+
+impl Fnv64 {
+    /// Starts a new hash.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs bytes.
+    #[inline]
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Self {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV64_PRIME);
+        }
+        self.0 = h;
+        self
+    }
+
+    /// Absorbs a little-endian u64 (for folding sub-hashes and lengths).
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write(&v.to_le_bytes())
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a 64-bit hash of a byte slice.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data = b"the quick brown fox";
+        let mut h = Fnv64::new();
+        h.write(&data[..7]).write(&data[7..]);
+        assert_eq!(h.finish(), fnv1a64(data));
+    }
+
+    #[test]
+    fn different_content_different_address() {
+        assert_ne!(fnv1a64(b"strip 7 v1"), fnv1a64(b"strip 7 v2"));
+    }
+
+    #[test]
+    fn u64_folding_is_order_sensitive() {
+        let mut a = Fnv64::new();
+        a.write_u64(1).write_u64(2);
+        let mut b = Fnv64::new();
+        b.write_u64(2).write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

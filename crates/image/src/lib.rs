@@ -10,6 +10,7 @@
 //! * [`bitio`], [`huffman`] — bit-level IO and canonical Huffman coding.
 //! * [`codec`] — the "SWP" lossy codec standing in for WebP (whole-image
 //!   mode, used for the Figure 4b size CDFs).
+//! * [`hash`] — FNV-1a content addressing for the broadcast artifact cache.
 //! * [`strip`] — the transmission coding from §3.3: the image is divided
 //!   into 1-px-wide vertical partitions, each independently coded, so a
 //!   lost 100-byte frame costs a column segment instead of the whole file.
@@ -27,6 +28,7 @@
 pub mod bitio;
 pub mod clickmap;
 pub mod codec;
+pub mod hash;
 pub mod color;
 pub mod dct;
 pub mod huffman;

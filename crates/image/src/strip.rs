@@ -18,6 +18,7 @@
 
 use crate::bitio::{BitReader, BitWriter};
 use crate::color::{rgb_to_ycbcr, ycbcr_to_rgb};
+use crate::hash::Fnv64;
 use crate::raster::{Raster, Rgb};
 
 /// Vertical chroma subsampling factor.
@@ -83,8 +84,12 @@ impl StripImage {
     }
 }
 
-/// Encodes one column of pixels.
-fn encode_column(pixels: &[Rgb]) -> Vec<u8> {
+/// Encodes one column of pixels — the strip-granular entry point.
+///
+/// Column bitstreams are fully independent (that is the §3.3 design), so a
+/// caller holding a previous encode may splice unchanged columns' bytes and
+/// call this only for dirty ones; see [`encode_delta`].
+pub fn encode_column(pixels: &[Rgb]) -> Vec<u8> {
     let h = pixels.len();
     let mut w = BitWriter::new();
     // Luma: quantize to 6 bits, delta from the reconstructed previous value.
@@ -171,6 +176,134 @@ pub fn encode(img: &Raster) -> StripImage {
         width: img.width(),
         height: img.height(),
         strips,
+    }
+}
+
+/// Content address of one pixel column.
+pub fn hash_column(pixels: &[Rgb]) -> u64 {
+    let mut h = Fnv64::new();
+    for px in pixels {
+        h.write(&[px.r, px.g, px.b]);
+    }
+    h.finish()
+}
+
+/// Per-column content addresses of a raster (dirty-strip diffing).
+pub fn column_hashes(img: &Raster) -> Vec<u64> {
+    (0..img.width()).map(|x| hash_column(&img.column(x))).collect()
+}
+
+/// Whole-raster content address: dimensions folded with every column hash,
+/// so it is consistent with [`column_hashes`] (equal columns ⇒ equal page).
+pub fn raster_hash(img: &Raster) -> u64 {
+    raster_hash_from(img.width(), img.height(), &column_hashes(img))
+}
+
+/// [`raster_hash`] from precomputed [`column_hashes`] — lets a caller that
+/// already holds the per-column index derive the whole-raster address
+/// without a second pass over the pixels.
+pub fn raster_hash_from(width: usize, height: usize, col_hashes: &[u64]) -> u64 {
+    debug_assert_eq!(col_hashes.len(), width, "one hash per column");
+    let mut h = Fnv64::new();
+    h.write_u64(width as u64).write_u64(height as u64);
+    for &ch in col_hashes {
+        h.write_u64(ch);
+    }
+    h.finish()
+}
+
+/// Outcome of a delta encode: the new strip image plus reuse accounting.
+#[derive(Debug, Clone)]
+pub struct DeltaEncode {
+    /// The freshly assembled strip image (bit-identical to [`encode`]).
+    pub strips: StripImage,
+    /// Per-column content addresses of the new image.
+    pub hashes: Vec<u64>,
+    /// Columns whose bitstream was spliced from the previous encode.
+    pub reused: usize,
+    /// Columns that were re-encoded (dirty strips).
+    pub reencoded: usize,
+}
+
+/// Encodes a raster, computing per-column hashes alongside (the cold path
+/// of the artifact cache — one pass fills both the strips and the index a
+/// later [`encode_delta`] diffs against).
+pub fn encode_with_hashes(img: &Raster) -> (StripImage, Vec<u64>) {
+    let mut hashes = Vec::with_capacity(img.width());
+    let strips = (0..img.width())
+        .map(|x| {
+            let col = img.column(x);
+            hashes.push(hash_column(&col));
+            encode_column(&col)
+        })
+        .collect();
+    (
+        StripImage {
+            width: img.width(),
+            height: img.height(),
+            strips,
+        },
+        hashes,
+    )
+}
+
+/// Re-encodes only the columns whose content changed since a previous
+/// encode, splicing the unchanged columns' bitstreams verbatim.
+///
+/// `prev`/`prev_hashes` must come from the same encoder ([`encode_with_hashes`]
+/// or an earlier `encode_delta`). The result is bit-identical to running
+/// [`encode`] on `img` from scratch: column bitstreams are pure functions
+/// of their pixels, so a hash-equal column's bytes can be copied.
+///
+/// # Panics
+/// Panics if `prev_hashes` does not have one hash per previous column, or
+/// if the previous image's dimensions differ from `img` (dimension changes
+/// invalidate every strip — callers fall back to a full encode).
+pub fn encode_delta(img: &Raster, prev: &StripImage, prev_hashes: &[u64]) -> DeltaEncode {
+    encode_delta_prehashed(img, prev, prev_hashes, column_hashes(img))
+}
+
+/// [`encode_delta`] with the new image's [`column_hashes`] supplied by the
+/// caller, so a pipeline that already hashed the raster (for its whole-page
+/// content address) does not hash the pixels a second time. Unchanged
+/// columns are proven by hash alone — their pixels are never touched.
+///
+/// # Panics
+/// As [`encode_delta`]; additionally if `hashes` is not one per column.
+pub fn encode_delta_prehashed(
+    img: &Raster,
+    prev: &StripImage,
+    prev_hashes: &[u64],
+    hashes: Vec<u64>,
+) -> DeltaEncode {
+    assert_eq!(prev.strips.len(), prev_hashes.len(), "one hash per column");
+    assert_eq!(hashes.len(), img.width(), "one new hash per column");
+    assert_eq!(
+        (prev.width, prev.height),
+        (img.width(), img.height()),
+        "delta encode requires identical dimensions"
+    );
+    let mut strips = Vec::with_capacity(img.width());
+    let mut reused = 0usize;
+    let mut reencoded = 0usize;
+    for (x, &h) in hashes.iter().enumerate() {
+        if prev_hashes[x] == h {
+            strips.push(prev.strips[x].clone());
+            reused += 1;
+        } else {
+            strips.push(encode_column(&img.column(x)));
+            reencoded += 1;
+        }
+    }
+    DeltaEncode {
+        strips: StripImage {
+            width: img.width(),
+            height: img.height(),
+            strips,
+        },
+        hashes,
+        reused,
+        reencoded,
     }
 }
 
@@ -302,5 +435,94 @@ mod tests {
             coded.total_bytes(),
             coded.strips.iter().map(Vec::len).sum::<usize>()
         );
+    }
+
+    #[test]
+    fn encode_with_hashes_matches_plain_encode() {
+        let img = page(24, 40);
+        let (coded, hashes) = encode_with_hashes(&img);
+        let plain = encode(&img);
+        assert_eq!(coded.strips, plain.strips);
+        assert_eq!(hashes, column_hashes(&img));
+        assert_eq!(hashes.len(), img.width());
+    }
+
+    #[test]
+    fn delta_encode_is_bit_identical_to_cold_encode() {
+        let base = page(30, 48);
+        let (prev, prev_hashes) = encode_with_hashes(&base);
+
+        // Mutate a handful of columns (deterministic pseudo-random pattern).
+        let mut mutated = base.clone();
+        for x in [3usize, 4, 11, 22] {
+            for y in 0..48 {
+                if (x * 31 + y * 17) % 5 == 0 {
+                    mutated.set(x, y, Rgb::new(255, 0, (y * 5) as u8));
+                }
+            }
+        }
+
+        let delta = encode_delta(&mutated, &prev, &prev_hashes);
+        let cold = encode(&mutated);
+        assert_eq!(delta.strips.strips, cold.strips, "splice must be bit-identical");
+        assert_eq!(delta.hashes, column_hashes(&mutated));
+        assert_eq!(delta.reused + delta.reencoded, 30);
+        assert_eq!(delta.reencoded, 4, "exactly the mutated columns re-encode");
+    }
+
+    #[test]
+    fn delta_encode_identical_raster_reuses_everything() {
+        let img = page(16, 24);
+        let (prev, prev_hashes) = encode_with_hashes(&img);
+        let delta = encode_delta(&img, &prev, &prev_hashes);
+        assert_eq!(delta.reused, 16);
+        assert_eq!(delta.reencoded, 0);
+        assert_eq!(delta.strips.strips, prev.strips);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical dimensions")]
+    fn delta_encode_rejects_dimension_change() {
+        let img = page(16, 24);
+        let (prev, prev_hashes) = encode_with_hashes(&img);
+        let taller = page(16, 32);
+        let _ = encode_delta(&taller, &prev, &prev_hashes);
+    }
+
+    #[test]
+    fn prehashed_delta_matches_self_hashing_delta() {
+        let base = page(30, 48);
+        let (prev, prev_hashes) = encode_with_hashes(&base);
+        let mut mutated = base.clone();
+        for y in 0..48 {
+            mutated.set(9, y, Rgb::new(0, 200, (y * 3) as u8));
+        }
+        let own = encode_delta(&mutated, &prev, &prev_hashes);
+        let pre = encode_delta_prehashed(&mutated, &prev, &prev_hashes, column_hashes(&mutated));
+        assert_eq!(own.strips.strips, pre.strips.strips);
+        assert_eq!(own.hashes, pre.hashes);
+        assert_eq!((own.reused, own.reencoded), (pre.reused, pre.reencoded));
+    }
+
+    #[test]
+    fn raster_hash_from_matches_raster_hash() {
+        let img = page(21, 33);
+        assert_eq!(
+            raster_hash(&img),
+            raster_hash_from(img.width(), img.height(), &column_hashes(&img))
+        );
+    }
+
+    #[test]
+    fn raster_hash_tracks_content_and_dimensions() {
+        let a = page(16, 24);
+        let mut b = a.clone();
+        assert_eq!(raster_hash(&a), raster_hash(&b));
+        b.set(5, 5, Rgb::new(1, 2, 3));
+        assert_ne!(raster_hash(&a), raster_hash(&b));
+        // Same bytes, different shape, must not collide.
+        let flat = Raster::filled(8, 4, Rgb::BLACK);
+        let tall = Raster::filled(4, 8, Rgb::BLACK);
+        assert_ne!(raster_hash(&flat), raster_hash(&tall));
     }
 }

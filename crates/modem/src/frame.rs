@@ -291,6 +291,25 @@ pub fn modulate_frame(profile: &Profile, payload: &[u8]) -> Vec<f32> {
     with_codec(profile, |codec| codec.modulate(payload))
 }
 
+/// [`modulate_frame`] into a caller-reused buffer (cleared first), via the
+/// same thread-local [`FrameCodec`] cache.
+///
+/// # Panics
+/// Panics if `payload.len() > MAX_PAYLOAD`.
+pub fn modulate_frame_into(profile: &Profile, payload: &[u8], audio: &mut Vec<f32>) {
+    with_codec(profile, |codec| codec.modulate_into(payload, audio))
+}
+
+/// Exact sample count [`modulate_frame`] produces for a payload of
+/// `payload_len` bytes: the frame body ([`Profile::frame_samples`]) plus
+/// the cyclic-prefix ramp guards the modulator adds at both ends.
+///
+/// Knowing the length without modulating lets the broadcast artifact cache
+/// address each burst's audio span inside a concatenated carousel buffer.
+pub fn modulated_samples(profile: &Profile, payload_len: usize) -> usize {
+    profile.frame_samples(payload_len) + 2 * profile.cp_len
+}
+
 /// Scans an audio buffer and recovers every PHY frame in it.
 ///
 /// Returns one entry per detected burst, in order. Bursts whose header or
@@ -496,6 +515,25 @@ mod tests {
                 assert_eq!(free, reference, "free fn, len {n}");
             }
         }
+    }
+
+    #[test]
+    fn modulated_samples_predicts_actual_audio_length() {
+        for p in [Profile::sonic_10k(), Profile::audible_7k()] {
+            for n in [0usize, 1, 86, 100, 1000, 4000] {
+                let audio = modulate_frame(&p, &payload(n, 17));
+                assert_eq!(audio.len(), modulated_samples(&p, n), "profile {:?} len {n}", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn modulate_frame_into_matches_and_clears() {
+        let p = Profile::sonic_10k();
+        let data = payload(321, 6);
+        let mut buf = vec![7.0f32; 10]; // stale contents must be discarded
+        modulate_frame_into(&p, &data, &mut buf);
+        assert_eq!(buf, modulate_frame(&p, &data));
     }
 
     #[test]

@@ -68,6 +68,41 @@ pub struct Layout {
     pub url: String,
 }
 
+impl BlockKind {
+    fn tag(self) -> u8 {
+        match self {
+            BlockKind::Header => 0,
+            BlockKind::Hero => 1,
+            BlockKind::Teaser => 2,
+            BlockKind::Paragraph => 3,
+            BlockKind::ProductRow => 4,
+            BlockKind::AdBanner => 5,
+            BlockKind::Footer => 6,
+        }
+    }
+}
+
+impl Layout {
+    /// Content address of the layout: folds every render input (block
+    /// kinds, heights and content seeds, page dimensions, URL).
+    ///
+    /// Rendering is a pure function of the layout plus the device scaling
+    /// factor, so two hours with equal `content_hash` produce bit-identical
+    /// rasters — the broadcast artifact cache uses this to skip the render
+    /// stage entirely for unchanged pages.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = sonic_image::hash::Fnv64::new();
+        h.write_u64(self.width as u64).write_u64(self.height as u64);
+        h.write_u64(self.blocks.len() as u64);
+        for b in &self.blocks {
+            h.write(&[b.kind.tag()]);
+            h.write_u64(b.height as u64).write_u64(b.seed);
+        }
+        h.write(self.url.as_bytes());
+        h.finish()
+    }
+}
+
 /// Hours of the day (0-based) during which editorial content does not
 /// change — newsrooms sleep too. This nightly freeze is what gives the
 /// Figure 4c backlog its daily reset instead of unbounded growth.
@@ -260,6 +295,26 @@ mod tests {
         assert_eq!(active_hours(6), 1);
         assert_eq!(active_hours(24), 19);
         assert_eq!(active_hours(48), 38);
+    }
+
+    #[test]
+    fn content_hash_tracks_page_changed() {
+        let news = news_site();
+        let gov = gov_site();
+        for (site, h1, h2) in [(&news, 9u64, 10u64), (&gov, 9, 10), (&news, 26, 28)] {
+            let a = generate(site, PageKind::Landing, h1);
+            let b = generate(site, PageKind::Landing, h2);
+            assert_eq!(
+                a.content_hash() != b.content_hash(),
+                page_changed(site, PageKind::Landing, h1, h2),
+                "site {} hours {h1}->{h2}",
+                site.domain
+            );
+        }
+        // Deterministic across repeated generation.
+        let x = generate(&news, PageKind::Landing, 7).content_hash();
+        let y = generate(&news, PageKind::Landing, 7).content_hash();
+        assert_eq!(x, y);
     }
 
     #[test]
