@@ -6,7 +6,7 @@ pub mod cache;
 pub mod uplink;
 
 use crate::frame::Frame;
-use crate::reassembly::{AssemblyError, Reassembler};
+use crate::reassembly::{AssemblyError, Reassembler, ReassemblerConfig};
 use browser::ClickOutcome;
 use cache::{CachedPage, PageCache};
 use sonic_image::interpolate::recover;
@@ -52,9 +52,36 @@ impl SonicClient {
         self.reassembler.push(frame);
     }
 
+    /// Ingests a link frame observed at stream time `now_s` (enables the
+    /// reassembler's LRU/deadline accounting).
+    pub fn receive_frame_at(&mut self, frame: Frame, now_s: f64) {
+        self.reassembler.push_at(frame, now_s);
+    }
+
+    /// Records a CRC-failed frame attributed to `page_id` (loss map input).
+    pub fn note_bad_frame(&mut self, page_id: u32, now_s: f64) {
+        self.reassembler.note_bad_frame(page_id, now_s);
+    }
+
     /// Page ids with in-flight assemblies.
     pub fn pending_pages(&self) -> Vec<u32> {
-        self.reassembler.pages.keys().copied().collect()
+        self.reassembler.page_ids()
+    }
+
+    /// Pages past the reassembler deadline at `now_s`: finalize these
+    /// degraded (via [`SonicClient::finalize_page`]) rather than wait.
+    pub fn expired_pages(&self, now_s: f64) -> Vec<u32> {
+        self.reassembler.poll_expired(now_s)
+    }
+
+    /// Read access to the reassembler (budget stats, loss maps).
+    pub fn reassembler(&self) -> &Reassembler {
+        &self.reassembler
+    }
+
+    /// Sets the reassembler's memory/deadline budget.
+    pub fn set_reassembler_config(&mut self, config: ReassemblerConfig) {
+        self.reassembler.config = config;
     }
 
     /// Finalizes a page whose broadcast ended; repairs losses with
@@ -99,6 +126,23 @@ impl SonicClient {
     pub fn compose_request(&self, url: &str) -> Option<String> {
         let loc = self.location.as_ref()?;
         Some(gateway::format_request(url, loc))
+    }
+
+    /// Composes a repair NACK for an in-flight page from its loss map
+    /// (missing meta, per-column first missing chunk). `None` for
+    /// downlink-only users, untracked pages, or pages with nothing missing.
+    pub fn compose_nack(&self, page_id: u32) -> Option<String> {
+        let loc = self.location.as_ref()?;
+        let report = self.reassembler.assembly(page_id)?.missing_ranges();
+        if report.is_complete() {
+            return None;
+        }
+        Some(sonic_sms::queries::format_nack(&sonic_sms::queries::Nack {
+            page_id,
+            meta: report.meta,
+            columns: report.columns,
+            location: sonic_sms::geo::GeoPoint::new(loc.lat, loc.lon),
+        }))
     }
 
     /// The catalog of currently readable pages ("organized by content,
@@ -172,6 +216,36 @@ mod tests {
         assert!(c.compose_request("https://a.pk/").is_none());
         let c2 = SonicClient::new(720, Some(GeoPoint::new(31.5, 74.3)));
         assert!(c2.compose_request("https://a.pk/").is_some());
+    }
+
+    #[test]
+    fn lossy_reception_composes_a_parseable_nack() {
+        let mut c = SonicClient::new(720, Some(GeoPoint::new(31.5, 74.3)));
+        let p = broadcast_page("https://n.pk/", "https://n.pk/x");
+        let mut dropped_col = None;
+        for f in page_to_frames(&p) {
+            if let Frame::Strip { column, seq, .. } = &f {
+                if *seq == 0 && dropped_col.is_none() {
+                    dropped_col = Some(*column);
+                    continue;
+                }
+            }
+            c.receive_frame_at(f, 1.0);
+        }
+        let col = dropped_col.expect("strip frame dropped");
+        let msg = c.compose_nack(p.page_id).expect("loss → NACK");
+        let nack = sonic_sms::queries::parse_nack(&msg).expect("well-formed");
+        assert_eq!(nack.page_id, p.page_id);
+        assert!(nack.columns.contains(&(col, 0)), "{:?}", nack.columns);
+        // A complete page yields no NACK.
+        let p2 = broadcast_page("https://ok.pk/", "https://ok.pk/x");
+        for f in page_to_frames(&p2) {
+            c.receive_frame_at(f, 2.0);
+        }
+        assert!(c.compose_nack(p2.page_id).is_none());
+        // Downlink-only users cannot NACK.
+        let c3 = SonicClient::new(720, None);
+        assert!(c3.compose_nack(p.page_id).is_none());
     }
 
     #[test]

@@ -41,6 +41,14 @@ pub struct UplinkManager {
     pub grace_s: f64,
     /// Timeout for requests that never got an ACK.
     pub ack_timeout_s: f64,
+    /// Seconds after the last exhausted attempt before the budget resets.
+    ///
+    /// Without this, an exhausted URL stays dead forever: its entry is never
+    /// removed and every later `request` returns `RetriesExhausted`, which
+    /// deadlocks a client that still needs the page (e.g. the broadcast
+    /// window was down all morning). After the cooloff the URL is treated as
+    /// fresh — a bounded, periodic retry rather than a permanent ban.
+    pub cooloff_s: f64,
 }
 
 impl Default for UplinkManager {
@@ -50,6 +58,7 @@ impl Default for UplinkManager {
             max_attempts: 3,
             grace_s: 120.0,
             ack_timeout_s: 60.0,
+            cooloff_s: 3_600.0,
         }
     }
 }
@@ -91,7 +100,12 @@ impl UplinkManager {
                     return Err(RequestGate::AlreadyPending);
                 }
                 if p.attempts >= self.max_attempts {
-                    return Err(RequestGate::RetriesExhausted);
+                    if now > p.sent_at + self.cooloff_s {
+                        // Budget resets after the cooloff: start over.
+                        p.attempts = 0;
+                    } else {
+                        return Err(RequestGate::RetriesExhausted);
+                    }
                 }
                 p.attempts += 1;
                 p.sent_at = now;
@@ -174,6 +188,23 @@ mod tests {
         m.delivered("a");
         assert_eq!(m.pending_count(), 0);
         assert_eq!(m.request("a", 1.0), Ok(1), "fresh budget after delivery");
+    }
+
+    #[test]
+    fn exhausted_budget_resets_after_cooloff() {
+        let mut m = UplinkManager::new();
+        assert_eq!(m.request("a", 0.0), Ok(1));
+        assert_eq!(m.request("a", 61.0), Ok(2));
+        assert_eq!(m.request("a", 200.0), Ok(3));
+        assert_eq!(m.request("a", 400.0), Err(RequestGate::RetriesExhausted));
+        // Still exhausted right up to the cooloff boundary...
+        assert_eq!(
+            m.request("a", 200.0 + 3_599.0),
+            Err(RequestGate::RetriesExhausted)
+        );
+        // ...then the budget resets: no permanent deadlock.
+        assert_eq!(m.request("a", 200.0 + 3_601.0), Ok(1));
+        assert_eq!(m.request("a", 200.0 + 3_601.0 + 61.0), Ok(2));
     }
 
     #[test]

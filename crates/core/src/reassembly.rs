@@ -21,6 +21,35 @@ pub struct PageAssembly {
     /// column → (seq → (payload, last)).
     columns: HashMap<u16, BTreeMap<u16, (Vec<u8>, bool)>>,
     frames_seen: usize,
+    /// Payload bytes buffered (for the reassembler's byte budget).
+    bytes: usize,
+    /// CRC-failed frames attributed to this page (per-page loss map input).
+    crc_failed: usize,
+    /// Stream time of the first frame (deadline accounting).
+    first_at: f64,
+    /// Stream time of the latest frame (LRU accounting).
+    last_at: f64,
+}
+
+/// What a page is still missing, derived from the per-page loss map.
+///
+/// Strip columns are sequential entropy streams, so a chunk after a gap is
+/// undecodable: the entire repair need of a column is captured by the first
+/// sequence number missing from its consecutive prefix. This is what makes
+/// the SMS NACK compact — one `(column, from_seq)` pair per damaged column.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MissingReport {
+    /// The metadata region is incomplete (dimensions/URL unknown).
+    pub meta: bool,
+    /// Damaged columns as `(column, first missing chunk seq)`.
+    pub columns: Vec<(u16, u16)>,
+}
+
+impl MissingReport {
+    /// Whether nothing is missing.
+    pub fn is_complete(&self) -> bool {
+        !self.meta && self.columns.is_empty()
+    }
 }
 
 /// A fully (or partially) reassembled page plus reception stats.
@@ -70,13 +99,25 @@ impl PageAssembly {
 
     /// Ingests one frame (of this page; caller routes by page id).
     pub fn push(&mut self, frame: Frame) {
+        self.push_at(frame, 0.0);
+    }
+
+    /// Ingests one frame observed at stream time `now_s` (seconds).
+    pub fn push_at(&mut self, frame: Frame, now_s: f64) {
+        if self.frames_seen == 0 {
+            self.first_at = now_s;
+        }
+        self.last_at = self.last_at.max(now_s);
         self.frames_seen += 1;
         match frame {
             Frame::Meta {
                 seq, total, payload, ..
             } => {
                 self.meta_total = Some(total);
-                self.meta_parts.entry(seq).or_insert(payload);
+                if let std::collections::btree_map::Entry::Vacant(e) = self.meta_parts.entry(seq) {
+                    self.bytes += payload.len();
+                    e.insert(payload);
+                }
             }
             Frame::Strip {
                 column,
@@ -85,13 +126,22 @@ impl PageAssembly {
                 payload,
                 ..
             } => {
-                self.columns
-                    .entry(column)
-                    .or_default()
-                    .entry(seq)
-                    .or_insert((payload, last));
+                if let std::collections::btree_map::Entry::Vacant(e) =
+                    self.columns.entry(column).or_default().entry(seq)
+                {
+                    self.bytes += payload.len();
+                    e.insert((payload, last));
+                }
             }
         }
+    }
+
+    /// Records a CRC-failed frame attributed to this page (the receiver knows
+    /// which page's burst it was listening to even when the payload is
+    /// unreadable). Feeds the per-page loss statistics.
+    pub fn note_bad_frame(&mut self, now_s: f64) {
+        self.last_at = self.last_at.max(now_s);
+        self.crc_failed += 1;
     }
 
     /// Whether the metadata region is complete.
@@ -105,6 +155,73 @@ impl PageAssembly {
     /// Frames ingested so far.
     pub fn frames_seen(&self) -> usize {
         self.frames_seen
+    }
+
+    /// Payload bytes buffered by this assembly.
+    pub fn buffered_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// CRC-failed frames attributed to this page.
+    pub fn crc_failed(&self) -> usize {
+        self.crc_failed
+    }
+
+    /// Stream time of the first frame received for this page.
+    pub fn first_seen_at(&self) -> f64 {
+        self.first_at
+    }
+
+    /// Stream time of the most recent activity on this page.
+    pub fn last_seen_at(&self) -> f64 {
+        self.last_at
+    }
+
+    /// Derives the page's missing-chunk ranges (the loss map → NACK input).
+    ///
+    /// Per column the report holds the first chunk seq missing from the
+    /// consecutive prefix; wholly-lost columns appear as `(col, 0)` when the
+    /// metadata (and thus the page width) is known.
+    pub fn missing_ranges(&self) -> MissingReport {
+        let mut report = MissingReport {
+            meta: !self.meta_complete(),
+            columns: Vec::new(),
+        };
+        let width: Option<u16> = if report.meta {
+            None
+        } else {
+            let mut blob = Vec::new();
+            for part in self.meta_parts.values() {
+                blob.extend_from_slice(part);
+            }
+            SimplifiedPage::parse_meta(&blob).map(|(w, ..)| w as u16)
+        };
+        if width.is_none() && self.columns.is_empty() {
+            return report; // nothing known yet beyond the missing meta
+        }
+        let max_col = width
+            .map(|w| w.saturating_sub(1))
+            .unwrap_or_else(|| self.columns.keys().copied().max().unwrap_or(0));
+        for col in 0..=max_col {
+            match self.columns.get(&col) {
+                Some(chunks) => {
+                    let mut next = 0u16;
+                    let mut complete = false;
+                    while let Some((_, last)) = chunks.get(&next) {
+                        if *last {
+                            complete = true;
+                            break;
+                        }
+                        next += 1;
+                    }
+                    if !complete {
+                        report.columns.push((col, next));
+                    }
+                }
+                None => report.columns.push((col, 0)),
+            }
+        }
+        report
     }
 
     /// Finalizes into a page; call when the broadcast of this page ended.
@@ -178,27 +295,150 @@ impl PageAssembly {
     }
 }
 
-/// Routes frames of many pages to their assemblies.
+/// Memory and liveness policy for the [`Reassembler`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReassemblerConfig {
+    /// Total payload-byte budget across all in-progress pages.
+    pub max_bytes: usize,
+    /// Max concurrently-tracked pages.
+    pub max_pages: usize,
+    /// Seconds after a page's first frame before [`Reassembler::poll_expired`]
+    /// reports it for forced (possibly degraded) finalization.
+    pub page_deadline_s: f64,
+}
+
+impl Default for ReassemblerConfig {
+    fn default() -> Self {
+        // 4 MiB ≈ a handful of full screenshots in flight; a phone-class
+        // budget. 900 s is three carousel periods at the paper's page sizes.
+        ReassemblerConfig {
+            max_bytes: 4 << 20,
+            max_pages: 16,
+            page_deadline_s: 900.0,
+        }
+    }
+}
+
+/// Routes frames of many pages to their assemblies, under a byte/page
+/// budget: on a lossy carousel pages whose broadcast we missed the end of
+/// would otherwise accumulate forever. Least-recently-active assemblies are
+/// evicted first; [`Reassembler::poll_expired`] names pages past their
+/// deadline so the caller can force-finalize them through interpolation
+/// repair instead of waiting for frames that will never come.
 #[derive(Debug, Default)]
 pub struct Reassembler {
-    /// Active assemblies by page id.
-    pub pages: HashMap<u32, PageAssembly>,
+    pages: HashMap<u32, PageAssembly>,
+    /// Budget policy.
+    pub config: ReassemblerConfig,
+    /// Assemblies discarded to stay under budget (diagnostics).
+    pub evicted_pages: usize,
 }
 
 impl Reassembler {
-    /// Creates an empty reassembler.
+    /// Creates an empty reassembler with the default budget.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Ingests a frame, routing by page id.
+    /// Creates an empty reassembler with an explicit budget.
+    pub fn with_config(config: ReassemblerConfig) -> Self {
+        Reassembler {
+            config,
+            ..Self::default()
+        }
+    }
+
+    /// Ingests a frame, routing by page id (stream time unknown: 0.0).
     pub fn push(&mut self, frame: Frame) {
-        self.pages.entry(frame.page_id()).or_default().push(frame);
+        self.push_at(frame, 0.0);
+    }
+
+    /// Ingests a frame observed at stream time `now_s`, then enforces the
+    /// byte/page budget (never evicting the page just touched).
+    pub fn push_at(&mut self, frame: Frame, now_s: f64) {
+        let id = frame.page_id();
+        self.pages.entry(id).or_default().push_at(frame, now_s);
+        self.enforce_budget(id);
+    }
+
+    /// Attributes a CRC-failed frame to `page_id` (the page whose burst the
+    /// receiver was tuned to when the frame died).
+    pub fn note_bad_frame(&mut self, page_id: u32, now_s: f64) {
+        if let Some(a) = self.pages.get_mut(&page_id) {
+            a.note_bad_frame(now_s);
+        }
     }
 
     /// Finalizes and removes one page.
     pub fn take(&mut self, page_id: u32) -> Option<Result<ReceivedPage, AssemblyError>> {
         self.pages.remove(&page_id).map(|a| a.finalize())
+    }
+
+    /// Read access to one in-progress assembly (loss map, stats).
+    pub fn assembly(&self, page_id: u32) -> Option<&PageAssembly> {
+        self.pages.get(&page_id)
+    }
+
+    /// Ids of all in-progress pages.
+    pub fn page_ids(&self) -> Vec<u32> {
+        self.pages.keys().copied().collect()
+    }
+
+    /// Number of in-progress pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether no page is in progress.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Total payload bytes currently buffered.
+    pub fn buffered_bytes(&self) -> usize {
+        self.pages.values().map(|a| a.buffered_bytes()).sum()
+    }
+
+    /// Pages whose deadline has lapsed at `now_s`: the caller should
+    /// [`Reassembler::take`] each and finalize degraded (the paper's
+    /// behaviour — interpolate across what never arrived) rather than hold
+    /// the page open forever.
+    pub fn poll_expired(&self, now_s: f64) -> Vec<u32> {
+        let mut expired: Vec<u32> = self
+            .pages
+            .iter()
+            .filter(|(_, a)| now_s - a.first_seen_at() > self.config.page_deadline_s)
+            .map(|(&id, _)| id)
+            .collect();
+        expired.sort_unstable();
+        expired
+    }
+
+    /// Evicts least-recently-active assemblies until both budgets hold.
+    /// `protect` (the page just touched) is evicted only if it is the sole
+    /// page and still violates the byte budget on its own.
+    fn enforce_budget(&mut self, protect: u32) {
+        while self.pages.len() > self.config.max_pages
+            || self.buffered_bytes() > self.config.max_bytes
+        {
+            let victim = self
+                .pages
+                .iter()
+                .filter(|(&id, _)| id != protect)
+                .min_by(|a, b| a.1.last_at.total_cmp(&b.1.last_at))
+                .map(|(&id, _)| id);
+            let Some(victim) = victim else {
+                // Only the protected page remains; drop it if it alone
+                // busts the byte budget, else the page budget is satisfied.
+                if self.buffered_bytes() > self.config.max_bytes {
+                    self.pages.remove(&protect);
+                    self.evicted_pages += 1;
+                }
+                return;
+            };
+            self.pages.remove(&victim);
+            self.evicted_pages += 1;
+        }
     }
 }
 
@@ -338,7 +578,143 @@ mod tests {
         let got2 = r.take(p2.page_id).expect("p2").expect("ok");
         assert_eq!(got1.url, "https://r.pk/");
         assert_eq!(got2.url, "https://x.pk/");
-        assert!(r.pages.is_empty());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recently_active_page() {
+        let mut r = Reassembler::with_config(ReassemblerConfig {
+            max_bytes: 3_000,
+            max_pages: 64,
+            page_deadline_s: 1e9,
+        });
+        // Three pages, ~frames interleaved with distinct activity times.
+        let pages: Vec<SimplifiedPage> = (0..3)
+            .map(|i| {
+                let mut img = Raster::new(8, 120);
+                let mut x = 7u32 + i;
+                for yy in 0..120 {
+                    for xx in 0..8 {
+                        x = x.wrapping_mul(1103515245).wrapping_add(12345);
+                        img.set(xx, yy, Rgb::new((x >> 16) as u8, (x >> 8) as u8, x as u8));
+                    }
+                }
+                SimplifiedPage::from_raster(&format!("https://p{i}.pk/"), &img, ClickMap::default(), 1, 1)
+            })
+            .collect();
+        for (i, p) in pages.iter().enumerate() {
+            for f in page_to_frames(p) {
+                r.push_at(f, i as f64 * 10.0);
+            }
+        }
+        assert!(
+            r.buffered_bytes() <= 3_000,
+            "budget violated: {}",
+            r.buffered_bytes()
+        );
+        assert!(r.evicted_pages > 0);
+        // The most recently active page must have survived.
+        assert!(r.assembly(pages[2].page_id).is_some(), "LRU evicts oldest");
+    }
+
+    #[test]
+    fn page_budget_caps_tracked_pages() {
+        let mut r = Reassembler::with_config(ReassemblerConfig {
+            max_pages: 2,
+            ..ReassemblerConfig::default()
+        });
+        for i in 0..5u32 {
+            let img = Raster::filled(4, 8, Rgb::new(i as u8, 0, 0));
+            let p = SimplifiedPage::from_raster(&format!("https://q{i}.pk/"), &img, ClickMap::default(), 1, 1);
+            for f in page_to_frames(&p) {
+                r.push_at(f, i as f64);
+            }
+        }
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.evicted_pages, 3);
+    }
+
+    #[test]
+    fn deadline_reports_stale_pages_for_forced_finalize() {
+        let mut r = Reassembler::with_config(ReassemblerConfig {
+            page_deadline_s: 100.0,
+            ..ReassemblerConfig::default()
+        });
+        let p = page(6, 20);
+        for f in page_to_frames(&p) {
+            r.push_at(f, 5.0);
+        }
+        assert!(r.poll_expired(50.0).is_empty());
+        assert_eq!(r.poll_expired(200.0), vec![p.page_id]);
+        // Forced finalize of a complete page succeeds (degraded allowed in
+        // general; here lossless).
+        assert!(r.take(p.page_id).expect("tracked").is_ok());
+        assert!(r.poll_expired(200.0).is_empty());
+    }
+
+    #[test]
+    fn missing_ranges_capture_column_prefix_breaks() {
+        let p = noisy_page(10, 300);
+        let mut asm = PageAssembly::new();
+        let mut dropped_col = None;
+        for f in page_to_frames(&p) {
+            if dropped_col.is_none() {
+                if let Frame::Strip { column, seq, .. } = &f {
+                    if *seq == 1 {
+                        dropped_col = Some(*column);
+                        continue;
+                    }
+                }
+            }
+            asm.push(f);
+        }
+        let col = dropped_col.expect("multi-chunk column");
+        let report = asm.missing_ranges();
+        assert!(!report.meta);
+        assert_eq!(report.columns, vec![(col, 1)], "repair need is (col, from_seq)");
+        assert!(!report.is_complete());
+
+        // A complete page reports nothing missing.
+        let mut full = PageAssembly::new();
+        for f in page_to_frames(&p) {
+            full.push(f);
+        }
+        assert!(full.missing_ranges().is_complete());
+    }
+
+    #[test]
+    fn missing_ranges_flag_lost_meta_and_whole_columns() {
+        let p = page(6, 20);
+        let mut asm = PageAssembly::new();
+        for f in page_to_frames(&p) {
+            match &f {
+                Frame::Meta { .. } => continue,
+                Frame::Strip { column: 2, .. } => continue,
+                _ => asm.push(f),
+            }
+        }
+        let report = asm.missing_ranges();
+        assert!(report.meta, "meta fully lost");
+        assert!(
+            report.columns.contains(&(2, 0)),
+            "wholly-lost known column reported from seq 0: {:?}",
+            report.columns
+        );
+    }
+
+    #[test]
+    fn bad_frames_feed_per_page_stats() {
+        let mut r = Reassembler::new();
+        let p = page(6, 20);
+        let frames = page_to_frames(&p);
+        r.push_at(frames[0].clone(), 1.0);
+        r.note_bad_frame(p.page_id, 2.0);
+        r.note_bad_frame(p.page_id, 3.0);
+        let asm = r.assembly(p.page_id).expect("tracked");
+        assert_eq!(asm.crc_failed(), 2);
+        assert_eq!(asm.last_seen_at(), 3.0);
+        // Bad frames for untracked pages are ignored, not panics.
+        r.note_bad_frame(999, 1.0);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 pub mod cache;
 pub mod pipeline;
 pub mod render;
+pub mod repair;
 pub mod scheduler;
 
 use crate::page::SimplifiedPage;
@@ -29,6 +30,8 @@ pub struct SonicServer {
     coverage: Coverage,
     /// One broadcast scheduler per transmitter site id.
     pub schedulers: HashMap<u32, BroadcastScheduler>,
+    /// NACK validation/coalescing and repair-burst scheduling.
+    pub repair: repair::RepairPlanner,
 }
 
 impl SonicServer {
@@ -46,6 +49,7 @@ impl SonicServer {
             artifacts: ArtifactCache::new(ARTIFACT_CACHE_BYTES),
             coverage,
             schedulers,
+            repair: repair::RepairPlanner::new(),
         }
     }
 
@@ -70,7 +74,34 @@ impl SonicServer {
     /// ETA and frequency is returned.
     pub fn handle_sms(&mut self, msg: &str, now_s: f64) -> String {
         let hour = (now_s / 3600.0) as u64;
-        // Queries first: the grammars are disjoint.
+        // Repair NACKs (all three grammars are disjoint): validate against
+        // the repair registry, coalesce with other clients' ranges, and ACK
+        // with an ETA covering the coalescing window plus the backlog.
+        if let Some(nack) = sonic_sms::queries::parse_nack(msg) {
+            let Some(site) = self.coverage.best_for(&nack.location) else {
+                return gateway::format_err("no coverage at your location");
+            };
+            let (site_id, freq) = (site.id, site.freq_mhz);
+            return match self.repair.accept_nack(site_id, &nack, now_s) {
+                Ok(wait_s) => {
+                    let backlog = self
+                        .schedulers
+                        .get(&site_id)
+                        .map(|s| s.backlog_bytes() as f64 * 8.0 / s.rate_bps())
+                        .unwrap_or(0.0);
+                    let url = format!("{:X}", nack.page_id);
+                    gateway::format_ack(&url, (wait_s + backlog).ceil() as u64 + 1, freq)
+                }
+                Err(repair::NackRejection::UnknownPage) => {
+                    gateway::format_err("unknown page; re-request it")
+                }
+                Err(repair::NackRejection::InvalidRange) => gateway::format_err("bad repair range"),
+                Err(repair::NackRejection::BudgetExhausted) => {
+                    gateway::format_err("repair budget spent; wait for the next carousel")
+                }
+            };
+        }
+        // Queries next: the grammars are disjoint.
         if let Some(q) = sonic_sms::queries::parse_query(msg) {
             let Some(site) = self.coverage.best_for(&q.location) else {
                 return gateway::format_err("no coverage at your location");
@@ -104,6 +135,7 @@ impl SonicServer {
                 .schedulers
                 .get_mut(&site_id)
                 .expect("scheduler per site");
+            self.repair.register_page(page.clone());
             let eta = sched.enqueue(page, now_s);
             return gateway::format_ack(&url, eta as u64, freq);
         }
@@ -123,8 +155,16 @@ impl SonicServer {
             .schedulers
             .get_mut(&site_id)
             .expect("scheduler per site");
+        self.repair.register_page(page.clone());
         let eta = sched.enqueue(page, now_s);
         gateway::format_ack(&req.url, eta as u64, freq)
+    }
+
+    /// Schedules any repair bursts whose coalescing window or backoff has
+    /// elapsed. Call periodically (server loop / simulation tick). Returns
+    /// the number of bursts scheduled.
+    pub fn pump_repairs(&mut self, now_s: f64) -> usize {
+        self.repair.schedule_due(now_s, &mut self.schedulers)
     }
 
     /// Preemptively pushes the `top_n` most popular landing pages to every
@@ -148,6 +188,7 @@ impl SonicServer {
         let (artifacts, _) =
             pipeline::refresh_pages(&self.renderer, &mut self.artifacts, &jobs, None);
         for a in &artifacts {
+            self.repair.register_page(a.page.clone());
             for sched in self.schedulers.values_mut() {
                 sched.enqueue_prechunked(a.page.clone(), a.frames.clone(), now_s);
             }
@@ -272,6 +313,54 @@ mod tests {
         for sched in srv.schedulers.values() {
             assert_eq!(sched.queue_len(), 3);
         }
+    }
+
+    #[test]
+    fn nack_round_trip_schedules_targeted_repair() {
+        let mut srv = server();
+        srv.repair.config.coalesce_s = 5.0;
+        let loc = sonic_sms::GeoPoint::new(31.52, 74.35); // Lahore, site 0
+        let url = srv
+            .renderer()
+            .corpus()
+            .layout(sonic_pagegen::PageId { site: 0, page: 0 }, 0)
+            .url;
+        // Request the page so it is broadcast (and registered repairable).
+        let reply = srv.handle_sms(&gateway::format_request(&url, &loc), 0.0);
+        let ack = gateway::parse_ack(&reply).expect("ACK");
+        let page = srv.get_page(&url, 0).expect("cached");
+        let page_id = page.page_id;
+        // Drain the Lahore scheduler: the broadcast happened (lossily).
+        let site = srv
+            .schedulers
+            .iter()
+            .find(|(_, s)| s.backlog_bytes() > 0)
+            .map(|(&id, _)| id)
+            .expect("queued somewhere");
+        while !srv.schedulers.get_mut(&site).expect("site").advance(10.0).is_empty() {}
+        let _ = ack;
+        // Client NACKs two damaged columns.
+        let nack = sonic_sms::queries::format_nack(&sonic_sms::queries::Nack {
+            page_id,
+            meta: false,
+            columns: vec![(0, 1), (2, 0)],
+            location: loc,
+        });
+        let reply = srv.handle_sms(&nack, 100.0);
+        assert!(reply.starts_with("ACK"), "{reply}");
+        // Before the coalescing window: nothing scheduled.
+        assert_eq!(srv.pump_repairs(101.0), 0);
+        assert_eq!(srv.pump_repairs(106.0), 1, "repair burst after window");
+        assert!(srv.schedulers.get(&site).expect("site").backlog_bytes() > 0);
+        assert!(srv.repair.stats.frames_scheduled > 0);
+        // A NACK for an unknown page id is refused.
+        let bogus = sonic_sms::queries::format_nack(&sonic_sms::queries::Nack {
+            page_id: 0xDEAD_BEEF,
+            meta: true,
+            columns: vec![],
+            location: loc,
+        });
+        assert!(srv.handle_sms(&bogus, 200.0).starts_with("ERR"));
     }
 
     #[test]

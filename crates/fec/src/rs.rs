@@ -223,7 +223,7 @@ impl RsCodec {
 // ---- lowest-degree-first polynomial helpers (decoder internals) ----
 
 fn trim_low(p: &mut Vec<u8>) {
-    while p.len() > 1 && *p.last().expect("non-empty") == 0 {
+    while p.len() > 1 && p.last() == Some(&0) {
         p.pop();
     }
 }

@@ -148,10 +148,17 @@ pub fn decode_soft_into(
         // reference's `(pm + x) + y` float association is preserved.
         let xs = [-s0, s0];
         let ys = [-s1, s1];
-        // Fixed-size views keep the trellis indexing bounds-check free.
-        let cur: &[f32; STATES] = pm.as_slice().try_into().expect("STATES metrics");
-        let next: &mut [f32; STATES] =
-            next_pm.as_mut_slice().try_into().expect("STATES metrics");
+        // Fixed-size views keep the trellis indexing bounds-check free. Both
+        // vectors were resized to STATES above, so the conversions cannot
+        // fail; stay total anyway (an empty decode fails the outer CRC).
+        let Ok(cur) = <&[f32; STATES]>::try_from(pm.as_slice()) else {
+            out.clear();
+            return;
+        };
+        let Ok(next) = <&mut [f32; STATES]>::try_from(next_pm.as_mut_slice()) else {
+            out.clear();
+            return;
+        };
         let row = &mut scratch.decisions[t * WORDS..(t + 1) * WORDS];
         // Butterfly over predecessor pairs: states 2p and 2p+1 share the
         // predecessors p and p + STATES/2, so each pair of path metrics is
@@ -196,7 +203,7 @@ pub fn decode_soft_into(
     } else {
         pm.iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("metrics are finite"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap_or(0)
     };
@@ -261,7 +268,7 @@ pub fn decode_soft_reference(soft: &[f32], info_bits: usize) -> Vec<u8> {
     } else {
         pm.iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("metrics are finite"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap_or(0)
     };

@@ -74,8 +74,9 @@ impl Huffman {
         }
         let mut next_idx = 256usize;
         while heap.len() > 1 {
-            let a = heap.pop().expect("len > 1");
-            let b = heap.pop().expect("len > 1");
+            let (Some(a), Some(b)) = (heap.pop(), heap.pop()) else {
+                break; // unreachable: the loop guard saw two entries
+            };
             children.push((a.idx, b.idx));
             heap.push(Node {
                 weight: a.weight + b.weight,
@@ -83,7 +84,13 @@ impl Huffman {
             });
             next_idx += 1;
         }
-        let root = heap.pop().expect("root").idx;
+        let Some(root) = heap.pop().map(|n| n.idx) else {
+            // Unreachable: ≥2 leaves were pushed and merges leave one node.
+            return Huffman {
+                lengths,
+                codes: [0; 256],
+            };
+        };
 
         // Depth-first length assignment.
         let mut stack = vec![(root, 0u8)];

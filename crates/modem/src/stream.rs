@@ -19,12 +19,18 @@ pub struct StreamReceiver {
     base: u64,
     /// Max buffered samples before the head is dropped (≥ one max burst).
     max_buffer: usize,
+    /// Samples of the largest possible burst (incl. sync overhead): a burst
+    /// still `Truncated` with more than this buffered past its start can
+    /// never complete.
+    max_burst: usize,
     /// Completed results not yet taken by the caller.
     ready: Vec<StreamEvent>,
     /// Totals for diagnostics.
     pub frames_recovered: usize,
     /// Bursts that failed after detection.
     pub bursts_failed: usize,
+    /// Times frame lock was abandoned mid-burst and scanning resumed past it.
+    pub resyncs: usize,
 }
 
 /// One event emitted by the receiver.
@@ -47,9 +53,11 @@ impl StreamReceiver {
             buffer: Vec::new(),
             base: 0,
             max_buffer: max_burst * 2,
+            max_burst,
             ready: Vec::new(),
             frames_recovered: 0,
             bursts_failed: 0,
+            resyncs: 0,
         }
     }
 
@@ -70,44 +78,79 @@ impl StreamReceiver {
         self.buffer.len()
     }
 
+    /// Declares the stream over: a burst still waiting for samples will
+    /// never complete, so fail it (emitting a `None` event for the loss map)
+    /// and scan whatever follows it. Call at end of capture.
+    pub fn flush(&mut self) {
+        self.scan_inner(true);
+    }
+
     fn scan(&mut self) {
+        self.scan_inner(false);
+    }
+
+    fn scan_inner(&mut self, at_end: bool) {
         // A frame can only be decoded if fully buffered; demodulate_frames
         // reports Truncated for partial tails, which we leave in the buffer
-        // for the next push.
-        let results: Vec<DemodFrame> = demodulate_frames(&self.profile, &self.buffer);
-        let mut consumed = 0usize;
-        for r in results {
-            match r.payload {
-                Ok(bytes) => {
-                    self.frames_recovered += 1;
-                    // Consume through the end of this burst: estimate from
-                    // the payload length.
-                    let burst_len = self.profile.frame_samples(bytes.len()) + r.start_sample;
-                    consumed = consumed.max(burst_len.min(self.buffer.len()));
-                    self.ready.push(StreamEvent {
-                        at_sample: self.base + r.start_sample as u64,
-                        payload: Some(bytes),
-                    });
-                }
-                Err(crate::frame::PhyError::Truncated) => {
-                    // Wait for more samples; keep from this burst's start.
-                    consumed = consumed.min(r.start_sample);
-                    break;
-                }
-                Err(_) => {
-                    self.bursts_failed += 1;
-                    let skip = r.start_sample + 4 * self.profile.symbol_len();
-                    consumed = consumed.max(skip.min(self.buffer.len()));
-                    self.ready.push(StreamEvent {
-                        at_sample: self.base + r.start_sample as u64,
-                        payload: None,
-                    });
+        // for the next push. A truncated burst must not hold frame lock
+        // forever: once more audio than the largest possible burst has
+        // accumulated past its start (or the stream ended), the tail will
+        // never arrive — fail the burst and resynchronize past it instead
+        // of silently stalling.
+        loop {
+            let results: Vec<DemodFrame> = demodulate_frames(&self.profile, &self.buffer);
+            let mut consumed = 0usize;
+            let mut rescan = false;
+            for r in results {
+                match r.payload {
+                    Ok(bytes) => {
+                        self.frames_recovered += 1;
+                        // Consume through the end of this burst: estimate from
+                        // the payload length.
+                        let burst_len = self.profile.frame_samples(bytes.len()) + r.start_sample;
+                        consumed = consumed.max(burst_len.min(self.buffer.len()));
+                        self.ready.push(StreamEvent {
+                            at_sample: self.base + r.start_sample as u64,
+                            payload: Some(bytes),
+                        });
+                    }
+                    Err(crate::frame::PhyError::Truncated) => {
+                        let pending = self.buffer.len().saturating_sub(r.start_sample);
+                        if at_end || pending > self.max_burst {
+                            // Frame lock lost mid-burst: give up on it.
+                            self.bursts_failed += 1;
+                            self.resyncs += 1;
+                            self.ready.push(StreamEvent {
+                                at_sample: self.base + r.start_sample as u64,
+                                payload: None,
+                            });
+                            let skip = r.start_sample + 4 * self.profile.symbol_len();
+                            consumed = consumed.max(skip.min(self.buffer.len()));
+                            rescan = true;
+                        } else {
+                            // Wait for more samples; keep from this burst's start.
+                            consumed = consumed.min(r.start_sample);
+                        }
+                        break;
+                    }
+                    Err(_) => {
+                        self.bursts_failed += 1;
+                        let skip = r.start_sample + 4 * self.profile.symbol_len();
+                        consumed = consumed.max(skip.min(self.buffer.len()));
+                        self.ready.push(StreamEvent {
+                            at_sample: self.base + r.start_sample as u64,
+                            payload: None,
+                        });
+                    }
                 }
             }
-        }
-        if consumed > 0 {
-            self.buffer.drain(..consumed);
-            self.base += consumed as u64;
+            if consumed > 0 {
+                self.buffer.drain(..consumed);
+                self.base += consumed as u64;
+            }
+            if !rescan {
+                break;
+            }
         }
     }
 
@@ -182,6 +225,56 @@ mod tests {
         }
         assert!(rx.buffered() <= rx.max_buffer);
         assert!(rx.poll().is_empty());
+    }
+
+    #[test]
+    fn flush_fails_a_dangling_burst_instead_of_stalling() {
+        let p = Profile::sonic_10k();
+        let a = payload(900, 4);
+        let audio = modulate_frame(&p, &a);
+        let mut rx = StreamReceiver::new(p);
+        // The capture ends mid-burst: the tail never arrives.
+        rx.push(&audio[..audio.len() / 2]);
+        assert!(rx.poll().is_empty(), "half a burst must not decode");
+        rx.flush();
+        let got = rx.poll();
+        assert_eq!(got.len(), 1, "the dangling burst must surface as a loss");
+        assert!(got[0].payload.is_none());
+        assert_eq!(rx.resyncs, 1);
+        // The receiver is live again: a fresh burst decodes normally.
+        let b = payload(300, 5);
+        rx.push(&modulate_frame(&rx.profile.clone(), &b));
+        let got = rx.poll();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload.as_deref(), Some(&b[..]));
+    }
+
+    #[test]
+    fn receiver_recovers_after_mid_burst_dropout() {
+        // A tuner dropout chops a burst mid-payload and replaces the tail
+        // with silence; the receiver must fail that burst and still decode
+        // the next one rather than stalling on the damaged lock.
+        let p = Profile::sonic_10k();
+        let a = payload(700, 6);
+        let b = payload(200, 7);
+        let cut_burst = modulate_frame(&p, &a);
+        let mut audio = cut_burst[..cut_burst.len() / 3].to_vec();
+        audio.extend(std::iter::repeat_n(0.0f32, 20_000));
+        audio.extend(modulate_frame(&p, &b));
+        let mut rx = StreamReceiver::new(p);
+        let mut got = Vec::new();
+        for chunk in audio.chunks(4096) {
+            rx.push(chunk);
+            got.extend(rx.poll());
+        }
+        rx.flush();
+        got.extend(rx.poll());
+        let payloads: Vec<Vec<u8>> = got.iter().filter_map(|e| e.payload.clone()).collect();
+        assert_eq!(payloads, vec![b], "second burst must decode");
+        assert!(
+            got.iter().any(|e| e.payload.is_none()),
+            "the chopped burst must be reported lost"
+        );
     }
 
     #[test]

@@ -1,0 +1,763 @@
+//! Fault injection: seeded, schedulable channel impairments.
+//!
+//! The AWGN channels in [`crate::channel`] model the *average* link; real FM
+//! receivers additionally face impulsive interference (ignition noise, power
+//! switching), co-channel stations sharing the frequency (cf. the FM-band
+//! sharing analysis in *FM Backscatter*), tuner dropouts (seek, hand
+//! blocking the antenna), slow sample-clock drift between transmitter and
+//! phone, and deep RSSI fades. A [`FaultPlan`] composes any subset of these
+//! as a deterministic schedule: every impairment is a pure function of the
+//! plan seed and absolute stream time, so any failure observed in a run can
+//! be replayed bit-for-bit from `(plan, seed)` alone — and an empty plan is
+//! exactly the identity, so the fault layer costs nothing when unused.
+//!
+//! Two fidelities share one taxonomy:
+//!
+//! * **Sample level** — [`FaultPlan::apply_audio`] / [`FaultPlan::apply_baseband`]
+//!   mutate real signal buffers and are wrapped around the physical channels
+//!   by [`FaultyRfChannel`] / [`FaultyAcousticChannel`]. Used by link-scale
+//!   experiments (seconds of audio).
+//! * **Frame level** — [`FaultPlan::frame_fate`] samples the same schedule
+//!   at one OFDM-frame granularity for day-scale simulations where running
+//!   the DSP chain for 86 400 s of audio is unaffordable. The mapping from
+//!   impairment to loss probability is documented on [`Fault`].
+
+use crate::channel::{AcousticChannel, RfChannel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sonic_dsp::C32;
+
+/// One scheduled impairment.
+///
+/// Frame-level loss semantics (used by [`FaultPlan::frame_fate`]):
+///
+/// * `Impulse` — a frame overlapping an impulse event is corrupted with
+///   probability `min(1, amp)` (strong impulses saturate the demodulator's
+///   AGC and soft bits; weak ones are absorbed by the FEC).
+/// * `CoChannel` — a continuous interferer at relative amplitude `level`
+///   corrupts each frame with probability `level²` (interference power
+///   relative to carrier; below the FM capture threshold the stronger
+///   station wins most of the time).
+/// * `Mute` — frames overlapping the window are *lost* outright (the tuner
+///   produces silence; no burst is even detected).
+/// * `ClockDrift` — sample slips periodically break OFDM symbol alignment;
+///   each frame is corrupted with probability `min(0.5, |ppm|/400)`.
+/// * `Fade` — a fade of `depth_db` corrupts frames in its window with
+///   probability `clamp((depth_db − 6)/20, 0, 1)`: shallow fades are inside
+///   the link margin, deep ones drop below the FM threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Impulsive/burst interference: `rate_per_s` noise bursts per second,
+    /// each `len_s` long with amplitude `amp` (relative to unit signal).
+    Impulse {
+        /// Mean impulse events per second.
+        rate_per_s: f64,
+        /// Burst amplitude relative to the (unit) signal.
+        amp: f32,
+        /// Burst duration in seconds.
+        len_s: f64,
+    },
+    /// A co-channel station/tone at `offset_hz` from our carrier with
+    /// relative amplitude `level`, active for the whole run.
+    CoChannel {
+        /// Interferer frequency offset (audio: absolute tone frequency).
+        offset_hz: f64,
+        /// Interferer amplitude relative to the unit carrier.
+        level: f32,
+    },
+    /// Receiver mute window (tuner dropout): output is silence in
+    /// `[start_s, start_s + len_s)`.
+    Mute {
+        /// Window start, seconds of stream time.
+        start_s: f64,
+        /// Window length, seconds.
+        len_s: f64,
+    },
+    /// Slow sample-clock drift: one sample slipped (dropped for positive
+    /// ppm, duplicated for negative) every `1e6/|ppm|` samples.
+    ClockDrift {
+        /// Receiver clock error in parts-per-million (0 disables).
+        ppm: f64,
+    },
+    /// RSSI fade: signal attenuated by `depth_db` in the window, with 50 ms
+    /// raised-cosine edges.
+    Fade {
+        /// Window start, seconds of stream time.
+        start_s: f64,
+        /// Window length, seconds.
+        len_s: f64,
+        /// Fade depth in dB (positive = attenuation).
+        depth_db: f64,
+    },
+}
+
+/// What happens to one link frame under the plan (frame-level fidelity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameFate {
+    /// The frame decodes.
+    Delivered,
+    /// A burst is detected but the frame fails its CRC/FEC.
+    Corrupted,
+    /// No burst is detected at all (receiver muted).
+    Lost,
+}
+
+/// SplitMix64 step — the hash behind all schedule-derived randomness.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Combines seed material into one hash word.
+fn mix3(a: u64, b: u64, c: u64) -> u64 {
+    mix(mix(mix(a) ^ b) ^ c)
+}
+
+/// Uniform f64 in [0,1) from a hash word.
+fn unit_f64(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A seeded, composable impairment schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Master seed: together with the fault list it fully determines every
+    /// impulse position, interferer phase and frame fate.
+    pub seed: u64,
+    /// The scheduled impairments (applied in order).
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// The empty plan: exactly the identity on every signal.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            faults: Vec::new(),
+        }
+    }
+
+    /// A hostile short-horizon preset for link tests: impulses, a co-channel
+    /// interferer, one mute window and a deep fade in the first 10 s.
+    pub fn hostile(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            faults: vec![
+                Fault::Impulse {
+                    rate_per_s: 2.0,
+                    amp: 3.0,
+                    len_s: 0.02,
+                },
+                Fault::CoChannel {
+                    offset_hz: 9_650.0,
+                    level: 0.2,
+                },
+                Fault::Mute {
+                    start_s: 2.0,
+                    len_s: 1.0,
+                },
+                Fault::Fade {
+                    start_s: 6.0,
+                    len_s: 1.5,
+                    depth_db: 30.0,
+                },
+            ],
+        }
+    }
+
+    /// Whether the plan is the identity.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Whether the receiver is muted at `t_s`.
+    pub fn muted_at(&self, t_s: f64) -> bool {
+        self.faults.iter().any(|f| match f {
+            Fault::Mute { start_s, len_s } => t_s >= *start_s && t_s < *start_s + *len_s,
+            _ => false,
+        })
+    }
+
+    /// Applies the plan to real audio captured at `fs` Hz, where
+    /// `audio[0]` is absolute stream time `t0_s`.
+    ///
+    /// Deterministic and chunking-independent: splitting a buffer and
+    /// applying the plan to each half (with the right `t0_s`) yields the
+    /// same samples, except that an impulse burst is clipped at chunk
+    /// boundaries. Clock drift may change the buffer length (sample slips).
+    pub fn apply_audio(&self, audio: &mut Vec<f32>, t0_s: f64, fs: f64) {
+        if self.is_empty() || audio.is_empty() {
+            return;
+        }
+        for (idx, fault) in self.faults.iter().enumerate() {
+            match *fault {
+                Fault::Impulse {
+                    rate_per_s,
+                    amp,
+                    len_s,
+                } => {
+                    for ev in impulse_events(self.seed, idx as u64, rate_per_s, len_s, t0_s, fs, audio.len()) {
+                        for (k, (re, _)) in ev.noise.iter().enumerate() {
+                            let at = ev.start + k as i64;
+                            if at >= 0 && (at as usize) < audio.len() {
+                                audio[at as usize] += amp * re;
+                            }
+                        }
+                    }
+                }
+                Fault::CoChannel { offset_hz, level } => {
+                    let phase = unit_f64(mix3(self.seed, idx as u64, 0x7031)) * std::f64::consts::TAU;
+                    for (i, s) in audio.iter_mut().enumerate() {
+                        let t = t0_s + i as f64 / fs;
+                        *s += level
+                            * (std::f64::consts::TAU * offset_hz * t + phase).sin() as f32;
+                    }
+                }
+                Fault::Mute { start_s, len_s } => {
+                    mute_span(audio, t0_s, fs, start_s, len_s, |s| *s = 0.0);
+                }
+                Fault::Fade {
+                    start_s,
+                    len_s,
+                    depth_db,
+                } => {
+                    for (i, s) in audio.iter_mut().enumerate() {
+                        let t = t0_s + i as f64 / fs;
+                        let g = fade_gain(t, start_s, len_s, depth_db);
+                        if g < 1.0 {
+                            *s *= g as f32;
+                        }
+                    }
+                }
+                Fault::ClockDrift { ppm } => {
+                    apply_drift(audio, t0_s, fs, ppm);
+                }
+            }
+        }
+    }
+
+    /// Applies the plan to complex FM baseband at `fs` Hz (stream time of
+    /// the first sample = `t0_s`). Same guarantees as
+    /// [`apply_audio`](Self::apply_audio); the co-channel impairment becomes
+    /// a second carrier at the frequency offset.
+    pub fn apply_baseband(&self, bb: &mut Vec<C32>, t0_s: f64, fs: f64) {
+        if self.is_empty() || bb.is_empty() {
+            return;
+        }
+        for (idx, fault) in self.faults.iter().enumerate() {
+            match *fault {
+                Fault::Impulse {
+                    rate_per_s,
+                    amp,
+                    len_s,
+                } => {
+                    for ev in impulse_events(self.seed, idx as u64, rate_per_s, len_s, t0_s, fs, bb.len()) {
+                        for (k, (re, im)) in ev.noise.iter().enumerate() {
+                            let at = ev.start + k as i64;
+                            if at >= 0 && (at as usize) < bb.len() {
+                                bb[at as usize] += C32::new(amp * re, amp * im);
+                            }
+                        }
+                    }
+                }
+                Fault::CoChannel { offset_hz, level } => {
+                    let phase = unit_f64(mix3(self.seed, idx as u64, 0x7031)) * std::f64::consts::TAU;
+                    for (i, s) in bb.iter_mut().enumerate() {
+                        let t = t0_s + i as f64 / fs;
+                        let th = std::f64::consts::TAU * offset_hz * t + phase;
+                        *s += C32::new(
+                            (level as f64 * th.cos()) as f32,
+                            (level as f64 * th.sin()) as f32,
+                        );
+                    }
+                }
+                Fault::Mute { start_s, len_s } => {
+                    mute_span(bb, t0_s, fs, start_s, len_s, |s| *s = C32::new(0.0, 0.0));
+                }
+                Fault::Fade {
+                    start_s,
+                    len_s,
+                    depth_db,
+                } => {
+                    for (i, s) in bb.iter_mut().enumerate() {
+                        let t = t0_s + i as f64 / fs;
+                        let g = fade_gain(t, start_s, len_s, depth_db);
+                        if g < 1.0 {
+                            *s = s.scale(g as f32);
+                        }
+                    }
+                }
+                Fault::ClockDrift { ppm } => {
+                    apply_drift(bb, t0_s, fs, ppm);
+                }
+            }
+        }
+    }
+
+    /// Frame-granularity sampling of the schedule: the fate of one link
+    /// frame whose airtime is `[t_s, t_s + airtime_s)`. `nonce` must be
+    /// unique per frame (e.g. a global frame counter) — the draw is
+    /// `hash(seed, nonce)`, so fates are independent of evaluation order
+    /// and replayable.
+    pub fn frame_fate(&self, t_s: f64, airtime_s: f64, nonce: u64) -> FrameFate {
+        if self.is_empty() {
+            return FrameFate::Delivered;
+        }
+        // Mute: overlap with any window loses the frame outright.
+        for f in &self.faults {
+            if let Fault::Mute { start_s, len_s } = f {
+                if t_s < *start_s + *len_s && t_s + airtime_s > *start_s {
+                    return FrameFate::Lost;
+                }
+            }
+        }
+        let mut survive = 1.0f64;
+        for f in &self.faults {
+            let p = match *f {
+                Fault::Impulse {
+                    rate_per_s,
+                    amp,
+                    len_s,
+                } => {
+                    // Probability the frame overlaps ≥1 impulse, times the
+                    // per-overlap corruption probability.
+                    let lambda = rate_per_s * (airtime_s + len_s);
+                    (1.0 - (-lambda).exp()) * f64::from(amp).min(1.0)
+                }
+                Fault::CoChannel { level, .. } => f64::from(level * level).min(1.0),
+                Fault::ClockDrift { ppm } => (ppm.abs() / 400.0).min(0.5),
+                Fault::Fade {
+                    start_s,
+                    len_s,
+                    depth_db,
+                } => {
+                    if t_s < start_s + len_s && t_s + airtime_s > start_s {
+                        ((depth_db - 6.0) / 20.0).clamp(0.0, 1.0)
+                    } else {
+                        0.0
+                    }
+                }
+                Fault::Mute { .. } => 0.0,
+            };
+            survive *= 1.0 - p;
+        }
+        let u = unit_f64(mix3(self.seed, nonce, 0xF2A7));
+        if u < 1.0 - survive {
+            FrameFate::Corrupted
+        } else {
+            FrameFate::Delivered
+        }
+    }
+
+}
+
+/// One impulse event overlapping a buffer: `start` is the burst's first
+/// sample as an offset into the buffer (may be negative when the burst began
+/// in an earlier chunk) and `noise` its full complex noise sequence.
+struct ImpulseEvent {
+    start: i64,
+    noise: Vec<(f32, f32)>,
+}
+
+/// The impulse events of fault `idx` that overlap a buffer of `n` samples
+/// starting at stream time `t0_s`.
+///
+/// Events are generated per one-second bucket of stream time from
+/// `hash(seed, idx, bucket)` and each event's noise from
+/// `hash(seed, idx, bucket, event)`, so neither the schedule nor the noise
+/// depends on how the stream is chunked into buffers.
+fn impulse_events(
+    seed: u64,
+    idx: u64,
+    rate_per_s: f64,
+    len_s: f64,
+    t0_s: f64,
+    fs: f64,
+    n: usize,
+) -> Vec<ImpulseEvent> {
+    let mut out = Vec::new();
+    if rate_per_s <= 0.0 || len_s <= 0.0 || n == 0 {
+        return out;
+    }
+    let len_samples = ((len_s * fs).round() as usize).max(1);
+    let t_end = t0_s + n as f64 / fs;
+    // Buckets whose events could overlap: one extra on the left for bursts
+    // crossing the chunk boundary.
+    let first_bucket = (t0_s - len_s).floor().max(0.0) as u64;
+    let last_bucket = t_end.floor() as u64;
+    for bucket in first_bucket..=last_bucket {
+        let h = mix3(seed ^ 0x1A9C, idx, bucket);
+        let base = rate_per_s.floor() as u64;
+        let extra = u64::from(unit_f64(h) < rate_per_s.fract());
+        for ev in 0..base + extra {
+            let he = mix3(h, 0x51ED, ev);
+            let at_s = bucket as f64 + unit_f64(he);
+            if at_s + len_s <= t0_s || at_s >= t_end {
+                continue;
+            }
+            let start = ((at_s - t0_s) * fs).round() as i64;
+            let mut rng = StdRng::seed_from_u64(mix(he));
+            let noise: Vec<(f32, f32)> = (0..len_samples).map(|_| gaussian_pair(&mut rng)).collect();
+            out.push(ImpulseEvent { start, noise });
+        }
+    }
+    out
+}
+
+/// Raised-cosine fade gain at time `t` for a window with 50 ms edges.
+fn fade_gain(t: f64, start_s: f64, len_s: f64, depth_db: f64) -> f64 {
+    const EDGE: f64 = 0.05;
+    if t < start_s || t >= start_s + len_s {
+        return 1.0;
+    }
+    let floor = 10f64.powf(-depth_db / 20.0);
+    let into = t - start_s;
+    let left = len_s + start_s - t;
+    let ramp = if into < EDGE {
+        0.5 - 0.5 * (std::f64::consts::PI * into / EDGE).cos()
+    } else if left < EDGE {
+        0.5 - 0.5 * (std::f64::consts::PI * left / EDGE).cos()
+    } else {
+        1.0
+    };
+    // ramp 0 → gain 1; ramp 1 → gain floor.
+    1.0 + ramp * (floor - 1.0)
+}
+
+/// Zeroes (via `z`) the samples of `buf` whose stream time falls in the
+/// mute window.
+fn mute_span<T>(buf: &mut [T], t0_s: f64, fs: f64, start_s: f64, len_s: f64, z: impl Fn(&mut T)) {
+    let lo = ((start_s - t0_s) * fs).ceil().max(0.0) as usize;
+    let hi = (((start_s + len_s - t0_s) * fs).ceil().max(0.0) as usize).min(buf.len());
+    for s in buf.iter_mut().take(hi).skip(lo) {
+        z(s);
+    }
+}
+
+/// Sample slips for clock drift: drops (ppm > 0) or duplicates (ppm < 0)
+/// one sample every `1e6/|ppm|` samples of absolute stream position.
+fn apply_drift<T: Copy>(buf: &mut Vec<T>, t0_s: f64, fs: f64, ppm: f64) {
+    if ppm == 0.0 {
+        return;
+    }
+    let interval = (1e6 / ppm.abs()).round().max(2.0) as u64;
+    let n0 = (t0_s * fs).round().max(0.0) as u64;
+    if ppm > 0.0 {
+        let mut out = Vec::with_capacity(buf.len());
+        for (i, &s) in buf.iter().enumerate() {
+            if !(n0 + i as u64 + 1).is_multiple_of(interval) {
+                out.push(s);
+            }
+        }
+        *buf = out;
+    } else {
+        let mut out = Vec::with_capacity(buf.len() + buf.len() / interval as usize + 1);
+        for (i, &s) in buf.iter().enumerate() {
+            out.push(s);
+            if (n0 + i as u64 + 1).is_multiple_of(interval) {
+                out.push(s);
+            }
+        }
+        *buf = out;
+    }
+}
+
+/// One Gaussian pair via Box-Muller from an RNG.
+fn gaussian_pair(rng: &mut StdRng) -> (f32, f32) {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let th = std::f64::consts::TAU * u2;
+    ((r * th.cos()) as f32, (r * th.sin()) as f32)
+}
+
+/// [`RfChannel`] wrapped with a [`FaultPlan`] applied at complex baseband.
+///
+/// Tracks absolute stream time across calls so a plan's schedule lines up
+/// with the transmission timeline however the audio is chunked. With an
+/// empty plan the output is bit-identical to the bare channel.
+#[derive(Debug, Clone)]
+pub struct FaultyRfChannel {
+    /// The underlying AWGN/fade channel.
+    pub inner: RfChannel,
+    /// The impairment schedule.
+    pub plan: FaultPlan,
+    stream_samples: u64,
+}
+
+impl FaultyRfChannel {
+    /// Wraps an RF channel with a plan.
+    pub fn new(inner: RfChannel, plan: FaultPlan) -> Self {
+        FaultyRfChannel {
+            inner,
+            plan,
+            stream_samples: 0,
+        }
+    }
+
+    /// Applies channel then plan to FM complex baseband at
+    /// [`crate::MPX_RATE`].
+    pub fn transmit(&mut self, baseband: &[C32]) -> Vec<C32> {
+        let t0 = self.stream_samples as f64 / crate::MPX_RATE;
+        self.stream_samples += baseband.len() as u64;
+        let mut out = self.inner.transmit(baseband);
+        self.plan.apply_baseband(&mut out, t0, crate::MPX_RATE);
+        out
+    }
+}
+
+/// [`AcousticChannel`] wrapped with a [`FaultPlan`] applied to the captured
+/// audio at [`crate::AUDIO_RATE`]. Empty plan ⇒ bit-identical passthrough
+/// to the bare channel.
+#[derive(Debug, Clone)]
+pub struct FaultyAcousticChannel {
+    /// The underlying speaker→air→mic channel.
+    pub inner: AcousticChannel,
+    /// The impairment schedule.
+    pub plan: FaultPlan,
+    stream_samples: u64,
+}
+
+impl FaultyAcousticChannel {
+    /// Wraps an acoustic channel with a plan.
+    pub fn new(inner: AcousticChannel, plan: FaultPlan) -> Self {
+        FaultyAcousticChannel {
+            inner,
+            plan,
+            stream_samples: 0,
+        }
+    }
+
+    /// Applies hop then plan to audio.
+    pub fn transmit(&mut self, audio: &[f32]) -> Vec<f32> {
+        let t0 = self.stream_samples as f64 / crate::AUDIO_RATE;
+        self.stream_samples += audio.len() as u64;
+        let mut out = self.inner.transmit(audio);
+        self.plan.apply_audio(&mut out, t0, crate::AUDIO_RATE);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(n: usize, f: f64, fs: f64, amp: f32) -> Vec<f32> {
+        (0..n)
+            .map(|i| amp * (std::f64::consts::TAU * f * i as f64 / fs).sin() as f32)
+            .collect()
+    }
+
+    fn rms(x: &[f32]) -> f32 {
+        (x.iter().map(|&v| v * v).sum::<f32>() / x.len().max(1) as f32).sqrt()
+    }
+
+    #[test]
+    fn empty_plan_is_identity() {
+        let plan = FaultPlan::none();
+        let orig = tone(10_000, 1000.0, crate::AUDIO_RATE, 0.4);
+        let mut audio = orig.clone();
+        plan.apply_audio(&mut audio, 0.0, crate::AUDIO_RATE);
+        assert_eq!(audio, orig);
+        for i in 0..100 {
+            assert_eq!(plan.frame_fate(i as f64 * 0.1, 0.3, i), FrameFate::Delivered);
+        }
+    }
+
+    #[test]
+    fn zero_fault_wrappers_are_bit_identical_to_bare_channels() {
+        let carrier = vec![C32::new(1.0, 0.0); 8_000];
+        let bare = RfChannel::new(-80.0, 7).transmit(&carrier);
+        let wrapped =
+            FaultyRfChannel::new(RfChannel::new(-80.0, 7), FaultPlan::none()).transmit(&carrier);
+        assert_eq!(bare.len(), wrapped.len());
+        for (a, b) in bare.iter().zip(&wrapped) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+
+        let sig = tone(8_820, 1_000.0, crate::AUDIO_RATE, 0.3);
+        let bare = AcousticChannel::new(0.5, 3).transmit(&sig);
+        let wrapped = FaultyAcousticChannel::new(AcousticChannel::new(0.5, 3), FaultPlan::none())
+            .transmit(&sig);
+        assert_eq!(bare.len(), wrapped.len());
+        for (a, b) in bare.iter().zip(&wrapped) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn application_is_deterministic_per_seed() {
+        let plan = FaultPlan::hostile(42);
+        let orig = tone(44_100, 1000.0, crate::AUDIO_RATE, 0.4);
+        let mut a = orig.clone();
+        let mut b = orig.clone();
+        plan.apply_audio(&mut a, 0.0, crate::AUDIO_RATE);
+        plan.apply_audio(&mut b, 0.0, crate::AUDIO_RATE);
+        assert_eq!(a, b);
+        let other = FaultPlan::hostile(43);
+        let mut c = orig.clone();
+        other.apply_audio(&mut c, 0.0, crate::AUDIO_RATE);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn chunked_application_matches_whole_buffer() {
+        // No impulse fault here: an impulse burst crossing the chunk cut is
+        // clipped at the boundary (documented); every other impairment is an
+        // exact pure function of absolute time.
+        let plan = FaultPlan {
+            seed: 9,
+            faults: vec![
+                Fault::CoChannel {
+                    offset_hz: 2_000.0,
+                    level: 0.2,
+                },
+                Fault::Mute {
+                    start_s: 0.2,
+                    len_s: 0.1,
+                },
+                Fault::Fade {
+                    start_s: 0.5,
+                    len_s: 0.3,
+                    depth_db: 20.0,
+                },
+                Fault::ClockDrift { ppm: 120.0 },
+            ],
+        };
+        let fs = crate::AUDIO_RATE;
+        let orig = tone(44_100, 700.0, fs, 0.4);
+        let mut whole = orig.clone();
+        plan.apply_audio(&mut whole, 0.0, fs);
+        let mut chunked = Vec::new();
+        let cut = 17_123;
+        let mut head = orig[..cut].to_vec();
+        let mut tail = orig[cut..].to_vec();
+        plan.apply_audio(&mut head, 0.0, fs);
+        plan.apply_audio(&mut tail, cut as f64 / fs, fs);
+        chunked.extend(head);
+        chunked.extend(tail);
+        assert_eq!(whole.len(), chunked.len());
+        for (i, (a, b)) in whole.iter().zip(&chunked).enumerate() {
+            assert!((a - b).abs() < 1e-6, "sample {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn mute_window_silences_exactly() {
+        let plan = FaultPlan {
+            seed: 1,
+            faults: vec![Fault::Mute {
+                start_s: 0.1,
+                len_s: 0.1,
+            }],
+        };
+        let fs = crate::AUDIO_RATE;
+        let mut audio = tone(13_230, 1000.0, fs, 0.4); // 0.3 s
+        plan.apply_audio(&mut audio, 0.0, fs);
+        let in_window = &audio[(0.12 * fs) as usize..(0.18 * fs) as usize];
+        assert!(in_window.iter().all(|&s| s == 0.0), "window must be silent");
+        assert!(rms(&audio[..(0.09 * fs) as usize]) > 0.2, "head intact");
+        assert!(rms(&audio[(0.21 * fs) as usize..]) > 0.2, "tail intact");
+    }
+
+    #[test]
+    fn impulses_add_energy_at_expected_rate() {
+        let plan = FaultPlan {
+            seed: 5,
+            faults: vec![Fault::Impulse {
+                rate_per_s: 3.0,
+                amp: 2.0,
+                len_s: 0.01,
+            }],
+        };
+        let fs = crate::AUDIO_RATE;
+        let n = (10.0 * fs) as usize;
+        let mut audio = vec![0.0f32; n];
+        plan.apply_audio(&mut audio, 0.0, fs);
+        // ~30 bursts × 441 samples of ~2.0 RMS noise in 441k samples.
+        let burst_samples = audio.iter().filter(|&&s| s.abs() > 0.5).count();
+        assert!(
+            burst_samples > 5_000 && burst_samples < 40_000,
+            "burst sample count {burst_samples}"
+        );
+    }
+
+    #[test]
+    fn fade_attenuates_window() {
+        let plan = FaultPlan {
+            seed: 2,
+            faults: vec![Fault::Fade {
+                start_s: 0.3,
+                len_s: 0.4,
+                depth_db: 30.0,
+            }],
+        };
+        let fs = crate::AUDIO_RATE;
+        let mut audio = tone(44_100, 1000.0, fs, 0.4);
+        plan.apply_audio(&mut audio, 0.0, fs);
+        let mid = rms(&audio[(0.4 * fs) as usize..(0.6 * fs) as usize]);
+        let out = rms(&audio[..(0.25 * fs) as usize]);
+        assert!(mid < out * 0.1, "faded {mid} vs clear {out}");
+    }
+
+    #[test]
+    fn clock_drift_slips_samples() {
+        let plan = FaultPlan {
+            seed: 3,
+            faults: vec![Fault::ClockDrift { ppm: 100.0 }],
+        };
+        let fs = crate::AUDIO_RATE;
+        let n = (10.0 * fs) as usize;
+        let mut audio = vec![1.0f32; n];
+        plan.apply_audio(&mut audio, 0.0, fs);
+        let slipped = n - audio.len();
+        // 100 ppm over 441k samples ≈ 44 slips.
+        assert!((30..60).contains(&slipped), "slips {slipped}");
+    }
+
+    #[test]
+    fn frame_fate_is_deterministic_and_respects_mute() {
+        let plan = FaultPlan::hostile(11);
+        // Mute window of hostile() is [2, 3).
+        assert_eq!(plan.frame_fate(2.4, 0.3, 900), FrameFate::Lost);
+        assert_eq!(plan.frame_fate(2.95, 0.3, 901), FrameFate::Lost, "overlap");
+        for nonce in 0..200u64 {
+            let a = plan.frame_fate(10.0 + nonce as f64, 0.3, nonce);
+            let b = plan.frame_fate(10.0 + nonce as f64, 0.3, nonce);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn hostile_plan_corrupts_some_frames_outside_mute() {
+        let plan = FaultPlan::hostile(17);
+        let corrupted = (0..1000u64)
+            .filter(|&i| plan.frame_fate(20.0 + i as f64 * 0.01, 0.3, i) == FrameFate::Corrupted)
+            .count();
+        assert!(corrupted > 20, "hostile plan too gentle: {corrupted}");
+        assert!(corrupted < 1000, "hostile plan must not kill everything");
+    }
+
+    #[test]
+    fn deep_fade_window_raises_corruption() {
+        let plan = FaultPlan {
+            seed: 21,
+            faults: vec![Fault::Fade {
+                start_s: 5.0,
+                len_s: 5.0,
+                depth_db: 30.0,
+            }],
+        };
+        let in_fade = (0..500u64)
+            .filter(|&i| plan.frame_fate(5.0 + i as f64 * 0.009, 0.01, i) != FrameFate::Delivered)
+            .count();
+        let outside = (0..500u64)
+            .filter(|&i| plan.frame_fate(20.0 + i as f64 * 0.009, 0.01, 1000 + i) != FrameFate::Delivered)
+            .count();
+        assert_eq!(outside, 0);
+        assert!(in_fade > 300, "deep fade must corrupt most frames: {in_fade}");
+    }
+}

@@ -28,6 +28,7 @@
 
 pub mod channel;
 pub mod databands;
+pub mod faults;
 pub mod fm;
 pub mod mpx;
 pub mod rds;

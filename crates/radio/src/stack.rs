@@ -7,6 +7,7 @@
 //! through an [`crate::channel::AcousticChannel`] hop.
 
 use crate::channel::RfChannel;
+use crate::faults::FaultPlan;
 use crate::fm::{FmDemodulator, FmModulator};
 use crate::mpx::{compose, decompose, decompose_reference, MpxInput, MpxOutput};
 
@@ -17,12 +18,26 @@ pub struct FmLink {
     pub rssi_db: f64,
     /// RNG seed for the channel noise.
     pub seed: u64,
+    /// Scheduled impairments applied on top of the AWGN channel (empty by
+    /// default: bit-identical to the plain link).
+    pub faults: FaultPlan,
 }
 
 impl FmLink {
     /// Creates a link at the given RSSI.
     pub fn new(rssi_db: f64, seed: u64) -> Self {
-        FmLink { rssi_db, seed }
+        FmLink {
+            rssi_db,
+            seed,
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Installs a fault plan on the RF hop (builder style). Each `transmit`
+    /// call starts the plan's clock at 0 s.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Sends mono audio (and optional RDS bits) through the full FM chain
@@ -59,7 +74,9 @@ impl FmLink {
         modulator.modulate_into(&composite, &mut baseband);
 
         let mut channel = RfChannel::new(self.rssi_db, self.seed);
-        channel.transmit(&baseband)
+        let mut received = channel.transmit(&baseband);
+        self.faults.apply_baseband(&mut received, 0.0, crate::MPX_RATE);
+        received
     }
 }
 

@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod broadcast;
+pub mod chaos;
 pub mod des;
 pub mod experiments;
 pub mod linksim;

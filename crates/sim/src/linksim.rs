@@ -115,6 +115,35 @@ pub fn run(profile: &Profile, setup: ChannelSetup, n_frames: usize, seed: u64) -
     }
 }
 
+/// Runs `n_frames` frames over the FM chain with a [`FaultPlan`] injected
+/// on the RF hop (impulses, co-channel interferer, mutes, clock drift,
+/// fades — see `sonic_radio::faults`). With an empty plan this is exactly
+/// [`run`] with [`ChannelSetup::Fm`].
+pub fn run_fm_with_faults(
+    profile: &Profile,
+    rssi_db: f64,
+    n_frames: usize,
+    seed: u64,
+    faults: sonic_radio::faults::FaultPlan,
+) -> LinkRunResult {
+    let frames = test_frames(n_frames, seed as u8);
+    let mut audio = link::modulate(profile, &frames);
+    scale_to_rms(&mut audio, FM_INPUT_RMS);
+    let received_audio = FmLink::new(rssi_db, seed)
+        .with_faults(faults)
+        .transmit(&audio, None)
+        .mono;
+    let (got, stats) = link::demodulate(profile, &received_audio);
+    let frames_received = got.len().min(n_frames);
+    LinkRunResult {
+        frames_sent: n_frames,
+        frames_received,
+        bursts_failed: stats.bursts_failed
+            + n_frames.div_ceil(FRAMES_PER_BURST).saturating_sub(stats.bursts_detected),
+        frame_loss: 1.0 - frames_received as f64 / n_frames.max(1) as f64,
+    }
+}
+
 /// One independent receiver run in a batch.
 #[derive(Debug, Clone, Copy)]
 pub struct LinkJob {
@@ -170,6 +199,30 @@ mod tests {
             assert_eq!(a.bursts_failed, b.bursts_failed);
             assert_eq!(a.frame_loss, b.frame_loss);
         }
+    }
+
+    #[test]
+    fn zero_fault_plan_matches_plain_fm_run() {
+        use sonic_radio::faults::FaultPlan;
+        let profile = Profile::sonic_10k();
+        let plain = run(&profile, ChannelSetup::Fm { rssi_db: -86.0 }, 40, 7);
+        let empty = run_fm_with_faults(&profile, -86.0, 40, 7, FaultPlan::none());
+        assert_eq!(plain.frames_received, empty.frames_received);
+        assert_eq!(plain.bursts_failed, empty.bursts_failed);
+        assert_eq!(plain.frame_loss, empty.frame_loss);
+    }
+
+    #[test]
+    fn hostile_faults_degrade_a_clean_link() {
+        use sonic_radio::faults::FaultPlan;
+        let profile = Profile::sonic_10k();
+        let clean = run(&profile, ChannelSetup::Fm { rssi_db: -70.0 }, 80, 6);
+        let faulty = run_fm_with_faults(&profile, -70.0, 80, 6, FaultPlan::hostile(9));
+        assert_eq!(clean.frame_loss, 0.0, "{clean:?}");
+        assert!(
+            faulty.frame_loss > 0.0,
+            "hostile plan must cost frames: {faulty:?}"
+        );
     }
 
     #[test]

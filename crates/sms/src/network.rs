@@ -5,10 +5,73 @@
 //! The model delivers each segment independently (base latency + lognormal-
 //! ish jitter, Bernoulli loss); a multi-segment message completes when its
 //! last segment lands and fails if any segment is lost.
+//!
+//! Beyond the averages, real gateways exhibit pathologies the protocol layer
+//! must survive: duplicate delivery (store-and-forward retry after a lost
+//! ack), out-of-order delivery across messages, multi-hour gateway outages
+//! (messages queue or silently vanish), and truncation (tail segments of a
+//! concatenated SMS never reassembled). [`SmsChaos`] switches these on with
+//! seeded probabilities; with all knobs at zero the model is draw-for-draw
+//! identical to the plain path, so existing behaviour is untouched.
 
 use crate::pdu::{segment, SmsError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Gateway pathology knobs. All zero (see [`SmsChaos::none`]) disables the
+/// chaos layer entirely — no extra RNG draws are made, so a zero-chaos
+/// network is bit-identical to one without the field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmsChaos {
+    /// Probability a delivered message arrives twice (gateway retry).
+    pub dup_prob: f64,
+    /// Probability a message is held 30–120 s extra, arriving after
+    /// messages sent later (out-of-order delivery).
+    pub reorder_prob: f64,
+    /// Probability a delivered message is cut roughly in half (tail
+    /// segments of a concatenated SMS lost in reassembly).
+    pub truncate_prob: f64,
+    /// Absolute gateway outage windows `[start_s, end_s)`. Messages
+    /// submitted inside a window are either dropped or queued until the
+    /// gateway returns.
+    pub outages: Vec<(f64, f64)>,
+    /// Probability a message submitted during an outage is dropped rather
+    /// than queued for delivery at the window's end.
+    pub outage_drop_prob: f64,
+}
+
+impl SmsChaos {
+    /// No pathologies: the chaos layer is inert.
+    pub fn none() -> Self {
+        SmsChaos {
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            truncate_prob: 0.0,
+            outages: Vec::new(),
+            outage_drop_prob: 0.0,
+        }
+    }
+
+    /// A hostile gateway: frequent duplicates, reordering and truncation.
+    /// Outage windows are scenario-specific — schedule them on the result.
+    pub fn hostile() -> Self {
+        SmsChaos {
+            dup_prob: 0.05,
+            reorder_prob: 0.10,
+            truncate_prob: 0.03,
+            outages: Vec::new(),
+            outage_drop_prob: 0.3,
+        }
+    }
+
+    /// Whether every knob is off.
+    pub fn is_none(&self) -> bool {
+        self.dup_prob == 0.0
+            && self.reorder_prob == 0.0
+            && self.truncate_prob == 0.0
+            && self.outages.is_empty()
+    }
+}
 
 /// Delivery model parameters.
 #[derive(Debug, Clone)]
@@ -19,6 +82,8 @@ pub struct SmsNetwork {
     pub jitter_s: f64,
     /// Per-segment loss probability.
     pub loss_prob: f64,
+    /// Gateway pathology schedule (inert by default).
+    pub chaos: SmsChaos,
     rng: StdRng,
     next_reference: u8,
 }
@@ -37,6 +102,15 @@ pub enum Delivery {
     Lost,
 }
 
+/// One copy of a message reaching the far end (chaos-aware API).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arrival {
+    /// Absolute arrival time in seconds.
+    pub at: f64,
+    /// The text as received (may be truncated under chaos).
+    pub text: String,
+}
+
 impl SmsNetwork {
     /// A typical developing-region carrier: ~6 s median, fat jitter, 2 % loss.
     pub fn typical(seed: u64) -> Self {
@@ -44,6 +118,7 @@ impl SmsNetwork {
             base_latency_s: 6.0,
             jitter_s: 4.0,
             loss_prob: 0.02,
+            chaos: SmsChaos::none(),
             rng: StdRng::seed_from_u64(seed),
             next_reference: 0,
         }
@@ -55,9 +130,16 @@ impl SmsNetwork {
             base_latency_s: 1.0,
             jitter_s: 0.0,
             loss_prob: 0.0,
+            chaos: SmsChaos::none(),
             rng: StdRng::seed_from_u64(seed),
             next_reference: 0,
         }
+    }
+
+    /// Installs a chaos schedule (builder style).
+    pub fn with_chaos(mut self, chaos: SmsChaos) -> Self {
+        self.chaos = chaos;
+        self
     }
 
     fn segment_latency(&mut self) -> f64 {
@@ -66,22 +148,73 @@ impl SmsNetwork {
         self.base_latency_s + self.jitter_s * (1.0 / (1.0 - u * 0.98) - 1.0).min(30.0)
     }
 
-    /// Sends `text` at absolute time `now`; returns the delivery outcome.
-    pub fn send(&mut self, text: &str, now: f64) -> Result<Delivery, SmsError> {
+    /// Sends `text` at absolute time `now`; returns every copy that reaches
+    /// the far end (empty = lost). Under chaos a message may arrive twice
+    /// (duplicate), late (reorder), shortened (truncation), or be held or
+    /// dropped by a gateway outage.
+    ///
+    /// All chaos draws are gated on their knob being nonzero, so with
+    /// [`SmsChaos::none`] this consumes exactly the same RNG sequence as the
+    /// pre-chaos model.
+    pub fn send_detailed(&mut self, text: &str, now: f64) -> Result<Vec<Arrival>, SmsError> {
         self.next_reference = self.next_reference.wrapping_add(1);
         let segs = segment(text, self.next_reference)?;
-        let mut last = now;
+        // Gateway outage: the store-and-forward core either sheds load or
+        // queues the message until the window closes.
+        let mut depart = now;
+        if let Some(&(_, end)) = self
+            .chaos
+            .outages
+            .iter()
+            .find(|&&(s, e)| now >= s && now < e)
+        {
+            if self.rng.random::<f64>() < self.chaos.outage_drop_prob {
+                return Ok(Vec::new());
+            }
+            depart = end;
+        }
+        let mut last = depart;
         for _ in &segs {
             if self.rng.random::<f64>() < self.loss_prob {
-                return Ok(Delivery::Lost);
+                return Ok(Vec::new());
             }
-            let t = now + self.segment_latency();
+            let t = depart + self.segment_latency();
             last = last.max(t);
         }
-        Ok(Delivery::Delivered {
+        let mut delivered = text.to_string();
+        if self.chaos.truncate_prob > 0.0 && self.rng.random::<f64>() < self.chaos.truncate_prob {
+            let keep = delivered.chars().count().div_ceil(2);
+            delivered = delivered.chars().take(keep).collect();
+        }
+        if self.chaos.reorder_prob > 0.0 && self.rng.random::<f64>() < self.chaos.reorder_prob {
+            last += 30.0 + 90.0 * self.rng.random::<f64>();
+        }
+        let mut arrivals = vec![Arrival {
             at: last,
-            segments: segs.len(),
-        })
+            text: delivered.clone(),
+        }];
+        if self.chaos.dup_prob > 0.0 && self.rng.random::<f64>() < self.chaos.dup_prob {
+            arrivals.push(Arrival {
+                at: last + 5.0 + 55.0 * self.rng.random::<f64>(),
+                text: delivered,
+            });
+        }
+        Ok(arrivals)
+    }
+
+    /// Sends `text` at absolute time `now`; returns the delivery outcome.
+    ///
+    /// Compatibility wrapper over [`SmsNetwork::send_detailed`]: reports the
+    /// first arrival, or [`Delivery::Lost`] if no copy gets through.
+    pub fn send(&mut self, text: &str, now: f64) -> Result<Delivery, SmsError> {
+        let segments = segment(text, self.next_reference.wrapping_add(1))?.len();
+        match self.send_detailed(text, now)?.first() {
+            Some(first) => Ok(Delivery::Delivered {
+                at: first.at,
+                segments,
+            }),
+            None => Ok(Delivery::Lost),
+        }
     }
 }
 
@@ -146,5 +279,98 @@ mod tests {
     fn non_gsm_content_is_an_error() {
         let mut net = SmsNetwork::perfect(0);
         assert!(net.send("🛰", 0.0).is_err());
+    }
+
+    #[test]
+    fn zero_chaos_is_draw_identical_to_plain_path() {
+        let mut plain = SmsNetwork::typical(99);
+        let mut chaotic = SmsNetwork::typical(99).with_chaos(SmsChaos::none());
+        for i in 0..200 {
+            let a = plain.send("GET bbc.com AT 31.55,74.34", i as f64 * 7.0).expect("gsm7");
+            let b = chaotic
+                .send("GET bbc.com AT 31.55,74.34", i as f64 * 7.0)
+                .expect("gsm7");
+            assert_eq!(a, b, "message {i}");
+        }
+    }
+
+    #[test]
+    fn duplicates_arrive_twice_with_same_text() {
+        let mut net = SmsNetwork::perfect(3).with_chaos(SmsChaos {
+            dup_prob: 1.0,
+            ..SmsChaos::none()
+        });
+        let arrivals = net.send_detailed("hello", 0.0).expect("gsm7");
+        assert_eq!(arrivals.len(), 2);
+        assert_eq!(arrivals[0].text, "hello");
+        assert_eq!(arrivals[1].text, "hello");
+        assert!(arrivals[1].at > arrivals[0].at, "dup is a later retry");
+    }
+
+    #[test]
+    fn reordering_can_invert_arrival_order() {
+        // First message always reordered (held 30-120 s), second never:
+        // the second message, sent later, arrives first.
+        let mut held = SmsNetwork::perfect(5).with_chaos(SmsChaos {
+            reorder_prob: 1.0,
+            ..SmsChaos::none()
+        });
+        let first = held.send_detailed("first", 0.0).expect("gsm7");
+        held.chaos.reorder_prob = 0.0;
+        let second = held.send_detailed("second", 10.0).expect("gsm7");
+        assert!(
+            second[0].at < first[0].at,
+            "later send {} must beat held send {}",
+            second[0].at,
+            first[0].at
+        );
+    }
+
+    #[test]
+    fn outage_queues_or_drops() {
+        let mut queued = SmsNetwork::perfect(7).with_chaos(SmsChaos {
+            outages: vec![(100.0, 7_300.0)],
+            outage_drop_prob: 0.0,
+            ..SmsChaos::none()
+        });
+        let arrivals = queued.send_detailed("during outage", 500.0).expect("gsm7");
+        assert_eq!(arrivals.len(), 1);
+        assert!(
+            arrivals[0].at >= 7_300.0,
+            "queued message released after window, got {}",
+            arrivals[0].at
+        );
+        // Outside the window delivery is normal.
+        let after = queued.send_detailed("after", 8_000.0).expect("gsm7");
+        assert!((after[0].at - 8_001.0).abs() < 1e-9);
+
+        let mut dropping = SmsNetwork::perfect(7).with_chaos(SmsChaos {
+            outages: vec![(100.0, 7_300.0)],
+            outage_drop_prob: 1.0,
+            ..SmsChaos::none()
+        });
+        assert!(dropping.send_detailed("gone", 500.0).expect("gsm7").is_empty());
+    }
+
+    #[test]
+    fn truncation_halves_the_text() {
+        let mut net = SmsNetwork::perfect(9).with_chaos(SmsChaos {
+            truncate_prob: 1.0,
+            ..SmsChaos::none()
+        });
+        let arrivals = net.send_detailed("ABCDEFGH", 0.0).expect("gsm7");
+        assert_eq!(arrivals[0].text, "ABCD");
+    }
+
+    #[test]
+    fn chaos_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut net = SmsNetwork::typical(seed).with_chaos(SmsChaos::hostile());
+            (0..100)
+                .map(|i| net.send_detailed("NACK 1f 3.7 AT 31.5,74.3", i as f64 * 11.0).expect("gsm7"))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1234), run(1234));
+        assert_ne!(run(1234), run(1235));
     }
 }

@@ -95,6 +95,94 @@ pub fn parse_query(msg: &str) -> Option<Query> {
     })
 }
 
+/// Most damaged columns one NACK will carry; worse receptions should wait
+/// for the next carousel pass (or a full re-request) instead of burning
+/// multi-segment SMS on a page that is mostly gone. 24 specs ≈ 170 chars
+/// worst case → two GSM-7 segments with the header and location.
+pub const MAX_NACK_COLUMNS: usize = 24;
+
+/// A parsed repair request (negative acknowledgement).
+///
+/// Strip columns are sequential entropy streams — a chunk after a gap is
+/// undecodable — so a single `(column, from_seq)` pair captures everything
+/// a damaged column needs. Wire format:
+///
+/// ```text
+/// NACK <page_id hex> <spec>[,<spec>…] AT <lat>,<lon>
+/// spec = M | <column>.<from_seq>
+/// ```
+///
+/// `M` requests the metadata region; `<column>.<from_seq>` requests column
+/// `column` from chunk `from_seq` to the end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Nack {
+    /// Page being repaired.
+    pub page_id: u32,
+    /// Metadata region missing.
+    pub meta: bool,
+    /// Damaged columns as `(column, first missing chunk seq)`.
+    pub columns: Vec<(u16, u16)>,
+    /// Requester location (transmitter selection, like GET).
+    pub location: GeoPoint,
+}
+
+/// Formats a NACK message; columns beyond [`MAX_NACK_COLUMNS`] are dropped
+/// (keep the worst-first ordering in mind when composing).
+pub fn format_nack(nack: &Nack) -> String {
+    let mut specs: Vec<String> = Vec::new();
+    if nack.meta {
+        specs.push("M".to_string());
+    }
+    for &(col, from) in nack.columns.iter().take(MAX_NACK_COLUMNS) {
+        specs.push(format!("{col}.{from}"));
+    }
+    format!(
+        "NACK {:X} {} AT {:.4},{:.4}",
+        nack.page_id,
+        specs.join(","),
+        nack.location.lat,
+        nack.location.lon
+    )
+}
+
+/// Parses a NACK; `None` when malformed (unknown specs, no ranges, bad
+/// location) so a truncated or corrupted SMS is rejected whole.
+pub fn parse_nack(msg: &str) -> Option<Nack> {
+    let rest = msg.strip_prefix("NACK ")?;
+    let (id_tok, rest) = rest.split_once(' ')?;
+    let page_id = u32::from_str_radix(id_tok, 16).ok()?;
+    let (specs, loc) = rest.rsplit_once(" AT ")?;
+    let (lat, lon) = loc.split_once(',')?;
+    let lat: f64 = lat.trim().parse().ok()?;
+    let lon: f64 = lon.trim().parse().ok()?;
+    if !(-90.0..=90.0).contains(&lat) || !(-180.0..=180.0).contains(&lon) {
+        return None;
+    }
+    let mut meta = false;
+    let mut columns = Vec::new();
+    for spec in specs.split(',') {
+        let spec = spec.trim();
+        if spec == "M" {
+            meta = true;
+        } else {
+            let (col, from) = spec.split_once('.')?;
+            columns.push((col.parse().ok()?, from.parse().ok()?));
+        }
+    }
+    if !meta && columns.is_empty() {
+        return None;
+    }
+    if columns.len() > MAX_NACK_COLUMNS {
+        return None;
+    }
+    Some(Nack {
+        page_id,
+        meta,
+        columns,
+        location: GeoPoint::new(lat, lon),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +232,89 @@ mod tests {
             "ASK CHAT hello AT abc,def",
         ] {
             assert!(parse_query(bad).is_none(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn nack_roundtrip() {
+        let n = Nack {
+            page_id: 0x1A2B_3C4D,
+            meta: true,
+            columns: vec![(3, 1), (7, 0), (199, 12)],
+            location: GeoPoint::new(31.5204, 74.3587),
+        };
+        let msg = format_nack(&n);
+        assert!(msg.starts_with("NACK 1A2B3C4D M,3.1,7.0,199.12 AT "));
+        let back = parse_nack(&msg).expect("parse");
+        assert_eq!(back.page_id, n.page_id);
+        assert!(back.meta);
+        assert_eq!(back.columns, n.columns);
+    }
+
+    #[test]
+    fn nack_meta_only_and_columns_only_both_parse() {
+        let loc = GeoPoint::new(0.0, 0.0);
+        let meta_only = format_nack(&Nack {
+            page_id: 7,
+            meta: true,
+            columns: vec![],
+            location: loc,
+        });
+        let n = parse_nack(&meta_only).expect("meta only");
+        assert!(n.meta && n.columns.is_empty());
+        let cols_only = format_nack(&Nack {
+            page_id: 7,
+            meta: false,
+            columns: vec![(0, 2)],
+            location: loc,
+        });
+        let n = parse_nack(&cols_only).expect("cols only");
+        assert!(!n.meta);
+        assert_eq!(n.columns, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn worst_case_nack_fits_two_sms_segments() {
+        let n = Nack {
+            page_id: u32::MAX,
+            meta: true,
+            columns: (0..MAX_NACK_COLUMNS as u16).map(|i| (700 + i, 100 + i)).collect(),
+            location: GeoPoint::new(-89.9999, -179.9999),
+        };
+        let msg = format_nack(&n);
+        assert!(
+            crate::pdu::segment_count(&msg).expect("gsm7") <= 2,
+            "{} chars",
+            msg.len()
+        );
+        assert!(parse_nack(&msg).is_some());
+    }
+
+    #[test]
+    fn nack_format_drops_columns_past_the_cap() {
+        let n = Nack {
+            page_id: 1,
+            meta: false,
+            columns: (0..100u16).map(|i| (i, 0)).collect(),
+            location: GeoPoint::new(1.0, 2.0),
+        };
+        let parsed = parse_nack(&format_nack(&n)).expect("parse");
+        assert_eq!(parsed.columns.len(), MAX_NACK_COLUMNS);
+    }
+
+    #[test]
+    fn malformed_nacks_rejected() {
+        for bad in [
+            "NACK",
+            "NACK 1F AT 1,2",            // no specs
+            "NACK 1F  AT 1,2",           // empty specs
+            "NACK ZZZZ M AT 1,2",        // bad page id
+            "NACK 1F 3:1 AT 1,2",        // bad spec separator
+            "NACK 1F 3.x AT 1,2",        // bad from_seq
+            "NACK 1F M,3.1 AT 91,2",     // bad latitude
+            "NACK 1F M,3.1",             // no location
+        ] {
+            assert!(parse_nack(bad).is_none(), "{bad:?}");
         }
     }
 

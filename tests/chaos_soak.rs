@@ -1,0 +1,54 @@
+//! End-to-end chaos soak acceptance (robustness tentpole).
+//!
+//! Drives a broadcast day through a hostile [`sonic_radio::faults::FaultPlan`]
+//! and a misbehaving SMS network, with the client NACK-repair loop closed
+//! against the server's `RepairPlanner`. Asserts the contract:
+//!
+//! * every requested page finalizes — degraded is allowed, hung is not,
+//! * the reassembler never exceeds its byte budget,
+//! * per-page repair stays within the retry budget,
+//! * an identical seed replays to an identical outcome.
+//!
+//! The default run is smoke-sized (2 h). Set `SONIC_SOAK_HOURS=24` for the
+//! full broadcast day.
+
+use sonic_core::server::repair::RepairConfig;
+use sonic_sim::chaos::{run_chaos_soak, ChaosSoakConfig};
+
+#[test]
+fn hostile_broadcast_day_converges_deterministically() {
+    let hours = std::env::var("SONIC_SOAK_HOURS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let cfg = ChaosSoakConfig {
+        hours,
+        ..ChaosSoakConfig::default()
+    };
+    let report = run_chaos_soak(&cfg);
+
+    // The weather actually bit: frames died in mute windows and the loss
+    // map saw corrupted frames, so the repair loop was truly exercised.
+    assert!(report.frames_lost > 0, "{report:?}");
+    assert!(report.frames_corrupted > 0, "{report:?}");
+
+    // Every requested page finalized — degraded allowed, never hung.
+    assert_eq!(report.pages_hung, 0, "{report:?}");
+    assert_eq!(
+        report.urls_received, report.urls_requested,
+        "every wanted URL must land in the cache: {report:?}"
+    );
+
+    // Bounded recovery: memory and repair budgets both held.
+    assert!(
+        report.peak_reassembler_bytes <= cfg.reassembler.max_bytes,
+        "{report:?}"
+    );
+    assert!(
+        report.max_repair_attempts <= RepairConfig::default().max_attempts_per_page,
+        "{report:?}"
+    );
+
+    // Identical seed ⇒ identical outcome.
+    assert_eq!(report, run_chaos_soak(&cfg), "soak must replay exactly");
+}
