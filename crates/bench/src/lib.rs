@@ -5,3 +5,6 @@
 //! the table/series the paper reports (see EXPERIMENTS.md for the mapping
 //! and the `SONIC_*` environment knobs that scale runtime vs. fidelity).
 //! `perf_*` targets are Criterion micro-benchmarks of the hot DSP paths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

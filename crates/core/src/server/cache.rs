@@ -14,13 +14,13 @@ use crate::page::SimplifiedPage;
 use parking_lot::RwLock;
 use sonic_image::clickmap::ClickMap;
 use sonic_pagegen::PageId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// TTL-bound URL → page cache.
 #[derive(Debug, Default)]
 pub struct RenderCache {
-    inner: RwLock<HashMap<String, Entry>>,
+    inner: RwLock<BTreeMap<String, Entry>>,
 }
 
 #[derive(Debug, Clone)]
@@ -188,7 +188,7 @@ impl ArtifactCacheStats {
 /// fits.
 #[derive(Debug)]
 pub struct ArtifactCache {
-    entries: HashMap<PageId, ArtifactEntry>,
+    entries: BTreeMap<PageId, ArtifactEntry>,
     byte_budget: usize,
     bytes: usize,
     clock: u64,
@@ -200,7 +200,7 @@ impl ArtifactCache {
     /// Cache bounded to `byte_budget` resident artifact bytes.
     pub fn new(byte_budget: usize) -> Self {
         ArtifactCache {
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             byte_budget,
             bytes: 0,
             clock: 0,
@@ -238,7 +238,7 @@ impl ArtifactCache {
         self.stats = ArtifactCacheStats::default();
     }
 
-    fn touch(entries: &mut HashMap<PageId, ArtifactEntry>, clock: &mut u64, id: PageId) {
+    fn touch(entries: &mut BTreeMap<PageId, ArtifactEntry>, clock: &mut u64, id: PageId) {
         *clock += 1;
         if let Some(e) = entries.get_mut(&id) {
             e.last_used = *clock;

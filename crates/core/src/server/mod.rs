@@ -13,7 +13,7 @@ use render::Renderer;
 use scheduler::BroadcastScheduler;
 use sonic_sms::gateway;
 use sonic_sms::geo::Coverage;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Default artifact-cache byte budget: enough for a full standard corpus of
@@ -29,7 +29,7 @@ pub struct SonicServer {
     artifacts: ArtifactCache,
     coverage: Coverage,
     /// One broadcast scheduler per transmitter site id.
-    pub schedulers: HashMap<u32, BroadcastScheduler>,
+    pub schedulers: BTreeMap<u32, BroadcastScheduler>,
     /// NACK validation/coalescing and repair-burst scheduling.
     pub repair: repair::RepairPlanner,
 }

@@ -25,7 +25,7 @@ use crate::frame::Frame;
 use crate::page::SimplifiedPage;
 use crate::server::scheduler::BroadcastScheduler;
 use sonic_sms::queries::Nack;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 /// Repair policy.
@@ -106,9 +106,9 @@ pub struct RepairPlanner {
     /// Policy knobs.
     pub config: RepairConfig,
     /// (site id, page id) → outstanding coalesced need.
-    pending: HashMap<(u32, u32), PageRepair>,
+    pending: BTreeMap<(u32, u32), PageRepair>,
     /// page id → broadcast source material, FIFO-bounded.
-    registry: HashMap<u32, Arc<SimplifiedPage>>,
+    registry: BTreeMap<u32, Arc<SimplifiedPage>>,
     registry_order: VecDeque<u32>,
     /// Counters.
     pub stats: RepairStats,
@@ -210,7 +210,7 @@ impl RepairPlanner {
     pub fn schedule_due(
         &mut self,
         now_s: f64,
-        schedulers: &mut HashMap<u32, BroadcastScheduler>,
+        schedulers: &mut BTreeMap<u32, BroadcastScheduler>,
     ) -> usize {
         let mut due: Vec<(u32, u32)> = self
             .pending
@@ -371,7 +371,7 @@ mod tests {
         });
         let p = noisy_page("https://d.pk/", 6, 300);
         pl.register_page(p.clone());
-        let mut scheds = HashMap::from([(0u32, BroadcastScheduler::new(80_000.0))]);
+        let mut scheds = BTreeMap::from([(0u32, BroadcastScheduler::new(80_000.0))]);
         pl.accept_nack(0, &nack(p.page_id, vec![(1, 0)]), 0.0).expect("nack");
         assert_eq!(pl.schedule_due(10.0, &mut scheds), 0, "inside coalesce window");
         assert_eq!(pl.schedule_due(31.0, &mut scheds), 1);
@@ -394,7 +394,7 @@ mod tests {
         });
         let p = noisy_page("https://e.pk/", 6, 300);
         pl.register_page(p.clone());
-        let mut scheds = HashMap::from([(0u32, BroadcastScheduler::new(1e9))]);
+        let mut scheds = BTreeMap::from([(0u32, BroadcastScheduler::new(1e9))]);
         let mut t = 0.0;
         for _ in 0..2 {
             pl.accept_nack(0, &nack(p.page_id, vec![(1, 0)]), t).expect("in budget");
@@ -419,7 +419,7 @@ mod tests {
         });
         let p = noisy_page("https://f.pk/", 6, 300);
         pl.register_page(p.clone());
-        let mut scheds = HashMap::from([(0u32, BroadcastScheduler::new(8_000.0))]);
+        let mut scheds = BTreeMap::from([(0u32, BroadcastScheduler::new(8_000.0))]);
         // Full page already queued for broadcast.
         scheds.get_mut(&0).expect("s").enqueue(p.clone(), 0.0);
         pl.accept_nack(0, &nack(p.page_id, vec![(1, 0)]), 0.0).expect("nack");

@@ -22,6 +22,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Decode paths must degrade, not die: unwrap is a typed-error escape hatch
+// we only permit in tests.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod agc;
 pub mod complex;

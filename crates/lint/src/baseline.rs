@@ -1,0 +1,446 @@
+//! Baseline file support: pre-existing violations burn down instead of
+//! blocking.
+//!
+//! `lint-baseline.json` records, per `(file, rule, key)` triple, how many
+//! findings are grandfathered. `--deny-new` fails only when the current
+//! count for a triple *exceeds* its baselined count; counts below baseline
+//! are the burn-down succeeding (re-run `--write-baseline` to ratchet).
+//!
+//! The key is a stable token (`.unwrap`, `HashMap`, `228000`, a fn name…)
+//! rather than a line number, so ordinary edits that shift lines do not
+//! produce spurious "new" findings.
+//!
+//! JSON reading/writing is hand-rolled (the workspace builds offline with
+//! no serde); the subset understood is exactly what `write` emits plus
+//! arbitrary whitespace.
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Baseline counts keyed by `(file, rule id, key)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Grandfathered finding count per triple.
+    pub entries: BTreeMap<(String, String, String), u32>,
+}
+
+/// Result of comparing current findings against a baseline.
+#[derive(Debug, Default)]
+pub struct Comparison {
+    /// Findings beyond the baselined count — these fail `--deny-new`.
+    pub new: Vec<Finding>,
+    /// Findings covered by the baseline.
+    pub baselined: Vec<Finding>,
+    /// Triples whose baseline count exceeds current findings (burned down);
+    /// `(file, rule, key, excess)`.
+    pub stale: Vec<(String, String, String, u32)>,
+}
+
+impl Baseline {
+    /// Builds a baseline that exactly covers `findings`.
+    pub fn from_findings(findings: &[Finding]) -> Self {
+        let mut entries: BTreeMap<(String, String, String), u32> = BTreeMap::new();
+        for f in findings {
+            *entries
+                .entry((f.file.clone(), f.rule.id().to_string(), f.key.clone()))
+                .or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Splits `findings` into new vs baselined. Within one triple, the
+    /// first `count` findings (by line) are considered baselined.
+    pub fn compare(&self, findings: &[Finding]) -> Comparison {
+        let mut seen: BTreeMap<(String, String, String), u32> = BTreeMap::new();
+        let mut cmp = Comparison::default();
+        for f in findings {
+            let triple = (f.file.clone(), f.rule.id().to_string(), f.key.clone());
+            let quota = self.entries.get(&triple).copied().unwrap_or(0);
+            let used = seen.entry(triple).or_insert(0);
+            if *used < quota {
+                *used += 1;
+                cmp.baselined.push(f.clone());
+            } else {
+                cmp.new.push(f.clone());
+            }
+        }
+        for (triple, quota) in &self.entries {
+            let used = seen.get(triple).copied().unwrap_or(0);
+            if used < *quota {
+                cmp.stale.push((
+                    triple.0.clone(),
+                    triple.1.clone(),
+                    triple.2.clone(),
+                    quota - used,
+                ));
+            }
+        }
+        cmp
+    }
+
+    /// Serializes to the checked-in JSON format (sorted, stable).
+    pub fn write(&self) -> String {
+        let mut s = String::from("{\n  \"version\": 1,\n  \"entries\": [\n");
+        let n = self.entries.len();
+        for (i, ((file, rule, key), count)) in self.entries.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "    {{ \"file\": {}, \"rule\": {}, \"key\": {}, \"count\": {} }}{}",
+                json_str(file),
+                json_str(rule),
+                json_str(key),
+                count,
+                if i + 1 < n { "," } else { "" }
+            );
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parses the JSON format produced by [`Baseline::write`].
+    pub fn parse(src: &str) -> Result<Self, String> {
+        let value = json::parse(src)?;
+        let obj = value.as_object().ok_or("baseline root must be an object")?;
+        let mut entries = BTreeMap::new();
+        if let Some(list) = obj.get("entries") {
+            let arr = list.as_array().ok_or("\"entries\" must be an array")?;
+            for item in arr {
+                let e = item.as_object().ok_or("entry must be an object")?;
+                let field = |k: &str| -> Result<String, String> {
+                    e.get(k)
+                        .and_then(|v| v.as_str())
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("entry missing string field {k:?}"))
+                };
+                let count = e
+                    .get("count")
+                    .and_then(|v| v.as_f64())
+                    .ok_or("entry missing numeric field \"count\"")? as u32;
+                *entries
+                    .entry((field("file")?, field("rule")?, field("key")?))
+                    .or_insert(0) += count;
+            }
+        }
+        Ok(Baseline { entries })
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Minimal JSON value + recursive-descent parser (objects, arrays, strings,
+/// numbers, booleans, null). Enough for the baseline file and nothing more.
+pub mod json {
+    use std::collections::BTreeMap;
+
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any number (kept as f64 — counts are small).
+        Num(f64),
+        /// String with escapes resolved.
+        Str(String),
+        /// Array.
+        Arr(Vec<Value>),
+        /// Object (sorted keys).
+        Obj(BTreeMap<String, Value>),
+    }
+
+    impl Value {
+        /// Object accessor.
+        pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+            match self {
+                Value::Obj(m) => Some(m),
+                _ => None,
+            }
+        }
+        /// Array accessor.
+        pub fn as_array(&self) -> Option<&Vec<Value>> {
+            match self {
+                Value::Arr(a) => Some(a),
+                _ => None,
+            }
+        }
+        /// String accessor.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+        /// Number accessor.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses one JSON document; trailing garbage is an error.
+    pub fn parse(src: &str) -> Result<Value, String> {
+        let chars: Vec<char> = src.chars().collect();
+        let mut p = Parser { chars, pos: 0 };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.chars.len() {
+            return Err(format!("trailing characters at offset {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    struct Parser {
+        chars: Vec<char>,
+        pos: usize,
+    }
+
+    impl Parser {
+        fn skip_ws(&mut self) {
+            while self
+                .chars
+                .get(self.pos)
+                .map(|c| c.is_whitespace())
+                .unwrap_or(false)
+            {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&self) -> Option<char> {
+            self.chars.get(self.pos).copied()
+        }
+
+        fn expect(&mut self, c: char) -> Result<(), String> {
+            if self.peek() == Some(c) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected {c:?} at offset {}", self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            self.skip_ws();
+            match self.peek() {
+                Some('{') => self.object(),
+                Some('[') => self.array(),
+                Some('"') => Ok(Value::Str(self.string()?)),
+                Some('t') => self.keyword("true", Value::Bool(true)),
+                Some('f') => self.keyword("false", Value::Bool(false)),
+                Some('n') => self.keyword("null", Value::Null),
+                Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+                other => Err(format!("unexpected {other:?} at offset {}", self.pos)),
+            }
+        }
+
+        fn keyword(&mut self, word: &str, v: Value) -> Result<Value, String> {
+            for c in word.chars() {
+                self.expect(c)?;
+            }
+            Ok(v)
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect('{')?;
+            let mut map = BTreeMap::new();
+            self.skip_ws();
+            if self.peek() == Some('}') {
+                self.pos += 1;
+                return Ok(Value::Obj(map));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(':')?;
+                let val = self.value()?;
+                map.insert(key, val);
+                self.skip_ws();
+                match self.peek() {
+                    Some(',') => {
+                        self.pos += 1;
+                    }
+                    Some('}') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    other => return Err(format!("expected ',' or '}}', got {other:?}")),
+                }
+            }
+            Ok(Value::Obj(map))
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect('[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(']') {
+                self.pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(',') => {
+                        self.pos += 1;
+                    }
+                    Some(']') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    other => return Err(format!("expected ',' or ']', got {other:?}")),
+                }
+            }
+            Ok(Value::Arr(items))
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect('"')?;
+            let mut out = String::new();
+            loop {
+                let Some(c) = self.peek() else {
+                    return Err("unterminated string".into());
+                };
+                self.pos += 1;
+                match c {
+                    '"' => break,
+                    '\\' => {
+                        let Some(esc) = self.peek() else {
+                            return Err("unterminated escape".into());
+                        };
+                        self.pos += 1;
+                        match esc {
+                            '"' => out.push('"'),
+                            '\\' => out.push('\\'),
+                            '/' => out.push('/'),
+                            'n' => out.push('\n'),
+                            'r' => out.push('\r'),
+                            't' => out.push('\t'),
+                            'b' => out.push('\u{8}'),
+                            'f' => out.push('\u{c}'),
+                            'u' => {
+                                let mut code = 0u32;
+                                for _ in 0..4 {
+                                    let Some(h) = self.peek().and_then(|c| c.to_digit(16)) else {
+                                        return Err("bad \\u escape".into());
+                                    };
+                                    code = code * 16 + h;
+                                    self.pos += 1;
+                                }
+                                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            }
+                            other => return Err(format!("bad escape \\{other}")),
+                        }
+                    }
+                    c => out.push(c),
+                }
+            }
+            Ok(out)
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            if self.peek() == Some('-') {
+                self.pos += 1;
+            }
+            while self
+                .peek()
+                .map(|c| c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-')
+                .unwrap_or(false)
+            {
+                self.pos += 1;
+            }
+            let text: String = self.chars[start..self.pos].iter().collect();
+            text.parse::<f64>()
+                .map(Value::Num)
+                .map_err(|e| format!("bad number {text:?}: {e}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn finding(file: &str, line: u32, rule: Rule, key: &str) -> Finding {
+        Finding {
+            file: file.into(),
+            line,
+            rule,
+            key: key.into(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let findings = vec![
+            finding("a.rs", 3, Rule::PanicFree, ".unwrap"),
+            finding("a.rs", 9, Rule::PanicFree, ".unwrap"),
+            finding("b.rs", 1, Rule::UnitHygiene, "44100"),
+        ];
+        let base = Baseline::from_findings(&findings);
+        let text = base.write();
+        let back = Baseline::parse(&text).expect("parse back");
+        assert_eq!(base, back);
+    }
+
+    #[test]
+    fn compare_classifies_new_and_stale() {
+        let base = Baseline::from_findings(&[
+            finding("a.rs", 3, Rule::PanicFree, ".unwrap"),
+            finding("a.rs", 9, Rule::PanicFree, ".unwrap"),
+        ]);
+        // One unwrap fixed, one HashMap added.
+        let now = vec![
+            finding("a.rs", 3, Rule::PanicFree, ".unwrap"),
+            finding("a.rs", 20, Rule::Determinism, "HashMap"),
+        ];
+        let cmp = base.compare(&now);
+        assert_eq!(cmp.baselined.len(), 1);
+        assert_eq!(cmp.new.len(), 1);
+        assert_eq!(cmp.new[0].key, "HashMap");
+        assert_eq!(cmp.stale.len(), 1);
+        assert_eq!(cmp.stale[0].3, 1);
+    }
+
+    #[test]
+    fn line_drift_does_not_create_new_findings() {
+        let base = Baseline::from_findings(&[finding("a.rs", 3, Rule::PanicFree, ".unwrap")]);
+        let drifted = vec![finding("a.rs", 300, Rule::PanicFree, ".unwrap")];
+        assert!(base.compare(&drifted).new.is_empty());
+    }
+
+    #[test]
+    fn json_escapes() {
+        let v = json::parse(r#"{"a": "x\"y\n", "n": [1, 2.5, -3]}"#).expect("parse");
+        let o = v.as_object().expect("obj");
+        assert_eq!(o.get("a").and_then(|v| v.as_str()), Some("x\"y\n"));
+        assert_eq!(o.get("n").and_then(|v| v.as_array()).map(|a| a.len()), Some(3));
+    }
+}

@@ -1,0 +1,434 @@
+//! Hand-rolled Rust lexer — just enough fidelity for the lint rules.
+//!
+//! The lexer's one job is to separate *code* from *non-code* so the rules
+//! never fire on identifiers that appear inside strings, char literals or
+//! comments, and so `// lint:` / `// SAFETY:` directives survive as tokens
+//! the scanner can see. It understands:
+//!
+//! * line + block comments (nested, as Rust allows), doc comments included;
+//! * string literals: `"…"` with escapes, raw strings `r"…"` / `r#"…"#`
+//!   with any number of `#`s, byte strings `b"…"` / `br#"…"#`;
+//! * char / byte literals including `'\''` and lifetime disambiguation;
+//! * numeric literals with `_` separators, type suffixes, floats, hex/oct/bin;
+//! * identifiers (including raw `r#ident`) and multi-char punctuation enough
+//!   for `::`-path recognition.
+//!
+//! Everything else is a single-character [`TokenKind::Punct`].
+
+/// What a token is. Text is carried alongside so rules can match on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `Vec`, …).
+    Ident,
+    /// Numeric literal (`228_000`, `1187.5`, `0xFF`, `1e-6`, …).
+    Number,
+    /// String, raw-string, byte-string, char or byte literal.
+    Literal,
+    /// `// …` comment (doc comments included). Text keeps the `//` prefix.
+    LineComment,
+    /// `/* … */` comment (nested ok). Text keeps the delimiters.
+    BlockComment,
+    /// A lifetime such as `'a` (kept distinct so it is never a char literal).
+    Lifetime,
+    /// Any punctuation character (`{`, `}`, `.`, `!`, `#`, `:`, …).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Exact source text of the token.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this token is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True if this token is punctuation with exactly this text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+}
+
+/// Lexes `src` into a token stream. Never fails: unrecognized bytes become
+/// single-character punct tokens, unterminated literals run to end of file.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line),
+                'r' | 'b' if self.raw_or_byte_string(line) => {}
+                '\'' => self.char_or_lifetime(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c if c == '_' || c.is_alphabetic() => self.ident(line),
+                _ => {
+                    // Multi-char punct we care about: `::` (path separator).
+                    if c == ':' && self.peek(1) == Some(':') {
+                        self.bump();
+                        self.bump();
+                        self.push(TokenKind::Punct, "::".into(), line);
+                    } else {
+                        self.bump();
+                        self.push(TokenKind::Punct, c.to_string(), line);
+                    }
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokenKind::BlockComment, text, line);
+    }
+
+    fn string(&mut self, line: u32) {
+        let mut text = String::new();
+        text.push(self.bump().unwrap_or('"')); // opening quote
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Literal, text, line);
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`. Returns false if
+    /// the `r`/`b` starts a plain identifier instead (caller falls through).
+    fn raw_or_byte_string(&mut self, line: u32) -> bool {
+        let mut look = 1usize;
+        if self.peek(0) == Some('b') && self.peek(1) == Some('r') {
+            look = 2;
+        }
+        // Count `#`s after the prefix.
+        let mut hashes = 0usize;
+        while self.peek(look + hashes) == Some('#') {
+            hashes += 1;
+        }
+        match self.peek(look + hashes) {
+            Some('"') => {}
+            Some('\'') if look == 1 && self.peek(0) == Some('b') && hashes == 0 => {
+                // Byte char literal b'x'.
+                let mut text = String::new();
+                text.push(self.bump().unwrap_or('b'));
+                self.consume_char_literal(&mut text);
+                self.push(TokenKind::Literal, text, line);
+                return true;
+            }
+            _ => {
+                // `r#ident` raw identifier: strip the prefix, lex as ident.
+                if hashes == 1 && self.peek(0) == Some('r') {
+                    if let Some(c) = self.peek(2) {
+                        if c == '_' || c.is_alphabetic() {
+                            self.bump();
+                            self.bump();
+                            self.ident(line);
+                            return true;
+                        }
+                    }
+                }
+                return false;
+            }
+        }
+        // Consume prefix + hashes + opening quote.
+        let mut text = String::new();
+        for _ in 0..(look + hashes + 1) {
+            if let Some(c) = self.bump() {
+                text.push(c);
+            }
+        }
+        let raw = text.contains('r');
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '\\' && !raw {
+                if let Some(esc) = self.bump() {
+                    text.push(esc);
+                }
+                continue;
+            }
+            if c == '"' {
+                if hashes == 0 {
+                    break;
+                }
+                let mut matched = 0usize;
+                while matched < hashes && self.peek(0) == Some('#') {
+                    text.push(self.bump().unwrap_or('#'));
+                    matched += 1;
+                }
+                if matched == hashes {
+                    break;
+                }
+            }
+        }
+        self.push(TokenKind::Literal, text, line);
+        true
+    }
+
+    fn consume_char_literal(&mut self, text: &mut String) {
+        // Called with the opening `'` not yet consumed.
+        if let Some(q) = self.bump() {
+            text.push(q);
+        }
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        // `'a` / `'static` (lifetime) vs `'x'` / `'\n'` (char literal).
+        // Lifetime: `'` then ident-start, and the char after the ident body
+        // is NOT a closing `'`.
+        if let Some(c1) = self.peek(1) {
+            if c1 == '_' || c1.is_alphabetic() {
+                let mut end = 2usize;
+                while self
+                    .peek(end)
+                    .map(|c| c == '_' || c.is_alphanumeric())
+                    .unwrap_or(false)
+                {
+                    end += 1;
+                }
+                if self.peek(end) != Some('\'') {
+                    let mut text = String::new();
+                    for _ in 0..end {
+                        if let Some(c) = self.bump() {
+                            text.push(c);
+                        }
+                    }
+                    self.push(TokenKind::Lifetime, text, line);
+                    return;
+                }
+            }
+        }
+        let mut text = String::new();
+        self.consume_char_literal(&mut text);
+        self.push(TokenKind::Literal, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        // Integer / prefix part.
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Fractional part: `.` followed by a digit (`1.` alone is also a
+        // float in Rust, but `1..n` is a range — require a digit).
+        if self.peek(0) == Some('.') {
+            if let Some(c1) = self.peek(1) {
+                if c1.is_ascii_digit() {
+                    text.push('.');
+                    self.bump();
+                    while let Some(c) = self.peek(0) {
+                        if c.is_ascii_alphanumeric() || c == '_' {
+                            text.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    // Exponent sign, e.g. `1.5e-3`.
+                    if text.ends_with(['e', 'E']) && matches!(self.peek(0), Some('+') | Some('-')) {
+                        text.push(self.bump().unwrap_or('-'));
+                        while let Some(c) = self.peek(0) {
+                            if c.is_ascii_alphanumeric() || c == '_' {
+                                text.push(c);
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        } else if text.ends_with(['e', 'E']) && matches!(self.peek(0), Some('+') | Some('-')) {
+            text.push(self.bump().unwrap_or('-'));
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.push(TokenKind::Number, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let toks = kinds(r#"let s = "Vec::new() // not code"; // HashMap here"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t.contains("Vec::new")));
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "HashMap"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::LineComment && t.contains("HashMap")));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r###"let s = r#"panic!("inner")"#; panic!()"###);
+        let panics: Vec<_> = toks
+            .iter()
+            .filter(|(k, t)| *k == TokenKind::Ident && t == "panic")
+            .collect();
+        assert_eq!(panics.len(), 1, "only the real panic! lexes as ident");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Lifetime && t == "'a"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Literal && t == "'x'"));
+    }
+
+    #[test]
+    fn numbers_keep_separators_and_floats() {
+        let toks = kinds("228_000 1187.5 0xFF 1e-6 44_100.0f64");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Number)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, vec!["228_000", "1187.5", "0xFF", "1e-6", "44_100.0f64"]);
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still */ ident");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], (TokenKind::Ident, "ident".into()));
+    }
+}

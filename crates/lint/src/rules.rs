@@ -1,0 +1,496 @@
+//! The six SONIC invariant rules (DESIGN.md §9).
+//!
+//! | id | slug             | invariant                                           |
+//! |----|------------------|-----------------------------------------------------|
+//! | R1 | no-alloc         | `*_into` / `// lint: no-alloc` fns never allocate   |
+//! | R2 | reference-parity | `foo`/`foo_reference` twins share a parity test     |
+//! | R3 | determinism      | no wall clock / thread_rng / hash-order in sim,     |
+//! |    |                  | fault injection, or the broadcast server            |
+//! | R4 | panic-free       | no unwrap/expect/panic in the decode chain          |
+//! | R5 | unit-hygiene     | magic Hz/rate literals only behind named constants  |
+//! | R6 | safety-comment   | every `unsafe` carries a `// SAFETY:` line          |
+
+use crate::lexer::TokenKind;
+use crate::scan::ScannedFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Rule identity; order is the R1–R6 numbering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// R1 — allocation banned in hot-path functions.
+    NoAlloc,
+    /// R2 — `foo` / `foo_reference` must be exercised together by a test.
+    ReferenceParity,
+    /// R3 — nondeterminism sources banned in sim/faults/server.
+    Determinism,
+    /// R4 — panicking constructs banned in the decode chain.
+    PanicFree,
+    /// R5 — magic sample-rate/subcarrier literals must be named constants.
+    UnitHygiene,
+    /// R6 — `unsafe` requires a `// SAFETY:` comment.
+    SafetyComment,
+}
+
+impl Rule {
+    /// Short id, `R1`–`R6`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::NoAlloc => "R1",
+            Rule::ReferenceParity => "R2",
+            Rule::Determinism => "R3",
+            Rule::PanicFree => "R4",
+            Rule::UnitHygiene => "R5",
+            Rule::SafetyComment => "R6",
+        }
+    }
+
+    /// Human slug used in diagnostics and `// lint: allow(...)`.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Rule::NoAlloc => "no-alloc",
+            Rule::ReferenceParity => "reference-parity",
+            Rule::Determinism => "determinism",
+            Rule::PanicFree => "panic-free",
+            Rule::UnitHygiene => "unit-hygiene",
+            Rule::SafetyComment => "safety-comment",
+        }
+    }
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative `/`-separated path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Violated rule.
+    pub rule: Rule,
+    /// Stable matching key for the baseline (token or fn name — survives
+    /// line drift as the file is edited).
+    pub key: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// Allocation constructs banned in no-alloc fns (R1): `Type::method` paths.
+const R1_PATHS: &[(&str, &str)] = &[("Vec", "new"), ("Vec", "with_capacity"), ("Box", "new")];
+/// R1: banned macro invocations.
+const R1_MACROS: &[&str] = &["vec", "format"];
+/// R1: banned method calls (`.name(` or `.name::<…>(`).
+const R1_METHODS: &[&str] = &["push", "collect", "to_vec", "clone", "to_owned", "extend"];
+
+/// Idents banned outright in deterministic scopes (R3).
+const R3_IDENTS: &[&str] = &["HashMap", "HashSet", "SystemTime", "thread_rng"];
+
+/// Panicking macros banned in the decode chain (R4).
+const R4_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+/// Panicking methods banned in the decode chain (R4).
+const R4_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Magic SONIC unit literals (Hz, bps, rates) that must come from a named
+/// constant (R5). Values compared numerically after separator stripping, so
+/// `228_000`, `228000` and `228_000.0` all match.
+const R5_MAGIC: &[f64] = &[
+    228_000.0, // MPX composite rate
+    57_000.0,  // RDS subcarrier
+    38_000.0,  // stereo DSB subcarrier
+    23_000.0,  // stereo band lower edge
+    53_000.0,  // stereo band upper edge
+    19_000.0,  // stereo pilot
+    15_000.0,  // mono band top
+    44_100.0,  // audio rate
+    75_000.0,  // FM deviation
+    1_187.5,   // RDS bit rate
+];
+
+/// Paths (prefix or exact) in scope for R3 determinism.
+fn r3_in_scope(path: &str) -> bool {
+    path.starts_with("crates/sim/src/")
+        || path == "crates/radio/src/faults.rs"
+        || path.starts_with("crates/core/src/server/")
+}
+
+/// Paths in scope for R4 panic-freedom (the decode chain).
+fn r4_in_scope(path: &str) -> bool {
+    path.starts_with("crates/modem/src/")
+        || path.starts_with("crates/fec/src/")
+        || path.starts_with("crates/image/src/")
+        || path.starts_with("crates/radio/src/")
+        || path == "crates/core/src/reassembly.rs"
+}
+
+/// Paths in scope for R5 unit hygiene (library source of every crate).
+fn r5_in_scope(path: &str) -> bool {
+    path.starts_with("crates/") && path.contains("/src/")
+}
+
+/// Runs all six rules over the scanned files and returns sorted findings.
+/// `// lint: allow(...)` suppressions are already honoured.
+pub fn analyze(files: &[ScannedFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files {
+        rule_no_alloc(f, &mut out);
+        rule_determinism(f, &mut out);
+        rule_panic_free(f, &mut out);
+        rule_unit_hygiene(f, &mut out);
+        rule_safety_comment(f, &mut out);
+    }
+    rule_reference_parity(files, &mut out);
+    out.retain(|fi| {
+        let file = files.iter().find(|f| f.path == fi.file);
+        !file.map(|f| f.allowed(fi.rule.id(), fi.rule.slug(), fi.line)).unwrap_or(false)
+    });
+    out.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.key).cmp(&(&b.file, b.line, b.rule, &b.key))
+    });
+    out
+}
+
+fn push_finding(out: &mut Vec<Finding>, f: &ScannedFile, line: u32, rule: Rule, key: &str, msg: String) {
+    out.push(Finding {
+        file: f.path.clone(),
+        line,
+        rule,
+        key: key.to_string(),
+        message: msg,
+    });
+}
+
+/// R1: walk tokens inside no-alloc fns, match allocation constructs.
+fn rule_no_alloc(f: &ScannedFile, out: &mut Vec<Finding>) {
+    for (i, tok) in f.tokens.iter().enumerate() {
+        let ctx = &f.ctx[i];
+        if !ctx.fn_no_alloc || ctx.in_test || tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let fname = ctx.fn_name.as_deref().unwrap_or("?");
+        let next = f.tokens.get(i + 1);
+        let next2 = f.tokens.get(i + 2);
+        // `vec!` / `format!`
+        if R1_MACROS.contains(&tok.text.as_str()) && next.map(|t| t.is_punct("!")).unwrap_or(false)
+        {
+            let key = format!("{}!", tok.text);
+            push_finding(out, f, tok.line, Rule::NoAlloc, &key,
+                format!("`{key}` allocates inside no-alloc fn `{fname}`"));
+            continue;
+        }
+        // `Vec::new` / `Vec::with_capacity` / `Box::new`
+        if next.map(|t| t.is_punct("::")).unwrap_or(false) {
+            if let Some(m) = next2 {
+                if m.kind == TokenKind::Ident
+                    && R1_PATHS.iter().any(|(ty, me)| *ty == tok.text && *me == m.text)
+                {
+                    let key = format!("{}::{}", tok.text, m.text);
+                    push_finding(out, f, tok.line, Rule::NoAlloc, &key,
+                        format!("`{key}` allocates inside no-alloc fn `{fname}`"));
+                    continue;
+                }
+            }
+        }
+        // `.push(` / `.collect(` / `.collect::<…>(` / `.clone()` …
+        let prev_is_dot = i > 0 && f.tokens[i - 1].is_punct(".");
+        if prev_is_dot
+            && R1_METHODS.contains(&tok.text.as_str())
+            && next.map(|t| t.is_punct("(") || t.is_punct("::")).unwrap_or(false)
+        {
+            let key = format!(".{}", tok.text);
+            push_finding(out, f, tok.line, Rule::NoAlloc, &key,
+                format!("`{key}(…)` may allocate inside no-alloc fn `{fname}`"));
+        }
+    }
+}
+
+/// R2: every non-test `foo_reference` with a `foo` twin must appear together
+/// with `foo` in at least one test/property region somewhere in the
+/// workspace.
+fn rule_reference_parity(files: &[ScannedFile], out: &mut Vec<Finding>) {
+    // All non-test fn definitions by name.
+    let mut defs: BTreeMap<&str, (&ScannedFile, u32)> = BTreeMap::new();
+    for f in files {
+        for d in &f.fns {
+            if !d.in_test {
+                defs.entry(d.name.as_str()).or_insert((f, d.line));
+            }
+        }
+    }
+    // Per-file set of identifiers appearing in test regions.
+    let mut test_idents: Vec<BTreeSet<&str>> = Vec::with_capacity(files.len());
+    for f in files {
+        let mut set = BTreeSet::new();
+        for (i, tok) in f.tokens.iter().enumerate() {
+            if tok.kind == TokenKind::Ident && f.ctx[i].in_test {
+                set.insert(tok.text.as_str());
+            }
+        }
+        test_idents.push(set);
+    }
+    for (name, (f, line)) in &defs {
+        let Some(base) = name.strip_suffix("_reference") else {
+            continue;
+        };
+        if !defs.contains_key(base) {
+            continue; // no twin — e.g. a test helper that happens to match
+        }
+        let paired = test_idents
+            .iter()
+            .any(|set| set.contains(name) && set.contains(base));
+        if !paired {
+            push_finding(out, f, *line, Rule::ReferenceParity, base,
+                format!("`{base}` and `{name}` are never exercised together in any test/property file"));
+        }
+    }
+}
+
+/// R3: wall clocks, thread RNG and hash-ordered containers banned in the
+/// deterministic scopes.
+fn rule_determinism(f: &ScannedFile, out: &mut Vec<Finding>) {
+    if !r3_in_scope(&f.path) {
+        return;
+    }
+    for (i, tok) in f.tokens.iter().enumerate() {
+        if f.ctx[i].in_test || tok.kind != TokenKind::Ident {
+            continue;
+        }
+        if R3_IDENTS.contains(&tok.text.as_str()) {
+            let hint = match tok.text.as_str() {
+                "HashMap" => "use BTreeMap: iteration order must not depend on the hasher",
+                "HashSet" => "use BTreeSet: iteration order must not depend on the hasher",
+                "SystemTime" => "use simulated time: results must be a pure function of the seed",
+                _ => "use a seeded RNG threaded from the experiment seed",
+            };
+            push_finding(out, f, tok.line, Rule::Determinism, &tok.text,
+                format!("`{}` in deterministic scope — {hint}", tok.text));
+            continue;
+        }
+        // `Instant::now`
+        if tok.text == "Instant"
+            && f.tokens.get(i + 1).map(|t| t.is_punct("::")).unwrap_or(false)
+            && f.tokens.get(i + 2).map(|t| t.is_ident("now")).unwrap_or(false)
+        {
+            push_finding(out, f, tok.line, Rule::Determinism, "Instant::now",
+                "`Instant::now` in deterministic scope — wall-clock reads break seeded reproducibility".to_string());
+        }
+    }
+}
+
+/// R4: unwrap/expect/panic-family banned in decode-chain production code.
+fn rule_panic_free(f: &ScannedFile, out: &mut Vec<Finding>) {
+    if !r4_in_scope(&f.path) {
+        return;
+    }
+    for (i, tok) in f.tokens.iter().enumerate() {
+        if f.ctx[i].in_test || tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let next = f.tokens.get(i + 1);
+        if R4_MACROS.contains(&tok.text.as_str())
+            && next.map(|t| t.is_punct("!")).unwrap_or(false)
+        {
+            let key = format!("{}!", tok.text);
+            push_finding(out, f, tok.line, Rule::PanicFree, &key,
+                format!("`{key}` in the decode chain — degrade with a typed error instead of dying"));
+            continue;
+        }
+        let prev_is_dot = i > 0 && f.tokens[i - 1].is_punct(".");
+        if prev_is_dot
+            && R4_METHODS.contains(&tok.text.as_str())
+            && next.map(|t| t.is_punct("(")).unwrap_or(false)
+        {
+            let key = format!(".{}", tok.text);
+            push_finding(out, f, tok.line, Rule::PanicFree, &key,
+                format!("`{key}(…)` in the decode chain — propagate the error, a corrupt frame must not kill the receiver"));
+        }
+    }
+}
+
+/// R5: magic unit literals outside `const`/`static` definitions.
+fn rule_unit_hygiene(f: &ScannedFile, out: &mut Vec<Finding>) {
+    if !r5_in_scope(&f.path) {
+        return;
+    }
+    for (i, tok) in f.tokens.iter().enumerate() {
+        if f.ctx[i].in_test || tok.kind != TokenKind::Number {
+            continue;
+        }
+        let Some(v) = parse_number(&tok.text) else {
+            continue;
+        };
+        if !R5_MAGIC.contains(&v) {
+            continue;
+        }
+        if in_const_definition(f, i) {
+            continue;
+        }
+        let key = normalize_number(&tok.text);
+        push_finding(out, f, tok.line, Rule::UnitHygiene, &key,
+            format!("magic unit literal `{}` — use the named constant (AUDIO_RATE, MPX_RATE, PILOT_HZ, …)", tok.text));
+    }
+}
+
+/// R6: `unsafe` without a `// SAFETY:` comment within the 3 preceding lines.
+fn rule_safety_comment(f: &ScannedFile, out: &mut Vec<Finding>) {
+    for tok in f.tokens.iter() {
+        if tok.kind != TokenKind::Ident || tok.text != "unsafe" {
+            continue;
+        }
+        let covered = f
+            .safety_comment_lines
+            .iter()
+            .any(|&l| l <= tok.line && l + 3 >= tok.line);
+        if !covered {
+            push_finding(out, f, tok.line, Rule::SafetyComment, "unsafe",
+                "`unsafe` without a `// SAFETY:` comment on the preceding lines".to_string());
+        }
+    }
+}
+
+/// Walks back from a magic literal looking for `const`/`static`, stopping at
+/// statement/block boundaries. Covers multi-line const declarations and
+/// const tables (`const EDGES: &[f64] = &[19_000.0, 23_000.0, …];`).
+fn in_const_definition(f: &ScannedFile, idx: usize) -> bool {
+    let mut steps = 0usize;
+    let mut i = idx;
+    while i > 0 && steps < 64 {
+        i -= 1;
+        let t = &f.tokens[i];
+        if t.kind == TokenKind::LineComment || t.kind == TokenKind::BlockComment {
+            continue; // comments don't bound the declaration
+        }
+        if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+            return false;
+        }
+        if t.is_ident("const") || t.is_ident("static") {
+            return true;
+        }
+        steps += 1;
+    }
+    false
+}
+
+/// Parses a numeric literal to f64: strips `_` separators and any type
+/// suffix; returns None for hex/octal/binary (never unit literals).
+fn parse_number(text: &str) -> Option<f64> {
+    let s: String = text.chars().filter(|&c| c != '_').collect();
+    if s.starts_with("0x") || s.starts_with("0o") || s.starts_with("0b") {
+        return None;
+    }
+    // Strip a type suffix (`f64`, `u32`, …): cut at the first alphabetic
+    // char that is not an exponent `e`/`E` followed by digits/sign.
+    let bytes: Vec<char> = s.chars().collect();
+    let mut end = bytes.len();
+    for (i, &c) in bytes.iter().enumerate() {
+        if c.is_alphabetic() {
+            if (c == 'e' || c == 'E')
+                && bytes
+                    .get(i + 1)
+                    .map(|&n| n.is_ascii_digit() || n == '+' || n == '-')
+                    .unwrap_or(false)
+            {
+                continue;
+            }
+            end = i;
+            break;
+        }
+    }
+    s[..s.char_indices().nth(end).map(|(b, _)| b).unwrap_or(s.len())]
+        .parse::<f64>()
+        .ok()
+}
+
+/// Canonical baseline key for a magic literal: underscores stripped,
+/// trailing `.0` dropped (`228_000.0` → `228000`).
+fn normalize_number(text: &str) -> String {
+    let s: String = text.chars().filter(|&c| c != '_').collect();
+    let s = s.trim_end_matches(|c: char| c.is_alphabetic()).to_string();
+    match s.strip_suffix(".0") {
+        Some(head) => head.to_string(),
+        None => s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    fn findings(path: &str, src: &str) -> Vec<Finding> {
+        analyze(&[scan(path, src)])
+    }
+
+    #[test]
+    fn r1_flags_alloc_in_into_fn() {
+        let src = "fn render_into(out: &mut Vec<u8>) {\n let v = Vec::new();\n let w = vec![0u8; 4];\n}";
+        let f = findings("crates/x/src/lib.rs", src);
+        let keys: Vec<&str> = f.iter().map(|x| x.key.as_str()).collect();
+        assert!(keys.contains(&"Vec::new"));
+        assert!(keys.contains(&"vec!"));
+    }
+
+    #[test]
+    fn r1_ignores_plain_fns_and_tests() {
+        let src = "fn normal() { let v = Vec::new(); }\n#[cfg(test)]\nmod t {\n fn x_into(o: &mut V) { o.push(1); }\n}";
+        assert!(findings("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r3_only_fires_in_scope() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }";
+        assert_eq!(findings("crates/sim/src/foo.rs", src).len(), 3);
+        assert!(findings("crates/dsp/src/foo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r4_methods_need_dot() {
+        // A fn *named* unwrap, or an ident `expect` without `.`, is fine.
+        let src = "fn unwrap() {}\nfn g() { let expect = 3; h(expect); }";
+        assert!(findings("crates/fec/src/foo.rs", src).is_empty());
+        let bad = "fn g(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert_eq!(findings("crates/fec/src/foo.rs", bad).len(), 1);
+    }
+
+    #[test]
+    fn r5_allows_const_definitions() {
+        let good = "pub const MPX_RATE: f64 = 228_000.0;\npub const RDS_BPS: f64 =\n    1_187.5;";
+        assert!(findings("crates/radio/src/lib.rs", good).is_empty());
+        let bad = "fn f() -> f64 { 228_000.0 }";
+        let f = findings("crates/radio/src/lib.rs", bad);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].key, "228000");
+    }
+
+    #[test]
+    fn r6_requires_safety_comment() {
+        let bad = "fn f(p: *const u8) -> u8 { unsafe { *p } }";
+        assert_eq!(findings("crates/x/src/lib.rs", bad).len(), 1);
+        let good = "fn f(p: *const u8) -> u8 {\n // SAFETY: caller guarantees p is valid\n unsafe { *p }\n}";
+        assert!(findings("crates/x/src/lib.rs", good).is_empty());
+    }
+
+    #[test]
+    fn allow_directive_suppresses() {
+        let src = "fn f() -> f64 {\n // lint: allow(unit-hygiene)\n 228_000.0\n}";
+        assert!(findings("crates/radio/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r2_needs_joint_test() {
+        let lib = scan(
+            "crates/x/src/lib.rs",
+            "pub fn fast(x: u8) -> u8 { x }\npub fn fast_reference(x: u8) -> u8 { x }",
+        );
+        let f = analyze(&[lib]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::ReferenceParity);
+
+        let lib = scan(
+            "crates/x/src/lib.rs",
+            "pub fn fast(x: u8) -> u8 { x }\npub fn fast_reference(x: u8) -> u8 { x }",
+        );
+        let test = scan(
+            "crates/x/tests/parity.rs",
+            "#[test]\nfn parity() { assert_eq!(fast(1), fast_reference(1)); }",
+        );
+        assert!(analyze(&[lib, test]).is_empty());
+    }
+}

@@ -1,0 +1,437 @@
+//! Item/attribute scanner: layers structural context over the raw token
+//! stream — which tokens sit inside `#[cfg(test)]` modules or `#[test]`
+//! functions, which function body encloses a token, and which `// lint:`
+//! directives apply where.
+//!
+//! This is *not* a Rust parser. It tracks exactly three things with a brace
+//! stack: module scopes, function scopes and attribute application. That is
+//! enough for every rule the linter enforces, and it degrades safely: code
+//! it cannot classify is treated as production code (rules stay armed).
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// The `// lint:` directive grammar (see DESIGN.md §9):
+///
+/// * `// lint: no-alloc` — the next `fn` is held to the R1 no-allocation
+///   rule even if its name does not end in `_into`.
+/// * `// lint: allow(<rule>[, <rule>…])` — suppress findings of the named
+///   rules on this line and the next. Rules are named by id (`R1`) or slug
+///   (`no-alloc`, `reference-parity`, `determinism`, `panic-free`,
+///   `unit-hygiene`, `safety-comment`).
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Line the directive is written on (applies to it and the next line).
+    pub line: u32,
+    /// Rule ids/slugs named in the directive, lower-cased.
+    pub rules: Vec<String>,
+}
+
+/// A `fn` definition found in the file.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Inside `#[cfg(test)]` / `#[test]` (or the file itself is test code).
+    pub in_test: bool,
+}
+
+/// Per-token structural context, parallel to the token vector.
+#[derive(Debug, Clone, Default)]
+pub struct Ctx {
+    /// Token is inside test code (`#[cfg(test)]` mod, `#[test]` fn, or a
+    /// file classified as test by its path).
+    pub in_test: bool,
+    /// Name of the innermost enclosing function body, if any.
+    pub fn_name: Option<String>,
+    /// Innermost enclosing function is subject to R1 (named `*_into` or
+    /// marked `// lint: no-alloc`).
+    pub fn_no_alloc: bool,
+}
+
+/// A lexed + scanned source file, ready for rule evaluation.
+#[derive(Debug)]
+pub struct ScannedFile {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// Token stream (comments included).
+    pub tokens: Vec<Token>,
+    /// Structural context per token (same length as `tokens`).
+    pub ctx: Vec<Ctx>,
+    /// Every `fn` defined in the file.
+    pub fns: Vec<FnDef>,
+    /// Suppression directives.
+    pub allows: Vec<Allow>,
+    /// `// SAFETY:` comment lines (for R6).
+    pub safety_comment_lines: Vec<u32>,
+}
+
+impl ScannedFile {
+    /// True when a `// lint: allow(...)` directive covers `rule` at `line`.
+    pub fn allowed(&self, rule: &str, slug: &str, line: u32) -> bool {
+        let rule = rule.to_ascii_lowercase();
+        self.allows.iter().any(|a| {
+            (a.line == line || a.line + 1 == line)
+                && a.rules.iter().any(|r| r == &rule || r == slug)
+        })
+    }
+}
+
+/// True when the *path* marks the whole file as test/bench/example code.
+pub fn path_is_test(path: &str) -> bool {
+    path.contains("/tests/")
+        || path.starts_with("tests/")
+        || path.contains("/examples/")
+        || path.starts_with("examples/")
+        || path.contains("/benches/")
+}
+
+#[derive(Debug)]
+enum ScopeKind {
+    /// `mod name { … }`; true when gated by `#[cfg(test)]`.
+    Mod { cfg_test: bool },
+    /// `fn name { … }` body.
+    Fn {
+        name: String,
+        is_test: bool,
+        no_alloc: bool,
+    },
+}
+
+#[derive(Debug)]
+struct Scope {
+    kind: ScopeKind,
+    /// Brace depth *after* the opening `{` of this scope.
+    entry_depth: usize,
+}
+
+/// Pending item header seen (`fn`/`mod` keyword) whose body `{` has not yet
+/// opened. Cancelled if a `;` lands first (trait method decl, `mod x;`).
+#[derive(Debug)]
+enum Pending {
+    Fn {
+        name: String,
+        is_test: bool,
+        no_alloc: bool,
+        paren_depth: usize,
+    },
+    Mod {
+        cfg_test: bool,
+    },
+}
+
+/// Lexes and scans one source file.
+pub fn scan(path: &str, src: &str) -> ScannedFile {
+    let tokens = lex(src);
+    let file_is_test = path_is_test(path);
+
+    let mut ctx = Vec::with_capacity(tokens.len());
+    let mut fns = Vec::new();
+    let mut allows = Vec::new();
+    let mut safety_comment_lines = Vec::new();
+
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut pending: Option<Pending> = None;
+    let mut depth = 0usize;
+    // Attributes seen since the last item keyword; cleared when consumed.
+    let mut pending_attrs: Vec<String> = Vec::new();
+    // Line of the most recent `// lint: no-alloc` directive.
+    let mut no_alloc_directive: Option<u32> = None;
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let tok = &tokens[i];
+
+        // ---- comments: directives, then context bookkeeping ----
+        if tok.kind == TokenKind::LineComment || tok.kind == TokenKind::BlockComment {
+            let body = tok.text.trim_start_matches(['/', '*', '!']).trim();
+            if body.to_ascii_uppercase().starts_with("SAFETY:") {
+                safety_comment_lines.push(tok.line);
+            }
+            if let Some(rest) = body.strip_prefix("lint:") {
+                let rest = rest.trim();
+                if rest == "no-alloc" || rest.starts_with("no-alloc ") {
+                    no_alloc_directive = Some(tok.line);
+                } else if let Some(inner) = rest
+                    .strip_prefix("allow(")
+                    .and_then(|r| r.split(')').next())
+                {
+                    allows.push(Allow {
+                        line: tok.line,
+                        rules: inner
+                            .split(',')
+                            .map(|r| r.trim().to_ascii_lowercase())
+                            .filter(|r| !r.is_empty())
+                            .collect(),
+                    });
+                }
+            }
+            ctx.push(current_ctx(&scopes, file_is_test));
+            i += 1;
+            continue;
+        }
+
+        // ---- attributes: `#[...]` / `#![...]` ----
+        if tok.is_punct("#") {
+            let mut j = i + 1;
+            if j < tokens.len() && tokens[j].is_punct("!") {
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].is_punct("[") {
+                // Capture until the matching `]`.
+                let mut text = String::new();
+                let mut bracket = 0usize;
+                let start = i;
+                while i < tokens.len() {
+                    let t = &tokens[i];
+                    if t.is_punct("[") {
+                        bracket += 1;
+                    } else if t.is_punct("]") {
+                        bracket -= 1;
+                        if bracket == 0 {
+                            break;
+                        }
+                    }
+                    if i > start {
+                        if !text.is_empty() {
+                            text.push(' ');
+                        }
+                        text.push_str(&t.text);
+                    }
+                    ctx.push(current_ctx(&scopes, file_is_test));
+                    i += 1;
+                }
+                if i < tokens.len() {
+                    ctx.push(current_ctx(&scopes, file_is_test));
+                    i += 1; // past `]`
+                }
+                let text = text.trim_start_matches(['!', '[', ' ']).trim().to_string();
+                pending_attrs.push(text);
+                continue;
+            }
+        }
+
+        // ---- structure ----
+        match tok.kind {
+            TokenKind::Ident if tok.text == "fn" => {
+                // Find the function name (skip nothing: `fn name`).
+                let name = tokens
+                    .get(i + 1)
+                    .filter(|t| t.kind == TokenKind::Ident)
+                    .map(|t| t.text.clone())
+                    .unwrap_or_default();
+                let is_test = pending_attrs.iter().any(|a| attr_is_test(a));
+                let near_directive = no_alloc_directive
+                    .map(|l| l + 3 >= tok.line && l < tok.line)
+                    .unwrap_or(false);
+                let no_alloc = name.ends_with("_into") || near_directive;
+                if near_directive {
+                    no_alloc_directive = None;
+                }
+                if !name.is_empty() {
+                    fns.push(FnDef {
+                        name: name.clone(),
+                        line: tok.line,
+                        in_test: file_is_test || in_test_scope(&scopes) || is_test,
+                    });
+                    pending = Some(Pending::Fn {
+                        name,
+                        is_test,
+                        no_alloc,
+                        paren_depth: 0,
+                    });
+                }
+                pending_attrs.clear();
+            }
+            TokenKind::Ident if tok.text == "mod" => {
+                let cfg_test = pending_attrs.iter().any(|a| attr_is_test(a));
+                pending = Some(Pending::Mod { cfg_test });
+                pending_attrs.clear();
+            }
+            TokenKind::Ident
+                if matches!(
+                    tok.text.as_str(),
+                    "struct" | "enum" | "impl" | "trait" | "use" | "const" | "static" | "type"
+                ) =>
+            {
+                pending_attrs.clear();
+            }
+            TokenKind::Punct => match tok.text.as_str() {
+                "(" => {
+                    if let Some(Pending::Fn { paren_depth, .. }) = pending.as_mut() {
+                        *paren_depth += 1;
+                    }
+                }
+                ")" => {
+                    if let Some(Pending::Fn { paren_depth, .. }) = pending.as_mut() {
+                        *paren_depth = paren_depth.saturating_sub(1);
+                    }
+                }
+                ";" => {
+                    // Trait method declaration / `mod name;` — no body.
+                    if matches!(
+                        &pending,
+                        Some(Pending::Fn { paren_depth: 0, .. }) | Some(Pending::Mod { .. })
+                    ) {
+                        pending = None;
+                    }
+                }
+                "{" => {
+                    depth += 1;
+                    match pending.take() {
+                        Some(Pending::Fn {
+                            name,
+                            is_test,
+                            no_alloc,
+                            ..
+                        }) => scopes.push(Scope {
+                            kind: ScopeKind::Fn {
+                                name,
+                                is_test,
+                                no_alloc,
+                            },
+                            entry_depth: depth,
+                        }),
+                        Some(Pending::Mod { cfg_test }) => scopes.push(Scope {
+                            kind: ScopeKind::Mod { cfg_test },
+                            entry_depth: depth,
+                        }),
+                        None => {}
+                    }
+                }
+                "}" => {
+                    if scopes
+                        .last()
+                        .map(|s| s.entry_depth == depth)
+                        .unwrap_or(false)
+                    {
+                        scopes.pop();
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+
+        ctx.push(current_ctx(&scopes, file_is_test));
+        i += 1;
+    }
+
+    debug_assert_eq!(ctx.len(), tokens.len());
+    ScannedFile {
+        path: path.to_string(),
+        tokens,
+        ctx,
+        fns,
+        allows,
+        safety_comment_lines,
+    }
+}
+
+/// Does an attribute (token texts joined by spaces, brackets stripped) mark
+/// the next item as test-only? `#[test]`, `#[cfg(test)]`, `#[tokio::test]`,
+/// `#[cfg(all(test, …))]` — but *not* `#[cfg(not(test))]`, which gates
+/// production code.
+fn attr_is_test(a: &str) -> bool {
+    let a: String = a.chars().filter(|c| !c.is_whitespace()).collect();
+    if a.contains("not(test)") {
+        return false;
+    }
+    a == "test" || a.ends_with("::test") || a.contains("cfg(test") || a.contains("cfg(all(test")
+}
+
+fn in_test_scope(scopes: &[Scope]) -> bool {
+    scopes.iter().any(|s| match &s.kind {
+        ScopeKind::Mod { cfg_test } => *cfg_test,
+        ScopeKind::Fn { is_test, .. } => *is_test,
+    })
+}
+
+fn current_ctx(scopes: &[Scope], file_is_test: bool) -> Ctx {
+    let mut ctx = Ctx {
+        in_test: file_is_test || in_test_scope(scopes),
+        ..Ctx::default()
+    };
+    for s in scopes.iter().rev() {
+        if let ScopeKind::Fn {
+            name, no_alloc, ..
+        } = &s.kind
+        {
+            ctx.fn_name = Some(name.clone());
+            ctx.fn_no_alloc = *no_alloc;
+            break;
+        }
+    }
+    ctx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_marks_tokens() {
+        let src = "fn prod() { work(); }\n#[cfg(test)]\nmod tests {\n fn helper() { x(); }\n}";
+        let f = scan("crates/x/src/lib.rs", src);
+        let work = f
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("work"))
+            .expect("work token");
+        assert!(!f.ctx[work].in_test);
+        let x = f.tokens.iter().position(|t| t.is_ident("x")).expect("x token");
+        assert!(f.ctx[x].in_test);
+        assert_eq!(f.ctx[x].fn_name.as_deref(), Some("helper"));
+    }
+
+    #[test]
+    fn test_attr_marks_fn() {
+        let src = "#[test]\nfn unit() { boom(); }\nfn prod() { fine(); }";
+        let f = scan("crates/x/src/lib.rs", src);
+        let boom = f.tokens.iter().position(|t| t.is_ident("boom")).expect("boom");
+        assert!(f.ctx[boom].in_test);
+        let fine = f.tokens.iter().position(|t| t.is_ident("fine")).expect("fine");
+        assert!(!f.ctx[fine].in_test);
+    }
+
+    #[test]
+    fn into_fn_is_no_alloc_and_directive_works() {
+        let src = "fn render_into(o: &mut V) { o.push(1); }\n// lint: no-alloc\nfn hot(x: u8) { y(); }\nfn cold() { z(); }";
+        let f = scan("crates/x/src/lib.rs", src);
+        let push = f.tokens.iter().position(|t| t.is_ident("push")).expect("push");
+        assert!(f.ctx[push].fn_no_alloc);
+        let y = f.tokens.iter().position(|t| t.is_ident("y")).expect("y");
+        assert!(f.ctx[y].fn_no_alloc);
+        let z = f.tokens.iter().position(|t| t.is_ident("z")).expect("z");
+        assert!(!f.ctx[z].fn_no_alloc);
+    }
+
+    #[test]
+    fn trait_decl_semicolon_cancels_pending_fn() {
+        let src = "trait T { fn decl(&self); }\nfn real() { body(); }";
+        let f = scan("crates/x/src/lib.rs", src);
+        let body = f.tokens.iter().position(|t| t.is_ident("body")).expect("body");
+        assert_eq!(f.ctx[body].fn_name.as_deref(), Some("real"));
+    }
+
+    #[test]
+    fn allow_directive_parses() {
+        let src = "// lint: allow(R5, determinism)\nlet x = 228_000;";
+        let f = scan("crates/x/src/lib.rs", src);
+        assert!(f.allowed("R5", "unit-hygiene", 1));
+        assert!(f.allowed("R5", "unit-hygiene", 2));
+        assert!(f.allowed("R3", "determinism", 2));
+        assert!(!f.allowed("R1", "no-alloc", 2));
+    }
+
+    #[test]
+    fn fn_collection_includes_test_flag() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod t { #[test]\nfn b() {} }";
+        let f = scan("crates/x/src/lib.rs", src);
+        let names: Vec<(String, bool)> =
+            f.fns.iter().map(|d| (d.name.clone(), d.in_test)).collect();
+        assert_eq!(names, vec![("a".into(), false), ("b".into(), true)]);
+    }
+}

@@ -1,0 +1,177 @@
+//! Fixture-driven self-tests: every rule must produce its exact
+//! diagnostics (rule id + line) on the known-bad corpus under
+//! `tests/fixtures/`, and stay quiet on the known-good parts.
+//!
+//! Fixture files are fed to the linter under *virtual* workspace paths so
+//! the path-scoped rules (R3 determinism, R4 panic-free, R5 unit-hygiene)
+//! arm exactly as they would in the real tree. The fixtures directory is
+//! excluded from the workspace walker, so none of this counts as a real
+//! finding.
+
+use sonic_lint::{lint_sources, Rule, SourceFile};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+/// (rule, line, key) triples for every diagnostic of one run.
+fn triples(virtual_path: &str, name: &str) -> Vec<(Rule, u32, String)> {
+    let src = SourceFile {
+        path: virtual_path.to_string(),
+        text: fixture(name),
+    };
+    lint_sources(&[src])
+        .into_iter()
+        .map(|f| (f.rule, f.line, f.key))
+        .collect()
+}
+
+#[test]
+fn r1_no_alloc_exact_diagnostics() {
+    let got = triples("crates/dsp/src/fixture.rs", "r1_no_alloc.rs");
+    let want = vec![
+        (Rule::NoAlloc, 5, "Vec::new".to_string()),
+        (Rule::NoAlloc, 6, "vec!".to_string()),
+        (Rule::NoAlloc, 7, ".extend".to_string()),
+        (Rule::NoAlloc, 12, ".collect".to_string()),
+        (Rule::NoAlloc, 13, "format!".to_string()),
+    ];
+    assert_eq!(got, want);
+}
+
+#[test]
+fn r2_reference_parity_exact_diagnostics() {
+    let got = triples("crates/modem/src/fixture.rs", "r2_reference_parity.rs");
+    let want = vec![
+        (Rule::ReferenceParity, 10, "equalize".to_string()),
+        (Rule::ReferenceParity, 21, "window".to_string()),
+    ];
+    assert_eq!(got, want);
+}
+
+#[test]
+fn r2_parity_satisfied_by_joint_test_file() {
+    let lib = SourceFile {
+        path: "crates/modem/src/fixture.rs".to_string(),
+        text: fixture("r2_reference_parity.rs"),
+    };
+    let tests = SourceFile {
+        path: "crates/modem/tests/parity.rs".to_string(),
+        text: "#[test]\nfn twins() {\n  equalize(&mut []); equalize_reference(&mut []);\n  assert_eq!(window(&[]), window_reference(&[]));\n}\n"
+            .to_string(),
+    };
+    assert!(lint_sources(&[lib, tests]).is_empty());
+}
+
+#[test]
+fn r3_determinism_exact_diagnostics() {
+    let got = triples("crates/sim/src/fixture.rs", "r3_determinism.rs");
+    let want = vec![
+        (Rule::Determinism, 4, "HashMap".to_string()),
+        (Rule::Determinism, 5, "SystemTime".to_string()),
+        (Rule::Determinism, 7, "HashMap".to_string()),
+        (Rule::Determinism, 9, "Instant::now".to_string()),
+        (Rule::Determinism, 10, "SystemTime".to_string()),
+        (Rule::Determinism, 11, "thread_rng".to_string()),
+    ];
+    assert_eq!(got, want);
+}
+
+#[test]
+fn r3_out_of_scope_is_silent() {
+    // Same nondeterministic code outside sim/faults/server: not our rule.
+    let got = triples("crates/pagegen/src/fixture.rs", "r3_determinism.rs");
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
+fn r4_panic_free_exact_diagnostics() {
+    let got = triples("crates/fec/src/fixture.rs", "r4_panic_free.rs");
+    let want = vec![
+        (Rule::PanicFree, 5, ".unwrap".to_string()),
+        (Rule::PanicFree, 7, "panic!".to_string()),
+        (Rule::PanicFree, 9, ".expect".to_string()),
+        (Rule::PanicFree, 11, "unreachable!".to_string()),
+    ];
+    assert_eq!(got, want);
+}
+
+#[test]
+fn r4_decode_chain_scope_includes_reassembly_only_for_core() {
+    let src = fixture("r4_panic_free.rs");
+    let in_scope = lint_sources(&[SourceFile {
+        path: "crates/core/src/reassembly.rs".to_string(),
+        text: src.clone(),
+    }]);
+    assert_eq!(in_scope.len(), 4);
+    let out_of_scope = lint_sources(&[SourceFile {
+        path: "crates/core/src/server/mod.rs".to_string(),
+        text: src,
+    }]);
+    assert!(out_of_scope.iter().all(|f| f.rule != Rule::PanicFree));
+}
+
+#[test]
+fn r5_unit_hygiene_exact_diagnostics() {
+    let got = triples("crates/radio/src/fixture.rs", "r5_unit_hygiene.rs");
+    let want = vec![
+        (Rule::UnitHygiene, 7, "228000".to_string()),
+        (Rule::UnitHygiene, 8, "19000".to_string()),
+        (Rule::UnitHygiene, 9, "44100".to_string()),
+        (Rule::UnitHygiene, 14, "1187.5".to_string()),
+    ];
+    assert_eq!(got, want);
+}
+
+#[test]
+fn r6_safety_comment_exact_diagnostics() {
+    let got = triples("crates/dsp/src/fixture.rs", "r6_safety_comment.rs");
+    let want = vec![
+        (Rule::SafetyComment, 4, "unsafe".to_string()),
+        (Rule::SafetyComment, 7, "unsafe".to_string()),
+    ];
+    assert_eq!(got, want);
+}
+
+#[test]
+fn every_rule_has_at_least_two_fixture_diagnostics() {
+    // The acceptance bar: ≥ 2 distinct diagnostics per rule across the
+    // fixture corpus.
+    let all = [
+        triples("crates/dsp/src/fixture.rs", "r1_no_alloc.rs"),
+        triples("crates/modem/src/fixture.rs", "r2_reference_parity.rs"),
+        triples("crates/sim/src/fixture.rs", "r3_determinism.rs"),
+        triples("crates/fec/src/fixture.rs", "r4_panic_free.rs"),
+        triples("crates/radio/src/fixture.rs", "r5_unit_hygiene.rs"),
+        triples("crates/dsp/src/fixture.rs", "r6_safety_comment.rs"),
+    ];
+    for (rule, batch) in [
+        Rule::NoAlloc,
+        Rule::ReferenceParity,
+        Rule::Determinism,
+        Rule::PanicFree,
+        Rule::UnitHygiene,
+        Rule::SafetyComment,
+    ]
+    .iter()
+    .zip(&all)
+    {
+        let n = batch.iter().filter(|(r, _, _)| r == rule).count();
+        assert!(n >= 2, "rule {:?} has {n} fixture diagnostics, need ≥ 2", rule);
+    }
+}
+
+#[test]
+fn allow_directive_suppresses_fixture_finding() {
+    let src = "pub fn f() -> f64 {\n    // lint: allow(unit-hygiene) — justified in this fixture\n    228_000.0\n}\n";
+    let got = lint_sources(&[SourceFile {
+        path: "crates/radio/src/fixture.rs".to_string(),
+        text: src.to_string(),
+    }]);
+    assert!(got.is_empty(), "{got:?}");
+}

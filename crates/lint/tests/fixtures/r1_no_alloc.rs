@@ -1,0 +1,21 @@
+// Fixture: R1 no-alloc violations. Fed to the linter under a virtual
+// `crates/*/src/` path by tests/fixtures.rs — never compiled.
+
+pub fn render_into(out: &mut Vec<u8>) {
+    let scratch = Vec::new(); // line 5: Vec::new in a `_into` fn
+    let tmp = vec![0u8; 16]; // line 6: vec! in a `_into` fn
+    out.extend(scratch.iter().chain(tmp.iter()));
+}
+
+// lint: no-alloc
+pub fn hot_mix(buf: &mut [f32], gain: f32) -> String {
+    let copies: Vec<f32> = buf.iter().map(|x| x * gain).collect(); // line 12: .collect
+    format!("{}", copies.len()) // line 13: format!
+}
+
+pub fn cold_path() -> Vec<u8> {
+    // Not a hot path: allocation is fine here.
+    let mut v = Vec::new();
+    v.push(1);
+    v
+}

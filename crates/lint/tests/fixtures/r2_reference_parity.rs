@@ -1,0 +1,28 @@
+// Fixture: R2 reference-parity violations. Two fast/reference twins, no
+// test file ever names the pair together.
+
+pub fn equalize(x: &mut [f32]) {
+    for v in x.iter_mut() {
+        *v *= 2.0;
+    }
+}
+
+pub fn equalize_reference(x: &mut [f32]) {
+    // line 10: twin of `equalize`, never tested against it
+    for v in x.iter_mut() {
+        *v += *v;
+    }
+}
+
+pub fn window(x: &[f32]) -> f32 {
+    x.iter().sum()
+}
+
+pub fn window_reference(x: &[f32]) -> f32 {
+    // line 21: twin of `window`, never tested against it
+    let mut acc = 0.0;
+    for v in x {
+        acc += v;
+    }
+    acc
+}

@@ -1,0 +1,14 @@
+// Fixture: R3 determinism violations. Fed under a virtual
+// `crates/sim/src/` path so the deterministic-scope rules arm.
+
+use std::collections::HashMap; // line 4: HashMap import
+use std::time::{Instant, SystemTime}; // line 5: SystemTime import
+
+pub fn sample_latency(events: &HashMap<u64, f64>) -> f64 {
+    // line 7: HashMap in a fn signature
+    let t0 = Instant::now(); // line 9: wall-clock read
+    let _stamp = SystemTime::now(); // line 10: wall-clock read
+    let mut rng = thread_rng(); // line 11: unseeded RNG
+    let noise: f64 = rng.gen();
+    events.values().sum::<f64>() + t0.elapsed().as_secs_f64() + noise
+}

@@ -1,0 +1,23 @@
+// Fixture: R4 panic-freedom violations. Fed under a virtual decode-chain
+// path (`crates/fec/src/`).
+
+pub fn decode_header(bytes: &[u8]) -> u32 {
+    let first = bytes.first().unwrap(); // line 5: .unwrap in decode chain
+    if *first > 0x7f {
+        panic!("bad header byte"); // line 7: panic! in decode chain
+    }
+    let len: u32 = (*bytes.get(1).expect("length byte")).into(); // line 9: .expect
+    match len {
+        0 => unreachable!("zero-length frame"), // line 11: unreachable!
+        n => n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u8> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

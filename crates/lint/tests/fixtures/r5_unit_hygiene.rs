@@ -1,0 +1,15 @@
+// Fixture: R5 unit-hygiene violations — magic rate/frequency literals
+// outside named constants.
+
+pub const COMPOSITE_RATE: f64 = 228_000.0; // allowed: const definition
+
+pub fn design_filter() -> (f64, f64, f64) {
+    let fs = 228_000.0; // line 7: magic composite rate
+    let pilot = 19_000.0; // line 8: magic pilot frequency
+    let audio = 44_100; // line 9: magic audio rate (integer form)
+    (fs, pilot, audio as f64)
+}
+
+pub fn rds_bit_period() -> f64 {
+    1.0 / 1_187.5 // line 14: magic RDS bit rate
+}

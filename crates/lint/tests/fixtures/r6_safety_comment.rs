@@ -1,0 +1,16 @@
+// Fixture: R6 SAFETY-comment violations.
+
+pub fn read_first(p: *const u8) -> u8 {
+    unsafe { *p } // line 4: unsafe without SAFETY comment
+}
+
+pub unsafe fn raw_len(p: *const u8, n: usize) -> usize {
+    // line 7: unsafe fn without SAFETY comment
+    let _ = (p, n);
+    n
+}
+
+pub fn read_checked(p: *const u8) -> u8 {
+    // SAFETY: caller contract guarantees `p` is valid for one byte.
+    unsafe { *p } // covered by the SAFETY line above
+}

@@ -1,0 +1,61 @@
+//! Workspace self-run: linting the real tree must produce zero findings
+//! beyond the checked-in baseline. This is the same gate CI runs via
+//! `cargo run -p sonic-lint -- --workspace --deny-new`, wired into
+//! `cargo test` so a violation fails fast and locally.
+
+use sonic_lint::{lint_workspace, Baseline};
+use std::path::Path;
+
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+#[test]
+fn workspace_has_zero_non_baselined_findings() {
+    let root = workspace_root();
+    let findings = lint_workspace(&root).expect("lint workspace");
+    let baseline_text = std::fs::read_to_string(root.join("lint-baseline.json"))
+        .expect("lint-baseline.json is checked in");
+    let baseline = Baseline::parse(&baseline_text).expect("baseline parses");
+    let cmp = baseline.compare(&findings);
+    assert!(
+        cmp.new.is_empty(),
+        "new lint findings not covered by lint-baseline.json:\n{}",
+        cmp.new
+            .iter()
+            .map(sonic_lint::format_finding)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn baseline_only_grandfathers_r1_hot_path_pushes() {
+    // The baseline exists to burn down, not to grow: today it covers only
+    // the R1 `.push`/`.extend`-into-caller-buffer pattern in streaming
+    // `_into` functions whose output length is data-dependent. If this
+    // test fails because you added a *new* kind of entry, fix the code
+    // instead of re-baselining.
+    let root = workspace_root();
+    let baseline_text = std::fs::read_to_string(root.join("lint-baseline.json"))
+        .expect("lint-baseline.json is checked in");
+    let baseline = Baseline::parse(&baseline_text).expect("baseline parses");
+    for (file, rule, key) in baseline.entries.keys() {
+        assert_eq!(rule, "R1", "unexpected baselined rule {rule} in {file}");
+        assert!(
+            key == ".push" || key == ".extend",
+            "unexpected baselined key {key} in {file}"
+        );
+    }
+}
+
+#[test]
+fn workspace_run_is_deterministic() {
+    let root = workspace_root();
+    let a = lint_workspace(&root).expect("first run");
+    let b = lint_workspace(&root).expect("second run");
+    assert_eq!(a, b, "two runs over the same tree must agree exactly");
+}

@@ -100,7 +100,9 @@ pub fn detect(
                     best = Some((cand, score));
                 }
             }
-            let (start, score) = best.expect("window non-empty");
+            // The window is never empty, but stay total: an empty window
+            // scores 0.0 and falls through to the false-alarm path.
+            let (start, score) = best.unwrap_or((win_lo, 0.0));
             if score > 0.1 {
                 // CFO from the Schmidl-Cox phase: Δφ over half a symbol.
                 let cfo = p.arg() / half as f32;

@@ -10,6 +10,11 @@
 use crate::constellation::Modulation;
 use sonic_fec::CodeSpec;
 
+/// Audio sample rate every named profile runs at, in Hz. Matches
+/// `sonic_radio::AUDIO_RATE` (the crates deliberately do not depend on each
+/// other; the workspace lint's unit-hygiene rule keeps both honest).
+pub const AUDIO_RATE_HZ: f64 = 44_100.0;
+
 /// Complete parameter set for one OFDM carrier.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Profile {
@@ -40,7 +45,7 @@ impl Profile {
     pub fn audible_7k() -> Self {
         Profile {
             name: "audible-7k",
-            sample_rate: 44_100.0,
+            sample_rate: AUDIO_RATE_HZ,
             fft_size: 1024,
             cp_len: 128,
             data_carriers: 92,

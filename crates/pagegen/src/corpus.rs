@@ -10,7 +10,7 @@ use crate::tranco::pk_top_sites;
 pub const PAGES_PER_SITE: usize = 4;
 
 /// Identifies one corpus page.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PageId {
     /// Index into the site list.
     pub site: usize,

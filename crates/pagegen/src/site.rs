@@ -63,6 +63,7 @@ impl SiteCategory {
             SiteCategory::Sports => (9_000, 18_000),
             SiteCategory::ECommerce => (8_000, 18_000),
             SiteCategory::Portal => (6_000, 14_000),
+            // lint: allow(unit-hygiene) — page heights in pixels, not Hz
             SiteCategory::Tech => (6_000, 15_000),
             SiteCategory::Blog => (5_000, 12_000),
             SiteCategory::Education => (3_000, 8_000),

@@ -118,7 +118,7 @@ pub struct AcousticChannel {
 
 impl AcousticChannel {
     /// Creates the acoustic hop at a given distance with the calibrated
-    /// defaults (see DESIGN.md §9 for the calibration targets).
+    /// defaults (see DESIGN.md §10 for the calibration targets).
     pub fn new(distance_m: f64, seed: u64) -> Self {
         AcousticChannel {
             distance_m,

@@ -28,8 +28,8 @@ pub fn stereo_rate_penalty_db() -> f64 {
     // Noise power ∝ ∫ f² df over the band; DSB demodulation folds the two
     // sidebands coherently (3 dB back).
     let band = |lo: f64, hi: f64| (hi.powi(3) - lo.powi(3)) / 3.0;
-    let mono = band(30.0, 15_000.0);
-    let stereo = band(23_000.0, 53_000.0);
+    let mono = band(30.0, crate::MONO_TOP_HZ);
+    let stereo = band(crate::STEREO_LO_HZ, crate::STEREO_HI_HZ);
     10.0 * (stereo / mono).log10() - 3.0
 }
 

@@ -25,6 +25,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Decode paths must degrade, not die: unwrap is a typed-error escape hatch
+// we only permit in tests.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod channel;
 pub mod databands;
@@ -45,3 +48,22 @@ pub const MPX_RATE: f64 = 228_000.0;
 
 /// Peak FM deviation in Hz (broadcast standard).
 pub const FM_DEVIATION: f64 = 75_000.0;
+
+/// Top of the mono (L+R) program band in Hz — SONIC's data carrier must
+/// stay below this.
+pub const MONO_TOP_HZ: f64 = 15_000.0;
+
+/// Stereo pilot tone frequency in Hz.
+pub const PILOT_HZ: f64 = 19_000.0;
+
+/// Stereo difference (L−R) DSB-SC subcarrier frequency in Hz (2 × pilot).
+pub const STEREO_SUB_HZ: f64 = 38_000.0;
+
+/// Lower edge of the stereo difference band in Hz.
+pub const STEREO_LO_HZ: f64 = 23_000.0;
+
+/// Upper edge of the stereo difference band in Hz.
+pub const STEREO_HI_HZ: f64 = 53_000.0;
+
+/// RDS subcarrier frequency in Hz (3 × pilot, = MPX_RATE / 4).
+pub const RDS_SUB_HZ: f64 = 57_000.0;

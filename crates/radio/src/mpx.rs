@@ -14,7 +14,7 @@
 //! this is what gives the 9.2 kHz data carrier its favourable post-detection
 //! SNR despite FM's triangular noise spectrum.
 
-use crate::{rds, AUDIO_RATE, MPX_RATE};
+use crate::{rds, AUDIO_RATE, MPX_RATE, PILOT_HZ, STEREO_SUB_HZ};
 use sonic_dsp::fir::{design_bandpass, design_lowpass, BlockFir, Fir};
 use sonic_dsp::iir::{Deemphasis, Preemphasis};
 use sonic_dsp::resample::Resampler;
@@ -82,8 +82,8 @@ pub fn compose(input: &MpxInput) -> Vec<f32> {
         };
         s += mono_gain * mono;
         if let Some(diff) = &stereo_up {
-            let sub = (TAU * 38_000.0 * t / MPX_RATE).cos() as f32;
-            s += level::PILOT * (TAU * 19_000.0 * t / MPX_RATE).sin() as f32;
+            let sub = (TAU * STEREO_SUB_HZ * t / MPX_RATE).cos() as f32;
+            s += level::PILOT * (TAU * PILOT_HZ * t / MPX_RATE).sin() as f32;
             s += level::STEREO * 0.5 * diff.get(i).copied().unwrap_or(0.0) * sub;
         }
         if let Some(rds) = &rds_wave {

@@ -9,7 +9,7 @@
 //! like N=100 at 10 kbps.
 
 use sonic_pagegen::{Corpus, PageId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One backlog trace.
 #[derive(Debug, Clone)]
@@ -36,7 +36,7 @@ pub trait SizeModel {
 #[derive(Debug)]
 pub struct CachedSizes {
     /// Page sizes keyed by (site, page, hour) — caller fills via closure.
-    pub map: HashMap<(usize, usize, u64), f64>,
+    pub map: BTreeMap<(usize, usize, u64), f64>,
     /// Fallback when a key is missing.
     pub default_bytes: f64,
 }
@@ -195,7 +195,7 @@ mod tests {
     #[test]
     fn missing_size_uses_default() {
         let sizes = CachedSizes {
-            map: HashMap::new(),
+            map: BTreeMap::new(),
             default_bytes: 123.0,
         };
         assert_eq!(sizes.bytes(PageId { site: 0, page: 0 }, 5), 123.0);

@@ -28,7 +28,7 @@ use sonic_pagegen::Corpus;
 use sonic_radio::faults::{Fault, FaultPlan, FrameFate};
 use sonic_sms::geo::{Coverage, GeoPoint};
 use sonic_sms::network::{SmsChaos, SmsNetwork};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Parameters of one soak run (fully determines the report).
 #[derive(Debug, Clone)]
@@ -219,16 +219,16 @@ pub fn run_chaos_soak(cfg: &ChaosSoakConfig) -> ChaosSoakReport {
     let mut nonce = 0u64;
     // Client-side repair bookkeeping: page → NACKs spent, and the time at
     // which an expired page stops waiting for repair.
-    let mut nacks_for: HashMap<u32, u32> = HashMap::new();
-    let mut force_at: HashMap<u32, f64> = HashMap::new();
-    let mut received_urls: HashSet<String> = HashSet::new();
+    let mut nacks_for: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut force_at: BTreeMap<u32, f64> = BTreeMap::new();
+    let mut received_urls: BTreeSet<String> = BTreeSet::new();
 
     fn finalize(
         client: &mut SonicClient,
         report: &mut ChaosSoakReport,
-        received_urls: &mut HashSet<String>,
-        nacks_for: &mut HashMap<u32, u32>,
-        force_at: &mut HashMap<u32, f64>,
+        received_urls: &mut BTreeSet<String>,
+        nacks_for: &mut BTreeMap<u32, u32>,
+        force_at: &mut BTreeMap<u32, f64>,
         id: u32,
         hour: u64,
     ) {

@@ -8,7 +8,7 @@
 use crate::broadcast::CachedSizes;
 use sonic_image::codec::{self, SwpCache};
 use sonic_pagegen::{Corpus, PageId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Quality/crop configuration matching the paper's (Q, PH) axes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -130,7 +130,7 @@ pub fn sizes_from_corpus_with_stats(
     cfg: SizeConfig,
     calibration: f64,
 ) -> (CachedSizes, SizeMeasureStats) {
-    let mut map = HashMap::new();
+    let mut map = BTreeMap::new();
     let extrapolate = calibration / (scale * scale);
     let mut total = 0.0f64;
     let mut count = 0usize;

@@ -41,6 +41,9 @@
 //! assert_eq!(received.mask.loss_rate(), 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use sonic_core as core;
 pub use sonic_dsp as dsp;
 pub use sonic_fec as fec;
