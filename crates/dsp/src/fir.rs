@@ -6,9 +6,12 @@
 //! radio pipeline can process audio in arbitrary block sizes.
 
 use crate::complex::C32;
-use crate::fft::Fft;
+use crate::plan::FirPlan;
+use crate::simd;
+use crate::split::SplitC32;
 use crate::window::{generate, Window};
 use std::f64::consts::PI;
+use std::sync::Arc;
 
 /// Designs a linear-phase low-pass FIR with `taps` coefficients.
 ///
@@ -130,15 +133,10 @@ impl Fir {
             self.scratch.push(self.history[(self.pos + j) % n]);
         }
         self.scratch.extend_from_slice(buf);
-        for (i, out) in buf.iter_mut().enumerate() {
-            let window = &self.scratch[i..i + n];
-            let mut acc = 0.0f32;
-            // taps newest-first over the window: same order as `push`.
-            for (&t, &x) in self.taps.iter().zip(window.iter().rev()) {
-                acc += t * x;
-            }
-            *out = acc;
-        }
+        // Taps newest-first over each window, accumulated in `push` order;
+        // the kernel vectorizes across outputs so every output's sum is
+        // still bit-identical to the scalar twin.
+        simd::fir_mac(&self.taps, &self.scratch, buf);
         // Restore the circular history invariant for subsequent `push`es:
         // slots 0..m hold the m most recent samples oldest→newest and the
         // next write lands on slot m.
@@ -169,9 +167,13 @@ pub const BLOCK_FIR_MIN_TAPS: usize = 64;
 /// Picks the overlap-save FFT size for a tap count: the block length
 /// (`fft − taps + 1`) stays at least ~3× the tap count so the two
 /// transforms amortize well.
-fn overlap_save_fft_size(taps: usize) -> usize {
+pub(crate) fn overlap_save_fft_size(taps: usize) -> usize {
     (4 * taps).next_power_of_two().max(128)
 }
+
+/// Overlap-save frames transformed per batched FFT sweep: enough to amortize
+/// the per-batch bookkeeping while keeping the frame scratch around L2-sized.
+const BLOCK_FIR_BATCH: usize = 8;
 
 /// Streaming FFT overlap-save convolution for real signals.
 ///
@@ -183,15 +185,14 @@ fn overlap_save_fft_size(taps: usize) -> usize {
 /// transform count.
 #[derive(Debug, Clone)]
 pub struct BlockFir {
-    taps_len: usize,
-    fft: Fft,
-    /// FFT of the zero-padded taps.
-    spectrum: Vec<C32>,
-    /// New samples consumed per FFT frame (`fft − taps + 1`).
-    block: usize,
+    /// Shared immutable plan: FFT + tap spectrum (see [`FirPlan`]).
+    plan: Arc<FirPlan>,
     /// The `taps − 1` most recent inputs (streaming history).
     tail: Vec<f32>,
-    frame: Vec<C32>,
+    /// Split-plane scratch for up to [`BLOCK_FIR_BATCH`] frames.
+    frames: SplitC32,
+    /// `(a_start, a_len, b_start, b_len)` for each gathered frame.
+    spans: Vec<(usize, usize, usize, usize)>,
     ext: Vec<f32>,
 }
 
@@ -201,35 +202,40 @@ impl BlockFir {
     /// # Panics
     /// Panics if `taps` is empty.
     pub fn new(taps: &[f32]) -> Self {
-        assert!(!taps.is_empty(), "FIR needs at least one tap");
-        let n = overlap_save_fft_size(taps.len());
-        let fft = Fft::new(n);
-        let mut spectrum: Vec<C32> = taps.iter().map(|&t| C32::new(t, 0.0)).collect();
-        spectrum.resize(n, C32::ZERO);
-        fft.forward(&mut spectrum);
+        BlockFir::with_plan(FirPlan::shared(taps))
+    }
+
+    /// Builds a stream over an existing shared plan (no re-planning: many
+    /// receivers can stream through clones of one `Arc<FirPlan>`).
+    pub fn with_plan(plan: Arc<FirPlan>) -> Self {
+        let m = plan.taps_len() - 1;
         BlockFir {
-            taps_len: taps.len(),
-            fft,
-            spectrum,
-            block: n - taps.len() + 1,
-            tail: vec![0.0; taps.len() - 1],
-            frame: vec![C32::ZERO; n],
+            plan,
+            tail: vec![0.0; m],
+            frames: SplitC32::new(),
+            spans: Vec::new(),
             ext: Vec::new(),
         }
     }
 
     /// Group delay in samples for the linear-phase designs in this module.
     pub fn delay(&self) -> usize {
-        (self.taps_len - 1) / 2
+        self.plan.delay()
     }
 
     /// Filters a block in place (streaming: history carries across calls).
+    ///
+    /// Frames are gathered [`BLOCK_FIR_BATCH`] at a time and pushed through
+    /// the plan's batched split-plane transforms; each frame still packs two
+    /// real blocks into the real/imaginary planes, so the SoA layout *is*
+    /// the two-blocks-per-transform packing with no interleave step.
     pub fn process(&mut self, buf: &mut [f32]) {
         if buf.is_empty() {
             return;
         }
-        let m = self.taps_len - 1;
-        let n = self.fft.len();
+        let m = self.plan.taps_len() - 1;
+        let n = self.plan.fft().len();
+        let block = self.plan.block();
         // ext = history ++ input; every FFT frame is a contiguous slice of it.
         self.ext.clear();
         self.ext.reserve(m + buf.len());
@@ -238,30 +244,39 @@ impl BlockFir {
         let total = buf.len();
         let mut p = 0usize;
         while p < total {
-            // Pack block A into the real part and block B (the next one)
-            // into the imaginary part: both convolve with the real taps in
-            // one transform pair.
-            let a_len = self.block.min(total - p);
-            let b_start = p + a_len;
-            let b_len = self.block.min(total.saturating_sub(b_start));
-            for (i, v) in self.frame.iter_mut().enumerate() {
-                let re = if i < m + a_len { self.ext[p + i] } else { 0.0 };
-                let im = if i < m + b_len { self.ext[b_start + i] } else { 0.0 };
-                *v = C32::new(re, im);
+            // Gather up to BLOCK_FIR_BATCH frames. Block A of each frame
+            // fills the real plane and block B (the next one) the imaginary
+            // plane: both convolve with the real taps in one transform pair.
+            self.spans.clear();
+            let mut q = p;
+            while q < total && self.spans.len() < BLOCK_FIR_BATCH {
+                let a_len = block.min(total - q);
+                let b_start = q + a_len;
+                let b_len = block.min(total.saturating_sub(b_start));
+                self.spans.push((q, a_len, b_start, b_len));
+                q = b_start + b_len;
             }
-            self.fft.forward(&mut self.frame);
-            for (v, h) in self.frame.iter_mut().zip(&self.spectrum) {
-                *v *= *h;
+            let nb = self.spans.len();
+            self.frames.resize(nb * n);
+            for (f, &(a0, a_len, b0, b_len)) in self.spans.iter().enumerate() {
+                let re = &mut self.frames.re[f * n..(f + 1) * n];
+                let im = &mut self.frames.im[f * n..(f + 1) * n];
+                for i in 0..n {
+                    re[i] = if i < m + a_len { self.ext[a0 + i] } else { 0.0 };
+                    im[i] = if i < m + b_len { self.ext[b0 + i] } else { 0.0 };
+                }
             }
-            self.fft.inverse(&mut self.frame);
-            debug_assert!(m + a_len.max(b_len) <= n);
-            for i in 0..a_len {
-                buf[p + i] = self.frame[m + i].re;
+            self.plan.fft().forward_batch(&mut self.frames);
+            self.plan.apply_spectrum(&mut self.frames);
+            self.plan.fft().inverse_batch(&mut self.frames);
+            for (f, &(a0, a_len, b0, b_len)) in self.spans.iter().enumerate() {
+                let re = &self.frames.re[f * n..(f + 1) * n];
+                let im = &self.frames.im[f * n..(f + 1) * n];
+                debug_assert!(m + a_len.max(b_len) <= n);
+                buf[a0..a0 + a_len].copy_from_slice(&re[m..m + a_len]);
+                buf[b0..b0 + b_len].copy_from_slice(&im[m..m + b_len]);
             }
-            for i in 0..b_len {
-                buf[b_start + i] = self.frame[m + i].im;
-            }
-            p = b_start + b_len;
+            p = q;
         }
         let e = self.ext.len();
         self.tail.copy_from_slice(&self.ext[e - m..]);
@@ -285,12 +300,13 @@ impl BlockFir {
 /// otherwise costs two full direct-form FIRs per sample).
 #[derive(Debug, Clone)]
 pub struct BlockFirC {
-    taps_len: usize,
-    fft: Fft,
-    spectrum: Vec<C32>,
-    block: usize,
+    /// Shared immutable plan: FFT + tap spectrum (see [`FirPlan`]).
+    plan: Arc<FirPlan>,
     tail: Vec<C32>,
-    frame: Vec<C32>,
+    /// Split-plane scratch for up to [`BLOCK_FIR_BATCH`] frames.
+    frames: SplitC32,
+    /// `(start, chunk)` for each gathered frame.
+    spans: Vec<(usize, usize)>,
     ext: Vec<C32>,
 }
 
@@ -300,26 +316,24 @@ impl BlockFirC {
     /// # Panics
     /// Panics if `taps` is empty.
     pub fn new(taps: &[f32]) -> Self {
-        assert!(!taps.is_empty(), "FIR needs at least one tap");
-        let n = overlap_save_fft_size(taps.len());
-        let fft = Fft::new(n);
-        let mut spectrum: Vec<C32> = taps.iter().map(|&t| C32::new(t, 0.0)).collect();
-        spectrum.resize(n, C32::ZERO);
-        fft.forward(&mut spectrum);
+        BlockFirC::with_plan(FirPlan::shared(taps))
+    }
+
+    /// Builds a stream over an existing shared plan (no re-planning).
+    pub fn with_plan(plan: Arc<FirPlan>) -> Self {
+        let m = plan.taps_len() - 1;
         BlockFirC {
-            taps_len: taps.len(),
-            fft,
-            spectrum,
-            block: n - taps.len() + 1,
-            tail: vec![C32::ZERO; taps.len() - 1],
-            frame: vec![C32::ZERO; n],
+            plan,
+            tail: vec![C32::ZERO; m],
+            frames: SplitC32::new(),
+            spans: Vec::new(),
             ext: Vec::new(),
         }
     }
 
     /// Group delay in samples for the linear-phase designs in this module.
     pub fn delay(&self) -> usize {
-        (self.taps_len - 1) / 2
+        self.plan.delay()
     }
 
     /// Filters a block in place (streaming: history carries across calls).
@@ -327,7 +341,9 @@ impl BlockFirC {
         if buf.is_empty() {
             return;
         }
-        let m = self.taps_len - 1;
+        let m = self.plan.taps_len() - 1;
+        let n = self.plan.fft().len();
+        let block = self.plan.block();
         self.ext.clear();
         self.ext.reserve(m + buf.len());
         self.ext.extend_from_slice(&self.tail);
@@ -335,17 +351,40 @@ impl BlockFirC {
         let total = buf.len();
         let mut p = 0usize;
         while p < total {
-            let chunk = self.block.min(total - p);
-            for (i, v) in self.frame.iter_mut().enumerate() {
-                *v = if i < m + chunk { self.ext[p + i] } else { C32::ZERO };
+            self.spans.clear();
+            let mut q = p;
+            while q < total && self.spans.len() < BLOCK_FIR_BATCH {
+                let chunk = block.min(total - q);
+                self.spans.push((q, chunk));
+                q += chunk;
             }
-            self.fft.forward(&mut self.frame);
-            for (v, h) in self.frame.iter_mut().zip(&self.spectrum) {
-                *v *= *h;
+            let nb = self.spans.len();
+            self.frames.resize(nb * n);
+            for (f, &(start, chunk)) in self.spans.iter().enumerate() {
+                let re = &mut self.frames.re[f * n..(f + 1) * n];
+                let im = &mut self.frames.im[f * n..(f + 1) * n];
+                for i in 0..n {
+                    if i < m + chunk {
+                        let v = self.ext[start + i];
+                        re[i] = v.re;
+                        im[i] = v.im;
+                    } else {
+                        re[i] = 0.0;
+                        im[i] = 0.0;
+                    }
+                }
             }
-            self.fft.inverse(&mut self.frame);
-            buf[p..p + chunk].copy_from_slice(&self.frame[m..m + chunk]);
-            p += chunk;
+            self.plan.fft().forward_batch(&mut self.frames);
+            self.plan.apply_spectrum(&mut self.frames);
+            self.plan.fft().inverse_batch(&mut self.frames);
+            for (f, &(start, chunk)) in self.spans.iter().enumerate() {
+                let re = &self.frames.re[f * n..(f + 1) * n];
+                let im = &self.frames.im[f * n..(f + 1) * n];
+                for i in 0..chunk {
+                    buf[start + i] = C32::new(re[m + i], im[m + i]);
+                }
+            }
+            p = q;
         }
         let e = self.ext.len();
         self.tail.copy_from_slice(&self.ext[e - m..]);
@@ -361,6 +400,131 @@ impl BlockFirC {
     /// Resets the history to silence.
     pub fn reset(&mut self) {
         self.tail.fill(C32::ZERO);
+    }
+}
+
+/// Multi-band FFT overlap-save: one real signal filtered through several
+/// equal-shape [`FirPlan`]s with the forward transforms shared.
+///
+/// Every frame (two real blocks packed into the complex planes, exactly as
+/// [`BlockFir`] packs them) is forward-transformed **once**, then multiplied
+/// by each band's tap spectrum and inverse-transformed per band — `B` bands
+/// cost `1 + B` transforms per frame instead of `2B`. The per-band
+/// arithmetic (frame gathering, spectrum multiply, inverse, scatter) is the
+/// same as a fresh [`BlockFir`] over the same plan, so each band's output is
+/// bit-identical to filtering it separately. The receive-side MPX
+/// decomposer — mono, pilot, and RDS band-selects over one composite — is
+/// the shape this exists for.
+#[derive(Debug, Clone)]
+pub struct FirBank {
+    plans: Vec<Arc<FirPlan>>,
+    /// Shared forward spectra for up to [`BLOCK_FIR_BATCH`] frames.
+    frames: SplitC32,
+    /// Per-band working copy of the spectra.
+    band: SplitC32,
+    /// `(a_start, a_len, b_start, b_len)` for each gathered frame.
+    spans: Vec<(usize, usize, usize, usize)>,
+    ext: Vec<f32>,
+}
+
+impl FirBank {
+    /// Builds a bank over shared plans.
+    ///
+    /// # Panics
+    /// Panics if `plans` is empty or the plans disagree on FFT size or tap
+    /// count (the bank shares one forward transform, so every band must
+    /// gather identical frames).
+    pub fn new(plans: Vec<Arc<FirPlan>>) -> Self {
+        assert!(!plans.is_empty(), "FirBank needs at least one band");
+        let n = plans[0].fft().len();
+        let t = plans[0].taps_len();
+        for p in &plans {
+            assert!(
+                p.fft().len() == n && p.taps_len() == t,
+                "all bank plans must share FFT size and tap count"
+            );
+        }
+        FirBank {
+            plans,
+            frames: SplitC32::new(),
+            band: SplitC32::new(),
+            spans: Vec::with_capacity(BLOCK_FIR_BATCH),
+            ext: Vec::new(),
+        }
+    }
+
+    /// Number of bands in the bank.
+    pub fn bands(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Filters `input` through every band in one pass, appending band `b`'s
+    /// output (`input.len()` samples, starting from silence like a fresh
+    /// [`BlockFir`]) to `outputs[b]`.
+    ///
+    /// # Panics
+    /// Panics if `outputs.len() != self.bands()`.
+    pub fn process_into(&mut self, input: &[f32], outputs: &mut [Vec<f32>]) {
+        assert_eq!(outputs.len(), self.plans.len(), "one output per band");
+        let mut starts = [0usize; 8];
+        assert!(outputs.len() <= starts.len(), "bank limited to 8 bands");
+        for (s, out) in starts.iter_mut().zip(outputs.iter_mut()) {
+            *s = out.len();
+            out.resize(*s + input.len(), 0.0);
+        }
+        if input.is_empty() {
+            return;
+        }
+        let m = self.plans[0].taps_len() - 1;
+        let n = self.plans[0].fft().len();
+        let block = self.plans[0].block();
+        // ext = zero history ++ input; every frame is a contiguous slice.
+        self.ext.resize(m + input.len(), 0.0);
+        self.ext[..m].fill(0.0);
+        self.ext[m..].copy_from_slice(input);
+        let total = input.len();
+        let mut p = 0usize;
+        while p < total {
+            self.spans.clear();
+            let mut q = p;
+            while q < total && self.spans.len() < BLOCK_FIR_BATCH {
+                let a_len = block.min(total - q);
+                let b_start = q + a_len;
+                let b_len = block.min(total.saturating_sub(b_start));
+                // `spans` was built with capacity BLOCK_FIR_BATCH and the
+                // loop guard caps len below it, so this push never allocates.
+                // lint: allow(no-alloc)
+                self.spans.push((q, a_len, b_start, b_len));
+                q = b_start + b_len;
+            }
+            let nb = self.spans.len();
+            self.frames.resize(nb * n);
+            for (f, &(a0, a_len, b0, b_len)) in self.spans.iter().enumerate() {
+                let re = &mut self.frames.re[f * n..(f + 1) * n];
+                let im = &mut self.frames.im[f * n..(f + 1) * n];
+                for i in 0..n {
+                    re[i] = if i < m + a_len { self.ext[a0 + i] } else { 0.0 };
+                    im[i] = if i < m + b_len { self.ext[b0 + i] } else { 0.0 };
+                }
+            }
+            // One forward sweep shared by every band.
+            self.plans[0].fft().forward_batch(&mut self.frames);
+            for (bi, plan) in self.plans.iter().enumerate() {
+                self.band.resize(nb * n);
+                self.band.re.copy_from_slice(&self.frames.re[..nb * n]);
+                self.band.im.copy_from_slice(&self.frames.im[..nb * n]);
+                plan.apply_spectrum(&mut self.band);
+                plan.fft().inverse_batch(&mut self.band);
+                let out = &mut outputs[bi][starts[bi]..];
+                for (f, &(a0, a_len, b0, b_len)) in self.spans.iter().enumerate() {
+                    let re = &self.band.re[f * n..(f + 1) * n];
+                    let im = &self.band.im[f * n..(f + 1) * n];
+                    out[a0..a0 + a_len].copy_from_slice(&re[m..m + a_len]);
+                    out[b0..b0 + b_len].copy_from_slice(&im[m..m + b_len]);
+                }
+            }
+            p = q;
+        }
     }
 }
 
@@ -420,14 +584,24 @@ impl Decimator {
         self.ext.extend_from_slice(&self.tail);
         self.ext.extend_from_slice(input);
         // Kept positions are input indices phase, phase+factor, …
+        let kept = if self.phase < input.len() {
+            (input.len() - self.phase).div_ceil(self.factor)
+        } else {
+            0
+        };
+        let start = out.len();
+        out.resize(start + kept, 0.0);
+        let o = &mut out[start..];
         let mut i = self.phase;
+        let mut j = 0usize;
         while i < input.len() {
             let window = &self.ext[i..i + n];
             let mut acc = 0.0f32;
             for (&t, &x) in self.taps.iter().zip(window.iter().rev()) {
                 acc += t * x;
             }
-            out.push(acc);
+            o[j] = acc;
+            j += 1;
             i += self.factor;
         }
         self.phase = i - input.len();
@@ -466,10 +640,19 @@ impl Interpolator {
 
     /// Processes a block, appending `input.len() * factor` samples to `out`.
     pub fn process_into(&mut self, input: &[f32], out: &mut Vec<f32>) {
-        for &x in input {
-            out.push(self.fir.push(x));
-            for _ in 1..self.factor {
-                out.push(self.fir.push(0.0));
+        let start = out.len();
+        out.resize(start + input.len() * self.factor, 0.0);
+        let o = &mut out[start..];
+        // Same `fir.push` call order as the original append loop, so the
+        // streamed filter state (and output) is unchanged. `Fir::push`
+        // streams one sample through the fixed-size delay line — it never
+        // allocates — but R1's token matcher cannot tell it from `Vec::push`.
+        for (j, &x) in input.iter().enumerate() {
+            // lint: allow(no-alloc)
+            o[j * self.factor] = self.fir.push(x);
+            for k in 1..self.factor {
+                // lint: allow(no-alloc)
+                o[j * self.factor + k] = self.fir.push(0.0);
             }
         }
     }
@@ -622,6 +805,37 @@ mod tests {
             BlockFir::new(&taps).process(&mut got);
             for (i, (g, w)) in got.iter().zip(&want).enumerate() {
                 assert!((g - w).abs() < 1e-4, "taps {taps_len} sample {i}: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn fir_bank_is_bit_identical_to_per_band_block_fir() {
+        use crate::plan::FirPlan;
+        let designs = [
+            design_lowpass(257, 0.07),
+            design_bandpass(257, 0.15, 0.25),
+            design_bandpass(257, 0.38, 0.45),
+        ];
+        let plans: Vec<_> = designs.iter().map(|t| FirPlan::shared(t)).collect();
+        let block = plans[0].block();
+        // Empty, sub-block, exactly one block, odd multi-batch lengths.
+        for len in [0usize, 7, block, 8 * block + 123, 20_001] {
+            let sig = noise(len, len as u32 + 3);
+            let mut bank = FirBank::new(plans.clone());
+            let mut outs = vec![Vec::new(), Vec::new(), Vec::new()];
+            bank.process_into(&sig, &mut outs);
+            for (b, plan) in plans.iter().enumerate() {
+                let mut want = sig.clone();
+                BlockFir::with_plan(Arc::clone(plan)).process(&mut want);
+                assert_eq!(outs[b].len(), want.len(), "len {len} band {b}");
+                for (i, (g, w)) in outs[b].iter().zip(&want).enumerate() {
+                    assert_eq!(
+                        g.to_bits(),
+                        w.to_bits(),
+                        "len {len} band {b} sample {i}: {g} vs {w}"
+                    );
+                }
             }
         }
     }

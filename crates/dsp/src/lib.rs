@@ -19,8 +19,14 @@
 //! * [`goertzel`] — single-bin DFT power detector (used by the FSK modem).
 //! * [`agc`] — simple feed-forward automatic gain control.
 //! * [`measure`] — power, RMS, dB conversions and SNR estimation helpers.
+//! * [`split`] — structure-of-arrays complex buffers ([`split::SplitC32`]).
+//! * [`simd`] — runtime-dispatched SIMD kernels with scalar twins.
+//! * [`plan`] — planned transforms ([`plan::FftPlan`], [`plan::FirPlan`]).
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied everywhere except the `simd` kernel module, which opts
+// back in item-by-item; every unsafe block there carries a `// SAFETY:`
+// comment (enforced by sonic-lint R6).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 // Decode paths must degrade, not die: unwrap is a typed-error escape hatch
 // we only permit in tests.
@@ -34,8 +40,14 @@ pub mod goertzel;
 pub mod iir;
 pub mod measure;
 pub mod osc;
+pub mod plan;
 pub mod resample;
+#[allow(unsafe_code)]
+pub mod simd;
+pub mod split;
 pub mod window;
 
 pub use complex::C32;
 pub use fft::{Fft, RealFft};
+pub use plan::{FftPlan, FirPlan};
+pub use split::SplitC32;

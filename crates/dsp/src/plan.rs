@@ -1,0 +1,373 @@
+//! Planned transforms over structure-of-arrays buffers.
+//!
+//! [`FftPlan`] is the split-plane (SoA) counterpart of [`crate::fft::Fft`]:
+//! the bit-reversal permutation and **per-stage contiguous twiddle tables**
+//! are computed once, and every butterfly stage runs through the
+//! runtime-dispatched [`crate::simd::butterfly_radix2`] kernel. Twiddles are
+//! evaluated with the same `f64` angles as `Fft`, and the kernel's scalar
+//! twin performs the same arithmetic as the interleaved butterflies, so the
+//! scalar path is bit-identical to `Fft` — SIMD dispatch is bit-identical to
+//! the scalar path by kernel construction.
+//!
+//! [`FirPlan`] is the shareable, immutable half of an overlap-save FIR: the
+//! FFT plan plus the tap spectrum. Streaming state (history tails, frame
+//! scratch) lives in `fir::BlockFir`/`fir::BlockFirC`, so one plan can be
+//! cloned behind an `Arc` across many receivers — the shape needed to
+//! demodulate many simulated receivers per tick without re-planning.
+
+use crate::complex::C32;
+use crate::simd;
+use crate::split::SplitC32;
+use std::sync::Arc;
+
+/// A reusable split-plane FFT plan for a fixed power-of-two size.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// Bit-reversal permutation indices.
+    rev: Vec<u32>,
+    /// Per-stage contiguous forward twiddles; stage `s` (block length
+    /// `2^{s+1}`) occupies `stage_off[s] .. stage_off[s] + 2^s`.
+    fwd_re: Vec<f32>,
+    fwd_im: Vec<f32>,
+    /// Conjugated twiddles for the inverse transform.
+    inv_re: Vec<f32>,
+    inv_im: Vec<f32>,
+    stage_off: Vec<usize>,
+}
+
+impl FftPlan {
+    /// Builds a plan for an `n`-point transform.
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two or is smaller than 2.
+    pub fn new(n: usize) -> Self {
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "FFT size must be a power of two >= 2, got {n}"
+        );
+        let bits = n.trailing_zeros();
+        let rev = (0..n as u32).map(|i| i.reverse_bits() >> (32 - bits)).collect();
+        let mut fwd_re = Vec::with_capacity(n - 1);
+        let mut fwd_im = Vec::with_capacity(n - 1);
+        let mut stage_off = Vec::with_capacity(bits as usize);
+        let mut len = 2usize;
+        while len <= n {
+            stage_off.push(fwd_re.len());
+            for k in 0..len / 2 {
+                // Same f64 angle as `Fft`'s table (k·stride/n == k/len as
+                // exact rationals, so the rounded quotients agree).
+                let theta = -2.0 * std::f64::consts::PI * k as f64 / len as f64;
+                let w = C32::from_angle(theta);
+                fwd_re.push(w.re);
+                fwd_im.push(w.im);
+            }
+            len <<= 1;
+        }
+        let inv_re = fwd_re.clone();
+        let inv_im = fwd_im.iter().map(|v| -v).collect();
+        FftPlan {
+            n,
+            rev,
+            fwd_re,
+            fwd_im,
+            inv_re,
+            inv_im,
+            stage_off,
+        }
+    }
+
+    /// Transform size.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false; plans are at least 2 points. Present for API symmetry.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    fn permute(&self, re: &mut [f32], im: &mut [f32]) {
+        for i in 0..self.n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                re.swap(i, j);
+                im.swap(i, j);
+            }
+        }
+    }
+
+    fn butterflies(&self, re: &mut [f32], im: &mut [f32], inverse: bool) {
+        let n = self.n;
+        let (tw_re, tw_im) = if inverse {
+            (&self.inv_re, &self.inv_im)
+        } else {
+            (&self.fwd_re, &self.fwd_im)
+        };
+        let mut len = 2usize;
+        let mut s = 0usize;
+        while len <= n {
+            let half = len / 2;
+            let off = self.stage_off[s];
+            let (wr, wi) = (&tw_re[off..off + half], &tw_im[off..off + half]);
+            for start in (0..n).step_by(len) {
+                let (a_re, b_re) = re[start..start + len].split_at_mut(half);
+                let (a_im, b_im) = im[start..start + len].split_at_mut(half);
+                if half >= 8 {
+                    simd::butterfly_radix2(a_re, a_im, b_re, b_im, wr, wi);
+                } else {
+                    // Short spans: skip per-call dispatch, same arithmetic.
+                    simd::butterfly_radix2_reference(a_re, a_im, b_re, b_im, wr, wi);
+                }
+            }
+            len <<= 1;
+            s += 1;
+        }
+    }
+
+    /// In-place forward DFT on split planes (no scaling). Bit-identical to
+    /// [`crate::fft::Fft::forward`] on the same samples.
+    ///
+    /// # Panics
+    /// Panics if the planes are not exactly `len()` samples.
+    pub fn forward_split(&self, re: &mut [f32], im: &mut [f32]) {
+        assert!(
+            re.len() == self.n && im.len() == self.n,
+            "plane length must equal FFT size"
+        );
+        self.permute(re, im);
+        self.butterflies(re, im, false);
+    }
+
+    /// In-place inverse DFT on split planes, scaled by `1/n`.
+    ///
+    /// Always radix-2 (unlike [`crate::fft::Fft::inverse`], which merges
+    /// stages radix-4 on power-of-4 sizes); differs from it only by float
+    /// rounding.
+    ///
+    /// # Panics
+    /// Panics if the planes are not exactly `len()` samples.
+    pub fn inverse_split(&self, re: &mut [f32], im: &mut [f32]) {
+        assert!(
+            re.len() == self.n && im.len() == self.n,
+            "plane length must equal FFT size"
+        );
+        self.permute(re, im);
+        self.butterflies(re, im, true);
+        let k = 1.0 / self.n as f32;
+        for v in re.iter_mut() {
+            *v *= k;
+        }
+        for v in im.iter_mut() {
+            *v *= k;
+        }
+    }
+
+    /// Forward-transforms `buf` as a batch of concatenated `len()`-point
+    /// transforms — the one-operation shape for demodulating many receivers
+    /// (or overlap-save frames) per tick.
+    ///
+    /// # Panics
+    /// Panics if `buf.len()` is not a multiple of `len()`.
+    pub fn forward_batch(&self, buf: &mut SplitC32) {
+        assert!(
+            buf.len().is_multiple_of(self.n),
+            "batch length must be a multiple of the FFT size"
+        );
+        for start in (0..buf.len()).step_by(self.n) {
+            let (re, im) = (&mut buf.re[start..start + self.n], &mut buf.im[start..start + self.n]);
+            self.permute(re, im);
+            self.butterflies(re, im, false);
+        }
+    }
+
+    /// Inverse-transforms `buf` as a batch of concatenated `len()`-point
+    /// transforms, each scaled by `1/n`.
+    ///
+    /// # Panics
+    /// Panics if `buf.len()` is not a multiple of `len()`.
+    pub fn inverse_batch(&self, buf: &mut SplitC32) {
+        assert!(
+            buf.len().is_multiple_of(self.n),
+            "batch length must be a multiple of the FFT size"
+        );
+        for start in (0..buf.len()).step_by(self.n) {
+            let (re, im) = (&mut buf.re[start..start + self.n], &mut buf.im[start..start + self.n]);
+            self.inverse_split(re, im);
+        }
+    }
+}
+
+/// Tap count at and above which overlap-save beats the direct form on
+/// typical hosts (re-exported alongside the plan for callers that choose).
+pub use crate::fir::BLOCK_FIR_MIN_TAPS;
+
+/// The immutable, shareable half of an overlap-save FIR: FFT plan + tap
+/// spectrum. Wrap it in an [`Arc`] and hand clones to any number of
+/// `BlockFir`/`BlockFirC` streams — planning (twiddles, tap FFT) happens
+/// once per filter design instead of once per receiver.
+#[derive(Debug, Clone)]
+pub struct FirPlan {
+    taps_len: usize,
+    fft: FftPlan,
+    /// FFT of the zero-padded taps, split planes.
+    spec: SplitC32,
+    /// New samples consumed per FFT frame (`fft − taps + 1`).
+    block: usize,
+}
+
+impl FirPlan {
+    /// Plans an overlap-save engine for a coefficient vector.
+    ///
+    /// # Panics
+    /// Panics if `taps` is empty.
+    pub fn new(taps: &[f32]) -> Self {
+        assert!(!taps.is_empty(), "FIR needs at least one tap");
+        let n = crate::fir::overlap_save_fft_size(taps.len());
+        let fft = FftPlan::new(n);
+        let mut spec = SplitC32::zeroed(n);
+        spec.re[..taps.len()].copy_from_slice(taps);
+        fft.forward_split(&mut spec.re, &mut spec.im);
+        FirPlan {
+            taps_len: taps.len(),
+            fft,
+            spec,
+            block: n - taps.len() + 1,
+        }
+    }
+
+    /// Convenience: a plan already wrapped for sharing.
+    pub fn shared(taps: &[f32]) -> Arc<Self> {
+        Arc::new(FirPlan::new(taps))
+    }
+
+    /// Number of taps the plan was built for.
+    #[inline]
+    pub fn taps_len(&self) -> usize {
+        self.taps_len
+    }
+
+    /// New samples consumed per FFT frame.
+    #[inline]
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// The FFT plan (frame size = `fft().len()`).
+    #[inline]
+    pub fn fft(&self) -> &FftPlan {
+        &self.fft
+    }
+
+    /// Group delay in samples for the linear-phase designs in `fir`.
+    #[inline]
+    pub fn delay(&self) -> usize {
+        (self.taps_len - 1) / 2
+    }
+
+    /// Multiplies a batch of transformed frames by the tap spectrum in
+    /// place (`frames.len()` must be a multiple of the frame size).
+    pub fn apply_spectrum(&self, frames: &mut SplitC32) {
+        let n = self.fft.len();
+        assert!(frames.len().is_multiple_of(n), "frame batch length mismatch");
+        for start in (0..frames.len()).step_by(n) {
+            simd::cmul_in_place(
+                &mut frames.re[start..start + n],
+                &mut frames.im[start..start + n],
+                &self.spec.re,
+                &self.spec.im,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::Fft;
+
+    fn cnoise(n: usize, seed: u32) -> Vec<C32> {
+        let mut x = seed | 1;
+        let mut f = || {
+            x = x.wrapping_mul(1103515245).wrapping_add(12345);
+            ((x >> 16) as f32 / 32768.0) - 1.0
+        };
+        (0..n).map(|_| C32::new(f(), f())).collect()
+    }
+
+    #[test]
+    fn forward_split_is_bit_identical_to_fft_forward() {
+        for n in [2usize, 8, 32, 512, 1024, 2048] {
+            let x = cnoise(n, n as u32 + 1);
+            let mut want = x.clone();
+            Fft::new(n).forward(&mut want);
+            let mut s = SplitC32::from_interleaved(&x);
+            FftPlan::new(n).forward_split(&mut s.re, &mut s.im);
+            for (i, w) in want.iter().enumerate() {
+                assert_eq!(s.re[i].to_bits(), w.re.to_bits(), "n={n} re[{i}]");
+                assert_eq!(s.im[i].to_bits(), w.im.to_bits(), "n={n} im[{i}]");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_split_roundtrips_within_1e5_rms() {
+        for n in [16usize, 256, 1024, 2048] {
+            let x = cnoise(n, 7 * n as u32 + 3);
+            let mut s = SplitC32::from_interleaved(&x);
+            let plan = FftPlan::new(n);
+            plan.forward_split(&mut s.re, &mut s.im);
+            plan.inverse_split(&mut s.re, &mut s.im);
+            let mut err = 0.0f64;
+            let mut pwr = 0.0f64;
+            for (i, v) in x.iter().enumerate() {
+                err += ((s.re[i] - v.re) as f64).powi(2) + ((s.im[i] - v.im) as f64).powi(2);
+                pwr += (v.re as f64).powi(2) + (v.im as f64).powi(2);
+            }
+            assert!((err / pwr).sqrt() < 1e-5, "n={n} rms {}", (err / pwr).sqrt());
+        }
+    }
+
+    #[test]
+    fn batch_matches_per_transform_loop() {
+        let n = 64;
+        let count = 5;
+        let plan = FftPlan::new(n);
+        let x = cnoise(n * count, 99);
+        let mut batch = SplitC32::from_interleaved(&x);
+        plan.forward_batch(&mut batch);
+        plan.inverse_batch(&mut batch);
+        for (t, chunk) in x.chunks(n).enumerate() {
+            let mut one = SplitC32::from_interleaved(chunk);
+            plan.forward_split(&mut one.re, &mut one.im);
+            plan.inverse_split(&mut one.re, &mut one.im);
+            for i in 0..n {
+                assert_eq!(batch.re[t * n + i].to_bits(), one.re[i].to_bits(), "t={t} i={i}");
+                assert_eq!(batch.im[t * n + i].to_bits(), one.im[i].to_bits(), "t={t} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fir_plan_spectrum_matches_fft_of_padded_taps() {
+        let taps: Vec<f32> = (0..101).map(|i| ((i as f32) * 0.1).sin()).collect();
+        let plan = FirPlan::new(&taps);
+        assert_eq!(plan.taps_len(), 101);
+        assert_eq!(plan.delay(), 50);
+        let n = plan.fft().len();
+        assert_eq!(plan.block(), n - 101 + 1);
+        let mut want: Vec<C32> = taps.iter().map(|&t| C32::new(t, 0.0)).collect();
+        want.resize(n, C32::ZERO);
+        Fft::new(n).forward(&mut want);
+        let mut frames = SplitC32::zeroed(n);
+        frames.re[0] = 1.0; // impulse: output = spectrum
+        plan.fft().forward_split(&mut frames.re, &mut frames.im);
+        plan.apply_spectrum(&mut frames);
+        for (i, w) in want.iter().enumerate() {
+            assert!((frames.re[i] - w.re).abs() < 1e-5, "re[{i}]");
+            assert!((frames.im[i] - w.im).abs() < 1e-5, "im[{i}]");
+        }
+    }
+}

@@ -5,6 +5,7 @@
 //! windowed-sinc polyphase kernel.
 
 use crate::fir::design_lowpass;
+use crate::simd;
 
 /// Greatest common divisor (Euclid).
 fn gcd(mut a: usize, mut b: usize) -> usize {
@@ -23,10 +24,16 @@ pub struct Resampler {
     up: usize,
     /// Downsampling factor M.
     down: usize,
-    /// Polyphase filter bank: `phases[p][k]` is tap `k` of phase `p`.
+    /// Polyphase filter bank, stored oldest-sample-first so each output is a
+    /// forward dot product against a contiguous input window:
+    /// `phases[p][k]` multiplies the window sample `taps_per_phase − 1 − k`
+    /// steps behind the newest.
     phases: Vec<Vec<f32>>,
-    /// Input history (most recent last), length = taps per phase.
-    history: Vec<f32>,
+    /// Last `taps_per_phase − 1` input samples (oldest first), carried
+    /// between blocks.
+    tail: Vec<f32>,
+    /// Linearized window scratch: `tail ++ input` for the current block.
+    ext: Vec<f32>,
     /// Output phase accumulator.
     phase: usize,
 }
@@ -57,13 +64,16 @@ impl Resampler {
         }
         let mut phases = vec![vec![0.0f32; taps_per_phase]; up];
         for (i, &c) in proto.iter().enumerate() {
-            phases[i % up][i / up] = c;
+            // Reversed tap order (oldest-first) so `process_into` reads each
+            // window as one contiguous forward slice.
+            phases[i % up][taps_per_phase - 1 - i / up] = c;
         }
         Resampler {
             up,
             down,
             phases,
-            history: vec![0.0; taps_per_phase],
+            tail: vec![0.0; taps_per_phase - 1],
+            ext: Vec::new(),
             phase: 0,
         }
     }
@@ -75,26 +85,45 @@ impl Resampler {
 
     /// Resamples a block, appending outputs to `out`.
     pub fn process_into(&mut self, input: &[f32], out: &mut Vec<f32>) {
-        for &x in input {
-            self.history.rotate_left(1);
-            *self.history.last_mut().expect("history non-empty") = x;
+        // Walk the phase accumulator once up front so the output region can
+        // be sized exactly — no amortized growth in the streaming path.
+        let mut count = 0usize;
+        let mut ph = self.phase;
+        for _ in 0..input.len() {
+            while ph < self.up {
+                count += 1;
+                ph += self.down;
+            }
+            ph -= self.up;
+        }
+        let start = out.len();
+        out.resize(start + count, 0.0);
+        if input.is_empty() {
+            return;
+        }
+        let o = &mut out[start..];
+        // Linearize the delay line once per block instead of rotating a
+        // history buffer per sample: with `ext = tail ++ input`, the window
+        // ending at `input[i]` is the contiguous slice `ext[i..i + T]`
+        // (oldest first), matching the reversed tap order built in `new`.
+        let m = self.tail.len();
+        let t = m + 1;
+        self.ext.resize(m + input.len(), 0.0);
+        self.ext[..m].copy_from_slice(&self.tail);
+        self.ext[m..].copy_from_slice(input);
+        let mut j = 0usize;
+        for i in 0..input.len() {
             // Each input advances the virtual upsampled clock by `up` ticks;
             // outputs fire every `down` ticks.
             while self.phase < self.up {
-                let taps = &self.phases[self.phase];
-                let mut acc = 0.0f32;
-                // history is oldest-first; taps are applied newest-first.
-                for (k, &t) in taps.iter().enumerate() {
-                    acc += t * self.history[self.history.len() - 1 - k.min(self.history.len() - 1)];
-                }
-                // The line above would repeatedly read index 0 when k exceeds
-                // history, which cannot happen because taps_per_phase ==
-                // history.len(); the `min` just guards the invariant.
-                out.push(acc);
+                o[j] = simd::dot(&self.phases[self.phase], &self.ext[i..i + t]);
+                j += 1;
                 self.phase += self.down;
             }
             self.phase -= self.up;
         }
+        // The last T − 1 samples of this block seed the next window.
+        self.tail.copy_from_slice(&self.ext[self.ext.len() - m..]);
     }
 }
 

@@ -3,7 +3,9 @@
 use proptest::prelude::*;
 use sonic_dsp::fft::Fft;
 use sonic_dsp::fir::{design_lowpass, BlockFir, Fir};
+use sonic_dsp::plan::FftPlan;
 use sonic_dsp::resample::Resampler;
+use sonic_dsp::simd;
 use sonic_dsp::window::{generate, Window};
 use sonic_dsp::C32;
 
@@ -154,6 +156,101 @@ proptest! {
             (out.len() as f64 - expect).abs() <= expect * 0.02 + 8.0,
             "{} vs {}", out.len(), expect
         );
+    }
+
+    /// The dispatched FIR MAC kernel is bit-identical to its scalar twin on
+    /// random taps, random (including zero) output lengths, and unaligned
+    /// window offsets.
+    #[test]
+    fn simd_fir_mac_matches_reference_bit_exactly(
+        n_taps in 1usize..64,
+        n in 0usize..300,
+        offset in 0usize..8,
+        seed in any::<u32>(),
+    ) {
+        let mut x = seed | 1;
+        let mut rnd = move || {
+            x = x.wrapping_mul(1103515245).wrapping_add(12345);
+            ((x >> 16) as f32 / 32768.0) - 1.0
+        };
+        let taps: Vec<f32> = (0..n_taps).map(|_| rnd()).collect();
+        let window: Vec<f32> = (0..offset + n + n_taps - 1).map(|_| rnd()).collect();
+        let view = &window[offset..];
+        let mut fast = vec![0.0f32; n];
+        let mut reference = vec![0.0f32; n];
+        simd::fir_mac(&taps, view, &mut fast);
+        simd::fir_mac_reference(&taps, view, &mut reference);
+        for (i, (f, r)) in fast.iter().zip(&reference).enumerate() {
+            prop_assert_eq!(f.to_bits(), r.to_bits(), "sample {}: {} vs {}", i, f, r);
+        }
+    }
+
+    /// The discriminator kernels (`x·conj(y)` product and scaled atan2) are
+    /// bit-identical to their scalar twins on random odd lengths and
+    /// unaligned slice starts.
+    #[test]
+    fn simd_discriminator_kernels_match_reference_bit_exactly(
+        n in 0usize..300,
+        offset in 0usize..4,
+        scale in 0.1f32..10.0,
+        seed in any::<u32>(),
+    ) {
+        let mut x = seed | 1;
+        let mut rnd = move || {
+            x = x.wrapping_mul(1103515245).wrapping_add(12345);
+            ((x >> 16) as f32 / 32768.0) - 1.0
+        };
+        let a: Vec<C32> = (0..offset + n).map(|_| C32::new(rnd(), rnd())).collect();
+        let b: Vec<C32> = (0..offset + n).map(|_| C32::new(rnd(), rnd())).collect();
+        let (a, b) = (&a[offset..], &b[offset..]);
+        let (mut re_f, mut im_f) = (vec![0.0f32; n], vec![0.0f32; n]);
+        let (mut re_r, mut im_r) = (vec![0.0f32; n], vec![0.0f32; n]);
+        simd::mul_conj_split(a, b, &mut re_f, &mut im_f);
+        simd::mul_conj_split_reference(a, b, &mut re_r, &mut im_r);
+        for i in 0..n {
+            prop_assert_eq!(re_f[i].to_bits(), re_r[i].to_bits(), "re[{}]", i);
+            prop_assert_eq!(im_f[i].to_bits(), im_r[i].to_bits(), "im[{}]", i);
+        }
+        let mut ang_f = vec![0.0f32; n];
+        let mut ang_r = vec![0.0f32; n];
+        simd::atan2_scale(&im_f, &re_f, scale, &mut ang_f);
+        simd::atan2_scale_reference(&im_r, &re_r, scale, &mut ang_r);
+        for i in 0..n {
+            prop_assert_eq!(ang_f[i].to_bits(), ang_r[i].to_bits(), "angle[{}]", i);
+        }
+    }
+
+    /// The planned split-plane forward FFT is bit-identical to the
+    /// interleaved `Fft::forward`, and the planned round trip
+    /// (forward ∘ inverse) recovers the input within 1e-5 RMS.
+    #[test]
+    fn fft_plan_split_matches_fft(log_n in 1u32..11, seed in any::<u32>()) {
+        let n = 1usize << log_n;
+        let mut x = seed | 1;
+        let mut rnd = move || {
+            x = x.wrapping_mul(1103515245).wrapping_add(12345);
+            ((x >> 16) as f32 / 32768.0) - 1.0
+        };
+        let orig: Vec<C32> = (0..n).map(|_| C32::new(rnd(), rnd())).collect();
+        let mut interleaved = orig.clone();
+        Fft::new(n).forward(&mut interleaved);
+        let plan = FftPlan::new(n);
+        let mut re: Vec<f32> = orig.iter().map(|v| v.re).collect();
+        let mut im: Vec<f32> = orig.iter().map(|v| v.im).collect();
+        plan.forward_split(&mut re, &mut im);
+        for i in 0..n {
+            prop_assert_eq!(re[i].to_bits(), interleaved[i].re.to_bits(), "re[{}]", i);
+            prop_assert_eq!(im[i].to_bits(), interleaved[i].im.to_bits(), "im[{}]", i);
+        }
+        plan.inverse_split(&mut re, &mut im);
+        let err: f64 = (0..n)
+            .map(|i| {
+                let d = C32::new(re[i] - orig[i].re, im[i] - orig[i].im);
+                d.norm_sq() as f64
+            })
+            .sum::<f64>()
+            / n as f64;
+        prop_assert!(err.sqrt() <= 1e-5, "round-trip RMS {} at n = {}", err.sqrt(), n);
     }
 
     /// Windows are bounded in [0, 1] and symmetric.

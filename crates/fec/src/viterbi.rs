@@ -16,8 +16,17 @@
 //!   branch metric keeps the exact `(pm + (±s0)) + (±s1)` float association,
 //!   and the gather order (low predecessor first, strict `>` to switch)
 //!   reproduces the reference's first-wins tie-break.
+//!
+//! The per-step add-compare-select loop additionally dispatches to a SIMD
+//! kernel (AVX2 or NEON, selected once at runtime by `sonic_dsp::simd`) with
+//! a scalar twin, `acs_step_reference`, as its executable specification. The
+//! vector paths are bit-identical to the scalar twin: branch-metric signs are
+//! applied as exact `±1.0` multiplies, the `(pm + x) + y` association is kept
+//! with separate mul/add (no FMA), and the strict `>` compare-select maps to
+//! `cmp_gt` + `blend`. `SONIC_DSP_FORCE_SCALAR=1` forces the scalar twin.
 
 use crate::conv::{step, K, TAIL};
+use sonic_dsp::simd::{self, Backend};
 
 /// Number of trellis states (2^(K-1)).
 const STATES: usize = 1 << (K - 1);
@@ -66,6 +75,278 @@ fn combo_table() -> &'static [u8; 2 * STATES] {
         }
         t
     })
+}
+
+/// Per-predecessor branch-metric signs for the vectorized ACS kernel, one
+/// plane per (predecessor-edge, output-bit) combination.
+///
+/// `sx` planes hold `±1.0` applied to `s0`, `sy` planes to `s1`; `00/01`
+/// feed the even target state (predecessors `p`/`p + STATES/2`), `10/11`
+/// the odd one. `sign·s` is an exact IEEE-754 sign flip, so
+/// `(b + sx[p]·s0) + sy[p]·s1` produces the same floats as the scalar
+/// twin's `(b + xs[c>>1]) + ys[c&1]` table lookups.
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+struct AcsSigns {
+    sx00: [f32; STATES / 2],
+    sy00: [f32; STATES / 2],
+    sx01: [f32; STATES / 2],
+    sy01: [f32; STATES / 2],
+    sx10: [f32; STATES / 2],
+    sy10: [f32; STATES / 2],
+    sx11: [f32; STATES / 2],
+    sy11: [f32; STATES / 2],
+}
+
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+fn acs_signs() -> &'static AcsSigns {
+    use std::sync::OnceLock;
+    static SIGNS: OnceLock<AcsSigns> = OnceLock::new();
+    SIGNS.get_or_init(|| {
+        let combos = combo_table();
+        let mut t = AcsSigns {
+            sx00: [0.0; STATES / 2],
+            sy00: [0.0; STATES / 2],
+            sx01: [0.0; STATES / 2],
+            sy01: [0.0; STATES / 2],
+            sx10: [0.0; STATES / 2],
+            sy10: [0.0; STATES / 2],
+            sx11: [0.0; STATES / 2],
+            sy11: [0.0; STATES / 2],
+        };
+        let sign = |set: bool| if set { 1.0 } else { -1.0 };
+        for p in 0..STATES / 2 {
+            let c00 = combos[2 * p];
+            let c01 = combos[2 * p + STATES];
+            let c10 = combos[2 * p + 1];
+            let c11 = combos[2 * p + 1 + STATES];
+            t.sx00[p] = sign(c00 & 2 != 0);
+            t.sy00[p] = sign(c00 & 1 != 0);
+            t.sx01[p] = sign(c01 & 2 != 0);
+            t.sy01[p] = sign(c01 & 1 != 0);
+            t.sx10[p] = sign(c10 & 2 != 0);
+            t.sy10[p] = sign(c10 & 1 != 0);
+            t.sx11[p] = sign(c11 & 2 != 0);
+            t.sy11[p] = sign(c11 & 1 != 0);
+        }
+        t
+    })
+}
+
+/// Spreads the low 8 bits of `x` onto the even bit positions of a 16-bit
+/// field (Morton interleave), for merging two compare masks into the packed
+/// per-word decision bits.
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+fn spread8(x: u32) -> u64 {
+    let mut x = x as u64 & 0xFF;
+    x = (x | (x << 4)) & 0x0F0F;
+    x = (x | (x << 2)) & 0x3333;
+    x = (x | (x << 1)) & 0x5555;
+    x
+}
+
+/// One trellis step of gather-form add-compare-select, dispatching to the
+/// runtime-selected SIMD backend. Scalar twin: [`acs_step_reference`].
+fn acs_step(
+    cur: &[f32; STATES],
+    next: &mut [f32; STATES],
+    row: &mut [u64; WORDS],
+    s0: f32,
+    s1: f32,
+) {
+    match simd::backend() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the dispatcher only reports Avx2 after runtime detection
+        // confirmed the CPU supports it.
+        Backend::Avx2 => unsafe { acs_step_avx2(cur, next, row, s0, s1) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: the dispatcher only reports Neon after runtime detection
+        // confirmed the CPU supports it.
+        Backend::Neon => unsafe { acs_step_neon(cur, next, row, s0, s1) },
+        _ => acs_step_reference(cur, next, row, s0, s1),
+    }
+}
+
+/// Scalar twin of [`acs_step`]: butterfly over predecessor pairs. States
+/// `2p` and `2p+1` share the predecessors `p` and `p + STATES/2`, so each
+/// pair of path metrics is loaded once and feeds four branch metrics. No
+/// reachability gate is needed: [`NEG`] is so large that `(NEG + x) + y ==
+/// NEG` exactly in f32 for any sane soft value, so an unreachable
+/// predecessor loses every strict compare just as it does in the
+/// reference's gated scatter loop.
+fn acs_step_reference(
+    cur: &[f32; STATES],
+    next: &mut [f32; STATES],
+    row: &mut [u64; WORDS],
+    s0: f32,
+    s1: f32,
+) {
+    let combos = combo_table();
+    // The four branch metrics of this step, split into addends so the
+    // reference decoder's `(pm + x) + y` float association is preserved.
+    let xs = [-s0, s0];
+    let ys = [-s1, s1];
+    for (w, word) in row.iter_mut().enumerate() {
+        let mut bits = 0u64;
+        for i in 0..32 {
+            let p = w * 32 + i;
+            let b0 = cur[p];
+            let b1 = cur[p + STATES / 2];
+            let c00 = combos[2 * p] as usize;
+            let c01 = combos[2 * p + STATES] as usize;
+            let c10 = combos[2 * p + 1] as usize;
+            let c11 = combos[2 * p + 1 + STATES] as usize;
+            let m00 = (b0 + xs[c00 >> 1]) + ys[c00 & 1];
+            let m01 = (b1 + xs[c01 >> 1]) + ys[c01 & 1];
+            let m10 = (b0 + xs[c10 >> 1]) + ys[c10 & 1];
+            let m11 = (b1 + xs[c11 >> 1]) + ys[c11 & 1];
+            // Strict `>`: ties keep the low predecessor, matching the
+            // reference's first-wins scatter order (p0 < p1 is always
+            // visited first).
+            let sel0 = m01 > m00;
+            let sel1 = m11 > m10;
+            next[2 * p] = if sel0 { m01 } else { m00 };
+            next[2 * p + 1] = if sel1 { m11 } else { m10 };
+            bits |= ((sel0 as u64) | ((sel1 as u64) << 1)) << (2 * i);
+        }
+        *word = bits;
+    }
+}
+
+/// AVX2 ACS: 8 predecessor pairs per iteration. Bit-identical to
+/// [`acs_step_reference`]: separate mul/add keeps the `(b + x) + y`
+/// association, `_CMP_GT_OQ` matches strict `>` on the finite metrics, and
+/// `blendv` picks the second operand exactly where the compare set the mask.
+///
+/// # Safety
+/// Callers must ensure the CPU supports AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+// SAFETY: `unsafe fn` per target_feature; the body's pointer arithmetic is
+// justified at the inner block below.
+unsafe fn acs_step_avx2(
+    cur: &[f32; STATES],
+    next: &mut [f32; STATES],
+    row: &mut [u64; WORDS],
+    s0: f32,
+    s1: f32,
+) {
+    use std::arch::x86_64::*;
+    let signs = acs_signs();
+    // Bounds: every load reads 8 f32 at offset p or p + STATES/2 with
+    // p ≤ STATES/2 - 8 = 120 from arrays of length STATES (256) or
+    // STATES/2 (128); every store writes 8 f32 at offsets 2p and 2p + 8
+    // (≤ 248) into `next` of length 256.
+    // SAFETY: all pointer arithmetic stays in-bounds per the bounds note
+    // above; loadu/storeu require no alignment.
+    unsafe {
+        let s0v = _mm256_set1_ps(s0);
+        let s1v = _mm256_set1_ps(s1);
+        let cp = cur.as_ptr();
+        let np = next.as_mut_ptr();
+        let metric = |b: __m256, sx: *const f32, sy: *const f32| {
+            _mm256_add_ps(
+                _mm256_add_ps(b, _mm256_mul_ps(_mm256_loadu_ps(sx), s0v)),
+                _mm256_mul_ps(_mm256_loadu_ps(sy), s1v),
+            )
+        };
+        for (w, word) in row.iter_mut().enumerate() {
+            let mut bits = 0u64;
+            for c in 0..4 {
+                let p = w * 32 + c * 8;
+                let b0 = _mm256_loadu_ps(cp.add(p));
+                let b1 = _mm256_loadu_ps(cp.add(p + STATES / 2));
+                let m00 = metric(b0, signs.sx00.as_ptr().add(p), signs.sy00.as_ptr().add(p));
+                let m01 = metric(b1, signs.sx01.as_ptr().add(p), signs.sy01.as_ptr().add(p));
+                let m10 = metric(b0, signs.sx10.as_ptr().add(p), signs.sy10.as_ptr().add(p));
+                let m11 = metric(b1, signs.sx11.as_ptr().add(p), signs.sy11.as_ptr().add(p));
+                let sel0 = _mm256_cmp_ps::<_CMP_GT_OQ>(m01, m00);
+                let sel1 = _mm256_cmp_ps::<_CMP_GT_OQ>(m11, m10);
+                let n0 = _mm256_blendv_ps(m00, m01, sel0);
+                let n1 = _mm256_blendv_ps(m10, m11, sel1);
+                // Interleave the even/odd target-state metrics into
+                // next[2p..2p+16]: unpack interleaves within 128-bit lanes,
+                // the permutes stitch the lane halves back in order.
+                let lo = _mm256_unpacklo_ps(n0, n1);
+                let hi = _mm256_unpackhi_ps(n0, n1);
+                _mm256_storeu_ps(np.add(2 * p), _mm256_permute2f128_ps::<0x20>(lo, hi));
+                _mm256_storeu_ps(np.add(2 * p + 8), _mm256_permute2f128_ps::<0x31>(lo, hi));
+                let mask0 = _mm256_movemask_ps(sel0) as u32;
+                let mask1 = _mm256_movemask_ps(sel1) as u32;
+                bits |= (spread8(mask0) | (spread8(mask1) << 1)) << (16 * c);
+            }
+            *word = bits;
+        }
+    }
+}
+
+/// NEON ACS: 4 predecessor pairs per iteration; same bit-exactness argument
+/// as the AVX2 kernel (`vcgtq` is strict `>`, `vbslq` selects per-lane,
+/// `vst2q` interleaves the even/odd target-state metrics).
+///
+/// # Safety
+/// Callers must ensure the CPU supports NEON.
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+// SAFETY: `unsafe fn` per target_feature; the body's pointer arithmetic is
+// justified at the inner block below.
+unsafe fn acs_step_neon(
+    cur: &[f32; STATES],
+    next: &mut [f32; STATES],
+    row: &mut [u64; WORDS],
+    s0: f32,
+    s1: f32,
+) {
+    use std::arch::aarch64::*;
+    let signs = acs_signs();
+    // Bounds: every load reads 4 f32 at offset p or p + STATES/2 with
+    // p ≤ STATES/2 - 4 = 124 from arrays of length STATES (256) or
+    // STATES/2 (128); vst2q_f32 writes 8 f32 at offset 2p (≤ 248).
+    // SAFETY: all pointer arithmetic stays in-bounds per the bounds note
+    // above; NEON loads/stores require no alignment.
+    unsafe {
+        let s0v = vdupq_n_f32(s0);
+        let s1v = vdupq_n_f32(s1);
+        let cp = cur.as_ptr();
+        let np = next.as_mut_ptr();
+        for (w, word) in row.iter_mut().enumerate() {
+            let mut bits = 0u64;
+            for c in 0..8 {
+                let p = w * 32 + c * 4;
+                let b0 = vld1q_f32(cp.add(p));
+                let b1 = vld1q_f32(cp.add(p + STATES / 2));
+                let m00 = vaddq_f32(
+                    vaddq_f32(b0, vmulq_f32(vld1q_f32(signs.sx00.as_ptr().add(p)), s0v)),
+                    vmulq_f32(vld1q_f32(signs.sy00.as_ptr().add(p)), s1v),
+                );
+                let m01 = vaddq_f32(
+                    vaddq_f32(b1, vmulq_f32(vld1q_f32(signs.sx01.as_ptr().add(p)), s0v)),
+                    vmulq_f32(vld1q_f32(signs.sy01.as_ptr().add(p)), s1v),
+                );
+                let m10 = vaddq_f32(
+                    vaddq_f32(b0, vmulq_f32(vld1q_f32(signs.sx10.as_ptr().add(p)), s0v)),
+                    vmulq_f32(vld1q_f32(signs.sy10.as_ptr().add(p)), s1v),
+                );
+                let m11 = vaddq_f32(
+                    vaddq_f32(b1, vmulq_f32(vld1q_f32(signs.sx11.as_ptr().add(p)), s0v)),
+                    vmulq_f32(vld1q_f32(signs.sy11.as_ptr().add(p)), s1v),
+                );
+                let sel0 = vcgtq_f32(m01, m00);
+                let sel1 = vcgtq_f32(m11, m10);
+                let n0 = vbslq_f32(sel0, m01, m00);
+                let n1 = vbslq_f32(sel1, m11, m10);
+                vst2q_f32(np.add(2 * p), float32x4x2_t(n0, n1));
+                let mut mk0 = [0u32; 4];
+                let mut mk1 = [0u32; 4];
+                vst1q_u32(mk0.as_mut_ptr(), sel0);
+                vst1q_u32(mk1.as_mut_ptr(), sel1);
+                for l in 0..4 {
+                    let two = ((mk0[l] & 1) as u64) | (((mk1[l] & 1) as u64) << 1);
+                    bits |= two << (2 * (c * 4 + l));
+                }
+            }
+            *word = bits;
+        }
+    }
 }
 
 /// Reusable working memory for [`decode_soft_into`].
@@ -127,8 +408,6 @@ pub fn decode_soft_into(
         soft.len(),
         steps
     );
-    let combos = combo_table();
-
     scratch.pm.clear();
     scratch.pm.resize(STATES, NEG);
     scratch.pm[0] = 0.0;
@@ -144,13 +423,9 @@ pub fn decode_soft_into(
     for t in 0..steps {
         let s0 = soft[2 * t];
         let s1 = soft[2 * t + 1];
-        // The four branch metrics of this step, split into addends so the
-        // reference's `(pm + x) + y` float association is preserved.
-        let xs = [-s0, s0];
-        let ys = [-s1, s1];
-        // Fixed-size views keep the trellis indexing bounds-check free. Both
-        // vectors were resized to STATES above, so the conversions cannot
-        // fail; stay total anyway (an empty decode fails the outer CRC).
+        // Fixed-size views keep the trellis indexing bounds-check free. All
+        // three buffers were resized above, so the conversions cannot fail;
+        // stay total anyway (an empty decode fails the outer CRC).
         let Ok(cur) = <&[f32; STATES]>::try_from(pm.as_slice()) else {
             out.clear();
             return;
@@ -159,39 +434,13 @@ pub fn decode_soft_into(
             out.clear();
             return;
         };
-        let row = &mut scratch.decisions[t * WORDS..(t + 1) * WORDS];
-        // Butterfly over predecessor pairs: states 2p and 2p+1 share the
-        // predecessors p and p + STATES/2, so each pair of path metrics is
-        // loaded once and feeds four branch metrics. No reachability gate
-        // is needed: NEG is so large that `(NEG + x) + y == NEG` exactly in
-        // f32 for any sane soft value, so an unreachable predecessor loses
-        // every strict compare just as it does in the reference's gated
-        // scatter loop.
-        for (w, word) in row.iter_mut().enumerate() {
-            let mut bits = 0u64;
-            for i in 0..32 {
-                let p = w * 32 + i;
-                let b0 = cur[p];
-                let b1 = cur[p + STATES / 2];
-                let c00 = combos[2 * p] as usize;
-                let c01 = combos[2 * p + STATES] as usize;
-                let c10 = combos[2 * p + 1] as usize;
-                let c11 = combos[2 * p + 1 + STATES] as usize;
-                let m00 = (b0 + xs[c00 >> 1]) + ys[c00 & 1];
-                let m01 = (b1 + xs[c01 >> 1]) + ys[c01 & 1];
-                let m10 = (b0 + xs[c10 >> 1]) + ys[c10 & 1];
-                let m11 = (b1 + xs[c11 >> 1]) + ys[c11 & 1];
-                // Strict `>`: ties keep the low predecessor, matching the
-                // reference's first-wins scatter order (p0 < p1 is always
-                // visited first).
-                let sel0 = m01 > m00;
-                let sel1 = m11 > m10;
-                next[2 * p] = if sel0 { m01 } else { m00 };
-                next[2 * p + 1] = if sel1 { m11 } else { m10 };
-                bits |= ((sel0 as u64) | ((sel1 as u64) << 1)) << (2 * i);
-            }
-            *word = bits;
-        }
+        let Ok(row) =
+            <&mut [u64; WORDS]>::try_from(&mut scratch.decisions[t * WORDS..(t + 1) * WORDS])
+        else {
+            out.clear();
+            return;
+        };
+        acs_step(cur, next, row, s0, s1);
         std::mem::swap(pm, next_pm);
     }
 
@@ -395,6 +644,42 @@ mod tests {
                 *s = (*s * 0.3) + r;
             }
             assert_eq!(decode_soft(&soft, len), decode_soft_reference(&soft, len));
+        }
+    }
+
+    #[test]
+    fn acs_step_matches_acs_step_reference_bit_exactly() {
+        // The dispatched kernel (SIMD on capable hosts) must agree with the
+        // scalar twin to the last bit, including unreachable-state metrics
+        // and tie-breaks.
+        let mut cur = [0.0f32; STATES];
+        let mut x = 5u32;
+        for v in cur.iter_mut() {
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            *v = (x % 4000) as f32 / 1000.0 - 2.0;
+        }
+        cur[7] = NEG;
+        cur[130] = NEG;
+        let ties = [1.25f32; STATES];
+        for base in [&cur, &ties] {
+            for (s0, s1) in [(0.75f32, -0.25f32), (-1.0, 1.0), (0.0, 0.0), (0.125, 0.125)] {
+                let mut next_fast = [0.0f32; STATES];
+                let mut next_ref = [0.0f32; STATES];
+                let mut row_fast = [0u64; WORDS];
+                let mut row_ref = [0u64; WORDS];
+                acs_step(base, &mut next_fast, &mut row_fast, s0, s1);
+                acs_step_reference(base, &mut next_ref, &mut row_ref, s0, s1);
+                assert_eq!(row_fast, row_ref, "decision bits diverge at ({s0},{s1})");
+                for (p, (a, b)) in next_fast.iter().zip(next_ref.iter()).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "metric {p} diverges at ({s0},{s1}): {a} vs {b}"
+                    );
+                }
+            }
         }
     }
 

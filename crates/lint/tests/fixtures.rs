@@ -139,6 +139,20 @@ fn r6_safety_comment_exact_diagnostics() {
 }
 
 #[test]
+fn r6_flags_std_arch_simd_kernels() {
+    // The shape of the real `sonic-dsp::simd` kernels: `#[target_feature]`
+    // unsafe fns wrapping `std::arch` intrinsics. Both the bare decl (line
+    // 6) and the bare intrinsic block (line 9) must be flagged; the
+    // SAFETY-tagged twin below them must stay quiet.
+    let got = triples("crates/dsp/src/fixture.rs", "r6_simd_intrinsics.rs");
+    let want = vec![
+        (Rule::SafetyComment, 6, "unsafe".to_string()),
+        (Rule::SafetyComment, 9, "unsafe".to_string()),
+    ];
+    assert_eq!(got, want);
+}
+
+#[test]
 fn every_rule_has_at_least_two_fixture_diagnostics() {
     // The acceptance bar: ≥ 2 distinct diagnostics per rule across the
     // fixture corpus.

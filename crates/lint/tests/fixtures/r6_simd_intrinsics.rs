@@ -1,0 +1,25 @@
+// Fixture: R6 on `std::arch` SIMD intrinsics. Runtime-dispatched kernels
+// must tag every `unsafe` token — the `#[target_feature]` fn decl AND the
+// intrinsic block — with a `// SAFETY:` line, like `sonic-dsp::simd` does.
+
+#[target_feature(enable = "avx2")]
+unsafe fn sum8_avx2(x: &[f32; 8]) -> f32 {
+    use std::arch::x86_64::{_mm256_loadu_ps, _mm256_storeu_ps};
+    let mut out = [0.0f32; 8];
+    unsafe {
+        let v = _mm256_loadu_ps(x.as_ptr());
+        _mm256_storeu_ps(out.as_mut_ptr(), v);
+    }
+    out.iter().sum()
+}
+
+// SAFETY: `unsafe fn` solely for `target_feature`; callers check AVX2 first.
+#[target_feature(enable = "avx2")]
+unsafe fn scale8_avx2(x: &mut [f32; 8]) {
+    use std::arch::x86_64::{_mm256_loadu_ps, _mm256_mul_ps, _mm256_set1_ps, _mm256_storeu_ps};
+    // SAFETY: `x` is exactly 8 floats; loadu/storeu require no alignment.
+    unsafe {
+        let v = _mm256_loadu_ps(x.as_ptr());
+        _mm256_storeu_ps(x.as_mut_ptr(), _mm256_mul_ps(v, _mm256_set1_ps(0.5)));
+    }
+}

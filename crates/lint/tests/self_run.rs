@@ -33,23 +33,22 @@ fn workspace_has_zero_non_baselined_findings() {
 }
 
 #[test]
-fn baseline_only_grandfathers_r1_hot_path_pushes() {
-    // The baseline exists to burn down, not to grow: today it covers only
-    // the R1 `.push`/`.extend`-into-caller-buffer pattern in streaming
-    // `_into` functions whose output length is data-dependent. If this
-    // test fails because you added a *new* kind of entry, fix the code
-    // instead of re-baselining.
+fn baseline_is_fully_burned_down() {
+    // The baseline existed to burn down, not to grow: the grandfathered R1
+    // `.push`/`.extend` findings in streaming `_into` functions were all
+    // fixed (indexed writes into pre-sized buffers) or, for the two
+    // `Fir::push` false positives, suppressed with an inline
+    // `// lint: allow(no-alloc)` that documents why. If this test fails
+    // because you re-baselined a finding, fix the code instead.
     let root = workspace_root();
     let baseline_text = std::fs::read_to_string(root.join("lint-baseline.json"))
         .expect("lint-baseline.json is checked in");
     let baseline = Baseline::parse(&baseline_text).expect("baseline parses");
-    for (file, rule, key) in baseline.entries.keys() {
-        assert_eq!(rule, "R1", "unexpected baselined rule {rule} in {file}");
-        assert!(
-            key == ".push" || key == ".extend",
-            "unexpected baselined key {key} in {file}"
-        );
-    }
+    assert!(
+        baseline.entries.is_empty(),
+        "lint-baseline.json must stay empty; found {:?}",
+        baseline.entries.keys().collect::<Vec<_>>()
+    );
 }
 
 #[test]

@@ -178,6 +178,54 @@ pub fn demap_soft(modulation: Modulation, y: C32, scale: f32, out: &mut Vec<f32>
     axis(y.im, out);
 }
 
+/// Batched max-log soft demapper: demaps many received points of one
+/// modulation in a single sweep, appending `bits_per_symbol` soft values per
+/// point to `out` in the same per-point order as [`demap_soft`].
+///
+/// Inputs are axis-split (`re[i]`/`im[i]` are point `i`), `scales[i]` is the
+/// per-point output weight, `scratch` is reusable working memory. The axis
+/// sweeps run through the runtime-dispatched SIMD kernel
+/// [`sonic_dsp::simd::qam_axis_soft`]; output is bit-identical to calling
+/// [`demap_soft`] point by point (BPSK falls back to exactly that).
+pub fn demap_soft_batch(
+    modulation: Modulation,
+    re: &[f32],
+    im: &[f32],
+    scales: &[f32],
+    scratch: &mut Vec<f32>,
+    out: &mut Vec<f32>,
+) {
+    assert_eq!(re.len(), im.len(), "axis planes must match");
+    assert_eq!(re.len(), scales.len(), "one scale per point");
+    if modulation == Modulation::Bpsk {
+        // BPSK mixes both axes into one metric; the per-point path is
+        // already a two-point search, so there is nothing to vectorize.
+        for ((&x, &y), &s) in re.iter().zip(im).zip(scales) {
+            demap_soft(modulation, C32::new(x, y), s, out);
+        }
+        return;
+    }
+    let half = modulation.bits_per_symbol() / 2;
+    let d = re.len();
+    scratch.clear();
+    scratch.resize(2 * half * d, 0.0);
+    let (i_soft, q_soft) = scratch.split_at_mut(half * d);
+    sonic_dsp::simd::qam_axis_soft(re, half as u32, modulation.norm(), i_soft);
+    sonic_dsp::simd::qam_axis_soft(im, half as u32, modulation.norm(), q_soft);
+    let start = out.len();
+    out.resize(start + 2 * half * d, 0.0);
+    let o = &mut out[start..];
+    // Transpose bit-major kernel output back to per-point order: I bits
+    // (MSB first) then Q bits, matching `map_bits`.
+    for c in 0..d {
+        let s = scales[c];
+        for bit in 0..half {
+            o[c * 2 * half + bit] = i_soft[bit * d + c] * s;
+            o[c * 2 * half + half + bit] = q_soft[bit * d + c] * s;
+        }
+    }
+}
+
 /// Original full-constellation max-log demapper, kept as the executable
 /// specification for the per-axis fast path.
 pub fn demap_soft_reference(modulation: Modulation, y: C32, scale: f32, out: &mut Vec<f32>) {
@@ -343,6 +391,32 @@ mod tests {
                 assert_eq!(fast.len(), full.len());
                 for (a, b) in fast.iter().zip(&full) {
                     assert!((a - b).abs() < 1e-5, "{} {y:?}: {a} vs {b}", m.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_demap_is_bit_identical_to_per_point() {
+        let mut x = 0xB00Bu32;
+        let mut rnd = move || {
+            x = x.wrapping_mul(1103515245).wrapping_add(12345);
+            ((x >> 16) as f32 / 32768.0) - 1.0
+        };
+        for m in ALL {
+            for n in [0usize, 1, 5, 92] {
+                let re: Vec<f32> = (0..n).map(|_| rnd() * 1.5).collect();
+                let im: Vec<f32> = (0..n).map(|_| rnd() * 1.5).collect();
+                let scales: Vec<f32> = (0..n).map(|_| rnd().abs() + 0.1).collect();
+                let mut want = Vec::new();
+                for i in 0..n {
+                    demap_soft(m, C32::new(re[i], im[i]), scales[i], &mut want);
+                }
+                let (mut scratch, mut got) = (Vec::new(), Vec::new());
+                demap_soft_batch(m, &re, &im, &scales, &mut scratch, &mut got);
+                assert_eq!(want.len(), got.len(), "{} n={n}", m.name());
+                for (k, (a, b)) in want.iter().zip(&got).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{} n={n} soft {k}", m.name());
                 }
             }
         }

@@ -64,6 +64,11 @@ pub struct CarrierPlan {
     pub training: Vec<C32>,
     /// Known preamble values on the *even* logical carriers (Schmidl-Cox).
     pub preamble: Vec<C32>,
+    /// Time-domain preamble symbol body (no CP) at complex baseband, cached
+    /// so burst detection does not re-run an IFFT on every scan.
+    pub preamble_body: Vec<C32>,
+    /// Total energy of [`preamble_body`](Self::preamble_body).
+    pub preamble_energy: f32,
     fft_size: usize,
 }
 
@@ -122,6 +127,20 @@ impl CarrierPlan {
             })
             .collect();
 
+        // Cache the preamble's time-domain body: IFFT of the scattered
+        // preamble values, scaled by √N like every transmitted symbol.
+        let fft = sonic_dsp::Fft::new(profile.fft_size);
+        let mut preamble_body = vec![C32::ZERO; profile.fft_size];
+        for (v, &b) in preamble.iter().zip(&bins) {
+            preamble_body[b] = *v;
+        }
+        fft.inverse(&mut preamble_body);
+        let gain = (profile.fft_size as f32).sqrt();
+        for v in preamble_body.iter_mut() {
+            *v = v.scale(gain);
+        }
+        let preamble_energy = preamble_body.iter().map(|v| v.norm_sq()).sum();
+
         CarrierPlan {
             bins,
             pilot_idx,
@@ -129,6 +148,8 @@ impl CarrierPlan {
             pilot_values,
             training,
             preamble,
+            preamble_body,
+            preamble_energy,
             fft_size: profile.fft_size,
         }
     }
@@ -162,7 +183,22 @@ impl CarrierPlan {
     pub fn gather_into(&self, fft_buf: &[C32], out: &mut Vec<C32>) {
         assert_eq!(fft_buf.len(), self.fft_size);
         out.clear();
-        out.extend(self.bins.iter().map(|&b| fft_buf[b]));
+        out.resize(self.bins.len(), C32::ZERO);
+        for (o, &b) in out.iter_mut().zip(&self.bins) {
+            *o = fft_buf[b];
+        }
+    }
+
+    /// [`gather_into`](Self::gather_into) from split-plane (SoA) FFT output,
+    /// as produced by [`sonic_dsp::plan::FftPlan::forward_split`].
+    pub fn gather_split_into(&self, re: &[f32], im: &[f32], out: &mut Vec<C32>) {
+        assert_eq!(re.len(), self.fft_size);
+        assert_eq!(im.len(), self.fft_size);
+        out.clear();
+        out.resize(self.bins.len(), C32::ZERO);
+        for (o, &b) in out.iter_mut().zip(&self.bins) {
+            *o = C32::new(re[b], im[b]);
+        }
     }
 }
 

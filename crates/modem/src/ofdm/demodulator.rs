@@ -8,11 +8,14 @@
 
 use super::carriers::CarrierPlan;
 use super::sync::{detect, SyncPoint};
-use crate::constellation::{demap_soft, Modulation};
+use crate::constellation::{demap_soft_batch, Modulation};
 use crate::profile::Profile;
 use sonic_dsp::fir::{design_lowpass, BlockFirC, Fir};
 use sonic_dsp::osc::{downconvert, Nco, PhasorTable};
-use sonic_dsp::{C32, Fft};
+use sonic_dsp::plan::{FftPlan, FirPlan};
+use sonic_dsp::split::SplitC32;
+use sonic_dsp::C32;
+use std::sync::Arc;
 
 /// Taps of the image-rejection low-pass applied after downconversion.
 ///
@@ -44,7 +47,13 @@ fn derotate_window(window: &mut [C32], phase0: f64, step: f64) {
 pub struct Demodulator {
     profile: Profile,
     plan: CarrierPlan,
-    fft: Fft,
+    /// Planned split-plane FFT for the per-symbol forward transforms; its
+    /// butterflies run through the runtime-dispatched SIMD kernels and are
+    /// bit-identical to [`Fft::forward`].
+    fft_plan: FftPlan,
+    /// Shared overlap-save plan for the baseband low-pass, built once so
+    /// every [`to_baseband`](Self::to_baseband) call reuses the taps FFT.
+    lpf_plan: Arc<FirPlan>,
     lpf_taps: Vec<f32>,
 }
 
@@ -63,22 +72,34 @@ pub struct BurstReader<'a, 'b> {
     pub sync: SyncPoint,
     /// Reused FFT window (avoids a per-symbol allocation).
     sym_buf: Vec<C32>,
+    /// Reused split-plane FFT buffer for the SIMD transform path.
+    split_buf: SplitC32,
     /// Reused gathered-carrier buffer (avoids a per-symbol allocation).
     vals_buf: Vec<C32>,
+    /// Reused data-carrier axis planes for the batched soft demapper.
+    data_re: Vec<f32>,
+    /// Imaginary-axis twin of `data_re`.
+    data_im: Vec<f32>,
+    /// Reused per-data-carrier soft-output weights.
+    weights: Vec<f32>,
+    /// Reused working memory for [`demap_soft_batch`].
+    axis_buf: Vec<f32>,
 }
 
 impl Demodulator {
     /// Creates a demodulator (validates the profile).
     pub fn new(profile: Profile) -> Self {
         let plan = CarrierPlan::new(&profile);
-        let fft = Fft::new(profile.fft_size);
         // Pass the occupied band with margin, stop well before the −2·f_c image.
         let cutoff = ((profile.bandwidth() / 2.0 + 600.0) / profile.sample_rate).min(0.45);
         let lpf_taps = design_lowpass(LPF_TAPS, cutoff);
+        let fft_plan = FftPlan::new(profile.fft_size);
+        let lpf_plan = FirPlan::shared(&lpf_taps);
         Demodulator {
             profile,
             plan,
-            fft,
+            fft_plan,
+            lpf_plan,
             lpf_taps,
         }
     }
@@ -100,7 +121,7 @@ impl Demodulator {
         let mut nco = Nco::new(self.profile.sample_rate, self.profile.center_freq);
         let mut mixed = Vec::with_capacity(audio.len());
         downconvert(&mut nco, audio, &mut mixed);
-        BlockFirC::new(&self.lpf_taps).process(&mut mixed);
+        BlockFirC::with_plan(Arc::clone(&self.lpf_plan)).process(&mut mixed);
         mixed
     }
 
@@ -132,7 +153,7 @@ impl Demodulator {
         phasors.downconvert(audio, mixed);
         out.clear();
         out.extend_from_slice(mixed);
-        BlockFirC::new(&self.lpf_taps).process(out);
+        BlockFirC::with_plan(Arc::clone(&self.lpf_plan)).process(out);
     }
 
     /// Searches `audio` from sample `from` for a burst; on success returns a
@@ -180,14 +201,18 @@ impl Demodulator {
         let backoff = cp / 4;
         let mut channel = vec![C32::ZERO; self.plan.bins.len()];
         let mut buf: Vec<C32> = Vec::with_capacity(n);
+        let mut split = SplitC32::new();
         let mut vals: Vec<C32> = Vec::with_capacity(self.plan.bins.len());
         for &t in &[t1, t2] {
             let s = t + cp - backoff;
             buf.clear();
             buf.extend_from_slice(&baseband[s..s + n]);
             derotate(&mut buf, s);
-            self.fft.forward(&mut buf);
-            self.plan.gather_into(&buf, &mut vals);
+            // Split-plane FFT: bit-identical to `Fft::forward`, with the
+            // butterflies running through the dispatched SIMD kernels.
+            split.copy_from_interleaved(&buf);
+            self.fft_plan.forward_split(&mut split.re, &mut split.im);
+            self.plan.gather_split_into(&split.re, &split.im, &mut vals);
             for (h, (y, x)) in channel.iter_mut().zip(vals.iter().zip(&self.plan.training)) {
                 *h += *y / *x;
             }
@@ -216,7 +241,12 @@ impl Demodulator {
             burst_start: sync.start,
             sync,
             sym_buf: buf,
+            split_buf: split,
             vals_buf: vals,
+            data_re: Vec::new(),
+            data_im: Vec::new(),
+            weights: Vec::new(),
+            axis_buf: Vec::new(),
         })
     }
 }
@@ -253,9 +283,13 @@ impl BurstReader<'_, '_> {
             let phase0 = (s - self.burst_start) as f64 * self.sync.cfo as f64;
             derotate_window(buf, phase0, self.sync.cfo as f64);
         }
-        self.demod.fft.forward(buf);
+        // Split-plane FFT (bit-identical to `Fft::forward`, SIMD butterflies).
+        self.split_buf.copy_from_interleaved(buf);
+        self.demod
+            .fft_plan
+            .forward_split(&mut self.split_buf.re, &mut self.split_buf.im);
         let vals = &mut self.vals_buf;
-        plan.gather_into(buf, vals);
+        plan.gather_split_into(&self.split_buf.re, &self.split_buf.im, vals);
         for v in vals.iter_mut() {
             *v = v.scale(norm);
         }
@@ -279,10 +313,28 @@ impl BurstReader<'_, '_> {
         // erasures for the Viterbi decoder instead of confident garbage.
         let mean_h2: f32 = self.channel.iter().map(|h| h.norm_sq()).sum::<f32>()
             / self.channel.len().max(1) as f32;
-        for &idx in &plan.data_idx {
-            let w = (self.channel[idx].norm_sq() / mean_h2.max(1e-12)).min(4.0);
-            demap_soft(modulation, vals[idx], w, soft);
+        // Batched demap: gather the data carriers into axis planes and
+        // sweep all of them through the SIMD demapper in one call.
+        let d = plan.data_idx.len();
+        self.data_re.clear();
+        self.data_re.resize(d, 0.0);
+        self.data_im.clear();
+        self.data_im.resize(d, 0.0);
+        self.weights.clear();
+        self.weights.resize(d, 0.0);
+        for (c, &idx) in plan.data_idx.iter().enumerate() {
+            self.data_re[c] = vals[idx].re;
+            self.data_im[c] = vals[idx].im;
+            self.weights[c] = (self.channel[idx].norm_sq() / mean_h2.max(1e-12)).min(4.0);
         }
+        demap_soft_batch(
+            modulation,
+            &self.data_re,
+            &self.data_im,
+            &self.weights,
+            &mut self.axis_buf,
+            soft,
+        );
         self.cursor += p.symbol_len();
         true
     }

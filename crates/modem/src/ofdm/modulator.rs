@@ -177,12 +177,15 @@ impl Modulator {
         let gain = (self.profile.fft_size as f32).sqrt();
         let cp = self.profile.cp_len;
         let n = self.profile.fft_size;
-        out.reserve(n + cp);
-        for v in &buf[n - cp..n] {
-            out.push(v.scale(gain));
+        let start = out.len();
+        out.resize(start + cp + n, C32::ZERO);
+        let o = &mut out[start..];
+        // Cyclic prefix (last cp samples) first, then the whole body.
+        for (o, v) in o[..cp].iter_mut().zip(&buf[n - cp..n]) {
+            *o = v.scale(gain);
         }
-        for v in buf.iter() {
-            out.push(v.scale(gain));
+        for (o, v) in o[cp..].iter_mut().zip(buf.iter()) {
+            *o = v.scale(gain);
         }
     }
 

@@ -15,7 +15,7 @@
 
 use super::carriers::CarrierPlan;
 use crate::profile::Profile;
-use sonic_dsp::{C32, Fft};
+use sonic_dsp::{simd, C32};
 
 /// Result of a successful burst detection.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,14 +30,11 @@ pub struct SyncPoint {
 }
 
 /// Reference preamble generator: the time-domain body (no CP) at baseband.
-pub fn preamble_body(profile: &Profile, plan: &CarrierPlan) -> Vec<C32> {
-    let fft = Fft::new(profile.fft_size);
-    let mut buf = vec![C32::ZERO; profile.fft_size];
-    plan.scatter(&plan.preamble, &mut buf);
-    fft.inverse(&mut buf);
-    let gain = (profile.fft_size as f32).sqrt();
-    buf.iter_mut().for_each(|v| *v = v.scale(gain));
-    buf
+///
+/// The waveform itself is precomputed once per [`CarrierPlan`]; this is a
+/// compatibility shim over [`CarrierPlan::preamble_body`].
+pub fn preamble_body(_profile: &Profile, plan: &CarrierPlan) -> Vec<C32> {
+    plan.preamble_body.clone()
 }
 
 /// Scans `baseband` from `from` for the next burst.
@@ -67,8 +64,8 @@ pub fn detect(
         r += baseband[d0 + m + half].norm_sq();
     }
 
-    let reference = preamble_body(profile, plan);
-    let ref_energy: f32 = reference.iter().map(|v| v.norm_sq()).sum();
+    let reference = plan.preamble_body.as_slice();
+    let ref_energy = plan.preamble_energy;
 
     let last = baseband.len() - l - 1;
     let mut d = d0;
@@ -83,14 +80,11 @@ pub fn detect(
             let win_hi = (d + 2 * cp).min(baseband.len().saturating_sub(l + cp));
             let mut best = None::<(usize, f32)>;
             for cand in win_lo..=win_hi {
-                // Correlate the *body* (skip CP) against the reference.
+                // Correlate the *body* (skip CP) against the reference; the
+                // fused SIMD dot kernel returns Σ x·conj(h) and Σ |x|² in
+                // one sweep.
                 let body = &baseband[cand + cp..cand + cp + l];
-                let mut acc = C32::ZERO;
-                let mut energy = 0.0f32;
-                for (x, h) in body.iter().zip(&reference) {
-                    acc += x.mul_conj(*h);
-                    energy += x.norm_sq();
-                }
+                let (acc, energy) = simd::dot_mul_conj_energy(body, reference);
                 let score = if energy > 1e-9 {
                     acc.norm_sq() / (energy * ref_energy)
                 } else {

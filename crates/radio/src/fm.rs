@@ -8,6 +8,8 @@
 //! intact.
 
 use crate::{FM_DEVIATION, MPX_RATE};
+use sonic_dsp::simd;
+use sonic_dsp::split::SplitC32;
 use sonic_dsp::C32;
 use std::f64::consts::TAU;
 
@@ -37,14 +39,16 @@ impl FmModulator {
     /// Modulates a composite block (values nominally in [-1, 1]), appending
     /// complex baseband samples to `out`.
     pub fn modulate_into(&mut self, composite: &[f32], out: &mut Vec<C32>) {
-        for &x in composite {
+        let start = out.len();
+        out.resize(start + composite.len(), C32::ZERO);
+        for (o, &x) in out[start..].iter_mut().zip(composite) {
             self.phase += self.k * x as f64;
             if self.phase > TAU {
                 self.phase -= TAU;
             } else if self.phase < -TAU {
                 self.phase += TAU;
             }
-            out.push(C32::from_angle(self.phase));
+            *o = C32::from_angle(self.phase);
         }
     }
 }
@@ -54,7 +58,8 @@ impl FmModulator {
 pub struct FmDemodulator {
     inv_k: f64,
     prev: C32,
-    scratch: Vec<C32>,
+    /// Split-plane scratch for the quadrature products (SIMD kernel input).
+    scratch: SplitC32,
 }
 
 impl Default for FmDemodulator {
@@ -63,71 +68,50 @@ impl Default for FmDemodulator {
     }
 }
 
-/// Polynomial `atan` on `[-1, 1]` (Abramowitz & Stegun 4.4.49 form),
-/// max error ≈ 1e-5 rad.
-#[inline(always)]
-fn fast_atan(z: f32) -> f32 {
-    let z2 = z * z;
-    z * (0.999_866
-        + z2 * (-0.330_299_5 + z2 * (0.180_141 + z2 * (-0.085_133 + 0.020_835_1 * z2))))
-}
-
-/// Branch-light `atan2` built on [`fast_atan`]; max error ≈ 1e-5 rad.
-/// Returns 0 at the origin (the discriminator maps a dead carrier to silence).
-#[inline(always)]
-fn fast_atan2(y: f32, x: f32) -> f32 {
-    use std::f32::consts::{FRAC_PI_2, PI};
-    let ax = x.abs();
-    let ay = y.abs();
-    if ax == 0.0 && ay == 0.0 {
-        return 0.0;
-    }
-    let mut a = if ay > ax {
-        FRAC_PI_2 - fast_atan(ax / ay)
-    } else {
-        fast_atan(ay / ax)
-    };
-    if x < 0.0 {
-        a = PI - a;
-    }
-    if y < 0.0 {
-        a = -a;
-    }
-    a
-}
-
 impl FmDemodulator {
     /// Creates a demodulator matching [`FmModulator::new`].
     pub fn new(sample_rate: f64, deviation: f64) -> Self {
         FmDemodulator {
             inv_k: sample_rate / (TAU * deviation),
             prev: C32::new(1.0, 0.0),
-            scratch: Vec::new(),
+            scratch: SplitC32::new(),
         }
     }
 
     /// Demodulates a block, appending recovered composite samples to `out`.
     ///
-    /// Fast path: the quadrature products `x[n]·x*[n-1]` are computed in one
-    /// vectorizable pass into a scratch buffer, then converted to angles with
-    /// a polynomial `atan2` (error ≈ 1e-5 rad ≈ 5e-6 composite units — far
-    /// below the discriminator's own noise floor). The libm-per-sample
-    /// original is kept as [`FmDemodulator::demodulate_into_reference`].
+    /// Fast path: the quadrature products `x[n]·x*[n-1]` run through the
+    /// runtime-dispatched SIMD kernel [`simd::mul_conj_split`] into a
+    /// split-plane scratch buffer, then [`simd::atan2_scale`] converts them
+    /// to angles with a polynomial `atan2` (error ≈ 1e-5 rad ≈ 5e-6
+    /// composite units — far below the discriminator's own noise floor).
+    /// The libm-per-sample original is kept as
+    /// [`FmDemodulator::demodulate_into_reference`].
     pub fn demodulate_into(&mut self, baseband: &[C32], out: &mut Vec<f32>) {
-        self.scratch.clear();
-        self.scratch.reserve(baseband.len());
-        let mut prev = self.prev;
-        for &x in baseband {
-            self.scratch.push(x.mul_conj(prev));
-            prev = x;
-        }
-        self.prev = prev;
-        let inv_k = self.inv_k as f32;
+        let n = baseband.len();
         let start = out.len();
-        out.resize(start + baseband.len(), 0.0);
-        for (d, o) in self.scratch.iter().zip(out[start..].iter_mut()) {
-            *o = fast_atan2(d.im, d.re) * inv_k;
+        out.resize(start + n, 0.0);
+        if n == 0 {
+            return;
         }
+        self.scratch.resize(n);
+        // First product carries the inter-block discriminator state.
+        let d0 = baseband[0].mul_conj(self.prev);
+        self.scratch.re[0] = d0.re;
+        self.scratch.im[0] = d0.im;
+        simd::mul_conj_split(
+            &baseband[1..],
+            &baseband[..n - 1],
+            &mut self.scratch.re[1..],
+            &mut self.scratch.im[1..],
+        );
+        self.prev = baseband[n - 1];
+        simd::atan2_scale(
+            &self.scratch.im,
+            &self.scratch.re,
+            self.inv_k as f32,
+            &mut out[start..],
+        );
     }
 
     /// Original per-sample discriminator using libm `atan2`; kept as the

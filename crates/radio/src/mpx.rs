@@ -15,10 +15,12 @@
 //! SNR despite FM's triangular noise spectrum.
 
 use crate::{rds, AUDIO_RATE, MPX_RATE, PILOT_HZ, STEREO_SUB_HZ};
-use sonic_dsp::fir::{design_bandpass, design_lowpass, BlockFir, Fir};
+use sonic_dsp::fir::{design_bandpass, design_lowpass, BlockFir, Fir, FirBank};
 use sonic_dsp::iir::{Deemphasis, Preemphasis};
+use sonic_dsp::plan::FirPlan;
 use sonic_dsp::resample::Resampler;
 use std::f64::consts::TAU;
+use std::sync::Arc;
 
 /// Modulation levels (fractions of peak deviation).
 mod level {
@@ -108,14 +110,57 @@ pub struct MpxOutput {
 /// Number of taps in every band-select filter of the decomposer.
 const BAND_TAPS: usize = 257;
 
+/// The decomposer's fixed band-select filters, indexable into
+/// [`band_filters`]'s cache.
+#[derive(Debug, Clone, Copy)]
+enum Band {
+    /// 0–16 kHz mono low-pass (also the post-mix stereo low-pass).
+    MonoLp = 0,
+    /// 18–20 kHz pilot band-pass.
+    PilotBp = 1,
+    /// 22–54 kHz stereo-difference band-pass.
+    StereoBp = 2,
+    /// 36–40 kHz regenerated-carrier band-pass (squared pilot).
+    CarrierBp = 3,
+    /// 54.5–59.5 kHz RDS band-pass.
+    RdsBp = 4,
+}
+
+/// Filter designs plus shared overlap-save plans for every [`Band`].
+struct BandFilters {
+    taps: [Vec<f32>; 5],
+    plans: [Arc<FirPlan>; 5],
+}
+
+/// All band designs are fixed by the MPX layout, so the windowed-sinc
+/// designs and their overlap-save FFT plans are built once per process and
+/// shared by every decompose call (and every receiver thread).
+fn band_filters() -> &'static BandFilters {
+    use std::sync::OnceLock;
+    static CACHE: OnceLock<BandFilters> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let taps = [
+            design_lowpass(BAND_TAPS, 16_000.0 / MPX_RATE),
+            design_bandpass(BAND_TAPS, 18_000.0 / MPX_RATE, 20_000.0 / MPX_RATE),
+            design_bandpass(BAND_TAPS, 22_000.0 / MPX_RATE, 54_000.0 / MPX_RATE),
+            design_bandpass(BAND_TAPS, 36_000.0 / MPX_RATE, 40_000.0 / MPX_RATE),
+            design_bandpass(BAND_TAPS, 54_500.0 / MPX_RATE, 59_500.0 / MPX_RATE),
+        ];
+        let plans = taps.each_ref().map(|t| FirPlan::shared(t));
+        BandFilters { taps, plans }
+    })
+}
+
 /// Applies a band-select FIR in place, either with the fast overlap-save
 /// engine or the direct form the decomposer originally used. The two differ
 /// only by FFT rounding (~1e-6 relative).
-fn band_filter(signal: &mut [f32], taps: Vec<f32>, fast: bool) {
+fn band_filter(signal: &mut [f32], band: Band, fast: bool) {
+    let f = band_filters();
+    let i = band as usize;
     if fast {
-        BlockFir::new(&taps).process(signal);
+        BlockFir::with_plan(Arc::clone(&f.plans[i])).process(signal);
     } else {
-        Fir::new(taps).process(signal);
+        Fir::new(f.taps[i].clone()).process(signal);
     }
 }
 
@@ -138,21 +183,39 @@ pub fn decompose_reference(composite: &[f32]) -> MpxOutput {
 }
 
 fn decompose_impl(composite: &[f32], fast: bool) -> MpxOutput {
+    // The three always-on band selections (mono LP, pilot BP, RDS BP) all
+    // filter the same composite, so the fast path runs them as one
+    // [`FirBank`] pass sharing the forward FFT of every overlap-save frame
+    // (4 transforms per frame instead of 6). Per band the bank is
+    // bit-identical to the separate `BlockFir` runs it replaces.
+    let (mono_hi, pilot, rds_band) = if fast {
+        let f = band_filters();
+        let mut bank = FirBank::new(vec![
+            Arc::clone(&f.plans[Band::MonoLp as usize]),
+            Arc::clone(&f.plans[Band::PilotBp as usize]),
+            Arc::clone(&f.plans[Band::RdsBp as usize]),
+        ]);
+        let mut outs = [Vec::new(), Vec::new(), Vec::new()];
+        bank.process_into(composite, &mut outs);
+        let [mono_hi, pilot, rds_band] = outs;
+        (mono_hi, pilot, rds_band)
+    } else {
+        let mut mono_hi: Vec<f32> = composite.to_vec();
+        band_filter(&mut mono_hi, Band::MonoLp, fast);
+        let mut pilot: Vec<f32> = composite.to_vec();
+        band_filter(&mut pilot, Band::PilotBp, fast);
+        let mut rds_band: Vec<f32> = composite.to_vec();
+        band_filter(&mut rds_band, Band::RdsBp, fast);
+        (mono_hi, pilot, rds_band)
+    };
+
     // --- mono path: LPF 15 kHz, downsample, de-emphasize ---
-    let mut mono_hi: Vec<f32> = composite.to_vec();
-    band_filter(&mut mono_hi, design_lowpass(BAND_TAPS, 16_000.0 / MPX_RATE), fast);
     let mut down = Resampler::new(MPX_RATE as usize, AUDIO_RATE as usize, 32);
     let mut mono = Vec::with_capacity(composite.len() / 5);
     down.process_into(&mono_hi, &mut mono);
     Deemphasis::new(AUDIO_RATE, 50e-6).process(&mut mono);
 
     // --- pilot detection ---
-    let mut pilot: Vec<f32> = composite.to_vec();
-    band_filter(
-        &mut pilot,
-        design_bandpass(BAND_TAPS, 18_000.0 / MPX_RATE, 20_000.0 / MPX_RATE),
-        fast,
-    );
     let pilot_power: f32 =
         pilot.iter().map(|&x| x * x).sum::<f32>() / composite.len().max(1) as f32;
     let has_pilot = pilot_power > (level::PILOT * level::PILOT) * 0.5 * 0.2;
@@ -160,19 +223,11 @@ fn decompose_impl(composite: &[f32], fast: bool) -> MpxOutput {
     // --- stereo difference ---
     let stereo_diff = if has_pilot {
         let mut band: Vec<f32> = composite.to_vec();
-        band_filter(
-            &mut band,
-            design_bandpass(BAND_TAPS, 22_000.0 / MPX_RATE, 54_000.0 / MPX_RATE),
-            fast,
-        );
+        band_filter(&mut band, Band::StereoBp, fast);
         // Regenerate 38 kHz by squaring the pilot (classic receiver trick):
         // sin²(ωt) = (1 − cos 2ωt)/2 ⇒ bandpass at 38 kHz gives −cos(2ωt)/2.
         let mut sq: Vec<f32> = pilot.iter().map(|&p| p * p).collect();
-        band_filter(
-            &mut sq,
-            design_bandpass(BAND_TAPS, 36_000.0 / MPX_RATE, 40_000.0 / MPX_RATE),
-            fast,
-        );
+        band_filter(&mut sq, Band::CarrierBp, fast);
         // Normalize the regenerated carrier to unit amplitude.
         let carrier_rms =
             (sq.iter().map(|&x| x * x).sum::<f32>() / sq.len().max(1) as f32).sqrt();
@@ -195,7 +250,7 @@ fn decompose_impl(composite: &[f32], fast: bool) -> MpxOutput {
                 -2.0 * b * c * norm * 2.0 / level::STEREO
             })
             .collect();
-        band_filter(&mut mixed, design_lowpass(BAND_TAPS, 16_000.0 / MPX_RATE), fast);
+        band_filter(&mut mixed, Band::MonoLp, fast);
         let mut down2 = Resampler::new(MPX_RATE as usize, AUDIO_RATE as usize, 32);
         let mut diff = Vec::with_capacity(mixed.len() / 5);
         down2.process_into(&mixed, &mut diff);
@@ -206,12 +261,6 @@ fn decompose_impl(composite: &[f32], fast: bool) -> MpxOutput {
     };
 
     // --- RDS ---
-    let mut rds_band: Vec<f32> = composite.to_vec();
-    band_filter(
-        &mut rds_band,
-        design_bandpass(BAND_TAPS, 54_500.0 / MPX_RATE, 59_500.0 / MPX_RATE),
-        fast,
-    );
     let rds_power: f32 =
         rds_band.iter().map(|&x| x * x).sum::<f32>() / rds_band.len().max(1) as f32;
     let rds_bits = if rds_power > (level::RDS * level::RDS) * 0.05 {
