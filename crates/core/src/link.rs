@@ -66,6 +66,14 @@ pub struct BurstTable {
     pub spans: Vec<BurstSpan>,
 }
 
+impl BurstTable {
+    /// Total samples the indexed audio occupies (spans tile the buffer, so
+    /// this is the end of the last span).
+    pub fn total_samples(&self) -> usize {
+        self.spans.last().map(|s| s.start + s.len).unwrap_or(0)
+    }
+}
+
 /// Accounting from [`modulate_spliced`].
 #[derive(Debug, Clone)]
 pub struct SplicedAudio {
@@ -143,9 +151,7 @@ pub fn modulate_spliced(
         }
     }
     let n_bursts = frames.len().div_ceil(FRAMES_PER_BURST);
-    // The new audio is within one burst of the previous length whenever the
-    // frame count barely moved — seed the allocation from it.
-    let mut audio = Vec::with_capacity(prev_audio.len() + prev_audio.len() / n_bursts.max(1));
+    let mut audio = Vec::new();
     let mut spans = Vec::with_capacity(n_bursts);
     let mut burst = Vec::new();
     let (mut reused, mut modulated) = (0usize, 0usize);
@@ -155,11 +161,21 @@ pub fn modulate_spliced(
         let start = audio.len();
         match by_hash.get(&hash) {
             Some(span) => {
+                if start == 0 {
+                    // Full bursts are all the same length; size the buffer
+                    // once instead of doubling through tens of megabytes of
+                    // copies (the doubling shows up as a ~20% modulation
+                    // penalty on hour-churn pages whose audio grew).
+                    audio.reserve(n_bursts * span.len);
+                }
                 audio.extend_from_slice(&prev_audio[span.start..span.start + span.len]);
                 reused += 1;
             }
             None => {
                 modulate_frame_into(profile, &payload, &mut burst);
+                if start == 0 {
+                    audio.reserve(n_bursts * (burst.len() + profile.symbol_len() / 2));
+                }
                 audio.extend_from_slice(&burst);
                 audio.extend(std::iter::repeat_n(0.0, profile.symbol_len() / 2));
                 modulated += 1;

@@ -154,6 +154,8 @@ pub struct ArtifactCacheStats {
     pub bursts_reused: u64,
     /// Audio bursts re-modulated during delta refreshes.
     pub bursts_modulated: u64,
+    /// RAM misses served by promoting an artifact from the disk tier.
+    pub disk_promotions: u64,
 }
 
 impl ArtifactCacheStats {
@@ -358,6 +360,253 @@ impl ArtifactCache {
     /// Hour the cached artifact for `id` was built, if cached.
     pub fn rendered_hour(&self, id: PageId) -> Option<u64> {
         self.entries.get(&id).map(|e| e.rendered_hour)
+    }
+}
+
+/// One disk tier shared by N schedulers/refresh drivers — the "one store
+/// instead of N caches" handle. `parking_lot::Mutex` because store I/O is
+/// short and exclusive (append-only log + blob file).
+pub type SharedArtifactStore = Arc<parking_lot::Mutex<crate::server::store::ArtifactStore>>;
+
+/// Wraps an opened store into the shared handle [`TieredCache::with_store`]
+/// and [`super::SonicServer::attach_store`] take, so callers outside this
+/// crate never name the lock type.
+pub fn share_store(store: crate::server::store::ArtifactStore) -> SharedArtifactStore {
+    Arc::new(parking_lot::Mutex::new(store))
+}
+
+/// What the refresh pipeline needs from a cache tier — implemented by the
+/// RAM-only [`ArtifactCache`] and by [`TieredCache`] (RAM over the disk
+/// store). `pipeline::refresh_page_with` is generic over this, so every
+/// existing RAM-only caller keeps working unchanged.
+pub trait ArtifactTier {
+    /// Full-reuse lookup by render-input hash (see
+    /// [`ArtifactCache::get_if_layout`]).
+    fn lookup_layout(&mut self, id: PageId, layout_hash: u64, want_audio: bool)
+        -> Option<Artifact>;
+
+    /// Full-reuse lookup by raster hash (see
+    /// [`ArtifactCache::get_if_raster`]).
+    #[allow(clippy::too_many_arguments)]
+    fn lookup_raster(
+        &mut self,
+        id: PageId,
+        raster_hash: u64,
+        layout_hash: u64,
+        url: &str,
+        clickmap: &ClickMap,
+        ttl_hours: u16,
+        want_audio: bool,
+    ) -> Option<Artifact>;
+
+    /// The cached basis a delta re-encode splices against.
+    fn delta_basis_mut(&mut self, id: PageId) -> Option<(Artifact, Arc<Vec<u64>>)>;
+
+    /// Inserts (or replaces) a page's artifact in every tier.
+    fn store(
+        &mut self,
+        id: PageId,
+        layout_hash: u64,
+        raster_hash: u64,
+        column_hashes: Arc<Vec<u64>>,
+        artifact: Artifact,
+        hour: u64,
+    );
+
+    /// The reuse counters the refresh driver bumps.
+    fn stats_mut(&mut self) -> &mut ArtifactCacheStats;
+}
+
+impl ArtifactTier for ArtifactCache {
+    fn lookup_layout(
+        &mut self,
+        id: PageId,
+        layout_hash: u64,
+        want_audio: bool,
+    ) -> Option<Artifact> {
+        self.get_if_layout(id, layout_hash, want_audio)
+    }
+
+    fn lookup_raster(
+        &mut self,
+        id: PageId,
+        raster_hash: u64,
+        layout_hash: u64,
+        url: &str,
+        clickmap: &ClickMap,
+        ttl_hours: u16,
+        want_audio: bool,
+    ) -> Option<Artifact> {
+        self.get_if_raster(id, raster_hash, layout_hash, url, clickmap, ttl_hours, want_audio)
+    }
+
+    fn delta_basis_mut(&mut self, id: PageId) -> Option<(Artifact, Arc<Vec<u64>>)> {
+        self.delta_basis(id)
+    }
+
+    fn store(
+        &mut self,
+        id: PageId,
+        layout_hash: u64,
+        raster_hash: u64,
+        column_hashes: Arc<Vec<u64>>,
+        artifact: Artifact,
+        hour: u64,
+    ) {
+        self.insert(id, layout_hash, raster_hash, column_hashes, artifact, hour);
+    }
+
+    fn stats_mut(&mut self) -> &mut ArtifactCacheStats {
+        &mut self.stats
+    }
+}
+
+/// RAM LRU over the persistent disk store. RAM misses probe the store by
+/// the same hash ladder; a disk hit deserializes once and promotes the
+/// `Arc`-shared artifact into the RAM tier (zero further copies), which is
+/// what makes restarts warm. Store writes ride every insert (content-dedup
+/// keeps them cheap); store I/O errors are counted, never propagated — the
+/// RAM tier alone keeps the refresh correct.
+#[derive(Debug)]
+pub struct TieredCache {
+    /// The RAM tier (stats live here, including `disk_promotions`).
+    pub ram: ArtifactCache,
+    disk: Option<SharedArtifactStore>,
+}
+
+impl TieredCache {
+    /// RAM tier only — behaves exactly like the wrapped [`ArtifactCache`].
+    pub fn ram_only(ram: ArtifactCache) -> Self {
+        TieredCache { ram, disk: None }
+    }
+
+    /// RAM tier over a shared disk store.
+    pub fn with_store(ram: ArtifactCache, store: SharedArtifactStore) -> Self {
+        TieredCache {
+            ram,
+            disk: Some(store),
+        }
+    }
+
+    /// The shared disk store, if attached.
+    pub fn store(&self) -> Option<&SharedArtifactStore> {
+        self.disk.as_ref()
+    }
+
+    /// Loads `id` from the disk tier and promotes it into RAM under the
+    /// stored content addresses. Returns the promoted artifact.
+    fn promote(&mut self, id: PageId) -> Option<Artifact> {
+        let store = self.disk.as_ref()?;
+        let loaded = store.lock().load(id)?;
+        self.ram.insert(
+            id,
+            loaded.layout_hash,
+            loaded.raster_hash,
+            loaded.column_hashes,
+            loaded.artifact.clone(),
+            loaded.hour,
+        );
+        self.ram.stats.disk_promotions += 1;
+        Some(loaded.artifact)
+    }
+}
+
+impl ArtifactTier for TieredCache {
+    fn lookup_layout(
+        &mut self,
+        id: PageId,
+        layout_hash: u64,
+        want_audio: bool,
+    ) -> Option<Artifact> {
+        if let Some(a) = self.ram.get_if_layout(id, layout_hash, want_audio) {
+            return Some(a);
+        }
+        // Disk probe by the same key. Promote on a match even when the
+        // caller wants audio and the stored artifact is frames-only: the
+        // promoted entry still serves as the next delta basis.
+        let (stored_layout, _, _) = self
+            .disk
+            .as_ref()
+            .and_then(|s| s.lock().entry_meta(id))?;
+        if stored_layout != layout_hash {
+            return None;
+        }
+        let promoted = self.promote(id)?;
+        if want_audio && !promoted.has_audio() {
+            return None;
+        }
+        self.ram.stats.full_hits += 1;
+        Some(promoted)
+    }
+
+    fn lookup_raster(
+        &mut self,
+        id: PageId,
+        raster_hash: u64,
+        layout_hash: u64,
+        url: &str,
+        clickmap: &ClickMap,
+        ttl_hours: u16,
+        want_audio: bool,
+    ) -> Option<Artifact> {
+        if let Some(a) =
+            self.ram
+                .get_if_raster(id, raster_hash, layout_hash, url, clickmap, ttl_hours, want_audio)
+        {
+            return Some(a);
+        }
+        let (_, stored_raster, _) = self
+            .disk
+            .as_ref()
+            .and_then(|s| s.lock().entry_meta(id))?;
+        if stored_raster != raster_hash {
+            return None;
+        }
+        self.promote(id)?;
+        // Re-run the RAM check so the meta comparison (url/clickmap/ttl)
+        // and the layout-hash refresh happen in exactly one place.
+        self.ram
+            .get_if_raster(id, raster_hash, layout_hash, url, clickmap, ttl_hours, want_audio)
+    }
+
+    fn delta_basis_mut(&mut self, id: PageId) -> Option<(Artifact, Arc<Vec<u64>>)> {
+        if let Some(basis) = self.ram.delta_basis(id) {
+            return Some(basis);
+        }
+        self.promote(id)?;
+        self.ram.delta_basis(id)
+    }
+
+    fn store(
+        &mut self,
+        id: PageId,
+        layout_hash: u64,
+        raster_hash: u64,
+        column_hashes: Arc<Vec<u64>>,
+        artifact: Artifact,
+        hour: u64,
+    ) {
+        if let Some(store) = &self.disk {
+            let put = store.lock().put(
+                id,
+                layout_hash,
+                raster_hash,
+                &column_hashes,
+                &artifact,
+                hour,
+            );
+            if put.is_err() {
+                // The RAM tier alone keeps the refresh correct; the store
+                // just loses this entry's persistence.
+                store.lock().stats.io_errors += 1;
+            }
+        }
+        self.ram
+            .insert(id, layout_hash, raster_hash, column_hashes, artifact, hour);
+    }
+
+    fn stats_mut(&mut self) -> &mut ArtifactCacheStats {
+        &mut self.ram.stats
     }
 }
 

@@ -6,9 +6,10 @@ pub mod pipeline;
 pub mod render;
 pub mod repair;
 pub mod scheduler;
+pub mod store;
 
 use crate::page::SimplifiedPage;
-use cache::{ArtifactCache, RenderCache};
+use cache::{ArtifactCache, RenderCache, SharedArtifactStore, TieredCache};
 use render::Renderer;
 use scheduler::BroadcastScheduler;
 use sonic_sms::gateway;
@@ -26,7 +27,7 @@ const ARTIFACT_CACHE_BYTES: usize = 256 << 20;
 pub struct SonicServer {
     renderer: Renderer,
     cache: RenderCache,
-    artifacts: ArtifactCache,
+    artifacts: TieredCache,
     coverage: Coverage,
     /// One broadcast scheduler per transmitter site id.
     pub schedulers: BTreeMap<u32, BroadcastScheduler>,
@@ -46,7 +47,7 @@ impl SonicServer {
         SonicServer {
             renderer,
             cache: RenderCache::new(),
-            artifacts: ArtifactCache::new(ARTIFACT_CACHE_BYTES),
+            artifacts: TieredCache::ram_only(ArtifactCache::new(ARTIFACT_CACHE_BYTES)),
             coverage,
             schedulers,
             repair: repair::RepairPlanner::new(),
@@ -195,6 +196,19 @@ impl SonicServer {
         }
     }
 
+    /// Attaches a shared persistent artifact store under the RAM tier:
+    /// every later refresh probes (and feeds) the disk store, so restarts
+    /// and sibling servers start warm from the same files.
+    pub fn attach_store(&mut self, store: SharedArtifactStore) {
+        let ram = std::mem::replace(&mut self.artifacts, TieredCache::ram_only(ArtifactCache::new(0)));
+        self.artifacts = TieredCache::with_store(ram.ram, store);
+    }
+
+    /// The shared artifact store, if one is attached.
+    pub fn artifact_store(&self) -> Option<&SharedArtifactStore> {
+        self.artifacts.store()
+    }
+
     /// Access to the renderer (for examples/benches).
     pub fn renderer(&self) -> &Renderer {
         &self.renderer
@@ -202,7 +216,7 @@ impl SonicServer {
 
     /// The broadcast artifact cache (reuse stats, byte budget).
     pub fn artifact_cache(&self) -> &ArtifactCache {
-        &self.artifacts
+        &self.artifacts.ram
     }
 }
 

@@ -20,7 +20,7 @@ use crate::chunker::page_to_frames;
 use crate::frame::Frame;
 use crate::link::{self, BurstTable};
 use crate::page::SimplifiedPage;
-use crate::server::cache::{Artifact, ArtifactCache};
+use crate::server::cache::{Artifact, ArtifactTier};
 use crate::server::render::Renderer;
 use crate::server::scheduler::BroadcastScheduler;
 use crossbeam::channel::{bounded, Receiver, Sender};
@@ -310,7 +310,7 @@ pub enum RefreshPath {
 /// content and the raster hash decides between verbatim reuse, strip-delta
 /// rebuild and a cold build (see [`refresh_pages`] for the path rules).
 pub fn refresh_page_with(
-    cache: &mut ArtifactCache,
+    cache: &mut impl ArtifactTier,
     key: PageId,
     layout_hash: u64,
     hour: u64,
@@ -318,7 +318,7 @@ pub fn refresh_page_with(
     render: impl FnOnce() -> RenderedContent,
 ) -> (Artifact, RefreshPath) {
     let want_audio = profile.is_some();
-    if let Some(a) = cache.get_if_layout(key, layout_hash, want_audio) {
+    if let Some(a) = cache.lookup_layout(key, layout_hash, want_audio) {
         return (a, RefreshPath::FullHit);
     }
     let content = render();
@@ -331,7 +331,7 @@ pub fn refresh_page_with(
         content.raster.height(),
         &new_hashes,
     );
-    if let Some(a) = cache.get_if_raster(
+    if let Some(a) = cache.lookup_raster(
         key,
         rh,
         layout_hash,
@@ -343,7 +343,7 @@ pub fn refresh_page_with(
         return (a, RefreshPath::FullHit);
     }
 
-    let basis = cache.delta_basis(key);
+    let basis = cache.delta_basis_mut(key);
     let (strips, col_hashes, delta) = match &basis {
         Some((prev, prev_hashes))
             if prev.page.strips.width == content.raster.width()
@@ -355,8 +355,8 @@ pub fn refresh_page_with(
                 prev_hashes,
                 new_hashes,
             );
-            cache.stats.strips_reused += d.reused as u64;
-            cache.stats.strips_reencoded += d.reencoded as u64;
+            cache.stats_mut().strips_reused += d.reused as u64;
+            cache.stats_mut().strips_reencoded += d.reencoded as u64;
             (d.strips, d.hashes, true)
         }
         _ => (strip::encode(&content.raster), new_hashes, false),
@@ -373,8 +373,8 @@ pub fn refresh_page_with(
         Some(p) => match &basis {
             Some((prev, _)) if delta && prev.has_audio() => {
                 let s = link::modulate_spliced(p, &frames, &prev.audio, &prev.bursts);
-                cache.stats.bursts_reused += s.reused as u64;
-                cache.stats.bursts_modulated += s.modulated as u64;
+                cache.stats_mut().bursts_reused += s.reused as u64;
+                cache.stats_mut().bursts_modulated += s.modulated as u64;
                 (s.audio, s.table)
             }
             _ => link::modulate_with_table(p, &frames),
@@ -382,10 +382,10 @@ pub fn refresh_page_with(
         None => (Vec::new(), BurstTable::default()),
     };
     let path = if delta {
-        cache.stats.delta_hits += 1;
+        cache.stats_mut().delta_hits += 1;
         RefreshPath::Delta
     } else {
-        cache.stats.misses += 1;
+        cache.stats_mut().misses += 1;
         RefreshPath::Cold
     };
     let artifact = Artifact {
@@ -394,7 +394,7 @@ pub fn refresh_page_with(
         audio: Arc::new(audio),
         bursts,
     };
-    cache.insert(
+    cache.store(
         key,
         layout_hash,
         rh,
@@ -431,7 +431,7 @@ pub fn refresh_page_with(
 /// wants audio; they are rebuilt (still reusing strips via the delta path).
 pub fn refresh_pages(
     renderer: &Renderer,
-    cache: &mut ArtifactCache,
+    cache: &mut impl ArtifactTier,
     jobs: &[PageJob],
     profile: Option<&Profile>,
 ) -> (Vec<Artifact>, RefreshStats) {
@@ -467,7 +467,7 @@ pub fn refresh_pages(
 /// zero-copy: the scheduler holds the cache's `Arc`s, not copies.
 pub fn refresh_into_scheduler(
     renderer: &Renderer,
-    cache: &mut ArtifactCache,
+    cache: &mut impl ArtifactTier,
     jobs: &[PageJob],
     profile: Option<&Profile>,
     scheduler: &mut BroadcastScheduler,
@@ -478,6 +478,333 @@ pub fn refresh_into_scheduler(
         scheduler.enqueue_prechunked(a.page.clone(), a.frames.clone(), now_s);
     }
     (artifacts, stats)
+}
+
+/// How one page rides the current carousel revolution.
+#[derive(Debug, Clone)]
+pub enum CarouselSlot {
+    /// The page's layout or raster is unchanged since the cached build —
+    /// nothing is broadcast this revolution.
+    Unchanged,
+    /// Genuinely new content (no usable delta basis): the page gets a
+    /// full-page slot with its complete frame sequence and audio.
+    Full,
+    /// The page changed but a prior version is cached: only the meta
+    /// bracket plus the changed columns' chunks are broadcast.
+    Delta {
+        /// The delta frame subset (meta frames + changed columns' chunks),
+        /// each bit-identical to its counterpart in the full sequence.
+        frames: Arc<Vec<Frame>>,
+        /// OFDM audio for exactly `frames` — bit-identical to
+        /// `link::modulate(profile, frames)`.
+        audio: Arc<Vec<f32>>,
+        /// How many columns changed (0 is valid: meta-only version bump).
+        changed_columns: usize,
+    },
+}
+
+/// One page's outcome from [`refresh_carousel`].
+#[derive(Debug, Clone)]
+pub struct CarouselItem {
+    /// The page's corpus key.
+    pub id: PageId,
+    /// The up-to-date artifact (full frames and audio — the next
+    /// revolution's delta basis and the repair path's source).
+    pub artifact: Artifact,
+    /// What, if anything, goes on air for this page.
+    pub slot: CarouselSlot,
+}
+
+/// Aggregate accounting for one carousel revolution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CarouselStats {
+    /// Jobs processed.
+    pub pages: usize,
+    /// Pages that were byte-identical to the cached build.
+    pub unchanged: usize,
+    /// Pages given a full-page slot.
+    pub full_slots: usize,
+    /// Pages given a delta slot.
+    pub delta_slots: usize,
+    /// Frames across all full slots.
+    pub full_frames: usize,
+    /// Frames across all delta slots.
+    pub delta_frames: usize,
+    /// Columns re-broadcast across all delta slots.
+    pub columns_changed: usize,
+    /// Total columns across all delta-slotted pages.
+    pub columns_total: usize,
+}
+
+/// Selects the delta frame subset: the full meta bracket plus every chunk
+/// of a changed column. Chunk sequences stay intact per column (a column is
+/// rebroadcast whole, from seq 0), so the receiver's longest-prefix
+/// reassembly accepts them without a new wire format.
+fn delta_frame_subset(frames: &[Frame], changed: &[u16]) -> Vec<Frame> {
+    let mut is_changed = Vec::new();
+    for &c in changed {
+        let c = c as usize;
+        if c >= is_changed.len() {
+            is_changed.resize(c + 1, false);
+        }
+        is_changed[c] = true;
+    }
+    frames
+        .iter()
+        .filter(|f| match f {
+            Frame::Meta { .. } => true,
+            Frame::Strip { column, .. } => {
+                is_changed.get(*column as usize).copied().unwrap_or(false)
+            }
+        })
+        .cloned()
+        .collect()
+}
+
+/// Incremental carousel refresh: like [`refresh_pages`], but instead of
+/// always producing full-page artifacts for the scheduler, each page is
+/// classified into a [`CarouselSlot`]:
+///
+/// - **Unchanged** (layout or raster hash hit) — nothing airs.
+/// - **Delta** (changed, cached prior with matching dimensions) — the page
+///   is rebuilt (dirty strips only, via the delta basis), and the slot
+///   carries just the meta bracket plus changed columns' chunks, modulated
+///   directly. Because every frame is a pure function of the page and
+///   modulation a pure function of (profile, frames), the delta frames and
+///   audio are bit-identical to the corresponding subset of a cold build.
+/// - **Full** (no usable basis) — the complete frame sequence and audio,
+///   exactly the cold path.
+///
+/// Cached artifacts on the Delta path store the **full** frame sequence
+/// and full audio (spliced against the prior burst table): they are next
+/// hour's delta basis and serve repair requests. The slot's delta audio is
+/// the spliced audio itself when every column changed, else a direct
+/// modulation of the delta subset.
+pub fn refresh_carousel(
+    renderer: &Renderer,
+    cache: &mut impl ArtifactTier,
+    jobs: &[PageJob],
+    profile: &Profile,
+) -> (Vec<CarouselItem>, CarouselStats) {
+    let mut out = Vec::with_capacity(jobs.len());
+    for &job in jobs {
+        let lh = layout_hash_scaled(renderer, job.id, job.hour);
+        let item = carousel_page_with(cache, job.id, lh, job.hour, profile, || {
+            let rendered = renderer.corpus().render(job.id, job.hour, renderer.scale());
+            let site = &renderer.corpus().sites[job.id.site];
+            RenderedContent {
+                url: rendered.url,
+                raster: rendered.raster,
+                clickmap: rendered.clickmap,
+                version: (job.hour % u16::MAX as u64) as u16,
+                ttl_hours: site.category.landing_churn_hours().max(1) as u16,
+            }
+        });
+        out.push(item);
+    }
+    let stats = carousel_stats(&out);
+    (out, stats)
+}
+
+/// Folds a revolution's [`CarouselItem`]s into its [`CarouselStats`].
+pub fn carousel_stats(items: &[CarouselItem]) -> CarouselStats {
+    let mut stats = CarouselStats {
+        pages: items.len(),
+        ..CarouselStats::default()
+    };
+    for item in items {
+        match &item.slot {
+            CarouselSlot::Unchanged => stats.unchanged += 1,
+            CarouselSlot::Full => {
+                stats.full_slots += 1;
+                stats.full_frames += item.artifact.frames.len();
+            }
+            CarouselSlot::Delta {
+                frames,
+                changed_columns,
+                ..
+            } => {
+                stats.delta_slots += 1;
+                stats.delta_frames += frames.len();
+                stats.columns_changed += changed_columns;
+                stats.columns_total += item.artifact.page.strips.width;
+            }
+        }
+    }
+    stats
+}
+
+/// One page through the incremental carousel — the render-agnostic core of
+/// [`refresh_carousel`], mirroring [`refresh_page_with`]. `render` is only
+/// invoked when the layout hash misses.
+pub fn carousel_page_with(
+    cache: &mut impl ArtifactTier,
+    key: PageId,
+    layout_hash: u64,
+    hour: u64,
+    profile: &Profile,
+    render: impl FnOnce() -> RenderedContent,
+) -> CarouselItem {
+    // Audio is not required for the unchanged check: a delta-built
+    // artifact (cached without audio) still means "nothing new to air".
+    if let Some(a) = cache.lookup_layout(key, layout_hash, false) {
+        return CarouselItem {
+            id: key,
+            artifact: a,
+            slot: CarouselSlot::Unchanged,
+        };
+    }
+    let content = render();
+    let new_hashes = strip::column_hashes(&content.raster);
+    let rh = strip::raster_hash_from(
+        content.raster.width(),
+        content.raster.height(),
+        &new_hashes,
+    );
+    if let Some(a) = cache.lookup_raster(
+        key,
+        rh,
+        layout_hash,
+        &content.url,
+        &content.clickmap,
+        content.ttl_hours,
+        false,
+    ) {
+        return CarouselItem {
+            id: key,
+            artifact: a,
+            slot: CarouselSlot::Unchanged,
+        };
+    }
+    let basis = cache.delta_basis_mut(key);
+    let delta_basis = match &basis {
+        Some((prev, prev_hashes))
+            if prev.page.strips.width == content.raster.width()
+                && prev.page.strips.height == content.raster.height() =>
+        {
+            Some((prev, prev_hashes))
+        }
+        _ => None,
+    };
+    match delta_basis {
+        Some((prev, prev_hashes)) => {
+            let d = strip::encode_delta_prehashed(
+                &content.raster,
+                &prev.page.strips,
+                prev_hashes,
+                new_hashes,
+            );
+            cache.stats_mut().strips_reused += d.reused as u64;
+            cache.stats_mut().strips_reencoded += d.reencoded as u64;
+            let changed = strip::diff_columns(prev_hashes, &d.hashes);
+            let all_changed = changed.len() == d.hashes.len();
+            let page = Arc::new(SimplifiedPage::from_parts(
+                &content.url,
+                d.strips,
+                content.clickmap,
+                content.version,
+                content.ttl_hours,
+            ));
+            let frames_full = Arc::new(page_to_frames(&page));
+            // The cached artifact keeps full audio (next hour's splice
+            // basis and the repair path's source), built the cheap way:
+            // splice against the prior burst table where it exists.
+            let (audio, bursts) = if prev.has_audio() {
+                let s = link::modulate_spliced(profile, &frames_full, &prev.audio, &prev.bursts);
+                cache.stats_mut().bursts_reused += s.reused as u64;
+                cache.stats_mut().bursts_modulated += s.modulated as u64;
+                (s.audio, s.table)
+            } else {
+                link::modulate_with_table(profile, &frames_full)
+            };
+            cache.stats_mut().delta_hits += 1;
+            let artifact = Artifact {
+                page,
+                frames: frames_full,
+                audio: Arc::new(audio),
+                bursts,
+            };
+            // Slot audio: when every column changed the delta IS the full
+            // sequence, so the spliced audio serves verbatim; otherwise the
+            // (small) delta subset regroups into its own bursts and is
+            // modulated directly — still bit-identical to
+            // `link::modulate(profile, delta_frames)` by purity.
+            let (delta_frames, delta_audio) = if all_changed {
+                (artifact.frames.clone(), artifact.audio.clone())
+            } else {
+                let df = Arc::new(delta_frame_subset(&artifact.frames, &changed));
+                let (da, _) = link::modulate_with_table(profile, &df);
+                cache.stats_mut().bursts_modulated +=
+                    df.len().div_ceil(crate::link::FRAMES_PER_BURST) as u64;
+                (df, Arc::new(da))
+            };
+            cache.store(key, layout_hash, rh, Arc::new(d.hashes), artifact.clone(), hour);
+            CarouselItem {
+                id: key,
+                artifact,
+                slot: CarouselSlot::Delta {
+                    frames: delta_frames,
+                    audio: delta_audio,
+                    changed_columns: changed.len(),
+                },
+            }
+        }
+        None => {
+            let page = Arc::new(SimplifiedPage::from_parts(
+                &content.url,
+                strip::encode(&content.raster),
+                content.clickmap,
+                content.version,
+                content.ttl_hours,
+            ));
+            let frames = Arc::new(page_to_frames(&page));
+            let (audio, bursts) = link::modulate_with_table(profile, &frames);
+            cache.stats_mut().misses += 1;
+            let artifact = Artifact {
+                page,
+                frames,
+                audio: Arc::new(audio),
+                bursts,
+            };
+            cache.store(key, layout_hash, rh, Arc::new(new_hashes), artifact.clone(), hour);
+            CarouselItem {
+                id: key,
+                artifact,
+                slot: CarouselSlot::Full,
+            }
+        }
+    }
+}
+
+/// [`refresh_carousel`] that feeds the scheduler: Full slots take a
+/// full-page entry, Delta slots take a delta entry (which a queued full
+/// page supersedes, and which never serves repair requests), and Unchanged
+/// pages enqueue nothing.
+pub fn refresh_carousel_into_scheduler(
+    renderer: &Renderer,
+    cache: &mut impl ArtifactTier,
+    jobs: &[PageJob],
+    profile: &Profile,
+    scheduler: &mut BroadcastScheduler,
+    now_s: f64,
+) -> (Vec<CarouselItem>, CarouselStats) {
+    let (items, stats) = refresh_carousel(renderer, cache, jobs, profile);
+    for item in &items {
+        match &item.slot {
+            CarouselSlot::Unchanged => {}
+            CarouselSlot::Full => {
+                scheduler.enqueue_prechunked(
+                    item.artifact.page.clone(),
+                    item.artifact.frames.clone(),
+                    now_s,
+                );
+            }
+            CarouselSlot::Delta { frames, .. } => {
+                scheduler.enqueue_delta(item.artifact.page.clone(), frames.clone(), now_s);
+            }
+        }
+    }
+    (items, stats)
 }
 
 /// [`run_pipeline_with`] without a sink callback.
@@ -509,6 +836,7 @@ pub fn run_pipeline_into_scheduler(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::server::cache::ArtifactCache;
     use sonic_pagegen::Corpus;
 
     fn renderer() -> Renderer {

@@ -231,10 +231,17 @@ impl RepairPlanner {
                 self.pending.remove(&key);
                 continue;
             };
-            if sched.eta_for(page_id).is_some() {
-                // A full (or earlier repair) broadcast of this page is
-                // already queued and will serve these ranges; no burst (and
-                // no budget) needed.
+            if sched.eta_full_for(page_id).is_some() {
+                // A full broadcast of this page is already queued and covers
+                // any range; no burst (and no budget) needed. A queued delta
+                // slot does NOT count — its columns are the hour's dirty
+                // set, not this client's loss set.
+                self.pending.remove(&key);
+                continue;
+            }
+            if sched.repair_queued(page_id) {
+                // An earlier repair burst for this page is still in flight;
+                // let it air before spending more budget.
                 self.pending.remove(&key);
                 continue;
             }
@@ -247,7 +254,7 @@ impl RepairPlanner {
             self.stats.bursts_scheduled += 1;
             self.stats.frames_scheduled += frames.len();
             scheduled += 1;
-            sched.enqueue_prechunked(page, Arc::new(frames), now_s);
+            sched.enqueue_repair(page, Arc::new(frames), now_s);
             repair.attempts += 1;
             self.stats.max_attempts_on_page = self.stats.max_attempts_on_page.max(repair.attempts);
             // Ranges are now in flight; a client still missing data after

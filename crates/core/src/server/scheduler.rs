@@ -12,6 +12,18 @@ use crate::page::SimplifiedPage;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+/// What a queue entry carries for its page — the delta-carousel slotting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotKind {
+    /// The complete frame sequence of the page.
+    Full,
+    /// Only the page's changed columns (plus meta), diffed against the
+    /// version clients already hold.
+    Delta,
+    /// A targeted NACK-repair burst (subset of columns/ranges).
+    Repair,
+}
+
 /// One queued page.
 ///
 /// Both the page and its frame sequence are `Arc`-shared: the artifact
@@ -26,6 +38,8 @@ struct Queued {
     next: usize,
     /// Remaining airtime bytes.
     remaining_bytes: usize,
+    /// Whether this entry is a full page, a carousel delta or a repair.
+    kind: SlotKind,
 }
 
 /// FIFO broadcast scheduler at a fixed rate.
@@ -97,19 +111,72 @@ impl BroadcastScheduler {
     /// Dedupes by page id like [`enqueue`](Self::enqueue): a re-push of an
     /// unchanged page — same url and version, hence same id and identical
     /// frames — returns the existing entry's ETA instead of doubling the
-    /// backlog.
+    /// backlog. A full page also supersedes any not-yet-started delta or
+    /// repair burst for the same page id (it is a superset of both), so a
+    /// NACK repair queued the same tick cannot double-schedule the page.
     pub fn enqueue_prechunked(
         &mut self,
         page: Arc<SimplifiedPage>,
         frames: Arc<Vec<Frame>>,
         _now_s: f64,
     ) -> f64 {
+        if let Some(eta) = self.eta_kind_for(page.page_id, SlotKind::Full) {
+            return eta;
+        }
+        self.remove_superseded(page.page_id);
+        if frames.is_empty() {
+            return self.backlog_bytes as f64 * 8.0 / self.rate_bps;
+        }
+        self.push_entry(page, frames, SlotKind::Full)
+    }
+
+    /// Enqueues only a page's delta frames (meta + changed columns) — the
+    /// incremental carousel slot. Any queued entry for the same page id
+    /// (full, delta or repair) already covers at least this content's
+    /// airtime, so the enqueue dedupes against all of them.
+    pub fn enqueue_delta(
+        &mut self,
+        page: Arc<SimplifiedPage>,
+        delta_frames: Arc<Vec<Frame>>,
+        _now_s: f64,
+    ) -> f64 {
         if let Some(eta) = self.eta_if_queued(page.page_id) {
+            return eta;
+        }
+        if delta_frames.is_empty() {
+            return self.backlog_bytes as f64 * 8.0 / self.rate_bps;
+        }
+        self.push_entry(page, delta_frames, SlotKind::Delta)
+    }
+
+    /// Enqueues a targeted repair burst. A queued *full* page serves the
+    /// repair for free (it is a superset of any range), and an existing
+    /// repair entry coalesces; a queued delta does not satisfy it — the
+    /// delta's columns are the hour's dirty set, not the client's loss set.
+    pub fn enqueue_repair(
+        &mut self,
+        page: Arc<SimplifiedPage>,
+        frames: Arc<Vec<Frame>>,
+        _now_s: f64,
+    ) -> f64 {
+        if let Some(eta) = self.eta_kind_for(page.page_id, SlotKind::Full) {
+            return eta;
+        }
+        if let Some(eta) = self.eta_kind_for(page.page_id, SlotKind::Repair) {
             return eta;
         }
         if frames.is_empty() {
             return self.backlog_bytes as f64 * 8.0 / self.rate_bps;
         }
+        self.push_entry(page, frames, SlotKind::Repair)
+    }
+
+    fn push_entry(
+        &mut self,
+        page: Arc<SimplifiedPage>,
+        frames: Arc<Vec<Frame>>,
+        kind: SlotKind,
+    ) -> f64 {
         let remaining_bytes = frames.len() * FRAME_SIZE;
         self.backlog_bytes += remaining_bytes;
         self.queue.push_back(Queued {
@@ -117,25 +184,66 @@ impl BroadcastScheduler {
             frames,
             next: 0,
             remaining_bytes,
+            kind,
         });
         self.backlog_bytes as f64 * 8.0 / self.rate_bps
     }
 
-    /// ETA of a page already in the queue (the dedupe path).
-    fn eta_if_queued(&self, page_id: u32) -> Option<f64> {
-        let pos = self.queue.iter().position(|q| q.page.page_id == page_id)?;
+    /// Drops not-yet-started delta/repair entries for `page_id` — a full
+    /// page being enqueued covers both. Entries mid-emission are left to
+    /// finish (their already-aired frames are idempotent on receivers).
+    fn remove_superseded(&mut self, page_id: u32) {
+        let backlog = &mut self.backlog_bytes;
+        self.queue.retain(|q| {
+            let drop = q.page.page_id == page_id && q.kind != SlotKind::Full && q.next == 0;
+            if drop {
+                *backlog -= q.remaining_bytes;
+            }
+            !drop
+        });
+    }
+
+    /// ETA through a queue position (inclusive).
+    fn eta_through(&self, pos: usize) -> f64 {
         let bytes: usize = self
             .queue
             .iter()
             .take(pos + 1)
             .map(|q| q.remaining_bytes)
             .sum();
-        Some(bytes as f64 * 8.0 / self.rate_bps)
+        bytes as f64 * 8.0 / self.rate_bps
+    }
+
+    /// ETA of a page already in the queue, any entry kind (the dedupe path).
+    fn eta_if_queued(&self, page_id: u32) -> Option<f64> {
+        let pos = self.queue.iter().position(|q| q.page.page_id == page_id)?;
+        Some(self.eta_through(pos))
+    }
+
+    /// ETA of a queued entry of a specific kind.
+    fn eta_kind_for(&self, page_id: u32, kind: SlotKind) -> Option<f64> {
+        let pos = self
+            .queue
+            .iter()
+            .position(|q| q.page.page_id == page_id && q.kind == kind)?;
+        Some(self.eta_through(pos))
     }
 
     /// ETA in seconds for a queued url (None if not queued).
     pub fn eta_for(&self, page_id: u32) -> Option<f64> {
         self.eta_if_queued(page_id)
+    }
+
+    /// ETA of a queued *full-page* entry. Repair planning uses this: only a
+    /// full page is guaranteed to cover an arbitrary NACK range, so neither
+    /// a delta slot nor another repair should count as already-served.
+    pub fn eta_full_for(&self, page_id: u32) -> Option<f64> {
+        self.eta_kind_for(page_id, SlotKind::Full)
+    }
+
+    /// Whether a repair burst for `page_id` is already queued.
+    pub fn repair_queued(&self, page_id: u32) -> bool {
+        self.eta_kind_for(page_id, SlotKind::Repair).is_some()
     }
 
     /// Advances time by `dt` seconds, emitting the frames that fit in the
@@ -287,6 +395,76 @@ mod tests {
         s.enqueue_prechunked(p, Arc::new(Vec::new()), 0.0);
         assert_eq!(s.queue_len(), 0);
         assert!(s.advance(10.0).is_empty());
+    }
+
+    #[test]
+    fn full_page_supersedes_queued_repair_burst() {
+        let mut s = BroadcastScheduler::new(80_000.0);
+        let p = Arc::new(page("a", 60));
+        let all = Arc::new(crate::chunker::page_to_frames(&p));
+        let repair: Arc<Vec<Frame>> = Arc::new(all.iter().take(3).cloned().collect());
+        s.enqueue_repair(p.clone(), repair.clone(), 0.0);
+        assert_eq!(s.queue_len(), 1);
+        // Same tick, the full page arrives: the repair entry is dropped, not
+        // double-scheduled.
+        s.enqueue_prechunked(p.clone(), all.clone(), 0.0);
+        assert_eq!(s.queue_len(), 1);
+        assert_eq!(s.backlog_bytes(), all.len() * FRAME_SIZE);
+        // And the full entry now serves later repairs for free.
+        assert!(s.eta_full_for(p.page_id).is_some());
+        let before = s.backlog_bytes();
+        s.enqueue_repair(p.clone(), repair, 1.0);
+        assert_eq!(s.backlog_bytes(), before);
+    }
+
+    #[test]
+    fn repair_enqueues_coalesce_but_delta_does_not_serve_them() {
+        let mut s = BroadcastScheduler::new(80_000.0);
+        let p = Arc::new(page("a", 60));
+        let all = crate::chunker::page_to_frames(&p);
+        let delta: Arc<Vec<Frame>> = Arc::new(all.iter().take(4).cloned().collect());
+        let repair: Arc<Vec<Frame>> = Arc::new(all.iter().skip(4).take(3).cloned().collect());
+        s.enqueue_delta(p.clone(), delta.clone(), 0.0);
+        assert!(s.eta_full_for(p.page_id).is_none(), "delta is not a full slot");
+        // A repair for ranges the delta may not carry still schedules.
+        s.enqueue_repair(p.clone(), repair.clone(), 0.0);
+        assert_eq!(s.queue_len(), 2);
+        assert!(s.repair_queued(p.page_id));
+        // A second repair for the same page coalesces.
+        let before = s.backlog_bytes();
+        s.enqueue_repair(p.clone(), repair, 1.0);
+        assert_eq!(s.backlog_bytes(), before);
+        assert_eq!(s.queue_len(), 2);
+    }
+
+    #[test]
+    fn delta_enqueue_dedupes_against_any_queued_entry_and_drains_in_order() {
+        let mut s = BroadcastScheduler::new(80_000.0);
+        let p = Arc::new(page("a", 60));
+        let all = Arc::new(crate::chunker::page_to_frames(&p));
+        let delta: Arc<Vec<Frame>> = Arc::new(all.iter().take(5).cloned().collect());
+        let eta = s.enqueue_delta(p.clone(), delta.clone(), 0.0);
+        assert!(eta > 0.0);
+        assert_eq!(s.backlog_bytes(), delta.len() * FRAME_SIZE);
+        // Re-push of the delta dedupes.
+        let eta2 = s.enqueue_delta(p.clone(), delta.clone(), 1.0);
+        assert!((eta2 - eta).abs() < 1e-9);
+        assert_eq!(s.queue_len(), 1);
+        // With a full entry queued, a delta for the same page is covered.
+        let q = Arc::new(page("b", 60));
+        let q_frames = Arc::new(crate::chunker::page_to_frames(&q));
+        s.enqueue_prechunked(q.clone(), q_frames.clone(), 2.0);
+        let before = s.backlog_bytes();
+        s.enqueue_delta(q.clone(), delta.clone(), 2.0);
+        assert_eq!(s.backlog_bytes(), before);
+        // Everything drains FIFO: the delta frames, then the full page's.
+        let mut got = Vec::new();
+        for _ in 0..400 {
+            got.extend(s.advance(0.05));
+        }
+        let want: Vec<Frame> = delta.iter().chain(q_frames.iter()).cloned().collect();
+        assert_eq!(got, want);
+        assert_eq!(s.backlog_bytes(), 0);
     }
 
     #[test]

@@ -1,0 +1,612 @@
+//! Persistent tiered artifact store: the disk tier under the RAM
+//! [`ArtifactCache`](crate::server::cache::ArtifactCache).
+//!
+//! Two append-only files live in the store directory:
+//!
+//! * `blobs.dat` — write-once blob data. A blob is one serialized artifact
+//!   (page metadata, per-column strip bytes, click map, column hashes,
+//!   modulated audio, burst spans). Blobs are content-addressed by an
+//!   FNV-64 of their bytes: a `put` whose blob already exists reuses the
+//!   existing span and writes nothing to the data file.
+//! * `index.log` — fixed-size CRC-framed records, one per mutation
+//!   (insert or evict). The in-memory entry map is a pure fold over the
+//!   record sequence, so reopening replays the log.
+//!
+//! **Crash safety** is scan-and-truncate: on open the log is read
+//! sequentially and stops at the first record that is short, has a bad
+//! magic, fails its CRC, or points past the end of the data file (a torn
+//! blob tail). Everything before that point — exactly the CRC-valid
+//! prefix — is recovered; the torn tail of both files is truncated so the
+//! next append starts clean.
+//!
+//! **Determinism**: entries live in a `BTreeMap`, eviction order is the
+//! replayed LRU clock, and nothing reads a wall clock — versions are keyed
+//! by the logical broadcast hour the caller passes in. Two same-seed runs
+//! produce byte-identical `blobs.dat` + `index.log`.
+//!
+//! Frames are *not* stored: `page_to_frames` is a pure function of the
+//! page, so [`load`](ArtifactStore::load) recomputes them — cheaper than
+//! the disk bytes they would cost.
+
+use crate::chunker::page_to_frames;
+use crate::link::{BurstSpan, BurstTable};
+use crate::page::SimplifiedPage;
+use crate::server::cache::Artifact;
+use sonic_fec::crc32;
+use sonic_image::clickmap::ClickMap;
+use sonic_image::hash::Fnv64;
+use sonic_image::strip::StripImage;
+use sonic_pagegen::PageId;
+use std::collections::BTreeMap;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Index record framing: `"SIDX"` little-endian.
+const RECORD_MAGIC: u32 = 0x5844_4953;
+/// Blob framing magic (first field of every serialized artifact).
+const BLOB_MAGIC: u32 = 0x424C_4F53;
+/// Fixed index record size in bytes (magic..record CRC inclusive).
+pub const RECORD_LEN: usize = 69;
+
+/// Record kinds.
+const KIND_INSERT: u8 = 1;
+const KIND_EVICT: u8 = 2;
+
+/// One live entry of the store's index.
+#[derive(Debug, Clone, Copy)]
+struct StoreEntry {
+    layout_hash: u64,
+    raster_hash: u64,
+    hour: u64,
+    offset: u64,
+    len: u64,
+    blob_key: u64,
+    blob_crc: u32,
+    last_used: u64,
+}
+
+/// An artifact loaded from the disk tier, with the content addresses the
+/// RAM tier needs to re-index it.
+#[derive(Debug)]
+pub struct StoredArtifact {
+    /// The reconstructed artifact (frames recomputed, audio as stored).
+    pub artifact: Artifact,
+    /// Per-column raster hashes (the delta-diff index).
+    pub column_hashes: Arc<Vec<u64>>,
+    /// Layout hash the entry was stored under.
+    pub layout_hash: u64,
+    /// Raster hash the entry was stored under.
+    pub raster_hash: u64,
+    /// Logical hour the artifact was built.
+    pub hour: u64,
+}
+
+/// Store counters (bench + soak diagnostics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// `put` calls that appended a new blob.
+    pub inserts: u64,
+    /// `put` calls whose blob already existed (write-once dedupe).
+    pub blob_reuses: u64,
+    /// Entries evicted to hold the byte budget.
+    pub evictions: u64,
+    /// Successful `load`s.
+    pub loads: u64,
+    /// Blobs dropped on load because their bytes failed the stored CRC.
+    pub corrupt_blobs: u64,
+    /// I/O errors swallowed by the tiered fast path (entry kept in RAM).
+    pub io_errors: u64,
+    /// Entries recovered by the rebuild-on-open scan.
+    pub recovered_entries: u64,
+    /// Torn index-log bytes truncated on open.
+    pub truncated_index_bytes: u64,
+    /// Torn blob bytes truncated on open.
+    pub truncated_blob_bytes: u64,
+}
+
+/// Disk-backed write-once artifact store. See the module docs for the file
+/// formats and crash-safety rules.
+#[derive(Debug)]
+pub struct ArtifactStore {
+    dir: PathBuf,
+    data: std::fs::File,
+    index: std::fs::File,
+    entries: BTreeMap<PageId, StoreEntry>,
+    /// blob key → (offset, len, crc, live refcount). Write-once dedupe and
+    /// live-byte accounting over distinct blobs.
+    blobs: BTreeMap<u64, (u64, u64, u32, u32)>,
+    /// Next append offset in `blobs.dat`.
+    append_off: u64,
+    byte_budget: u64,
+    clock: u64,
+    /// Counters.
+    pub stats: StoreStats,
+}
+
+impl ArtifactStore {
+    /// Opens (creating if absent) the store in `dir`, bounded to
+    /// `byte_budget` live blob bytes, replaying and crash-repairing the
+    /// index log.
+    pub fn open(dir: impl AsRef<Path>, byte_budget: u64) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let data = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(dir.join("blobs.dat"))?;
+        let index = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(dir.join("index.log"))?;
+        let mut store = ArtifactStore {
+            dir,
+            data,
+            index,
+            entries: BTreeMap::new(),
+            blobs: BTreeMap::new(),
+            append_off: 0,
+            byte_budget,
+            clock: 0,
+            stats: StoreStats::default(),
+        };
+        store.rebuild()?;
+        Ok(store)
+    }
+
+    /// Scan + CRC-validate the index log, fold the valid prefix into the
+    /// entry map, truncate both torn tails.
+    fn rebuild(&mut self) -> io::Result<()> {
+        let data_len = self.data.seek(SeekFrom::End(0))?;
+        self.index.seek(SeekFrom::Start(0))?;
+        let mut log = Vec::new();
+        self.index.read_to_end(&mut log)?;
+
+        let mut valid = 0usize;
+        while valid + RECORD_LEN <= log.len() {
+            let rec = &log[valid..valid + RECORD_LEN];
+            if read_u32(rec, 0) != RECORD_MAGIC {
+                break;
+            }
+            if crc32(&rec[..RECORD_LEN - 4]) != read_u32(rec, RECORD_LEN - 4) {
+                break;
+            }
+            let kind = rec[4];
+            let id = PageId {
+                site: read_u32(rec, 5) as usize,
+                page: read_u32(rec, 9) as usize,
+            };
+            match kind {
+                KIND_INSERT => {
+                    let offset = read_u64(rec, 37);
+                    let len = read_u64(rec, 45);
+                    if offset.saturating_add(len) > data_len {
+                        break; // record outlived its torn blob
+                    }
+                    let entry = StoreEntry {
+                        layout_hash: read_u64(rec, 13),
+                        raster_hash: read_u64(rec, 21),
+                        hour: read_u64(rec, 29),
+                        offset,
+                        len,
+                        blob_key: read_u64(rec, 53),
+                        blob_crc: read_u32(rec, 61),
+                        last_used: self.clock,
+                    };
+                    self.clock += 1;
+                    self.apply_insert(id, entry);
+                    self.append_off = self.append_off.max(offset + len);
+                }
+                KIND_EVICT => {
+                    self.remove_entry(id);
+                }
+                _ => break,
+            }
+            valid += RECORD_LEN;
+        }
+        self.stats.recovered_entries = self.entries.len() as u64;
+        self.stats.truncated_index_bytes = (log.len() - valid) as u64;
+        if valid < log.len() {
+            self.index.set_len(valid as u64)?;
+        }
+        if self.append_off < data_len {
+            self.stats.truncated_blob_bytes = data_len - self.append_off;
+            self.data.set_len(self.append_off)?;
+        }
+        self.index.seek(SeekFrom::End(0))?;
+        Ok(())
+    }
+
+    fn apply_insert(&mut self, id: PageId, entry: StoreEntry) {
+        if let Some(old) = self.entries.insert(id, entry) {
+            self.deref_blob(old.blob_key);
+        }
+        let slot = self
+            .blobs
+            .entry(entry.blob_key)
+            .or_insert((entry.offset, entry.len, entry.blob_crc, 0));
+        slot.3 += 1;
+    }
+
+    fn remove_entry(&mut self, id: PageId) -> bool {
+        match self.entries.remove(&id) {
+            Some(e) => {
+                self.deref_blob(e.blob_key);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn deref_blob(&mut self, key: u64) {
+        if let Some(slot) = self.blobs.get_mut(&key) {
+            slot.3 = slot.3.saturating_sub(1);
+            if slot.3 == 0 {
+                // Dead blob: its file bytes stay (write-once), but it no
+                // longer counts against the live budget and a future put of
+                // the same content may still reuse the span.
+                // Keep the map entry so dedupe survives.
+            }
+        }
+    }
+
+    /// Store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entry is live.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes of blobs referenced by at least one live entry.
+    pub fn live_bytes(&self) -> u64 {
+        self.blobs
+            .values()
+            .filter(|(_, _, _, refs)| *refs > 0)
+            .map(|(_, len, _, _)| *len)
+            .sum()
+    }
+
+    /// Total bytes appended to `blobs.dat` (live + dead).
+    pub fn blob_file_bytes(&self) -> u64 {
+        self.append_off
+    }
+
+    /// Configured live-byte budget.
+    pub fn byte_budget(&self) -> u64 {
+        self.byte_budget
+    }
+
+    /// The content addresses of a live entry, without touching the data
+    /// file: `(layout_hash, raster_hash, hour)`.
+    pub fn entry_meta(&self, id: PageId) -> Option<(u64, u64, u64)> {
+        self.entries
+            .get(&id)
+            .map(|e| (e.layout_hash, e.raster_hash, e.hour))
+    }
+
+    /// Inserts (or refreshes) an artifact. Content-identical blobs are
+    /// written once: a `put` whose serialized bytes already live in the
+    /// data file appends only a 69-byte index record. Returns whether new
+    /// blob bytes hit the disk.
+    pub fn put(
+        &mut self,
+        id: PageId,
+        layout_hash: u64,
+        raster_hash: u64,
+        column_hashes: &[u64],
+        artifact: &Artifact,
+        hour: u64,
+    ) -> io::Result<bool> {
+        let blob = encode_blob(artifact, column_hashes);
+        let blob_key = {
+            let mut h = Fnv64::new();
+            h.write(&blob).write_u64(blob.len() as u64);
+            h.finish()
+        };
+        let blob_crc = crc32(&blob);
+
+        // No-op fast path: the same content is already indexed under the
+        // same addresses — do not grow the log.
+        if let Some(e) = self.entries.get(&id) {
+            if e.blob_key == blob_key && e.layout_hash == layout_hash && e.raster_hash == raster_hash
+            {
+                return Ok(false);
+            }
+        }
+
+        let (offset, len, wrote) = match self.blobs.get(&blob_key) {
+            Some(&(off, len, _, _)) => {
+                self.stats.blob_reuses += 1;
+                (off, len, false)
+            }
+            None => {
+                let off = self.append_off;
+                self.data.seek(SeekFrom::Start(off))?;
+                self.data.write_all(&blob)?;
+                self.append_off = off + blob.len() as u64;
+                self.stats.inserts += 1;
+                (off, blob.len() as u64, true)
+            }
+        };
+
+        let entry = StoreEntry {
+            layout_hash,
+            raster_hash,
+            hour,
+            offset,
+            len,
+            blob_key,
+            blob_crc,
+            last_used: self.clock,
+        };
+        self.clock += 1;
+        self.write_record(KIND_INSERT, id, &entry)?;
+        self.apply_insert(id, entry);
+        self.evict_to_budget(Some(id))?;
+        Ok(wrote)
+    }
+
+    /// Loads a live entry's artifact, validating the blob CRC. A corrupt
+    /// blob drops the entry (counted in `corrupt_blobs`) and returns
+    /// `None` — the caller rebuilds cold.
+    pub fn load(&mut self, id: PageId) -> Option<StoredArtifact> {
+        let entry = *self.entries.get(&id)?;
+        let mut blob = vec![0u8; entry.len as usize];
+        let read_ok = self
+            .data
+            .seek(SeekFrom::Start(entry.offset))
+            .and_then(|_| self.data.read_exact(&mut blob))
+            .is_ok();
+        if !read_ok || crc32(&blob) != entry.blob_crc {
+            self.stats.corrupt_blobs += 1;
+            self.remove_entry(id);
+            return None;
+        }
+        let (artifact, column_hashes) = decode_blob(&blob)?;
+        self.clock += 1;
+        if let Some(e) = self.entries.get_mut(&id) {
+            e.last_used = self.clock;
+        }
+        self.stats.loads += 1;
+        Some(StoredArtifact {
+            artifact,
+            column_hashes: Arc::new(column_hashes),
+            layout_hash: entry.layout_hash,
+            raster_hash: entry.raster_hash,
+            hour: entry.hour,
+        })
+    }
+
+    fn write_record(&mut self, kind: u8, id: PageId, entry: &StoreEntry) -> io::Result<()> {
+        let mut rec = [0u8; RECORD_LEN];
+        write_u32(&mut rec, 0, RECORD_MAGIC);
+        rec[4] = kind;
+        write_u32(&mut rec, 5, id.site as u32);
+        write_u32(&mut rec, 9, id.page as u32);
+        write_u64(&mut rec, 13, entry.layout_hash);
+        write_u64(&mut rec, 21, entry.raster_hash);
+        write_u64(&mut rec, 29, entry.hour);
+        write_u64(&mut rec, 37, entry.offset);
+        write_u64(&mut rec, 45, entry.len);
+        write_u64(&mut rec, 53, entry.blob_key);
+        write_u32(&mut rec, 61, entry.blob_crc);
+        let crc = crc32(&rec[..RECORD_LEN - 4]);
+        write_u32(&mut rec, RECORD_LEN - 4, crc);
+        self.index.write_all(&rec)
+    }
+
+    /// Evicts LRU entries (appending evict records) until the live-byte
+    /// budget holds, sparing `keep`.
+    fn evict_to_budget(&mut self, keep: Option<PageId>) -> io::Result<()> {
+        while self.live_bytes() > self.byte_budget && self.entries.len() > 1 {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(k, _)| Some(**k) != keep)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, e)| (*k, *e));
+            let Some((vid, ventry)) = victim else { break };
+            self.write_record(KIND_EVICT, vid, &ventry)?;
+            self.remove_entry(vid);
+            self.stats.evictions += 1;
+        }
+        Ok(())
+    }
+}
+
+// --- little-endian field helpers -----------------------------------------
+
+fn read_u32(buf: &[u8], at: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&buf[at..at + 4]);
+    u32::from_le_bytes(b)
+}
+
+fn read_u64(buf: &[u8], at: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[at..at + 8]);
+    u64::from_le_bytes(b)
+}
+
+fn write_u32(buf: &mut [u8], at: usize, v: u32) {
+    buf[at..at + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+fn write_u64(buf: &mut [u8], at: usize, v: u64) {
+    buf[at..at + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+// --- blob codec -----------------------------------------------------------
+
+fn push_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Serializes an artifact (everything except its frames, which are a pure
+/// function of the page) plus its per-column hash index.
+fn encode_blob(artifact: &Artifact, column_hashes: &[u64]) -> Vec<u8> {
+    let p = &artifact.page;
+    let clickmap = p.clickmap.encode();
+    let mut out = Vec::with_capacity(
+        64 + p.url.len()
+            + p.strips.total_bytes()
+            + p.strips.width * 4
+            + clickmap.len()
+            + column_hashes.len() * 8
+            + artifact.audio.len() * 4
+            + artifact.bursts.spans.len() * 24,
+    );
+    push_u32(&mut out, BLOB_MAGIC);
+    push_u16(&mut out, p.version);
+    push_u16(&mut out, p.ttl_hours);
+    push_u16(&mut out, p.url.len() as u16);
+    out.extend_from_slice(p.url.as_bytes());
+    push_u32(&mut out, p.strips.width as u32);
+    push_u32(&mut out, p.strips.height as u32);
+    for strip in &p.strips.strips {
+        push_u32(&mut out, strip.len() as u32);
+        out.extend_from_slice(strip);
+    }
+    push_u32(&mut out, clickmap.len() as u32);
+    out.extend_from_slice(&clickmap);
+    push_u32(&mut out, column_hashes.len() as u32);
+    for &h in column_hashes {
+        push_u64(&mut out, h);
+    }
+    push_u32(&mut out, artifact.audio.len() as u32);
+    // Bulk-convert the audio (the dominant blob section): one resize and a
+    // chunked store instead of 4-byte extends per sample.
+    let audio_at = out.len();
+    out.resize(audio_at + artifact.audio.len() * 4, 0);
+    for (dst, &s) in out[audio_at..]
+        .chunks_exact_mut(4)
+        .zip(artifact.audio.iter())
+    {
+        dst.copy_from_slice(&s.to_bits().to_le_bytes());
+    }
+    push_u32(&mut out, artifact.bursts.spans.len() as u32);
+    for span in &artifact.bursts.spans {
+        push_u64(&mut out, span.payload_hash);
+        push_u64(&mut out, span.start as u64);
+        push_u64(&mut out, span.len as u64);
+    }
+    out
+}
+
+/// Bounds-checked little-endian reader over a blob.
+struct BlobReader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> BlobReader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.at.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let slice = &self.buf[self.at..end];
+        self.at = end;
+        Some(slice)
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        let b = self.take(2)?;
+        Some(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        let b = self.take(4)?;
+        Some(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Some(u64::from_le_bytes(a))
+    }
+}
+
+/// Deserializes a blob back into an artifact (frames recomputed) and its
+/// column-hash index. Total: any malformed blob yields `None`.
+fn decode_blob(blob: &[u8]) -> Option<(Artifact, Vec<u64>)> {
+    let mut r = BlobReader { buf: blob, at: 0 };
+    if r.u32()? != BLOB_MAGIC {
+        return None;
+    }
+    let version = r.u16()?;
+    let ttl_hours = r.u16()?;
+    let url_len = r.u16()? as usize;
+    let url = std::str::from_utf8(r.take(url_len)?).ok()?.to_string();
+    let width = r.u32()? as usize;
+    let height = r.u32()? as usize;
+    let mut strips = Vec::with_capacity(width);
+    for _ in 0..width {
+        let len = r.u32()? as usize;
+        strips.push(r.take(len)?.to_vec());
+    }
+    let cm_len = r.u32()? as usize;
+    let clickmap = ClickMap::decode(r.take(cm_len)?)?;
+    let n_hashes = r.u32()? as usize;
+    let mut column_hashes = Vec::with_capacity(n_hashes);
+    for _ in 0..n_hashes {
+        column_hashes.push(r.u64()?);
+    }
+    let n_audio = r.u32()? as usize;
+    let audio_bytes = r.take(n_audio.checked_mul(4)?)?;
+    let audio: Vec<f32> = audio_bytes
+        .chunks_exact(4)
+        .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        .collect();
+    let n_spans = r.u32()? as usize;
+    let mut spans = Vec::with_capacity(n_spans);
+    for _ in 0..n_spans {
+        spans.push(BurstSpan {
+            payload_hash: r.u64()?,
+            start: r.u64()? as usize,
+            len: r.u64()? as usize,
+        });
+    }
+    let page = Arc::new(SimplifiedPage::from_parts(
+        &url,
+        StripImage {
+            width,
+            height,
+            strips,
+        },
+        clickmap,
+        version,
+        ttl_hours,
+    ));
+    let frames = Arc::new(page_to_frames(&page));
+    Some((
+        Artifact {
+            page,
+            frames,
+            audio: Arc::new(audio),
+            bursts: BurstTable { spans },
+        },
+        column_hashes,
+    ))
+}

@@ -57,6 +57,12 @@ impl LossMask {
         self.lost[y * self.width + x] = true;
     }
 
+    /// Clears one pixel back to received — used when a lost region is
+    /// patched from a cached prior version instead of interpolated.
+    pub fn set_received(&mut self, x: usize, y: usize) {
+        self.lost[y * self.width + x] = false;
+    }
+
     /// Whether a pixel was lost.
     #[inline]
     pub fn is_lost(&self, x: usize, y: usize) -> bool {

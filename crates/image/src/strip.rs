@@ -307,6 +307,23 @@ pub fn encode_delta_prehashed(
     }
 }
 
+/// Columns whose content address changed between two hash indexes — the
+/// delta-carousel's dirty set. Both slices must describe the same width;
+/// a length mismatch means the dimensions changed and *every* column is
+/// dirty, so all of them are returned.
+pub fn diff_columns(prev_hashes: &[u64], new_hashes: &[u64]) -> Vec<u16> {
+    if prev_hashes.len() != new_hashes.len() {
+        return (0..new_hashes.len() as u16).collect();
+    }
+    new_hashes
+        .iter()
+        .zip(prev_hashes)
+        .enumerate()
+        .filter(|(_, (n, p))| n != p)
+        .map(|(x, _)| x as u16)
+        .collect()
+}
+
 /// Decodes a strip image where each column may have lost a byte suffix.
 ///
 /// `received[x]` is the number of leading bytes of column `x` that arrived

@@ -83,6 +83,35 @@ fn r3_determinism_exact_diagnostics() {
 }
 
 #[test]
+fn r3_covers_tiered_store_module() {
+    // The disk artifact store lives under `crates/core/src/server/` and is
+    // therefore in R3's deterministic scope: same-seed runs must leave
+    // byte-identical on-disk state, so hasher order and wall clocks are
+    // banned from it. A store-shaped fixture must light up line by line…
+    let got = triples("crates/core/src/server/store.rs", "r3_store_determinism.rs");
+    let want = vec![
+        (Rule::Determinism, 3, "HashMap".to_string()),
+        (Rule::Determinism, 4, "SystemTime".to_string()),
+        (Rule::Determinism, 7, "HashMap".to_string()),
+        (Rule::Determinism, 12, "Instant::now".to_string()),
+        (Rule::Determinism, 14, "SystemTime".to_string()),
+        (Rule::Determinism, 17, "thread_rng".to_string()),
+    ];
+    assert_eq!(got, want);
+
+    // …and the real store module must stay silent under the same rule.
+    let real = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../core/src/server/store.rs");
+    let src = SourceFile {
+        path: "crates/core/src/server/store.rs".to_string(),
+        text: std::fs::read_to_string(&real)
+            .unwrap_or_else(|e| panic!("store module unreadable: {e}")),
+    };
+    let findings = lint_sources(&[src]);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
 fn r3_out_of_scope_is_silent() {
     // Same nondeterministic code outside sim/faults/server: not our rule.
     let got = triples("crates/pagegen/src/fixture.rs", "r3_determinism.rs");

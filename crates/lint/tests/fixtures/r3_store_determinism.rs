@@ -1,0 +1,20 @@
+// Store-shaped R3 fixture: an index-log replay that leaks hasher order
+// and wall clocks into state that must be byte-identical across same-seed
+use std::collections::HashMap;
+use std::time::SystemTime;
+
+pub struct BadStore {
+    blobs: HashMap<u64, (u64, u64)>,
+}
+
+impl BadStore {
+    pub fn rebuild(&mut self, records: &[[u8; 69]]) -> u64 {
+        let t0 = std::time::Instant::now();
+        for _rec in records {
+            let stamp = SystemTime::now();
+            let _ = stamp;
+        }
+        let jitter: u64 = rand::thread_rng().gen();
+        t0.elapsed().as_nanos() as u64 ^ jitter
+    }
+}

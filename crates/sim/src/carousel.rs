@@ -1,0 +1,385 @@
+//! Incremental delta-carousel and warm-restart harnesses.
+//!
+//! Three closed loops over the server's tiered refresh path:
+//!
+//! * [`run_delta_carousel`] — hour-by-hour corpus churn where changed pages
+//!   air only their delta frames (meta bracket + changed columns). The
+//!   synthetic corpus swaps full-width sections, so a changed page's delta
+//!   covers every column — the air win in this regime is the unchanged
+//!   pages airing nothing, and the report proves the delta path never costs
+//!   more than a full carousel.
+//! * [`run_ticker_carousel`] — seeded partial-width updates (a ticker or
+//!   sidebar column band changes, the rest of the page is untouched): the
+//!   regime where column-granular deltas cut air bytes outright and
+//!   receivers patch the un-aired columns from their cached prior raster.
+//! * [`run_warm_restart`] — builds an hour's corpus into a disk-backed
+//!   [`ArtifactStore`], drops every in-RAM handle, reopens the store from
+//!   its index log, and refreshes again: every page must be served by
+//!   promotion from disk, not re-rendered.
+//!
+//! Every receiver decode goes through the production [`Reassembler`] and is
+//! verified pixel-identical to a lossless decode of the server's artifact.
+//! Everything is deterministic: logical hours drive versioning, mutation
+//! patterns come from a seeded LCG, maps are `BTreeMap`, and no wall clock
+//! is consulted — timing belongs to the bench harness, not this module.
+
+use sonic_core::reassembly::{Reassembler, ReassemblerConfig};
+use sonic_core::server::cache::{share_store, ArtifactCache, TieredCache};
+use sonic_core::server::pipeline::{
+    carousel_page_with, refresh_carousel, refresh_pages, CarouselItem, CarouselSlot, PageJob,
+    RenderedContent,
+};
+use sonic_core::server::render::Renderer;
+use sonic_core::server::scheduler::BroadcastScheduler;
+use sonic_core::server::store::ArtifactStore;
+use sonic_image::hash::Fnv64;
+use sonic_image::raster::{Raster, Rgb};
+use sonic_image::strip;
+use sonic_modem::profile::Profile;
+use sonic_pagegen::Corpus;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// What an incremental carousel run did, and whether every receiver decode
+/// matched the server's artifacts. Same inputs ⇒ same report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaCarouselReport {
+    /// Revolutions simulated after the cold build.
+    pub hours: u64,
+    /// Pages in the catalog.
+    pub pages: usize,
+    /// Full-page slots aired (cold builds: genuinely new content).
+    pub full_slots: usize,
+    /// Delta slots aired (changed pages with a cached basis).
+    pub delta_slots: usize,
+    /// Page-revolutions where nothing aired (unchanged).
+    pub unchanged: usize,
+    /// Air bytes a naive carousel would spend (full frames for every
+    /// changed page).
+    pub air_bytes_full_carousel: usize,
+    /// Air bytes the incremental carousel actually spent.
+    pub air_bytes_incremental: usize,
+    /// Receiver decodes that did not match the server artifact — must be 0.
+    pub decode_mismatches: usize,
+    /// Columns receivers patched from their cached prior rasters.
+    pub columns_patched: usize,
+}
+
+/// Airs one revolution's slots through a [`BroadcastScheduler`], reassembles
+/// every aired page with the production receiver, patches deliberately
+/// un-aired columns from the client's prior rasters and verifies each
+/// result against a lossless decode of the server artifact.
+fn air_and_verify(
+    items: &[CarouselItem],
+    client: &mut BTreeMap<String, Raster>,
+    report: &mut DeltaCarouselReport,
+    count_air: bool,
+) {
+    let mut sched = BroadcastScheduler::new(10_000.0);
+    for item in items {
+        match &item.slot {
+            CarouselSlot::Unchanged => {}
+            CarouselSlot::Full => {
+                sched.enqueue_prechunked(
+                    item.artifact.page.clone(),
+                    item.artifact.frames.clone(),
+                    0.0,
+                );
+            }
+            CarouselSlot::Delta { frames, .. } => {
+                sched.enqueue_delta(item.artifact.page.clone(), frames.clone(), 0.0);
+            }
+        }
+    }
+    let mut rx = Reassembler::with_config(ReassemblerConfig {
+        max_bytes: usize::MAX / 2,
+        max_pages: usize::MAX / 2,
+        page_deadline_s: f64::INFINITY,
+    });
+    loop {
+        let frames = sched.advance(60.0);
+        if frames.is_empty() {
+            break;
+        }
+        for f in frames {
+            rx.push_at(f, 0.0);
+        }
+    }
+    for item in items {
+        let aired_frames = match &item.slot {
+            CarouselSlot::Unchanged => None,
+            CarouselSlot::Full => Some(item.artifact.frames.len()),
+            CarouselSlot::Delta { frames, .. } => Some(frames.len()),
+        };
+        let Some(aired) = aired_frames else { continue };
+        if count_air {
+            report.air_bytes_full_carousel +=
+                item.artifact.frames.len() * sonic_core::frame::FRAME_SIZE;
+            report.air_bytes_incremental += aired * sonic_core::frame::FRAME_SIZE;
+        }
+        let Some(Ok(mut page)) = rx.take(item.artifact.page.page_id) else {
+            report.decode_mismatches += 1;
+            continue;
+        };
+        // Columns the carousel deliberately did not air are wholly lost
+        // at the receiver; its cached prior raster fills them.
+        if let Some(prior) = client.get(&page.url) {
+            report.columns_patched += page.patch_from_prior(prior);
+        }
+        let reference = strip::decode(&item.artifact.page.strips);
+        if page.raster != reference
+            || page.url != item.artifact.page.url
+            || page.version != item.artifact.page.version
+        {
+            report.decode_mismatches += 1;
+        }
+        client.insert(page.url.clone(), page.raster);
+    }
+}
+
+/// Runs `hours` carousel revolutions (after a cold build at `start_hour`)
+/// over the whole corpus at `scale`, verifying every receiver decode.
+/// Synthetic corpora freeze content overnight — start at hour ≥ 6 to see
+/// churn.
+pub fn run_delta_carousel(
+    corpus: Corpus,
+    scale: f64,
+    start_hour: u64,
+    hours: u64,
+) -> DeltaCarouselReport {
+    let renderer = Renderer::new(corpus, scale);
+    let profile = Profile::sonic_10k();
+    let mut cache = ArtifactCache::unbounded();
+    let pages = renderer.corpus().pages();
+    let mut report = DeltaCarouselReport {
+        pages: pages.len(),
+        hours,
+        ..DeltaCarouselReport::default()
+    };
+    // Receiver-side prior rasters, keyed by URL (what a client caches).
+    let mut client: BTreeMap<String, Raster> = BTreeMap::new();
+    for hour in start_hour..=start_hour + hours {
+        let jobs: Vec<PageJob> = pages.iter().map(|&id| PageJob { id, hour }).collect();
+        let (items, stats) = refresh_carousel(&renderer, &mut cache, &jobs, &profile);
+        let warm = hour > start_hour;
+        if warm {
+            report.full_slots += stats.full_slots;
+            report.delta_slots += stats.delta_slots;
+            report.unchanged += stats.unchanged;
+        }
+        air_and_verify(&items, &mut client, &mut report, warm);
+    }
+    report
+}
+
+/// A deterministic LCG step (the repo's test-randomness idiom).
+fn lcg(x: u64) -> u64 {
+    x.wrapping_mul(1103515245).wrapping_add(12345)
+}
+
+/// Runs `hours` ticker-style revolutions: each hour a seeded half of the
+/// catalog gets a vertical band of `frac · width` columns overwritten (a
+/// ticker/sidebar update) while every other column is untouched. Changed
+/// pages therefore take delta slots that skip the unchanged columns — the
+/// partial-width regime the incremental carousel is built for.
+pub fn run_ticker_carousel(
+    corpus: Corpus,
+    scale: f64,
+    hours: u64,
+    frac: f64,
+) -> DeltaCarouselReport {
+    let profile = Profile::sonic_10k();
+    let mut cache = ArtifactCache::unbounded();
+    let ids = corpus.pages();
+    let mut report = DeltaCarouselReport {
+        pages: ids.len(),
+        hours,
+        ..DeltaCarouselReport::default()
+    };
+    // Server-side current page state: raster + a content revision counter
+    // (ticker updates accumulate; an untouched page keeps its last state).
+    let mut state: BTreeMap<(usize, usize), (RenderedContent, u64)> = BTreeMap::new();
+    for &id in &ids {
+        let r = corpus.render(id, 0, scale);
+        state.insert(
+            (id.site, id.page),
+            (
+                RenderedContent {
+                    url: r.url,
+                    raster: r.raster,
+                    clickmap: r.clickmap,
+                    version: 0,
+                    ttl_hours: 24,
+                },
+                0,
+            ),
+        );
+    }
+    let mut client: BTreeMap<String, Raster> = BTreeMap::new();
+    for rev in 0..=hours {
+        let mut items = Vec::with_capacity(ids.len());
+        for &id in &ids {
+            let slot = state
+                .get_mut(&(id.site, id.page))
+                .unwrap_or_else(|| unreachable!("state seeded for every page"));
+            let (content, revision) = slot;
+            let nonce = lcg(lcg(rev ^ ((id.site as u64) << 17) ^ ((id.page as u64) << 5)));
+            if rev > 0 && nonce.is_multiple_of(2) {
+                // Overwrite a wrapped band of columns with hour-seeded noise.
+                let w = content.raster.width();
+                let h = content.raster.height();
+                let band = ((w as f64 * frac) as usize).max(1);
+                let off = (lcg(nonce) % w as u64) as usize;
+                for i in 0..band {
+                    let x = (off + i) % w;
+                    for y in 0..h {
+                        let v = lcg(nonce ^ ((x as u64) << 32) ^ y as u64);
+                        content.raster.set(
+                            x,
+                            y,
+                            Rgb::new((v >> 8) as u8, (v >> 16) as u8, (v >> 24) as u8),
+                        );
+                    }
+                }
+                *revision += 1;
+                content.version = (*revision % u16::MAX as u64) as u16;
+            }
+            let lh = Fnv64::new()
+                .write(content.url.as_bytes())
+                .write_u64(*revision)
+                .finish();
+            let rendered = content.clone();
+            let item = carousel_page_with(&mut cache, id, lh, rev, &profile, move || rendered);
+            items.push(item);
+        }
+        if rev > 0 {
+            let stats = sonic_core::server::pipeline::carousel_stats(&items);
+            report.full_slots += stats.full_slots;
+            report.delta_slots += stats.delta_slots;
+            report.unchanged += stats.unchanged;
+        }
+        air_and_verify(&items, &mut client, &mut report, rev > 0);
+    }
+    report
+}
+
+/// What a warm restart did versus the cold boot that seeded it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WarmRestartReport {
+    /// Pages refreshed in each phase.
+    pub pages: usize,
+    /// Cold misses in the boot phase (every page, on an empty store).
+    pub cold_misses: u64,
+    /// Pages served by disk promotion after the restart — must equal
+    /// `pages` for a clean store.
+    pub promoted: u64,
+    /// Misses after the restart — must be 0.
+    pub warm_misses: u64,
+    /// Entries in the reopened store's index.
+    pub store_entries: usize,
+    /// Live blob bytes in the reopened store.
+    pub store_bytes: u64,
+}
+
+/// Cold-boots an hour's corpus into a disk store at `dir`, drops all RAM
+/// state, reopens the store (index-log rebuild) and refreshes the same
+/// hour again through a fresh RAM tier.
+pub fn run_warm_restart(
+    corpus: Corpus,
+    scale: f64,
+    hour: u64,
+    dir: &Path,
+    byte_budget: u64,
+) -> io::Result<WarmRestartReport> {
+    let renderer = Renderer::new(corpus, scale);
+    let profile = Profile::sonic_10k();
+    let jobs: Vec<PageJob> = renderer
+        .corpus()
+        .pages()
+        .iter()
+        .map(|&id| PageJob { id, hour })
+        .collect();
+    let mut report = WarmRestartReport {
+        pages: jobs.len(),
+        ..WarmRestartReport::default()
+    };
+
+    // Phase 1: cold boot onto an empty store.
+    {
+        let store = share_store(ArtifactStore::open(dir, byte_budget)?);
+        let mut tiered = TieredCache::with_store(ArtifactCache::unbounded(), store);
+        let _ = refresh_pages(&renderer, &mut tiered, &jobs, Some(&profile));
+        report.cold_misses = tiered.ram.stats.misses;
+    } // RAM tier and store handle drop here: nothing survives but the files.
+
+    // Phase 2: reopen from the index log; refresh must promote, not render.
+    let store = share_store(ArtifactStore::open(dir, byte_budget)?);
+    {
+        let s = store.lock();
+        report.store_entries = s.len();
+        report.store_bytes = s.live_bytes();
+    }
+    let mut tiered = TieredCache::with_store(ArtifactCache::unbounded(), store);
+    let _ = refresh_pages(&renderer, &mut tiered, &jobs, Some(&profile));
+    report.promoted = tiered.ram.stats.disk_promotions;
+    report.warm_misses = tiered.ram.stats.misses;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TempDir(std::path::PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let p = std::env::temp_dir().join(format!("sonic-sim-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&p);
+            TempDir(p)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn corpus_churn_decodes_clean_and_never_costs_more() {
+        let report = run_delta_carousel(Corpus::small(4), 0.05, 6, 3);
+        assert_eq!(report.decode_mismatches, 0);
+        assert!(report.delta_slots > 0, "no delta slots: {report:?}");
+        assert!(report.unchanged > 0);
+        assert!(report.air_bytes_incremental <= report.air_bytes_full_carousel);
+        // Deterministic: same inputs, same report.
+        let again = run_delta_carousel(Corpus::small(4), 0.05, 6, 3);
+        assert_eq!(report, again);
+    }
+
+    #[test]
+    fn ticker_carousel_saves_air_and_patches_from_prior() {
+        let report = run_ticker_carousel(Corpus::small(3), 0.05, 3, 0.2);
+        assert_eq!(report.decode_mismatches, 0);
+        assert!(report.delta_slots > 0, "no delta slots: {report:?}");
+        assert!(
+            report.air_bytes_incremental * 2 < report.air_bytes_full_carousel,
+            "expected >2x air savings: {report:?}"
+        );
+        assert!(report.columns_patched > 0);
+        let again = run_ticker_carousel(Corpus::small(3), 0.05, 3, 0.2);
+        assert_eq!(report, again);
+    }
+
+    #[test]
+    fn warm_restart_promotes_everything() {
+        let dir = TempDir::new("warm");
+        let report =
+            run_warm_restart(Corpus::small(3), 0.05, 6, &dir.0, u64::MAX).expect("store io");
+        assert_eq!(report.cold_misses, report.pages as u64);
+        assert_eq!(report.promoted, report.pages as u64);
+        assert_eq!(report.warm_misses, 0);
+        assert_eq!(report.store_entries, report.pages);
+        assert!(report.store_bytes > 0);
+    }
+}
