@@ -281,18 +281,24 @@ fn main() {
     let rows: Vec<String> = entries
         .iter()
         .map(|e| {
+            // Ungated rows carry no acceptance threshold: emit null, not a
+            // fake 0.0 that readers could mistake for "gate satisfied".
+            let gate = if e.need == 0.0 {
+                "null".to_string()
+            } else {
+                format!("{:.1}", e.need)
+            };
             format!(
                 "    {{\n      \"name\": \"{}\",\n      \"baseline_pr2_us\": {:.1},\n      \
                  \"scalar_us\": {:.1},\n      \"simd_us\": {:.1},\n      \
                  \"speedup_vs_pr2\": {:.3},\n      \"speedup_vs_scalar\": {:.3},\n      \
-                 \"gate_vs_pr2\": {:.1}\n    }}",
+                 \"gate_vs_pr2\": {gate}\n    }}",
                 e.name,
                 e.pr2_us,
                 e.scalar_us,
                 e.simd_us,
                 e.speedup_vs_pr2(),
                 e.speedup_vs_scalar(),
-                e.need,
             )
         })
         .collect();

@@ -1,0 +1,151 @@
+//! Performance acceptance bench for the country-scale scenario engine PR.
+//!
+//! Three measurements on `sonic_sim::scenario`:
+//!
+//! 1. **Fast-path throughput gate** — a 4-hour × 100 k-listener run with
+//!    the DSP escalation tier disabled, timed end to end (population
+//!    build, carousel, weather, mobility, batched frame-fate evaluation,
+//!    aggregation). Acceptance: ≥ 50 000 listener-hours per second.
+//! 2. **Constant-memory budget** — the full 72-hour × 100 k-listener
+//!    national run must finish with its aggregates under 256 kB and its
+//!    per-listener engine state under 16 MB, regardless of how many
+//!    billions of frame fates were folded in.
+//! 3. **Replay identity** — the same seed must render byte-identical
+//!    reports at worker counts 1 and 5 (checked on a 2-hour slice so the
+//!    bench stays minutes, not hours; the engine's epoch jobs make the
+//!    full run identical by the same argument).
+//!
+//! `--smoke` scales everything down (2 h × 2 000 listeners), still asserts
+//! the memory budget and replay identity, and enforces no throughput gate
+//! — CI uses it to prove the engine runs and the invariants hold.
+//! Results go to `BENCH_natsim.json` at the repo root either way.
+
+use sonic_sim::scenario::{self, ScenarioConfig};
+use std::time::Instant;
+
+/// Throughput the fast path must sustain, in listener-hours per second.
+const GATE_LISTENER_HOURS_PER_S: f64 = 50_000.0;
+
+/// Hard budget for the run's constant-memory aggregates, bytes.
+const AGGREGATE_BUDGET_BYTES: usize = 256 * 1024;
+
+/// Hard budget for per-listener engine state (population SoA), bytes.
+const STATE_BUDGET_BYTES: usize = 16 * 1024 * 1024;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut all_pass = true;
+
+    // --- 1. fast-path throughput ------------------------------------------
+    let gate_cfg = if smoke {
+        ScenarioConfig::smoke(0x4A11)
+    } else {
+        ScenarioConfig {
+            hours: 4,
+            dsp_cohort_per_hour: 0,
+            ..ScenarioConfig::national(0x4A11)
+        }
+    };
+    let t0 = Instant::now();
+    let gate_run = scenario::run(&gate_cfg);
+    let gate_elapsed = t0.elapsed().as_secs_f64();
+    let lh_per_s = gate_run.listener_hours as f64 / gate_elapsed;
+    let gate_enforced = !smoke;
+    let gate_ok = !gate_enforced || lh_per_s >= GATE_LISTENER_HOURS_PER_S;
+    all_pass &= gate_ok;
+    println!(
+        "fast_path      {:>9} listener-hours in {:>7.2} s = {:>9.0} lh/s (need >= {:.0})  [{}]",
+        gate_run.listener_hours,
+        gate_elapsed,
+        lh_per_s,
+        GATE_LISTENER_HOURS_PER_S,
+        if !gate_enforced {
+            "info"
+        } else if gate_ok {
+            "PASS"
+        } else {
+            "FAIL"
+        },
+    );
+
+    // --- 2. the 72-hour national run under the memory budget ---------------
+    let full_cfg = if smoke {
+        ScenarioConfig::smoke(0x4A12)
+    } else {
+        ScenarioConfig {
+            dsp_cohort_per_hour: 0,
+            ..ScenarioConfig::national(0x4A12)
+        }
+    };
+    let t0 = Instant::now();
+    let full = scenario::run(&full_cfg);
+    let full_elapsed = t0.elapsed().as_secs_f64();
+    let agg_bytes = full.aggregates.bytes();
+    let mem_ok = agg_bytes < AGGREGATE_BUDGET_BYTES && full.state_bytes < STATE_BUDGET_BYTES;
+    all_pass &= mem_ok;
+    println!(
+        "full_run       {:>9} listener-hours in {:>7.2} s, aggregates {} B (budget {}), state {} B (budget {})  [{}]",
+        full.listener_hours,
+        full_elapsed,
+        agg_bytes,
+        AGGREGATE_BUDGET_BYTES,
+        full.state_bytes,
+        STATE_BUDGET_BYTES,
+        if mem_ok { "PASS" } else { "FAIL" },
+    );
+
+    // --- 3. replay identity across worker counts ----------------------------
+    let slice = |workers: usize| ScenarioConfig {
+        hours: if smoke { 1 } else { 2 },
+        workers,
+        dsp_cohort_per_hour: 0,
+        ..full_cfg.clone()
+    };
+    let serial = scenario::run(&slice(1));
+    let pooled = scenario::run(&slice(5));
+    let replay_ok = serial.text == pooled.text;
+    all_pass &= replay_ok;
+    println!(
+        "replay         1 vs 5 workers, same seed: reports {}  [{}]",
+        if replay_ok { "byte-identical" } else { "DIVERGE" },
+        if replay_ok { "PASS" } else { "FAIL" },
+    );
+
+    // --- machine-readable trajectory file -----------------------------------
+    let gate_json = if gate_enforced {
+        format!("{GATE_LISTENER_HOURS_PER_S:.0}")
+    } else {
+        "null".to_string()
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"perf_natsim\",\n  \"smoke\": {smoke},\n  \
+         \"gate_enforced\": {gate_enforced},\n  \"results\": {{\n    \
+         \"listener_hours\": {},\n    \"fast_path_elapsed_s\": {:.3},\n    \
+         \"listener_hours_per_s\": {:.0},\n    \"gate_listener_hours_per_s\": {gate_json},\n    \
+         \"full_run_hours\": {},\n    \"full_run_listeners\": {},\n    \
+         \"full_run_elapsed_s\": {:.3},\n    \"aggregate_bytes\": {agg_bytes},\n    \
+         \"aggregate_budget_bytes\": {AGGREGATE_BUDGET_BYTES},\n    \
+         \"state_bytes\": {},\n    \"state_budget_bytes\": {STATE_BUDGET_BYTES},\n    \
+         \"replay_identical\": {replay_ok}\n  }},\n  \"pass\": {all_pass}\n}}\n",
+        gate_run.listener_hours,
+        gate_elapsed,
+        lh_per_s,
+        full_cfg.hours,
+        full_cfg.listeners,
+        full_elapsed,
+        full.state_bytes,
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_natsim.json");
+    match std::fs::write(&out, json) {
+        Ok(()) => println!("\nresults written to {}", out.display()),
+        Err(e) => println!("\ncould not write {}: {e}", out.display()),
+    }
+
+    if !all_pass {
+        println!("perf_natsim: some acceptance checks FAILED");
+        std::process::exit(1);
+    }
+    println!("perf_natsim: all acceptance checks PASS");
+}

@@ -112,6 +112,50 @@ fn r3_covers_tiered_store_module() {
 }
 
 #[test]
+fn r3_covers_scenario_and_terrain_modules() {
+    // The country-scale scenario engine and its terrain live under
+    // `crates/sim/src/` and are therefore in R3's deterministic scope:
+    // same-seed runs must render byte-identical reports at any worker
+    // count, so hash-ordered containers, wall clocks and unseeded RNGs
+    // are banned. An engine-shaped fixture must light up line by line
+    // under both virtual paths…
+    let want = vec![
+        (Rule::Determinism, 4, "HashMap".to_string()),
+        (Rule::Determinism, 4, "HashSet".to_string()),
+        (Rule::Determinism, 7, "HashMap".to_string()),
+        (Rule::Determinism, 8, "HashSet".to_string()),
+        (Rule::Determinism, 13, "Instant::now".to_string()),
+        (Rule::Determinism, 16, "thread_rng".to_string()),
+        (Rule::Determinism, 20, "SystemTime".to_string()),
+    ];
+    let engine = triples(
+        "crates/sim/src/scenario/engine.rs",
+        "r3_scenario_determinism.rs",
+    );
+    assert_eq!(engine, want);
+    let terrain = triples("crates/sim/src/terrain.rs", "r3_scenario_determinism.rs");
+    assert_eq!(terrain, want);
+
+    // …and the real modules must stay silent under the same rule.
+    for rel in [
+        "src/scenario/engine.rs",
+        "src/scenario/population.rs",
+        "src/scenario/aggregate.rs",
+        "src/scenario/mod.rs",
+        "src/terrain.rs",
+    ] {
+        let real = Path::new(env!("CARGO_MANIFEST_DIR")).join("../sim").join(rel);
+        let src = SourceFile {
+            path: format!("crates/sim/{rel}"),
+            text: std::fs::read_to_string(&real)
+                .unwrap_or_else(|e| panic!("{rel} unreadable: {e}")),
+        };
+        let findings = lint_sources(&[src]);
+        assert!(findings.is_empty(), "{rel}: {findings:?}");
+    }
+}
+
+#[test]
 fn r3_out_of_scope_is_silent() {
     // Same nondeterministic code outside sim/faults/server: not our rule.
     let got = triples("crates/pagegen/src/fixture.rs", "r3_determinism.rs");

@@ -1,0 +1,24 @@
+// Scenario-engine-shaped R3 fixture: a population evaluator that leaks
+// hasher order, wall clocks and unseeded randomness into aggregates that
+// must be byte-identical for the same seed at any worker count.
+use std::collections::{HashMap, HashSet};
+
+pub struct BadEngine {
+    band_counts: HashMap<u8, u64>,
+    seen: HashSet<u32>,
+}
+
+impl BadEngine {
+    pub fn run_hour(&mut self, listeners: &[u32]) -> u64 {
+        let t0 = std::time::Instant::now();
+        for &l in listeners {
+            if self.seen.insert(l) {
+                let jitter: u64 = rand::thread_rng().gen();
+                *self.band_counts.entry((jitter % 100) as u8).or_insert(0) += 1;
+            }
+        }
+        let stamp = std::time::SystemTime::now();
+        let _ = stamp;
+        t0.elapsed().as_micros() as u64
+    }
+}

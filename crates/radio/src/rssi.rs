@@ -43,6 +43,60 @@ impl PathLoss {
     }
 }
 
+/// Center of the frame-loss cliff: RSSI at which half the frames die.
+///
+/// Calibrated against the repo's own `rssi_sweep` measurement of the full
+/// FM chain (EXPERIMENTS.md §4 "Variable RSSI"): clean through −85 dB,
+/// mean loss ≈ 30 % at −88 dB, effectively dead at −92 dB — matching the
+/// paper's "no loss −65…−85, fluctuating −85…−90, nothing below −90".
+pub const LOSS_CLIFF_DB: f64 = -88.8;
+
+/// Logistic width of the cliff in dB (smaller = steeper).
+pub const LOSS_CLIFF_WIDTH_DB: f64 = 1.0;
+
+/// RSSI above which the chain is treated as exactly lossless, and below
+/// which (mirrored around the cliff) as totally dead.
+pub const LOSS_CLEAN_DB: f64 = -84.0;
+
+/// Expected frame-loss probability of the full FM receive chain at a given
+/// tuner RSSI — the memoized per-band curve behind the scenario engine's
+/// frame-fate fast path.
+///
+/// A logistic centered on [`LOSS_CLIFF_DB`], clamped to exactly 0 above
+/// [`LOSS_CLEAN_DB`] and exactly 1 the same margin below the cliff. The
+/// seeded equivalence test in `sonic-sim` holds this curve against
+/// full-DSP cohort runs across the sweep.
+pub fn rssi_frame_loss(rssi_db: f64) -> f64 {
+    if rssi_db >= LOSS_CLEAN_DB {
+        return 0.0;
+    }
+    if rssi_db <= 2.0 * LOSS_CLIFF_DB - LOSS_CLEAN_DB {
+        return 1.0;
+    }
+    1.0 / (1.0 + ((rssi_db - LOSS_CLIFF_DB) / LOSS_CLIFF_WIDTH_DB).exp())
+}
+
+/// Quantized RSSI bands for the batched fast path: `RSSI_BANDS` half-dB
+/// bands spanning [`RSSI_BAND_FLOOR_DB`, `RSSI_BAND_FLOOR_DB +
+/// RSSI_BANDS·RSSI_BAND_STEP_DB`). Everything below the floor is band 0
+/// (dead), everything above the top is the last band (clean).
+pub const RSSI_BANDS: usize = 100;
+/// Lowest band edge in dB.
+pub const RSSI_BAND_FLOOR_DB: f64 = -110.0;
+/// Band width in dB.
+pub const RSSI_BAND_STEP_DB: f64 = 0.5;
+
+/// Band index of an RSSI reading.
+pub fn rssi_band(rssi_db: f64) -> u8 {
+    let idx = (rssi_db - RSSI_BAND_FLOOR_DB) / RSSI_BAND_STEP_DB;
+    idx.clamp(0.0, (RSSI_BANDS - 1) as f64) as u8
+}
+
+/// Center RSSI of a band in dB.
+pub fn band_center_db(band: u8) -> f64 {
+    RSSI_BAND_FLOOR_DB + (f64::from(band) + 0.5) * RSSI_BAND_STEP_DB
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,5 +140,40 @@ mod tests {
             exponent: 2.0,
         };
         assert!((pl.rssi_db(10.0) - (-80.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loss_curve_matches_the_measured_sweep_anchors() {
+        // EXPERIMENTS.md §4: clean at −65…−85, ~30 % mean at −88, dead ≤ −92.
+        for r in [-65.0, -70.0, -80.0, -85.0] {
+            assert!(rssi_frame_loss(r) < 0.03, "r={r}");
+        }
+        let at_cliff = rssi_frame_loss(-88.0);
+        assert!((0.15..0.5).contains(&at_cliff), "loss(-88) = {at_cliff}");
+        assert!(rssi_frame_loss(-92.0) > 0.95);
+        assert_eq!(rssi_frame_loss(-100.0), 1.0);
+        assert_eq!(rssi_frame_loss(-60.0), 0.0);
+    }
+
+    #[test]
+    fn loss_curve_is_monotone_in_rssi() {
+        let mut prev = 1.0;
+        let mut r = -105.0;
+        while r < -60.0 {
+            let p = rssi_frame_loss(r);
+            assert!(p <= prev + 1e-12, "loss must not grow with signal: {r}");
+            prev = p;
+            r += 0.25;
+        }
+    }
+
+    #[test]
+    fn bands_quantize_and_roundtrip() {
+        assert_eq!(rssi_band(-200.0), 0);
+        assert_eq!(rssi_band(0.0), (RSSI_BANDS - 1) as u8);
+        for r in [-95.3, -88.0, -84.2, -70.9] {
+            let b = rssi_band(r);
+            assert!((band_center_db(b) - r).abs() <= RSSI_BAND_STEP_DB, "r={r}");
+        }
     }
 }

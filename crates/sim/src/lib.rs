@@ -13,6 +13,9 @@
 //! * [`study`] — the 151-rater perceptual panel model (Figure 5).
 //! * [`workload`], [`des`] — request workloads and a small event simulator
 //!   for day-in-the-life runs.
+//! * [`scenario`], [`terrain`] — the country-scale streaming engine:
+//!   Zipf-ranked populations on synthetic terrain, batched frame-fate
+//!   evaluation, constant-memory aggregation (72 h × 100 k listeners).
 //! * [`stats`], [`report`] — percentiles/CDFs/boxplots and table output.
 
 #![forbid(unsafe_code)]
@@ -29,6 +32,8 @@ pub mod experiments;
 pub mod linksim;
 pub mod pool;
 pub mod report;
+pub mod scenario;
 pub mod stats;
 pub mod study;
+pub mod terrain;
 pub mod workload;

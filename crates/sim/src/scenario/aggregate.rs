@@ -1,0 +1,347 @@
+//! Constant-memory aggregation for population runs.
+//!
+//! A 72-hour × 100 k-listener run evaluates billions of frame fates; none
+//! of them are kept. Every observation folds into [`ScenarioAggregates`]:
+//! fixed-size per-RSSI-band and per-site counters (the Figure 4a analogue:
+//! delivery vs signal strength) plus mergeable [`QuantileSketch`]es for the
+//! per-listener-hour delivery ratio, the Figure 5 quality-rating analogue,
+//! and SMS latency. Aggregate size is **independent of hours and
+//! listeners** — bounded by band count, site count and the sketches' bucket
+//! caps — and [`ScenarioAggregates::merge`] is the same bucket-wise fold
+//! the engine applies per epoch, so partial aggregates from any split of
+//! the work combine to the identical result.
+
+use crate::report::{pct, Table};
+use crate::stats::QuantileSketch;
+use sonic_radio::rssi::{band_center_db, RSSI_BANDS};
+
+/// Everything a population run retains. See the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioAggregates {
+    /// Simulated listener-hours (listeners × hours, idle included).
+    pub listener_hours: u64,
+    /// Listener-hours actually spent listening (diurnal mask on).
+    pub active_listener_hours: u64,
+    /// Frames offered per RSSI band (delivered + corrupted + lost).
+    pub band_offered: Vec<u64>,
+    /// Frames decoded per RSSI band.
+    pub band_delivered: Vec<u64>,
+    /// Frames detected but CRC-failed per RSSI band.
+    pub band_corrupted: Vec<u64>,
+    /// Frames never detected (receiver muted) per RSSI band.
+    pub band_lost: Vec<u64>,
+    /// Frames offered per transmitter site.
+    pub site_offered: Vec<u64>,
+    /// Frames decoded per transmitter site.
+    pub site_delivered: Vec<u64>,
+    /// Active listener-hours served per site.
+    pub site_listener_hours: Vec<u64>,
+    /// Per-listener-hour delivery ratio, percent (Fig 4a-style CDF).
+    pub ratio_pct: QuantileSketch,
+    /// Per-listener-hour quality rating 1–9 (Fig 5 analogue: the paper's
+    /// interpolation-on panel stays ≥ 7 through ~20 % loss; we map rating
+    /// = 9 − 10·loss, clamped to [1, 9]).
+    pub quality: QuantileSketch,
+    /// SMS end-to-end latency, seconds.
+    pub sms_latency_s: QuantileSketch,
+    /// SMS segments offered to the carrier.
+    pub sms_sent: u64,
+    /// SMS segments delivered.
+    pub sms_delivered: u64,
+    /// SMS segments shed by the congested carrier.
+    pub sms_shed: u64,
+    /// Worst carrier utilization seen in any hour.
+    pub sms_peak_utilization: f64,
+    /// Full-DSP escalation runs performed.
+    pub dsp_runs: u64,
+    /// Frames pushed through the full DSP chain.
+    pub dsp_sent: u64,
+    /// Frames the full DSP chain recovered.
+    pub dsp_delivered: u64,
+    /// What the fast path expected those same cohort cells to deliver.
+    pub dsp_fast_expected: f64,
+}
+
+impl ScenarioAggregates {
+    /// Empty aggregates for a region with `sites` transmitters.
+    pub fn new(sites: usize) -> ScenarioAggregates {
+        ScenarioAggregates {
+            listener_hours: 0,
+            active_listener_hours: 0,
+            band_offered: vec![0; RSSI_BANDS],
+            band_delivered: vec![0; RSSI_BANDS],
+            band_corrupted: vec![0; RSSI_BANDS],
+            band_lost: vec![0; RSSI_BANDS],
+            site_offered: vec![0; sites],
+            site_delivered: vec![0; sites],
+            site_listener_hours: vec![0; sites],
+            ratio_pct: QuantileSketch::new(),
+            quality: QuantileSketch::new(),
+            sms_latency_s: QuantileSketch::new(),
+            sms_sent: 0,
+            sms_delivered: 0,
+            sms_shed: 0,
+            sms_peak_utilization: 0.0,
+            dsp_runs: 0,
+            dsp_sent: 0,
+            dsp_delivered: 0,
+            dsp_fast_expected: 0.0,
+        }
+    }
+
+    /// Folds another aggregate in (bucket-wise adds + sketch merges).
+    /// Associative over any split of the underlying observations.
+    pub fn merge(&mut self, other: &ScenarioAggregates) {
+        self.listener_hours += other.listener_hours;
+        self.active_listener_hours += other.active_listener_hours;
+        for (a, b) in self.band_offered.iter_mut().zip(&other.band_offered) {
+            *a += b;
+        }
+        for (a, b) in self.band_delivered.iter_mut().zip(&other.band_delivered) {
+            *a += b;
+        }
+        for (a, b) in self.band_corrupted.iter_mut().zip(&other.band_corrupted) {
+            *a += b;
+        }
+        for (a, b) in self.band_lost.iter_mut().zip(&other.band_lost) {
+            *a += b;
+        }
+        for (a, b) in self.site_offered.iter_mut().zip(&other.site_offered) {
+            *a += b;
+        }
+        for (a, b) in self.site_delivered.iter_mut().zip(&other.site_delivered) {
+            *a += b;
+        }
+        for (a, b) in self
+            .site_listener_hours
+            .iter_mut()
+            .zip(&other.site_listener_hours)
+        {
+            *a += b;
+        }
+        self.ratio_pct.merge(&other.ratio_pct);
+        self.quality.merge(&other.quality);
+        self.sms_latency_s.merge(&other.sms_latency_s);
+        self.sms_sent += other.sms_sent;
+        self.sms_delivered += other.sms_delivered;
+        self.sms_shed += other.sms_shed;
+        self.sms_peak_utilization = self.sms_peak_utilization.max(other.sms_peak_utilization);
+        self.dsp_runs += other.dsp_runs;
+        self.dsp_sent += other.dsp_sent;
+        self.dsp_delivered += other.dsp_delivered;
+        self.dsp_fast_expected += other.dsp_fast_expected;
+    }
+
+    /// Total frames offered across all bands.
+    pub fn frames_offered(&self) -> u64 {
+        self.band_offered.iter().sum()
+    }
+
+    /// Total frames delivered across all bands.
+    pub fn frames_delivered(&self) -> u64 {
+        self.band_delivered.iter().sum()
+    }
+
+    /// Resident size of the aggregates in bytes — the number the bench
+    /// holds under its constant-memory budget.
+    pub fn bytes(&self) -> usize {
+        let counters = (self.band_offered.len()
+            + self.band_delivered.len()
+            + self.band_corrupted.len()
+            + self.band_lost.len()
+            + self.site_offered.len()
+            + self.site_delivered.len()
+            + self.site_listener_hours.len())
+            * std::mem::size_of::<u64>();
+        counters
+            + self.ratio_pct.bytes()
+            + self.quality.bytes()
+            + self.sms_latency_s.bytes()
+            + std::mem::size_of::<ScenarioAggregates>()
+    }
+
+    /// Renders the paper-style report: a Figure 4a analogue (delivery by
+    /// RSSI), a Figure 5 analogue (quality-rating quantiles), per-site
+    /// coverage and the SMS table. All numbers are fixed-precision, so the
+    /// text is byte-identical across replays and worker counts.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+
+        out.push_str("== Fig 4a analogue: frame fate by RSSI band ==\n");
+        let mut fig4 = Table::new(&["rssi", "offered", "delivered", "corrupted", "lost"]);
+        // Group the half-dB bands into 3 dB rows over the interesting range.
+        let group_db = 3.0;
+        let mut b = 0usize;
+        while b < RSSI_BANDS {
+            let lo_db = band_center_db(b as u8) - 0.25;
+            let mut hi = b;
+            while hi + 1 < RSSI_BANDS
+                && band_center_db((hi + 1) as u8) < lo_db + group_db
+            {
+                hi += 1;
+            }
+            let (mut off, mut del, mut cor, mut lost) = (0u64, 0u64, 0u64, 0u64);
+            for i in b..=hi {
+                off += self.band_offered[i];
+                del += self.band_delivered[i];
+                cor += self.band_corrupted[i];
+                lost += self.band_lost[i];
+            }
+            if off > 0 {
+                let label = format!("{:.0}..{:.0} dB", lo_db, band_center_db(hi as u8) + 0.25);
+                fig4.row(&[
+                    label,
+                    off.to_string(),
+                    pct(del as f64 / off as f64),
+                    pct(cor as f64 / off as f64),
+                    pct(lost as f64 / off as f64),
+                ]);
+            }
+            b = hi + 1;
+        }
+        out.push_str(&fig4.render());
+
+        out.push_str("\n== Fig 5 analogue: per listener-hour experience ==\n");
+        let mut fig5 = Table::new(&["metric", "p10", "p25", "p50", "p75", "p90"]);
+        for (name, sk) in [("delivery %", &self.ratio_pct), ("rating 1-9", &self.quality)] {
+            fig5.row(&[
+                name.to_string(),
+                format!("{:.2}", sk.quantile(0.10)),
+                format!("{:.2}", sk.quantile(0.25)),
+                format!("{:.2}", sk.quantile(0.50)),
+                format!("{:.2}", sk.quantile(0.75)),
+                format!("{:.2}", sk.quantile(0.90)),
+            ]);
+        }
+        out.push_str(&fig5.render());
+
+        out.push_str("\n== Coverage by site ==\n");
+        let mut sites = Table::new(&["site", "listener-hours", "offered", "delivered"]);
+        for i in 0..self.site_offered.len() {
+            sites.row(&[
+                i.to_string(),
+                self.site_listener_hours[i].to_string(),
+                self.site_offered[i].to_string(),
+                if self.site_offered[i] > 0 {
+                    pct(self.site_delivered[i] as f64 / self.site_offered[i] as f64)
+                } else {
+                    "-".to_string()
+                },
+            ]);
+        }
+        out.push_str(&sites.render());
+
+        out.push_str("\n== SMS uplink ==\n");
+        let mut sms = Table::new(&["sent", "delivered", "shed", "peak util", "p50 s", "p99 s"]);
+        sms.row(&[
+            self.sms_sent.to_string(),
+            self.sms_delivered.to_string(),
+            if self.sms_sent > 0 {
+                pct(self.sms_shed as f64 / self.sms_sent as f64)
+            } else {
+                "-".to_string()
+            },
+            format!("{:.2}", self.sms_peak_utilization),
+            format!("{:.2}", self.sms_latency_s.quantile(0.50)),
+            format!("{:.2}", self.sms_latency_s.quantile(0.99)),
+        ]);
+        out.push_str(&sms.render());
+
+        out.push_str("\n== Totals ==\n");
+        let offered = self.frames_offered();
+        let delivered = self.frames_delivered();
+        out.push_str(&format!(
+            "listener-hours {} (active {}), frames offered {}, delivered {} ({}), aggregate bytes {}\n",
+            self.listener_hours,
+            self.active_listener_hours,
+            offered,
+            delivered,
+            if offered > 0 {
+                pct(delivered as f64 / offered as f64)
+            } else {
+                "-".to_string()
+            },
+            self.bytes(),
+        ));
+        if self.dsp_runs > 0 {
+            let dsp_loss = 1.0 - self.dsp_delivered as f64 / self.dsp_sent.max(1) as f64;
+            let fast_loss = 1.0 - self.dsp_fast_expected / self.dsp_sent.max(1) as f64;
+            out.push_str(&format!(
+                "dsp cohort: {} runs, {} frames, dsp loss {} vs fast-path {}\n",
+                self.dsp_runs,
+                self.dsp_sent,
+                pct(dsp_loss),
+                pct(fast_loss),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ScenarioAggregates {
+        let mut a = ScenarioAggregates::new(3);
+        a.listener_hours = 100;
+        a.active_listener_hours = 40;
+        a.band_offered[80] = 1_000;
+        a.band_delivered[80] = 990;
+        a.band_corrupted[80] = 10;
+        a.site_offered[1] = 1_000;
+        a.site_delivered[1] = 990;
+        a.site_listener_hours[1] = 40;
+        a.ratio_pct.insert(99.0);
+        a.quality.insert(8.9);
+        a.sms_sent = 50;
+        a.sms_delivered = 50;
+        a.sms_latency_s.insert(3.0);
+        a
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.listener_hours, 200);
+        assert_eq!(a.band_offered[80], 2_000);
+        assert_eq!(a.site_delivered[1], 1_980);
+        assert_eq!(a.ratio_pct.count(), 2);
+        assert_eq!(a.sms_sent, 100);
+    }
+
+    #[test]
+    fn merge_splits_reassemble_identically() {
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c): the fold the engine relies on.
+        let (a, b, c) = (sample(), sample(), sample());
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+        assert_eq!(left.render(), right.render());
+    }
+
+    #[test]
+    fn bytes_are_bounded_and_independent_of_volume() {
+        let mut a = sample();
+        let before = a.bytes();
+        // A million more observations into existing buckets: same size.
+        for _ in 0..1_000 {
+            a.band_offered[80] += 1_000;
+            a.band_delivered[80] += 1_000;
+        }
+        assert_eq!(a.bytes(), before);
+        assert!(a.bytes() < 256 * 1024, "aggregate must stay small: {}", a.bytes());
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        assert_eq!(sample().render(), sample().render());
+    }
+}

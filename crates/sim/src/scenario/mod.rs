@@ -1,0 +1,27 @@
+//! Country-scale streaming scenario engine (the paper's deployment sketch
+//! at population scale).
+//!
+//! Everything upstream of this module measures *one* receiver at a time.
+//! Here the question changes: what does a 72-hour national broadcast look
+//! like to 100 000 listeners spread over real-ish terrain, commuting,
+//! tuning in and out with the sun, and texting a congested carrier? The
+//! submodules split the problem the way the data flows:
+//!
+//! * [`population`] — Zipf-ranked cities, listener placement, waypoint
+//!   mobility (time-varying RSSI band + Doppler-style drift class).
+//! * [`engine`] — the streaming two-tier evaluator: memoized per-burst
+//!   loss curves batch-evaluated over the population (fast path), with a
+//!   sampled/boundary cohort escalated to the full DSP chain.
+//! * [`aggregate`] — constant-memory aggregates: band/site counters and
+//!   mergeable quantile sketches; the whole run's footprint is independent
+//!   of hours × listeners.
+//!
+//! The terrain itself lives in [`crate::terrain`].
+
+pub mod aggregate;
+pub mod engine;
+pub mod population;
+
+pub use aggregate::ScenarioAggregates;
+pub use engine::{run, ScenarioConfig, ScenarioReport, CAROUSEL_RATE_BPS};
+pub use population::{City, Population, Route};

@@ -1,0 +1,149 @@
+//! Property tests for the mergeable quantile sketch behind the scenario
+//! engine's constant-memory aggregation.
+//!
+//! Two contracts matter at population scale:
+//!
+//! * **Rank-error bound** — for any data, every reported quantile must sit
+//!   within the DDSketch relative-accuracy guarantee of the exact value
+//!   (±α on the value axis, with a neighbouring-rank allowance for ties at
+//!   bucket edges). Aggregation may be lossy, but boundedly so.
+//! * **Merge transparency** — splitting a stream into arbitrary chunks,
+//!   sketching each and merging must answer exactly like the one-pass
+//!   sketch, and the merge must be associative over any regrouping. This
+//!   is what lets the engine fold per-epoch partials in any tree shape
+//!   (as long as the shape is fixed) and lets `perf_natsim` promise
+//!   byte-identical reports at any worker count.
+
+use proptest::prelude::*;
+use sonic_sim::stats::{QuantileSketch, SKETCH_ALPHA};
+
+/// Exact quantile by nearest-rank on a sorted copy.
+fn exact_quantile(xs: &[f64], q: f64) -> f64 {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// The sketch's relative-accuracy guarantee against the exact quantile:
+/// the estimate must be within α of *some* value ranked within one bucket
+/// of the query rank (bucket-edge ties can shift the rank by the count of
+/// exactly-equal values).
+fn within_guarantee(xs: &[f64], q: f64, est: f64) -> bool {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    sorted.iter().any(|&x| {
+        let near_rank = (est - x).abs() <= SKETCH_ALPHA * x.abs().max(1e-12) + 1e-9;
+        near_rank && {
+            // x must itself sit near rank q·n among the sorted values.
+            let lo = sorted.partition_point(|&v| v < x);
+            let hi = sorted.partition_point(|&v| v <= x);
+            let want = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+            want + 1 >= lo.saturating_sub(0) && want <= hi
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every quantile of any positive-valued stream obeys the α bound.
+    #[test]
+    fn quantiles_obey_the_rank_error_bound(
+        xs in proptest::collection::vec(1e-3f64..1e6, 1..400),
+        qs in proptest::collection::vec(0.0f64..=1.0, 1..8),
+    ) {
+        let mut sk = QuantileSketch::new();
+        for &x in &xs {
+            sk.insert(x);
+        }
+        for &q in &qs {
+            let est = sk.quantile(q);
+            prop_assert!(
+                within_guarantee(&xs, q, est),
+                "q={q}: estimate {est} vs exact {} over {} values",
+                exact_quantile(&xs, q),
+                xs.len(),
+            );
+        }
+    }
+
+    /// Chunked sketch-and-merge answers exactly like the one-pass sketch.
+    #[test]
+    fn merge_is_transparent_to_chunking(
+        xs in proptest::collection::vec(1e-3f64..1e6, 1..300),
+        cut_a in 0usize..300,
+        cut_b in 0usize..300,
+    ) {
+        let mut one_pass = QuantileSketch::new();
+        for &x in &xs {
+            one_pass.insert(x);
+        }
+        let (a, b) = (cut_a.min(xs.len()), cut_b.min(xs.len()));
+        let (lo, hi) = (a.min(b), a.max(b));
+        let mut merged = QuantileSketch::new();
+        for chunk in [&xs[..lo], &xs[lo..hi], &xs[hi..]] {
+            let mut part = QuantileSketch::new();
+            for &x in chunk {
+                part.insert(x);
+            }
+            merged.merge(&part);
+        }
+        prop_assert_eq!(&merged, &one_pass);
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(q).to_bits(), one_pass.quantile(q).to_bits());
+        }
+    }
+
+    /// Merging is associative over any regrouping of three parts (bucket
+    /// budgets are respected by construction at these sizes, so no
+    /// collapse asymmetry can appear).
+    #[test]
+    fn merge_is_associative(
+        xs in proptest::collection::vec(1e-3f64..1e6, 0..100),
+        ys in proptest::collection::vec(1e-3f64..1e6, 0..100),
+        zs in proptest::collection::vec(1e-3f64..1e6, 0..100),
+    ) {
+        let sketch_of = |vals: &[f64]| {
+            let mut s = QuantileSketch::new();
+            for &v in vals {
+                s.insert(v);
+            }
+            s
+        };
+        let (a, b, c) = (sketch_of(&xs), sketch_of(&ys), sketch_of(&zs));
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Zeros and negative clamps fold consistently through merges too.
+    #[test]
+    fn zero_handling_survives_merges(
+        n_zero in 0u64..50,
+        xs in proptest::collection::vec(1e-3f64..1e3, 1..50),
+    ) {
+        let mut direct = QuantileSketch::new();
+        let mut zeros = QuantileSketch::new();
+        let mut vals = QuantileSketch::new();
+        direct.insert_n(0.0, n_zero);
+        zeros.insert_n(0.0, n_zero);
+        for &x in &xs {
+            direct.insert(x);
+            vals.insert(x);
+        }
+        let mut merged = zeros;
+        merged.merge(&vals);
+        prop_assert_eq!(&merged, &direct);
+        if n_zero as usize > xs.len() {
+            prop_assert_eq!(merged.quantile(0.1), 0.0);
+        }
+    }
+}

@@ -12,6 +12,7 @@
 // we only permit in tests.
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod congestion;
 pub mod gateway;
 pub mod geo;
 pub mod gsm7;
@@ -19,6 +20,7 @@ pub mod network;
 pub mod pdu;
 pub mod queries;
 
+pub use congestion::{CongestionModel, CongestionPoint};
 pub use gateway::{format_ack, format_request, parse_ack, parse_request, Ack, Request};
 pub use geo::{Coverage, GeoPoint, TransmitterSite};
 pub use network::{Delivery, SmsNetwork};

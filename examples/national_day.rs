@@ -1,0 +1,44 @@
+//! One national broadcast day, listener's-eye view: a down-scaled
+//! country-scale scenario run (24 h × 20 000 listeners on a nine-site
+//! region) through `sonic::sim::scenario`, printing the paper-style
+//! tables the full 72-hour engine emits — the Figure 4a analogue (frame
+//! fate by RSSI band), the Figure 5 analogue (per-listener-hour delivery
+//! and quality quantiles), per-site coverage and the SMS uplink under
+//! diurnal carrier congestion.
+//!
+//! Everything folds into constant-memory aggregates as the day streams:
+//! the run below evaluates ~half a billion frame fates and retains a few
+//! tens of kilobytes. Same seed ⇒ byte-identical tables, at any worker
+//! count.
+//!
+//! Run with: `cargo run --release --example national_day`
+
+use sonic::sim::scenario::{self, ScenarioConfig};
+
+fn main() {
+    let cfg = ScenarioConfig {
+        hours: 24,
+        listeners: 20_000,
+        dsp_cohort_per_hour: 1,
+        ..ScenarioConfig::national(0xDA7_2024)
+    };
+    println!(
+        "== national day: {} h x {} listeners, {} sites, {} carousel pages ==",
+        cfg.hours,
+        cfg.listeners,
+        cfg.terrain.sites,
+        cfg.pages,
+    );
+    println!(
+        "   (fast path batched per burst; {} full-DSP escalation run(s)/hour)\n",
+        cfg.dsp_cohort_per_hour,
+    );
+
+    let report = scenario::run(&cfg);
+    print!("{}", report.text);
+    println!(
+        "\nengine state {} kB resident for {} listener-hours simulated",
+        report.state_bytes / 1024,
+        report.listener_hours,
+    );
+}
