@@ -23,6 +23,7 @@ pub mod chunker;
 pub mod client;
 pub mod frame;
 pub mod link;
+pub mod net;
 pub mod page;
 pub mod reassembly;
 pub mod server;

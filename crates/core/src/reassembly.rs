@@ -11,7 +11,7 @@ use sonic_image::clickmap::ClickMap;
 use sonic_image::interpolate::LossMask;
 use sonic_image::raster::Raster;
 use sonic_image::strip::{decode_partial, StripImage};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// In-progress reception of one page.
 #[derive(Debug, Default)]
@@ -336,6 +336,11 @@ pub struct ReassemblerConfig {
     /// Seconds after a page's first frame before [`Reassembler::poll_expired`]
     /// reports it for forced (possibly degraded) finalization.
     pub page_deadline_s: f64,
+    /// Finalized page ids remembered (FIFO) so late frames for an
+    /// already-finalized page — e.g. a repair burst arriving after the
+    /// deadline forced the page out — cannot re-open an assembly and
+    /// re-enter the NACK-eligible set.
+    pub max_finalized_ids: usize,
 }
 
 impl Default for ReassemblerConfig {
@@ -346,6 +351,7 @@ impl Default for ReassemblerConfig {
             max_bytes: 4 << 20,
             max_pages: 16,
             page_deadline_s: 900.0,
+            max_finalized_ids: 64,
         }
     }
 }
@@ -359,10 +365,17 @@ impl Default for ReassemblerConfig {
 #[derive(Debug, Default)]
 pub struct Reassembler {
     pages: HashMap<u32, PageAssembly>,
+    /// Successfully finalized page ids, FIFO-bounded by
+    /// `config.max_finalized_ids`. Page ids embed the content version, so
+    /// an id never legitimately returns with different content; frames
+    /// seen here are stragglers to ignore, not a new broadcast to track.
+    finalized: VecDeque<u32>,
     /// Budget policy.
     pub config: ReassemblerConfig,
     /// Assemblies discarded to stay under budget (diagnostics).
     pub evicted_pages: usize,
+    /// Frames ignored because their page was already finalized.
+    pub late_frames: usize,
 }
 
 impl Reassembler {
@@ -385,11 +398,24 @@ impl Reassembler {
     }
 
     /// Ingests a frame observed at stream time `now_s`, then enforces the
-    /// byte/page budget (never evicting the page just touched).
+    /// byte/page budget (never evicting the page just touched). Frames of
+    /// already-finalized pages are dropped: a late repair burst must not
+    /// re-open the assembly, or the page would expire a second time and
+    /// NACK a repair it no longer needs.
     pub fn push_at(&mut self, frame: Frame, now_s: f64) {
         let id = frame.page_id();
+        if self.is_finalized(id) {
+            self.late_frames += 1;
+            return;
+        }
         self.pages.entry(id).or_default().push_at(frame, now_s);
         self.enforce_budget(id);
+    }
+
+    /// Whether `page_id` was already successfully finalized (and is thus
+    /// out of the NACK-eligible set).
+    pub fn is_finalized(&self, page_id: u32) -> bool {
+        self.finalized.contains(&page_id)
     }
 
     /// Attributes a CRC-failed frame to `page_id` (the page whose burst the
@@ -400,9 +426,19 @@ impl Reassembler {
         }
     }
 
-    /// Finalizes and removes one page.
+    /// Finalizes and removes one page. A successful finalize (clean or
+    /// degraded) tombstones the id so straggler frames cannot resurrect
+    /// it; a failed finalize does not — the client will re-request the
+    /// page and must be able to receive the rebroadcast under the same id.
     pub fn take(&mut self, page_id: u32) -> Option<Result<ReceivedPage, AssemblyError>> {
-        self.pages.remove(&page_id).map(|a| a.finalize())
+        let result = self.pages.remove(&page_id).map(|a| a.finalize())?;
+        if result.is_ok() && self.config.max_finalized_ids > 0 && !self.is_finalized(page_id) {
+            self.finalized.push_back(page_id);
+            while self.finalized.len() > self.config.max_finalized_ids {
+                self.finalized.pop_front();
+            }
+        }
+        Some(result)
     }
 
     /// Read access to one in-progress assembly (loss map, stats).
@@ -618,6 +654,7 @@ mod tests {
             max_bytes: 3_000,
             max_pages: 64,
             page_deadline_s: 1e9,
+            ..ReassemblerConfig::default()
         });
         // Three pages, ~frames interleaved with distinct activity times.
         let pages: Vec<SimplifiedPage> = (0..3)
@@ -731,6 +768,71 @@ mod tests {
             "wholly-lost known column reported from seq 0: {:?}",
             report.columns
         );
+    }
+
+    #[test]
+    fn finalized_page_ignores_late_repair_frames() {
+        let mut r = Reassembler::with_config(ReassemblerConfig {
+            page_deadline_s: 100.0,
+            ..ReassemblerConfig::default()
+        });
+        let p = noisy_page(10, 300);
+        let frames = page_to_frames(&p);
+        // Broadcast misses one frame; the deadline forces a degraded
+        // finalize (meta intact, one column truncated).
+        for f in frames.iter().skip(1).cloned() {
+            r.push_at(f, 5.0);
+        }
+        assert_eq!(r.poll_expired(200.0), vec![p.page_id]);
+        assert!(r.take(p.page_id).expect("tracked").is_ok());
+        assert!(r.is_finalized(p.page_id));
+        // A late repair burst for the page arrives after finalization: it
+        // must not re-open the assembly or re-enter the expiry set.
+        for f in frames.iter().take(3).cloned() {
+            r.push_at(f, 210.0);
+        }
+        assert!(r.is_empty(), "late frames must not resurrect the page");
+        assert_eq!(r.late_frames, 3);
+        assert!(r.poll_expired(10_000.0).is_empty(), "nothing to NACK again");
+    }
+
+    #[test]
+    fn failed_finalize_leaves_page_receivable_again() {
+        let mut r = Reassembler::new();
+        let p = page(6, 20);
+        let frames = page_to_frames(&p);
+        // Only strip frames arrive: finalize fails (no meta)…
+        for f in frames.iter().filter(|f| matches!(f, Frame::Strip { .. })) {
+            r.push_at(f.clone(), 1.0);
+        }
+        assert!(r.take(p.page_id).expect("tracked").is_err());
+        assert!(!r.is_finalized(p.page_id), "failures are not tombstoned");
+        // …so the rebroadcast under the same id is received in full.
+        for f in frames {
+            r.push_at(f, 50.0);
+        }
+        assert!(r.take(p.page_id).expect("retracked").is_ok());
+        assert!(r.is_finalized(p.page_id));
+    }
+
+    #[test]
+    fn finalized_id_memory_is_bounded_fifo() {
+        let mut r = Reassembler::with_config(ReassemblerConfig {
+            max_finalized_ids: 2,
+            ..ReassemblerConfig::default()
+        });
+        let mut ids = Vec::new();
+        for i in 0..4u32 {
+            let img = Raster::filled(4, 8, Rgb::new(i as u8 + 1, 0, 0));
+            let p = SimplifiedPage::from_raster(&format!("https://t{i}.pk/"), &img, ClickMap::default(), 1, 1);
+            for f in page_to_frames(&p) {
+                r.push(f);
+            }
+            assert!(r.take(p.page_id).expect("tracked").is_ok());
+            ids.push(p.page_id);
+        }
+        assert!(!r.is_finalized(ids[0]), "oldest tombstones age out");
+        assert!(r.is_finalized(ids[2]) && r.is_finalized(ids[3]));
     }
 
     #[test]

@@ -1,0 +1,1116 @@
+//! Sharded multi-site control plane over the framed transport.
+//!
+//! A country-scale SONIC deployment splits §3.1's monolithic server: one
+//! central **coordinator** owns rendering, the shared artifact store, the
+//! SMS gateway's bounded ingress queue and the repair planner, and N
+//! **site nodes** — one per FM transmitter — each own their broadcast
+//! scheduler. Coordinator and sites talk only through
+//! [`crate::net`]'s length-prefixed frames over fault-injected links, so
+//! every control-plane interaction survives torn frames, partitions and
+//! crash/restart cycles (the distributed chaos soak in `sonic-sim`
+//! exercises exactly that).
+//!
+//! Two push paths keep the wire thin:
+//!
+//! * **`PushStored`** — carousel pages travel as a ~26-byte store key; the
+//!   site reloads frames from the shared disk tier ([`ArtifactStore`]'s
+//!   warm-restart property doing double duty as a content distribution
+//!   network). A cold site answers `StoreMiss` and the coordinator falls
+//!   back to…
+//! * **`PushFrames`** — inline 100-byte link frames (query-result pages
+//!   and repair bursts, which never enter the store).
+//!
+//! Failure handling, in order of escalation:
+//!
+//! * every RPC carries a deadline; expiries retry under exponential
+//!   backoff within a bounded attempt budget ([`RpcClient`]);
+//! * consecutive expiries mark a site **Down**; its repair traffic fails
+//!   over to the next live site in ring order while page pushes wait in
+//!   the client's bounded queue;
+//! * when a downed site answers a probe, the coordinator sends `Resume`:
+//!   the site reloads the hour's carousel from the disk tier, skipping
+//!   the slots it had already aired before the crash;
+//! * under overload everything sheds in class order — repair bursts
+//!   before deltas before full pages, control traffic never — at three
+//!   independent bounded queues (SMS ingress, RPC client, site backlog).
+//!
+//! [`ArtifactStore`]: crate::server::store::ArtifactStore
+//! [`RpcClient`]: crate::net::rpc::RpcClient
+
+use crate::chunker::page_to_frames;
+use crate::frame::Frame;
+use crate::net::codec::{frame_bytes, FrameDecoder};
+use crate::net::proto::{decode_msg, encode_msg, Msg, RefuseCode, Request, Response};
+use crate::net::rpc::{JobClass, RpcClient, RpcPolicy};
+use crate::net::transport::SimLink;
+use crate::page::SimplifiedPage;
+use crate::server::cache::{ArtifactCache, RenderCache, SharedArtifactStore, TieredCache};
+use crate::server::pipeline::{self, PageJob};
+use crate::server::render::Renderer;
+use crate::server::repair::RepairPlanner;
+use crate::server::scheduler::{BroadcastScheduler, SlotKind};
+use sonic_pagegen::PageId;
+use sonic_sms::gateway;
+use sonic_sms::geo::Coverage;
+use sonic_sms::ingress::IngressQueue;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Coordinator-side RAM tier for refreshed artifacts. Small relative to
+/// the monolithic server's: the cluster's durable tier is the shared
+/// store, and sites hold their own frames.
+const CLUSTER_CACHE_BYTES: usize = 64 << 20;
+
+/// Entries the per-page chunked-frames memo may hold before it is cleared
+/// (a full clear is simpler than LRU and the memo rebuilds in one pass).
+const FRAMES_MEMO_CAP: usize = 512;
+
+/// A ready-to-push carousel artifact: the page plus its chunked frames.
+type PageArtifact = (Arc<SimplifiedPage>, Arc<Vec<Frame>>);
+
+/// Per-site service policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteConfig {
+    /// The transmitter site id this node serves.
+    pub site_id: u32,
+    /// Broadcast payload rate.
+    pub rate_bps: f64,
+    /// Hard cap on queued pages: every push is refused above it.
+    pub max_backlog_pages: usize,
+    /// Backlog bytes above which repair pushes are shed (first to go).
+    pub shed_repair_bytes: usize,
+    /// Backlog bytes above which delta pushes are shed (second to go;
+    /// must be ≥ the repair threshold for the class order to hold).
+    pub shed_delta_bytes: usize,
+    /// Seconds received bytes may sit undecoded before the request decoder
+    /// abandons its pending frame and re-scans (torn-frame livelock guard).
+    pub stall_resync_s: f64,
+}
+
+impl Default for SiteConfig {
+    fn default() -> Self {
+        SiteConfig {
+            site_id: 0,
+            rate_bps: 80_000.0,
+            max_backlog_pages: 512,
+            shed_repair_bytes: 256 << 10,
+            shed_delta_bytes: 512 << 10,
+            stall_resync_s: 10.0,
+        }
+    }
+}
+
+/// Site-node counters (soak assertions and diagnostics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteStats {
+    /// Requests decoded and handled.
+    pub requests: u64,
+    /// Wire frames that did not decode to a request message.
+    pub bad_msgs: u64,
+    /// `PushStored` keys served from the store tier.
+    pub store_hits: u64,
+    /// `PushStored` keys missing from the store tier.
+    pub store_misses: u64,
+    /// `PushFrames` bodies enqueued.
+    pub frames_pushes: u64,
+    /// Pushes refused under load shed.
+    pub refused_overload: u64,
+    /// Carousel jobs reloaded from the store on `Resume`.
+    pub resumed_jobs: u64,
+    /// Responses the severed uplink refused to carry.
+    pub responses_lost: u64,
+}
+
+/// One transmitter-site shard: a broadcast scheduler behind the framed
+/// transport, optionally backed by the shared artifact store.
+#[derive(Debug)]
+pub struct SiteNode {
+    /// Service policy.
+    pub config: SiteConfig,
+    /// The site's broadcast scheduler (airs via [`advance`](Self::advance)).
+    pub scheduler: BroadcastScheduler,
+    store: Option<SharedArtifactStore>,
+    decoder: FrameDecoder,
+    /// Last time the request decoder made progress (or sat empty).
+    last_rx_progress_s: f64,
+    /// Counters.
+    pub stats: SiteStats,
+}
+
+impl SiteNode {
+    /// A fresh site node. Pass the shared store for the warm `PushStored` /
+    /// `Resume` paths; without one every stored push answers `StoreMiss`.
+    pub fn new(config: SiteConfig, store: Option<SharedArtifactStore>) -> Self {
+        let rate = config.rate_bps;
+        SiteNode {
+            config,
+            scheduler: BroadcastScheduler::new(rate),
+            store,
+            decoder: FrameDecoder::new(),
+            last_rx_progress_s: 0.0,
+            stats: SiteStats::default(),
+        }
+    }
+
+    /// Loads a carousel artifact from the shared store tier.
+    fn load_stored(
+        &mut self,
+        corpus_site: u32,
+        corpus_page: u32,
+    ) -> Option<(Arc<SimplifiedPage>, Arc<Vec<Frame>>)> {
+        let store = self.store.as_ref()?;
+        let loaded = store.lock().load(PageId {
+            site: corpus_site as usize,
+            page: corpus_page as usize,
+        })?;
+        Some((loaded.artifact.page, loaded.artifact.frames))
+    }
+
+    /// Handles one decoded request (the transport-free core; `service`
+    /// wraps it behind the wire).
+    pub fn handle(&mut self, req: Request, now_s: f64) -> Response {
+        self.stats.requests += 1;
+        match req {
+            Request::Ping => Response::Pong {
+                site_id: self.config.site_id,
+                backlog_bytes: self.scheduler.backlog_bytes() as u64,
+                backlog_pages: self.scheduler.backlog_pages() as u32,
+                pages_completed: self.scheduler.completed_pages,
+            },
+            Request::PushStored {
+                corpus_site,
+                corpus_page,
+                ..
+            } => {
+                if self.scheduler.backlog_pages() >= self.config.max_backlog_pages {
+                    self.stats.refused_overload += 1;
+                    return Response::Refused {
+                        code: RefuseCode::Overloaded,
+                    };
+                }
+                match self.load_stored(corpus_site, corpus_page) {
+                    Some((page, frames)) => {
+                        self.stats.store_hits += 1;
+                        let eta = self.scheduler.enqueue_prechunked(page, frames, now_s);
+                        Response::Done {
+                            eta_ms: (eta * 1000.0) as u64,
+                        }
+                    }
+                    None => {
+                        self.stats.store_misses += 1;
+                        Response::Refused {
+                            code: RefuseCode::StoreMiss,
+                        }
+                    }
+                }
+            }
+            Request::PushFrames {
+                page_id,
+                kind,
+                frames,
+            } => {
+                let backlog = self.scheduler.backlog_bytes();
+                let shed = self.scheduler.backlog_pages() >= self.config.max_backlog_pages
+                    || (kind == SlotKind::Repair && backlog > self.config.shed_repair_bytes)
+                    || (kind == SlotKind::Delta && backlog > self.config.shed_delta_bytes);
+                if shed {
+                    self.stats.refused_overload += 1;
+                    return Response::Refused {
+                        code: RefuseCode::Overloaded,
+                    };
+                }
+                self.stats.frames_pushes += 1;
+                let eta = self
+                    .scheduler
+                    .enqueue_frames(page_id, kind, Arc::new(frames), now_s);
+                Response::Done {
+                    eta_ms: (eta * 1000.0) as u64,
+                }
+            }
+            Request::Resume { slot, jobs, .. } => {
+                // Warm restart: reload the hour's carousel from the disk
+                // tier, skipping slots aired before the crash. Jobs whose
+                // artifacts are missing are skipped — the coordinator's
+                // next carousel push re-seeds them.
+                let mut eta = 0.0f64;
+                for &(cs, cp) in jobs.iter().skip(slot as usize) {
+                    if let Some((page, frames)) = self.load_stored(cs, cp) {
+                        eta = self.scheduler.enqueue_prechunked(page, frames, now_s);
+                        self.stats.resumed_jobs += 1;
+                    }
+                }
+                Response::Done {
+                    eta_ms: (eta * 1000.0) as u64,
+                }
+            }
+        }
+    }
+
+    /// Services the coordinator link: drains received bytes through the
+    /// frame decoder, handles each request and sends its response back.
+    /// Returns the number of requests handled this call.
+    pub fn service(&mut self, now_s: f64, link: &mut SimLink) -> usize {
+        let mut rx = Vec::new();
+        link.a_to_b.recv_into(now_s, &mut rx);
+        let frames_before = self.decoder.stats.frames;
+        self.decoder.feed(&rx);
+        let mut handled = 0usize;
+        while let Some(payload) = self.decoder.next_frame() {
+            let Some(Msg::Req { id, req }) = decode_msg(&payload) else {
+                self.stats.bad_msgs += 1;
+                continue;
+            };
+            let resp = self.handle(req, now_s);
+            let mut body = Vec::new();
+            encode_msg(&Msg::Resp { id, resp }, &mut body);
+            if !link.b_to_a.send(&frame_bytes(&body), now_s) {
+                self.stats.responses_lost += 1;
+            }
+            handled += 1;
+        }
+        // Stall watchdog: bytes buffered with no decode progress for the
+        // configured horizon means the decoder is waiting on a torn
+        // frame's tail — abandon it and re-scan rather than livelock
+        // (later requests would otherwise be swallowed forever).
+        if self.decoder.buffered() == 0 || self.decoder.stats.frames > frames_before {
+            self.last_rx_progress_s = now_s;
+        } else if now_s - self.last_rx_progress_s > self.config.stall_resync_s {
+            self.decoder.force_resync();
+            self.last_rx_progress_s = now_s;
+        }
+        handled
+    }
+
+    /// Airs frames for `dt` seconds of broadcast time.
+    pub fn advance(&mut self, dt: f64) -> Vec<Frame> {
+        self.scheduler.advance(dt)
+    }
+}
+
+/// Coordinator policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoordinatorConfig {
+    /// Per-site RPC deadlines, budgets and health thresholds.
+    pub rpc: RpcPolicy,
+    /// Seconds between health pings to an `Up` site.
+    pub ping_interval_s: f64,
+    /// Bound on the SMS ingress queue.
+    pub ingress_capacity: usize,
+    /// Most ingress messages processed per [`Coordinator::pump`] call
+    /// (keeps one pump's work bounded during floods).
+    pub ingress_drain_per_pump: usize,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            rpc: RpcPolicy::default(),
+            ping_interval_s: 30.0,
+            ingress_capacity: 256,
+            ingress_drain_per_pump: 32,
+        }
+    }
+}
+
+/// The coordinator's last-reported view of one site (from `Pong`s).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteView {
+    /// Scheduler backlog in bytes.
+    pub backlog_bytes: u64,
+    /// Scheduler backlog in pages.
+    pub backlog_pages: u32,
+    /// Queue entries the site reports fully aired since (re)start.
+    pub completed: u64,
+    /// `completed` as of the latest carousel push — the baseline the
+    /// resume slot is measured against.
+    pub completed_at_push: u64,
+    /// Pongs folded into this view.
+    pub pongs: u64,
+}
+
+/// Coordinator counters (soak assertions and diagnostics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoordStats {
+    /// Page requests parsed off the ingress queue.
+    pub sms_requests: u64,
+    /// Search/chat queries parsed off the ingress queue.
+    pub sms_queries: u64,
+    /// Repair NACKs parsed off the ingress queue.
+    pub sms_nacks: u64,
+    /// Ingress messages dropped: malformed, uncovered or NACK-refused.
+    pub sms_rejected: u64,
+    /// `PushStored` submissions accepted by RPC clients.
+    pub pushes_stored: u64,
+    /// `PushFrames` submissions accepted by RPC clients.
+    pub pushes_frames: u64,
+    /// Page pushes skipped because an identical push was already pending
+    /// on the site's client (request coalescing).
+    pub pushes_coalesced: u64,
+    /// `StoreMiss` answers converted to inline frame pushes.
+    pub inline_fallbacks: u64,
+    /// Site-side `Overloaded` refusals observed.
+    pub refused_overloaded: u64,
+    /// Submissions shed by a full RPC client queue.
+    pub submit_shed: u64,
+    /// Repair bursts rerouted to a neighbor of a down site.
+    pub failovers: u64,
+    /// Bursts dropped because no site in the ring was up.
+    pub unroutable: u64,
+    /// `Resume` instructions sent on recovery edges.
+    pub resumes: u64,
+    /// Health pings submitted.
+    pub pings: u64,
+}
+
+/// Central control plane: renders content, feeds N [`SiteNode`]s over
+/// fault-injected links, and owns the gateway ingress + repair planning.
+#[derive(Debug)]
+pub struct Coordinator {
+    /// Policy.
+    pub config: CoordinatorConfig,
+    renderer: Renderer,
+    cache: RenderCache,
+    artifacts: TieredCache,
+    coverage: Coverage,
+    /// Site ids in ring order (failover walks this).
+    ring: Vec<u32>,
+    clients: BTreeMap<u32, RpcClient>,
+    views: BTreeMap<u32, SiteView>,
+    next_ping_s: BTreeMap<u32, f64>,
+    carousel_jobs: Vec<(u32, u32)>,
+    carousel_hour: u64,
+    /// Latest carousel artifacts, for the `StoreMiss` inline fallback.
+    recent: BTreeMap<(u32, u32), PageArtifact>,
+    /// `(site, page id) → suppress-until`: a `Done { eta_ms }` means the
+    /// site's queue covers the page until that ETA, so re-pushing it
+    /// before then would only re-send bytes the broadcast already owes
+    /// every listener. Pruned each pump; cleared per site on recovery
+    /// (a restarted scheduler starts empty).
+    pushed: BTreeMap<(u32, u32), f64>,
+    /// Chunked frames per page id (bounded; cleared when full).
+    frames_memo: BTreeMap<u32, Arc<Vec<Frame>>>,
+    /// NACK validation/coalescing and repair budgeting.
+    pub repair: RepairPlanner,
+    /// The gateway's bounded accept buffer.
+    pub ingress: IngressQueue,
+    /// Counters.
+    pub stats: CoordStats,
+}
+
+impl Coordinator {
+    /// Builds a coordinator over a renderer, a transmitter fleet and the
+    /// store shared with every site.
+    pub fn new(
+        renderer: Renderer,
+        coverage: Coverage,
+        store: SharedArtifactStore,
+        config: CoordinatorConfig,
+    ) -> Self {
+        let ring: Vec<u32> = coverage.sites.iter().map(|s| s.id).collect();
+        let clients = ring
+            .iter()
+            .map(|&id| (id, RpcClient::new(config.rpc.clone())))
+            .collect();
+        let ingress = IngressQueue::new(config.ingress_capacity);
+        Coordinator {
+            config,
+            renderer,
+            cache: RenderCache::new(),
+            artifacts: TieredCache::with_store(ArtifactCache::new(CLUSTER_CACHE_BYTES), store),
+            coverage,
+            ring,
+            clients,
+            views: BTreeMap::new(),
+            next_ping_s: BTreeMap::new(),
+            carousel_jobs: Vec::new(),
+            carousel_hour: 0,
+            recent: BTreeMap::new(),
+            frames_memo: BTreeMap::new(),
+            pushed: BTreeMap::new(),
+            repair: RepairPlanner::new(),
+            ingress,
+            stats: CoordStats::default(),
+        }
+    }
+
+    /// Whether `site`'s RPC client currently considers it up.
+    pub fn site_up(&self, site: u32) -> bool {
+        self.clients.get(&site).is_some_and(RpcClient::is_up)
+    }
+
+    /// Last-reported per-site views.
+    pub fn views(&self) -> &BTreeMap<u32, SiteView> {
+        &self.views
+    }
+
+    /// The per-site RPC clients (stats, queue depths).
+    pub fn clients(&self) -> &BTreeMap<u32, RpcClient> {
+        &self.clients
+    }
+
+    /// Access to the renderer (examples/benches).
+    pub fn renderer(&self) -> &Renderer {
+        &self.renderer
+    }
+
+    /// Offers one uplink SMS to the bounded ingress queue. Returns `false`
+    /// when the gateway shed it (queue full; see [`IngressQueue`]).
+    pub fn accept_sms(&mut self, msg: &str) -> bool {
+        self.ingress.push(msg)
+    }
+
+    /// Renders the hour's top-`top_n` landing pages through the shared
+    /// store and pushes them to every site as `PushStored` keys. The jobs
+    /// are remembered as the hour's carousel for `Resume`.
+    pub fn push_carousel(&mut self, hour: u64, top_n: usize, _now_s: f64) {
+        let n = top_n.min(self.renderer.corpus().sites.len());
+        let jobs: Vec<PageJob> = (0..n)
+            .map(|s| PageJob {
+                id: PageId { site: s, page: 0 },
+                hour,
+            })
+            .collect();
+        let (artifacts, _) =
+            pipeline::refresh_pages(&self.renderer, &mut self.artifacts, &jobs, None);
+        self.carousel_hour = hour;
+        self.carousel_jobs = jobs
+            .iter()
+            .map(|j| (j.id.site as u32, j.id.page as u32))
+            .collect();
+        self.recent.clear();
+        for (key, a) in self.carousel_jobs.iter().zip(&artifacts) {
+            self.repair.register_page(a.page.clone());
+            self.recent.insert(*key, (a.page.clone(), a.frames.clone()));
+        }
+        let sites = self.ring.clone();
+        let carousel = self.carousel_jobs.clone();
+        for site in sites {
+            if let Some(v) = self.views.get_mut(&site) {
+                v.completed_at_push = v.completed;
+            }
+            for &(cs, cp) in &carousel {
+                let ok = self.clients.get_mut(&site).is_some_and(|c| {
+                    c.submit(
+                        JobClass::Page,
+                        Request::PushStored {
+                            corpus_site: cs,
+                            corpus_page: cp,
+                            hour,
+                        },
+                    )
+                });
+                if ok {
+                    self.stats.pushes_stored += 1;
+                } else {
+                    self.stats.submit_shed += 1;
+                }
+            }
+        }
+    }
+
+    /// The site a repair burst for `preferred` should go to: the site
+    /// itself while up, else the next up site in ring order (the neighbor
+    /// absorbing the down site's repair traffic).
+    fn route_repair(&mut self, preferred: u32) -> Option<u32> {
+        if self.site_up(preferred) {
+            return Some(preferred);
+        }
+        let pos = self.ring.iter().position(|&s| s == preferred)?;
+        for off in 1..self.ring.len() {
+            let cand = self.ring[(pos + off) % self.ring.len()];
+            if self.site_up(cand) {
+                self.stats.failovers += 1;
+                return Some(cand);
+            }
+        }
+        None
+    }
+
+    /// Submits a full-page frame push toward `site_id` (page requests ride
+    /// the covering site's queue even while it is down — the client holds
+    /// them and resends on recovery, so the user's radio still gets them).
+    fn submit_page(&mut self, site_id: u32, page: Arc<SimplifiedPage>, now_s: f64) {
+        self.repair.register_page(page.clone());
+        // Coalesce: a flood of requests for the same hot page needs one
+        // push per site, not one per request — a duplicate would only
+        // displace other work from the bounded queue and re-send bytes
+        // the site's carousel already owes every listener. A push is a
+        // duplicate while an identical RPC is still pending *or* while
+        // the site's acknowledged broadcast ETA has not passed.
+        let pid = page.page_id;
+        let covered = self
+            .pushed
+            .get(&(site_id, pid))
+            .is_some_and(|&until| now_s < until)
+            || self.clients.get(&site_id).is_some_and(|c| {
+                c.has_pending(|r| {
+                    matches!(r, Request::PushFrames { page_id, kind: SlotKind::Full, .. }
+                        if *page_id == pid)
+                })
+            });
+        if covered {
+            self.stats.pushes_coalesced += 1;
+            return;
+        }
+        // Chunking a page into frames is pure per page-id; memoize it so a
+        // flood of requests for the same hot page costs one chunking pass.
+        let frames = match self.frames_memo.get(&page.page_id) {
+            Some(f) => f.clone(),
+            None => {
+                if self.frames_memo.len() >= FRAMES_MEMO_CAP {
+                    self.frames_memo.clear();
+                }
+                let f = Arc::new(page_to_frames(&page));
+                self.frames_memo.insert(page.page_id, f.clone());
+                f
+            }
+        };
+        let ok = self.clients.get_mut(&site_id).is_some_and(|c| {
+            c.submit(
+                JobClass::Page,
+                Request::PushFrames {
+                    page_id: page.page_id,
+                    kind: SlotKind::Full,
+                    frames: (*frames).clone(),
+                },
+            )
+        });
+        if ok {
+            self.stats.pushes_frames += 1;
+        } else {
+            self.stats.submit_shed += 1;
+        }
+    }
+
+    /// Parses and routes one ingress message.
+    fn process_sms(&mut self, msg: &str, now_s: f64) {
+        let hour = (now_s / 3600.0) as u64;
+        if let Some(nack) = sonic_sms::queries::parse_nack(msg) {
+            self.stats.sms_nacks += 1;
+            let Some(site_id) = self.coverage.best_for(&nack.location).map(|s| s.id) else {
+                self.stats.sms_rejected += 1;
+                return;
+            };
+            if self.repair.accept_nack(site_id, &nack, now_s).is_err() {
+                self.stats.sms_rejected += 1;
+            }
+            return;
+        }
+        if let Some(q) = sonic_sms::queries::parse_query(msg) {
+            self.stats.sms_queries += 1;
+            let Some(site_id) = self.coverage.best_for(&q.location).map(|s| s.id) else {
+                self.stats.sms_rejected += 1;
+                return;
+            };
+            let url = q.result_url();
+            let page = match self.cache.get(&url, hour) {
+                Some(p) => p,
+                None => {
+                    let scale = self.renderer.scale();
+                    let rendered = match q.engine {
+                        sonic_sms::queries::Engine::Search => {
+                            sonic_pagegen::results::render_search_results(&q.text, 8, scale)
+                        }
+                        sonic_sms::queries::Engine::Chat => {
+                            sonic_pagegen::results::render_chat_answer(&q.text, scale)
+                        }
+                    };
+                    let page = Arc::new(SimplifiedPage::from_raster(
+                        &rendered.url,
+                        &rendered.raster,
+                        rendered.clickmap,
+                        (hour % u16::MAX as u64) as u16,
+                        6,
+                    ));
+                    self.cache.put(page.clone(), hour);
+                    page
+                }
+            };
+            self.submit_page(site_id, page, now_s);
+            return;
+        }
+        if let Some(req) = gateway::parse_request(msg) {
+            self.stats.sms_requests += 1;
+            let Some(site_id) = self.coverage.best_for(&req.location).map(|s| s.id) else {
+                self.stats.sms_rejected += 1;
+                return;
+            };
+            let page = match self.cache.get(&req.url, hour) {
+                Some(p) => p,
+                None => match self.renderer.fetch(&req.url, hour) {
+                    Some(p) => {
+                        let p = Arc::new(p);
+                        self.cache.put(p.clone(), hour);
+                        p
+                    }
+                    None => {
+                        self.stats.sms_rejected += 1;
+                        return;
+                    }
+                },
+            };
+            self.submit_page(site_id, page, now_s);
+            return;
+        }
+        self.stats.sms_rejected += 1;
+    }
+
+    /// Folds one completed RPC (request, response) pair into state.
+    fn fold(&mut self, site: u32, req: Request, resp: Response, now_s: f64) {
+        match (req, resp) {
+            (
+                Request::PushFrames {
+                    page_id,
+                    kind: SlotKind::Full,
+                    ..
+                },
+                Response::Done { eta_ms },
+            ) => {
+                // The site's queue now covers this page until the acked
+                // broadcast ETA: suppress re-pushes until then.
+                self.pushed
+                    .insert((site, page_id), now_s + eta_ms as f64 / 1000.0);
+            }
+            (
+                _,
+                Response::Pong {
+                    backlog_bytes,
+                    backlog_pages,
+                    pages_completed,
+                    ..
+                },
+            ) => {
+                let v = self.views.entry(site).or_default();
+                v.backlog_bytes = backlog_bytes;
+                v.backlog_pages = backlog_pages;
+                v.completed = pages_completed;
+                v.pongs += 1;
+            }
+            (
+                Request::PushStored {
+                    corpus_site,
+                    corpus_page,
+                    ..
+                },
+                Response::Refused {
+                    code: RefuseCode::StoreMiss,
+                },
+            ) => {
+                // The site's store tier is cold (fresh disk or eviction):
+                // resend the page as inline frames.
+                if let Some((page, frames)) =
+                    self.recent.get(&(corpus_site, corpus_page)).cloned()
+                {
+                    let ok = self.clients.get_mut(&site).is_some_and(|c| {
+                        c.submit(
+                            JobClass::Page,
+                            Request::PushFrames {
+                                page_id: page.page_id,
+                                kind: SlotKind::Full,
+                                frames: (*frames).clone(),
+                            },
+                        )
+                    });
+                    if ok {
+                        self.stats.inline_fallbacks += 1;
+                    } else {
+                        self.stats.submit_shed += 1;
+                    }
+                }
+            }
+            (
+                _,
+                Response::Refused {
+                    code: RefuseCode::Overloaded,
+                },
+            ) => {
+                self.stats.refused_overloaded += 1;
+            }
+            _ => {}
+        }
+    }
+
+    /// One control-plane turn: drains bounded ingress work, routes due
+    /// repair bursts (with failover), submits periodic health pings, ticks
+    /// every site's RPC client over its link, folds completions, and sends
+    /// `Resume` on recovery edges. Deterministic given `now_s` and the
+    /// links' state; call it each scheduler tick.
+    pub fn pump(&mut self, now_s: f64, links: &mut BTreeMap<u32, SimLink>) {
+        // Expired broadcast ETAs no longer suppress anything; drop them.
+        self.pushed.retain(|_, &mut until| until > now_s);
+        for _ in 0..self.config.ingress_drain_per_pump {
+            let Some(msg) = self.ingress.pop() else { break };
+            self.process_sms(&msg, now_s);
+        }
+
+        // Repair bursts whose coalescing window / backoff elapsed. The
+        // coordinator cannot see remote queues, so nothing is "covered"
+        // here — the site-side scheduler dedupe absorbs overlaps.
+        let bursts = self.repair.due_bursts(now_s, |_, _| false);
+        for b in bursts {
+            let Some(target) = self.route_repair(b.site_id) else {
+                self.stats.unroutable += 1;
+                continue;
+            };
+            let ok = self.clients.get_mut(&target).is_some_and(|c| {
+                c.submit(
+                    JobClass::Repair,
+                    Request::PushFrames {
+                        page_id: b.page.page_id,
+                        kind: SlotKind::Repair,
+                        frames: (*b.frames).clone(),
+                    },
+                )
+            });
+            if ok {
+                self.stats.pushes_frames += 1;
+            } else {
+                self.stats.submit_shed += 1;
+            }
+        }
+
+        let sites = self.ring.clone();
+        for &site in &sites {
+            let due = self.next_ping_s.get(&site).copied().unwrap_or(0.0);
+            if now_s >= due {
+                if self
+                    .clients
+                    .get_mut(&site)
+                    .is_some_and(|c| c.submit(JobClass::Control, Request::Ping))
+                {
+                    self.stats.pings += 1;
+                }
+                self.next_ping_s
+                    .insert(site, now_s + self.config.ping_interval_s);
+            }
+        }
+
+        for &site in &sites {
+            let Some(link) = links.get_mut(&site) else {
+                continue;
+            };
+            let completed = match self.clients.get_mut(&site) {
+                Some(c) => c.tick(now_s, &mut link.a_to_b, &mut link.b_to_a),
+                None => Vec::new(),
+            };
+            for (req, resp) in completed {
+                self.fold(site, req, resp, now_s);
+            }
+            let recovered = self
+                .clients
+                .get_mut(&site)
+                .is_some_and(RpcClient::take_recovered);
+            if recovered {
+                // A recovered site may have restarted with an empty
+                // scheduler: every pre-crash broadcast ETA is void.
+                self.pushed.retain(|&(s, _), _| s != site);
+            }
+            if recovered && !self.carousel_jobs.is_empty() {
+                // The site restarted (or the partition healed): resume the
+                // hour's carousel after the slots it already aired. The
+                // carousel batch heads the FIFO queue each hour, so the
+                // completed-count delta since the push is the slot index.
+                let slot = self.views.get(&site).map_or(0, |v| {
+                    v.completed
+                        .saturating_sub(v.completed_at_push)
+                        .min(self.carousel_jobs.len() as u64) as u32
+                });
+                let req = Request::Resume {
+                    hour: self.carousel_hour,
+                    slot,
+                    jobs: self.carousel_jobs.clone(),
+                };
+                if self
+                    .clients
+                    .get_mut(&site)
+                    .is_some_and(|c| c.submit(JobClass::Control, req))
+                {
+                    self.stats.resumes += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::transport::LinkFaultPlan;
+    use crate::server::store::ArtifactStore;
+    use sonic_pagegen::Corpus;
+
+    fn store(dir: &std::path::Path) -> SharedArtifactStore {
+        crate::server::cache::share_store(
+            ArtifactStore::open(dir, 64 << 20).expect("open store"),
+        )
+    }
+
+    fn coordinator_with(st: &SharedArtifactStore) -> Coordinator {
+        let corpus = Corpus::small(6);
+        let renderer = Renderer::new(corpus, 0.1);
+        Coordinator::new(
+            renderer,
+            Coverage::pakistan_demo(),
+            st.clone(),
+            CoordinatorConfig::default(),
+        )
+    }
+
+    fn links_for(coverage: &Coverage, seed: u64) -> BTreeMap<u32, SimLink> {
+        coverage
+            .sites
+            .iter()
+            .map(|s| {
+                (
+                    s.id,
+                    SimLink::symmetric(LinkFaultPlan::clean(seed ^ u64::from(s.id))),
+                )
+            })
+            .collect()
+    }
+
+    fn site_for(id: u32, st: &SharedArtifactStore) -> SiteNode {
+        SiteNode::new(
+            SiteConfig {
+                site_id: id,
+                ..SiteConfig::default()
+            },
+            Some(st.clone()),
+        )
+    }
+
+    /// Runs `steps` half-second turns of the full loop.
+    fn run(
+        coord: &mut Coordinator,
+        sites: &mut BTreeMap<u32, SiteNode>,
+        links: &mut BTreeMap<u32, SimLink>,
+        t0: f64,
+        steps: usize,
+    ) -> f64 {
+        let mut t = t0;
+        for _ in 0..steps {
+            coord.pump(t, links);
+            for (id, node) in sites.iter_mut() {
+                if let Some(link) = links.get_mut(id) {
+                    node.service(t, link);
+                }
+                node.advance(0.5);
+            }
+            t += 0.5;
+        }
+        t
+    }
+
+    #[test]
+    fn carousel_flows_through_store_keys_to_site_schedulers() {
+        let dir = tempdir("cluster-carousel");
+        let st = store(&dir);
+        let mut coord = coordinator_with(&st);
+        let coverage = Coverage::pakistan_demo();
+        let mut sites: BTreeMap<u32, SiteNode> = coverage
+            .sites
+            .iter()
+            .map(|s| (s.id, site_for(s.id, &st)))
+            .collect();
+        let mut links = links_for(&coverage, 7);
+        coord.push_carousel(0, 4, 0.0);
+        run(&mut coord, &mut sites, &mut links, 0.0, 40);
+        for node in sites.values() {
+            assert!(
+                node.stats.store_hits >= 4,
+                "site {} loaded carousel from the shared store: {:?}",
+                node.config.site_id,
+                node.stats
+            );
+            assert_eq!(node.stats.store_misses, 0);
+        }
+        assert!(coord.stats.pushes_stored >= 4 * sites.len() as u64);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_miss_falls_back_to_inline_frames() {
+        let dir = tempdir("cluster-miss");
+        let st = store(&dir);
+        let mut coord = coordinator_with(&st);
+        let coverage = Coverage::pakistan_demo();
+        // Sites WITHOUT a store: every PushStored answers StoreMiss.
+        let mut sites: BTreeMap<u32, SiteNode> = coverage
+            .sites
+            .iter()
+            .map(|s| {
+                (
+                    s.id,
+                    SiteNode::new(
+                        SiteConfig {
+                            site_id: s.id,
+                            ..SiteConfig::default()
+                        },
+                        None,
+                    ),
+                )
+            })
+            .collect();
+        let mut links = links_for(&coverage, 9);
+        coord.push_carousel(0, 3, 0.0);
+        run(&mut coord, &mut sites, &mut links, 0.0, 80);
+        assert!(coord.stats.inline_fallbacks >= 3, "{:?}", coord.stats);
+        for node in sites.values() {
+            assert!(node.stats.frames_pushes >= 3, "{:?}", node.stats);
+            assert_eq!(node.scheduler.backlog_bytes() % 100, 0);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dead_site_is_detected_and_recovery_triggers_resume() {
+        let dir = tempdir("cluster-failover");
+        let st = store(&dir);
+        let mut coord = coordinator_with(&st);
+        let coverage = Coverage::pakistan_demo();
+        let victim = coverage.sites[0].id;
+        let mut sites: BTreeMap<u32, SiteNode> = coverage
+            .sites
+            .iter()
+            .map(|s| (s.id, site_for(s.id, &st)))
+            .collect();
+        let mut links = links_for(&coverage, 11);
+        coord.push_carousel(0, 4, 0.0);
+        let t = run(&mut coord, &mut sites, &mut links, 0.0, 30);
+        assert!(coord.site_up(victim));
+
+        // Kill the victim: stop servicing it and flush its link buffers.
+        let crashed = sites.remove(&victim).expect("victim exists");
+        let aired_before_crash = crashed.stats.resumed_jobs; // 0, by construction
+        assert_eq!(aired_before_crash, 0);
+        if let Some(l) = links.get_mut(&victim) {
+            l.a_to_b.flush_inflight();
+            l.b_to_a.flush_inflight();
+        }
+        let t = run(&mut coord, &mut sites, &mut links, t, 80);
+        assert!(!coord.site_up(victim), "deadline expiries tripped Down");
+
+        // Restart from the shared disk tier; probes bring it back Up and
+        // the coordinator sends Resume.
+        sites.insert(victim, site_for(victim, &st));
+        let _ = run(&mut coord, &mut sites, &mut links, t, 120);
+        assert!(coord.site_up(victim), "probe answered, site back Up");
+        assert!(coord.stats.resumes >= 1, "{:?}", coord.stats);
+        let node = sites.get(&victim).expect("restarted");
+        assert!(
+            node.stats.resumed_jobs > 0,
+            "carousel reloaded from the disk tier: {:?}",
+            node.stats
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn overloaded_site_sheds_repairs_before_pages() {
+        let mut node = SiteNode::new(
+            SiteConfig {
+                site_id: 3,
+                rate_bps: 8_000.0,
+                max_backlog_pages: 1_000,
+                shed_repair_bytes: 2_000,
+                shed_delta_bytes: 100_000,
+                ..SiteConfig::default()
+            },
+            None,
+        );
+        // Fill past the repair threshold with a full-page push.
+        let frames: Vec<Frame> = {
+            let mut img = sonic_image::raster::Raster::new(6, 300);
+            let mut x = 3u32;
+            for yy in 0..300 {
+                for xx in 0..6 {
+                    x = x.wrapping_mul(1103515245).wrapping_add(12345);
+                    img.set(
+                        xx,
+                        yy,
+                        sonic_image::raster::Rgb::new((x >> 16) as u8, (x >> 8) as u8, x as u8),
+                    );
+                }
+            }
+            let p = SimplifiedPage::from_raster(
+                "https://x.pk/",
+                &img,
+                sonic_image::clickmap::ClickMap::default(),
+                0,
+                1,
+            );
+            page_to_frames(&p)
+        };
+        let resp = node.handle(
+            Request::PushFrames {
+                page_id: 1,
+                kind: SlotKind::Full,
+                frames: frames.clone(),
+            },
+            0.0,
+        );
+        assert!(matches!(resp, Response::Done { .. }));
+        assert!(node.scheduler.backlog_bytes() > 2_000);
+        // Repairs now shed...
+        let resp = node.handle(
+            Request::PushFrames {
+                page_id: 2,
+                kind: SlotKind::Repair,
+                frames: frames.iter().take(3).cloned().collect(),
+            },
+            0.0,
+        );
+        assert_eq!(
+            resp,
+            Response::Refused {
+                code: RefuseCode::Overloaded
+            }
+        );
+        // ...while full pages still land.
+        let resp = node.handle(
+            Request::PushFrames {
+                page_id: 3,
+                kind: SlotKind::Full,
+                frames,
+            },
+            0.0,
+        );
+        assert!(matches!(resp, Response::Done { .. }));
+        assert_eq!(node.stats.refused_overload, 1);
+    }
+
+    #[test]
+    fn sms_get_flows_to_covering_site_as_inline_frames() {
+        let dir = tempdir("cluster-sms");
+        let st = store(&dir);
+        let mut coord = coordinator_with(&st);
+        let coverage = Coverage::pakistan_demo();
+        let mut sites: BTreeMap<u32, SiteNode> = coverage
+            .sites
+            .iter()
+            .map(|s| (s.id, site_for(s.id, &st)))
+            .collect();
+        let mut links = links_for(&coverage, 13);
+        let url = coord
+            .renderer()
+            .corpus()
+            .layout(PageId { site: 0, page: 0 }, 0)
+            .url;
+        let lahore = &coverage.sites[0];
+        let msg = gateway::format_request(&url, &lahore.location);
+        assert!(coord.accept_sms(&msg));
+        run(&mut coord, &mut sites, &mut links, 0.0, 40);
+        assert_eq!(coord.stats.sms_requests, 1);
+        let covering = sites.get(&lahore.id).expect("covering site");
+        assert!(covering.stats.frames_pushes >= 1, "{:?}", covering.stats);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let pid = std::process::id();
+        let dir = std::env::temp_dir().join(format!("sonic-{tag}-{pid}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mk tempdir");
+        dir
+    }
+}

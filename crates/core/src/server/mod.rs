@@ -2,6 +2,7 @@
 //! requests, and feeds per-transmitter broadcast schedulers.
 
 pub mod cache;
+pub mod cluster;
 pub mod pipeline;
 pub mod render;
 pub mod repair;

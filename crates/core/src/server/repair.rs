@@ -65,9 +65,16 @@ pub enum NackRejection {
     BudgetExhausted,
 }
 
-/// Coalesced outstanding repair need for one (site, page).
+/// Coalesced outstanding repair need for one (site, page lineage).
 #[derive(Debug, Default)]
 struct PageRepair {
+    /// On-air page id of the edition the ranges refer to.
+    page_id: u32,
+    /// Hour-version of that edition. A NACK for a *newer* version of the
+    /// same url resets this entry — ranges from the old edition are
+    /// meaningless against the new frames, and a new edition must not be
+    /// born with its predecessor's spent retry budget.
+    version: u16,
     /// Metadata region requested by at least one client.
     meta: bool,
     /// column → lowest `from_seq` across clients (a burst from the lower
@@ -75,7 +82,7 @@ struct PageRepair {
     columns: BTreeMap<u16, u16>,
     /// Distinct NACKs folded into this entry since the last burst.
     clients: usize,
-    /// Repair bursts already spent on this page.
+    /// Repair bursts already spent on this page edition.
     attempts: u32,
     /// Earliest time the next burst may be scheduled (coalescing window,
     /// then exponential backoff).
@@ -105,7 +112,10 @@ pub struct RepairStats {
 pub struct RepairPlanner {
     /// Policy knobs.
     pub config: RepairConfig,
-    /// (site id, page id) → outstanding coalesced need.
+    /// (site id, url-base id) → outstanding coalesced need. Keyed by the
+    /// version-independent base of the page id (url hash), so one url
+    /// holds exactly one entry per site across editions: when the hour
+    /// version rolls, the entry resets instead of leaking a stale twin.
     pending: BTreeMap<(u32, u32), PageRepair>,
     /// page id → broadcast source material, FIFO-bounded.
     registry: BTreeMap<u32, Arc<SimplifiedPage>>,
@@ -179,13 +189,27 @@ impl RepairPlanner {
             self.stats.nacks_rejected += 1;
             return Err(NackRejection::InvalidRange);
         }
+        let version = page.version;
         let entry = self
             .pending
-            .entry((site_id, nack.page_id))
+            .entry((site_id, base_id(nack.page_id, version)))
             .or_insert_with(|| PageRepair {
+                page_id: nack.page_id,
+                version,
                 next_eligible_s: now_s + self.config.coalesce_s,
                 ..PageRepair::default()
             });
+        if entry.version != version || entry.page_id != nack.page_id {
+            // A new hour edition of the url: old ranges are void and the
+            // retry budget starts fresh — the new edition has never had a
+            // repair burst of its own.
+            *entry = PageRepair {
+                page_id: nack.page_id,
+                version,
+                next_eligible_s: now_s + self.config.coalesce_s,
+                ..PageRepair::default()
+            };
+        }
         if entry.attempts >= self.config.max_attempts_per_page {
             self.stats.nacks_rejected += 1;
             self.stats.budget_exhausted += 1;
@@ -204,14 +228,20 @@ impl RepairPlanner {
         Ok((entry.next_eligible_s - now_s).max(0.0))
     }
 
-    /// Schedules every pending repair whose coalescing window / backoff has
-    /// elapsed onto its site's scheduler. Returns the number of bursts
-    /// scheduled. Call periodically (each simulation tick / server loop).
-    pub fn schedule_due(
+    /// Extracts every pending repair whose coalescing window / backoff has
+    /// elapsed as a ready-to-transmit burst, charging the retry budget.
+    ///
+    /// `covered(site_id, page_id)` reports whether the site already has the
+    /// need in hand (a full broadcast queued, or an earlier repair burst
+    /// still in flight) — or no longer exists at all. Covered entries are
+    /// dropped without spending budget. This is the transport-agnostic core:
+    /// [`schedule_due`](Self::schedule_due) feeds local schedulers, while a
+    /// cluster coordinator routes the bursts over RPC instead.
+    pub fn due_bursts(
         &mut self,
         now_s: f64,
-        schedulers: &mut BTreeMap<u32, BroadcastScheduler>,
-    ) -> usize {
+        mut covered: impl FnMut(u32, u32) -> bool,
+    ) -> Vec<DueBurst> {
         let mut due: Vec<(u32, u32)> = self
             .pending
             .iter()
@@ -219,33 +249,29 @@ impl RepairPlanner {
             .map(|(&k, _)| k)
             .collect();
         due.sort_unstable();
-        let mut scheduled = 0usize;
+        let mut bursts = Vec::new();
         for key in due {
-            let (site_id, page_id) = key;
+            let site_id = key.0;
+            let page_id = match self.pending.get(&key) {
+                Some(r) => r.page_id,
+                None => continue,
+            };
             let Some(page) = self.registry.get(&page_id).cloned() else {
                 // Page aged out of the registry since the NACK: drop.
                 self.pending.remove(&key);
                 continue;
             };
-            let Some(sched) = schedulers.get_mut(&site_id) else {
+            if covered(site_id, page_id) {
+                // A queued full broadcast covers any range, and an in-flight
+                // repair burst should air before more budget is spent. A
+                // queued delta slot does NOT count — its columns are the
+                // hour's dirty set, not this client's loss set.
                 self.pending.remove(&key);
+                continue;
+            }
+            let Some(repair) = self.pending.get_mut(&key) else {
                 continue;
             };
-            if sched.eta_full_for(page_id).is_some() {
-                // A full broadcast of this page is already queued and covers
-                // any range; no burst (and no budget) needed. A queued delta
-                // slot does NOT count — its columns are the hour's dirty
-                // set, not this client's loss set.
-                self.pending.remove(&key);
-                continue;
-            }
-            if sched.repair_queued(page_id) {
-                // An earlier repair burst for this page is still in flight;
-                // let it air before spending more budget.
-                self.pending.remove(&key);
-                continue;
-            }
-            let repair = self.pending.get_mut(&key).expect("present: from scan");
             let frames = repair_frames(&page, repair.meta, &repair.columns);
             if frames.is_empty() {
                 self.pending.remove(&key);
@@ -253,8 +279,6 @@ impl RepairPlanner {
             }
             self.stats.bursts_scheduled += 1;
             self.stats.frames_scheduled += frames.len();
-            scheduled += 1;
-            sched.enqueue_repair(page, Arc::new(frames), now_s);
             repair.attempts += 1;
             self.stats.max_attempts_on_page = self.stats.max_attempts_on_page.max(repair.attempts);
             // Ranges are now in flight; a client still missing data after
@@ -262,11 +286,56 @@ impl RepairPlanner {
             repair.meta = false;
             repair.columns.clear();
             repair.clients = 0;
-            repair.next_eligible_s =
-                now_s + self.config.backoff_base_s * f64::from(1u32 << (repair.attempts - 1).min(16));
+            repair.next_eligible_s = now_s
+                + self.config.backoff_base_s * f64::from(1u32 << (repair.attempts - 1).min(16));
+            bursts.push(DueBurst {
+                site_id,
+                page,
+                frames: Arc::new(frames),
+            });
+        }
+        bursts
+    }
+
+    /// Schedules every due repair burst onto its site's local scheduler.
+    /// Returns the number of bursts scheduled. Call periodically (each
+    /// simulation tick / server loop).
+    pub fn schedule_due(
+        &mut self,
+        now_s: f64,
+        schedulers: &mut BTreeMap<u32, BroadcastScheduler>,
+    ) -> usize {
+        let bursts = self.due_bursts(now_s, |site_id, page_id| {
+            schedulers.get(&site_id).is_none_or(|s| {
+                s.eta_full_for(page_id).is_some() || s.repair_queued(page_id)
+            })
+        });
+        let mut scheduled = 0usize;
+        for b in bursts {
+            if let Some(sched) = schedulers.get_mut(&b.site_id) {
+                sched.enqueue_repair(b.page, b.frames, now_s);
+                scheduled += 1;
+            }
         }
         scheduled
     }
+}
+
+/// One repair burst whose window has elapsed, ready for transmission.
+#[derive(Debug, Clone)]
+pub struct DueBurst {
+    /// Transmitter site the burst belongs to.
+    pub site_id: u32,
+    /// Source page (carries the on-air `page_id` receivers fold frames by).
+    pub page: Arc<SimplifiedPage>,
+    /// The targeted frame subset covering the coalesced ranges.
+    pub frames: Arc<Vec<Frame>>,
+}
+
+/// Version-independent base of an on-air page id: undoes the version mix
+/// applied by `page_id_for`, leaving the pure url hash.
+fn base_id(page_id: u32, version: u16) -> u32 {
+    page_id ^ ((u32::from(version) << 16) | u32::from(version))
 }
 
 /// The subset of a page's frames covering the coalesced ranges: all meta
@@ -338,7 +407,7 @@ mod tests {
         pl.register_page(p.clone());
         pl.accept_nack(0, &nack(p.page_id, vec![(3, 4)]), 0.0).expect("a");
         pl.accept_nack(0, &nack(p.page_id, vec![(3, 1), (5, 0)]), 5.0).expect("b");
-        let entry = pl.pending.get(&(0, p.page_id)).expect("pending");
+        let entry = pl.pending.get(&(0, base_id(p.page_id, p.version))).expect("pending");
         assert_eq!(entry.columns.get(&3), Some(&1), "min from_seq wins");
         assert_eq!(entry.columns.get(&5), Some(&0));
         assert_eq!(entry.clients, 2);
@@ -433,6 +502,45 @@ mod tests {
         assert_eq!(pl.schedule_due(1.0, &mut scheds), 0);
         assert_eq!(pl.pending_repairs(), 0, "queued broadcast serves the need");
         assert_eq!(pl.stats.bursts_scheduled, 0);
+    }
+
+    #[test]
+    fn new_hour_version_resets_the_retry_budget() {
+        let mut pl = RepairPlanner::with_config(RepairConfig {
+            max_attempts_per_page: 1,
+            coalesce_s: 0.0,
+            backoff_base_s: 1.0,
+            ..RepairConfig::default()
+        });
+        let mut img = Raster::new(6, 300);
+        let mut x = 9u32;
+        for yy in 0..300 {
+            for xx in 0..6 {
+                x = x.wrapping_mul(1103515245).wrapping_add(12345);
+                img.set(xx, yy, Rgb::new((x >> 16) as u8, (x >> 8) as u8, x as u8));
+            }
+        }
+        let url = "https://hourly.pk/";
+        let v1 = Arc::new(SimplifiedPage::from_raster(url, &img, ClickMap::default(), 1, 6));
+        let v2 = Arc::new(SimplifiedPage::from_raster(url, &img, ClickMap::default(), 2, 6));
+        assert_ne!(v1.page_id, v2.page_id, "version is mixed into the id");
+        pl.register_page(v1.clone());
+        let mut scheds = BTreeMap::from([(0u32, BroadcastScheduler::new(1e9))]);
+        // Exhaust v1's budget of one burst.
+        pl.accept_nack(0, &nack(v1.page_id, vec![(1, 0)]), 0.0).expect("v1 in budget");
+        assert_eq!(pl.schedule_due(1.0, &mut scheds), 1);
+        while !scheds.get_mut(&0).expect("s").advance(1.0).is_empty() {}
+        assert_eq!(
+            pl.accept_nack(0, &nack(v1.page_id, vec![(1, 0)]), 10.0),
+            Err(NackRejection::BudgetExhausted)
+        );
+        // The next hour's edition of the same url arrives: its budget must
+        // be fresh, and the url still holds a single pending entry.
+        pl.register_page(v2.clone());
+        pl.accept_nack(0, &nack(v2.page_id, vec![(1, 0)]), 20.0).expect("v2 fresh budget");
+        assert_eq!(pl.pending_repairs(), 1, "one entry per (site, url) lineage");
+        assert_eq!(pl.schedule_due(21.0, &mut scheds), 1, "v2 burst airs");
+        assert_eq!(pl.stats.bursts_scheduled, 2);
     }
 
     #[test]

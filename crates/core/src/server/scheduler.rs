@@ -24,15 +24,16 @@ pub enum SlotKind {
     Repair,
 }
 
-/// One queued page.
+/// One queued entry.
 ///
-/// Both the page and its frame sequence are `Arc`-shared: the artifact
-/// cache enqueues the same pre-chunked frames into every transmitter's
-/// scheduler without copying payload bytes (frames are only cloned one at
-/// a time as they are emitted).
+/// The frame sequence is `Arc`-shared: the artifact cache enqueues the
+/// same pre-chunked frames into every transmitter's scheduler without
+/// copying payload bytes (frames are only cloned one at a time as they
+/// are emitted). Only the page *id* is kept — a cluster site fed raw
+/// frames over the wire has no page object at all.
 #[derive(Debug)]
 struct Queued {
-    page: Arc<SimplifiedPage>,
+    page_id: u32,
     /// Pre-chunked frames (shared); `next` is the emission cursor.
     frames: Arc<Vec<Frame>>,
     next: usize,
@@ -55,6 +56,10 @@ pub struct BroadcastScheduler {
     backlog_bytes: usize,
     /// Total bytes ever transmitted.
     pub transmitted_bytes: u64,
+    /// Queue entries fully drained over the scheduler's lifetime. The
+    /// cluster control plane reports this in health responses and uses it
+    /// as the carousel resume slot after a site restart.
+    pub completed_pages: u64,
 }
 
 impl BroadcastScheduler {
@@ -70,6 +75,7 @@ impl BroadcastScheduler {
             budget_bytes: 0.0,
             backlog_bytes: 0,
             transmitted_bytes: 0,
+            completed_pages: 0,
         }
     }
 
@@ -118,16 +124,9 @@ impl BroadcastScheduler {
         &mut self,
         page: Arc<SimplifiedPage>,
         frames: Arc<Vec<Frame>>,
-        _now_s: f64,
+        now_s: f64,
     ) -> f64 {
-        if let Some(eta) = self.eta_kind_for(page.page_id, SlotKind::Full) {
-            return eta;
-        }
-        self.remove_superseded(page.page_id);
-        if frames.is_empty() {
-            return self.backlog_bytes as f64 * 8.0 / self.rate_bps;
-        }
-        self.push_entry(page, frames, SlotKind::Full)
+        self.enqueue_frames(page.page_id, SlotKind::Full, frames, now_s)
     }
 
     /// Enqueues only a page's delta frames (meta + changed columns) — the
@@ -138,15 +137,9 @@ impl BroadcastScheduler {
         &mut self,
         page: Arc<SimplifiedPage>,
         delta_frames: Arc<Vec<Frame>>,
-        _now_s: f64,
+        now_s: f64,
     ) -> f64 {
-        if let Some(eta) = self.eta_if_queued(page.page_id) {
-            return eta;
-        }
-        if delta_frames.is_empty() {
-            return self.backlog_bytes as f64 * 8.0 / self.rate_bps;
-        }
-        self.push_entry(page, delta_frames, SlotKind::Delta)
+        self.enqueue_frames(page.page_id, SlotKind::Delta, delta_frames, now_s)
     }
 
     /// Enqueues a targeted repair burst. A queued *full* page serves the
@@ -157,30 +150,44 @@ impl BroadcastScheduler {
         &mut self,
         page: Arc<SimplifiedPage>,
         frames: Arc<Vec<Frame>>,
+        now_s: f64,
+    ) -> f64 {
+        self.enqueue_frames(page.page_id, SlotKind::Repair, frames, now_s)
+    }
+
+    /// Enqueues an explicit frame sequence under a bare page id — the wire
+    /// path: a cluster site handed a `PushFrames` RPC has frames and an id
+    /// but no page object. Dedupe/supersede rules match the page-based
+    /// enqueues: a full slot dedupes against a queued full and supersedes
+    /// not-yet-started delta/repair entries; a delta dedupes against any
+    /// queued entry; a repair dedupes against queued full/repair entries.
+    pub fn enqueue_frames(
+        &mut self,
+        page_id: u32,
+        kind: SlotKind,
+        frames: Arc<Vec<Frame>>,
         _now_s: f64,
     ) -> f64 {
-        if let Some(eta) = self.eta_kind_for(page.page_id, SlotKind::Full) {
+        let existing = match kind {
+            SlotKind::Full => self.eta_kind_for(page_id, SlotKind::Full),
+            SlotKind::Delta => self.eta_if_queued(page_id),
+            SlotKind::Repair => self
+                .eta_kind_for(page_id, SlotKind::Full)
+                .or_else(|| self.eta_kind_for(page_id, SlotKind::Repair)),
+        };
+        if let Some(eta) = existing {
             return eta;
         }
-        if let Some(eta) = self.eta_kind_for(page.page_id, SlotKind::Repair) {
-            return eta;
+        if kind == SlotKind::Full {
+            self.remove_superseded(page_id);
         }
         if frames.is_empty() {
             return self.backlog_bytes as f64 * 8.0 / self.rate_bps;
         }
-        self.push_entry(page, frames, SlotKind::Repair)
-    }
-
-    fn push_entry(
-        &mut self,
-        page: Arc<SimplifiedPage>,
-        frames: Arc<Vec<Frame>>,
-        kind: SlotKind,
-    ) -> f64 {
         let remaining_bytes = frames.len() * FRAME_SIZE;
         self.backlog_bytes += remaining_bytes;
         self.queue.push_back(Queued {
-            page,
+            page_id,
             frames,
             next: 0,
             remaining_bytes,
@@ -195,7 +202,7 @@ impl BroadcastScheduler {
     fn remove_superseded(&mut self, page_id: u32) {
         let backlog = &mut self.backlog_bytes;
         self.queue.retain(|q| {
-            let drop = q.page.page_id == page_id && q.kind != SlotKind::Full && q.next == 0;
+            let drop = q.page_id == page_id && q.kind != SlotKind::Full && q.next == 0;
             if drop {
                 *backlog -= q.remaining_bytes;
             }
@@ -216,7 +223,7 @@ impl BroadcastScheduler {
 
     /// ETA of a page already in the queue, any entry kind (the dedupe path).
     fn eta_if_queued(&self, page_id: u32) -> Option<f64> {
-        let pos = self.queue.iter().position(|q| q.page.page_id == page_id)?;
+        let pos = self.queue.iter().position(|q| q.page_id == page_id)?;
         Some(self.eta_through(pos))
     }
 
@@ -225,7 +232,7 @@ impl BroadcastScheduler {
         let pos = self
             .queue
             .iter()
-            .position(|q| q.page.page_id == page_id && q.kind == kind)?;
+            .position(|q| q.page_id == page_id && q.kind == kind)?;
         Some(self.eta_through(pos))
     }
 
@@ -267,6 +274,7 @@ impl BroadcastScheduler {
             out.push(frame);
             if front.next == front.frames.len() {
                 self.queue.pop_front();
+                self.completed_pages += 1;
             }
         }
         out

@@ -109,6 +109,7 @@ fn r3_in_scope(path: &str) -> bool {
     path.starts_with("crates/sim/src/")
         || path == "crates/radio/src/faults.rs"
         || path.starts_with("crates/core/src/server/")
+        || path.starts_with("crates/core/src/net/")
 }
 
 /// Paths in scope for R4 panic-freedom (the decode chain).
@@ -118,6 +119,8 @@ fn r4_in_scope(path: &str) -> bool {
         || path.starts_with("crates/image/src/")
         || path.starts_with("crates/radio/src/")
         || path == "crates/core/src/reassembly.rs"
+        || path.starts_with("crates/core/src/net/")
+        || path == "crates/core/src/server/cluster.rs"
 }
 
 /// Paths in scope for R5 unit hygiene (library source of every crate).

@@ -163,6 +163,45 @@ fn r3_out_of_scope_is_silent() {
 }
 
 #[test]
+fn r3_covers_framed_transport_modules() {
+    // The framed transport and RPC layer live under `crates/core/src/net/`
+    // and are in R3's deterministic scope: link fates, retry timers and
+    // chunk arrival order must be pure functions of (seed, sim-time) so
+    // same-seed chaos runs replay byte-identically. A transport-shaped
+    // fixture must light up line by line under both virtual paths…
+    let want = vec![
+        (Rule::Determinism, 3, "HashMap".to_string()),
+        (Rule::Determinism, 4, "SystemTime".to_string()),
+        (Rule::Determinism, 7, "HashMap".to_string()),
+        (Rule::Determinism, 12, "Instant::now".to_string()),
+        (Rule::Determinism, 13, "SystemTime".to_string()),
+        (Rule::Determinism, 15, "thread_rng".to_string()),
+    ];
+    let transport = triples("crates/core/src/net/transport.rs", "r3_net_determinism.rs");
+    assert_eq!(transport, want);
+    let rpc = triples("crates/core/src/net/rpc.rs", "r3_net_determinism.rs");
+    assert_eq!(rpc, want);
+
+    // …and the real net modules must stay silent under the same rule.
+    for rel in [
+        "src/net/codec.rs",
+        "src/net/mod.rs",
+        "src/net/proto.rs",
+        "src/net/rpc.rs",
+        "src/net/transport.rs",
+    ] {
+        let real = Path::new(env!("CARGO_MANIFEST_DIR")).join("../core").join(rel);
+        let src = SourceFile {
+            path: format!("crates/core/{rel}"),
+            text: std::fs::read_to_string(&real)
+                .unwrap_or_else(|e| panic!("{rel} unreadable: {e}")),
+        };
+        let findings = lint_sources(&[src]);
+        assert!(findings.is_empty(), "{rel}: {findings:?}");
+    }
+}
+
+#[test]
 fn r4_panic_free_exact_diagnostics() {
     let got = triples("crates/fec/src/fixture.rs", "r4_panic_free.rs");
     let want = vec![
@@ -187,6 +226,46 @@ fn r4_decode_chain_scope_includes_reassembly_only_for_core() {
         text: src,
     }]);
     assert!(out_of_scope.iter().all(|f| f.rule != Rule::PanicFree));
+}
+
+#[test]
+fn r4_covers_net_and_cluster_modules() {
+    // The wire codec parses attacker-shaped bytes and the coordinator folds
+    // responses from crashed sites: both must degrade (resync, mark the
+    // site Down) instead of panicking, so `crates/core/src/net/` and the
+    // cluster coordinator are in R4's panic-free scope. A fold-shaped
+    // fixture must light up line by line under both virtual paths…
+    let want = vec![
+        (Rule::PanicFree, 5, ".unwrap".to_string()),
+        (Rule::PanicFree, 7, "panic!".to_string()),
+        (Rule::PanicFree, 9, ".expect".to_string()),
+        (Rule::PanicFree, 11, "unreachable!".to_string()),
+    ];
+    let codec = triples("crates/core/src/net/codec.rs", "r4_cluster_panic_free.rs");
+    assert_eq!(codec, want);
+    let cluster = triples(
+        "crates/core/src/server/cluster.rs",
+        "r4_cluster_panic_free.rs",
+    );
+    assert_eq!(cluster, want);
+
+    // Only the coordinator is in R4 scope under `server/`; its siblings
+    // answer to R3 alone.
+    let sibling = lint_sources(&[SourceFile {
+        path: "crates/core/src/server/cache.rs".to_string(),
+        text: fixture("r4_cluster_panic_free.rs"),
+    }]);
+    assert!(sibling.iter().all(|f| f.rule != Rule::PanicFree));
+
+    // …and the real coordinator must stay silent under the same rule.
+    let real = Path::new(env!("CARGO_MANIFEST_DIR")).join("../core/src/server/cluster.rs");
+    let src = SourceFile {
+        path: "crates/core/src/server/cluster.rs".to_string(),
+        text: std::fs::read_to_string(&real)
+            .unwrap_or_else(|e| panic!("cluster module unreadable: {e}")),
+    };
+    let findings = lint_sources(&[src]);
+    assert!(findings.is_empty(), "{findings:?}");
 }
 
 #[test]

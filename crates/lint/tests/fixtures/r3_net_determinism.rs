@@ -1,0 +1,20 @@
+// Transport-shaped R3 fixture: a fault-injecting link that leaks hasher
+// order and wall clocks into chunk fates that must replay byte-identically
+use std::collections::HashMap;
+use std::time::SystemTime;
+
+pub struct BadLink {
+    inflight: HashMap<u64, Vec<u8>>,
+}
+
+impl BadLink {
+    pub fn send(&mut self, bytes: &[u8]) -> u64 {
+        let t0 = std::time::Instant::now();
+        let stamp = SystemTime::now();
+        let _ = stamp;
+        let roll: f64 = rand::thread_rng().gen();
+        let seq = self.inflight.len() as u64;
+        self.inflight.insert(seq, bytes.to_vec());
+        t0.elapsed().as_nanos() as u64 ^ roll.to_bits() ^ seq
+    }
+}

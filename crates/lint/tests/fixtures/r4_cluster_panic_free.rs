@@ -1,0 +1,23 @@
+// Cluster-shaped R4 fixture: a coordinator fold path that panics on
+// malformed peer responses instead of degrading gracefully.
+
+pub fn fold_response(sites: &[u32], wire: &[u8]) -> u32 {
+    let site = sites.first().unwrap(); // line 5: .unwrap on peer state
+    if wire.is_empty() {
+        panic!("empty response from site {site}"); // line 7: panic! in fold
+    }
+    let tag = wire.get(0).expect("response tag"); // line 9: .expect on wire bytes
+    match tag {
+        0 => unreachable!("reserved tag"), // line 11: unreachable!
+        t => u32::from(*t),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u8> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

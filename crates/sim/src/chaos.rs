@@ -64,6 +64,7 @@ impl Default for ChaosSoakConfig {
                 max_bytes: 1 << 20,
                 max_pages: 8,
                 page_deadline_s: 600.0,
+                ..ReassemblerConfig::default()
             },
             max_nacks_per_page: 2,
             nack_grace_s: 300.0,

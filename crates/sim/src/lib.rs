@@ -13,6 +13,8 @@
 //! * [`study`] — the 151-rater perceptual panel model (Figure 5).
 //! * [`workload`], [`des`] — request workloads and a small event simulator
 //!   for day-in-the-life runs.
+//! * [`chaos`], [`cluster`] — seeded fault soaks: one server's radio path,
+//!   and the multi-site control plane (kill/restart, link faults, floods).
 //! * [`scenario`], [`terrain`] — the country-scale streaming engine:
 //!   Zipf-ranked populations on synthetic terrain, batched frame-fate
 //!   evaluation, constant-memory aggregation (72 h × 100 k listeners).
@@ -27,6 +29,7 @@
 pub mod broadcast;
 pub mod carousel;
 pub mod chaos;
+pub mod cluster;
 pub mod des;
 pub mod experiments;
 pub mod linksim;

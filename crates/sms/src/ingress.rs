@@ -1,0 +1,171 @@
+//! Bounded SMS ingress queue — the gateway's accept buffer behind the
+//! socket boundary.
+//!
+//! Uplink SMS arrives faster than the control plane can process it during
+//! flood events (§3.1's shared SMS gateway is a single choke point). The
+//! queue is **bounded** so a flood cannot grow memory without limit, and
+//! it sheds load in priority order: repair NACKs are dropped before page
+//! requests, because a lost NACK costs one retransmission opportunity
+//! (the client re-NACKs after the next carousel pass) while a lost GET
+//! loses the page entirely. Concretely, when the queue is full:
+//!
+//! 1. an incoming NACK is refused outright;
+//! 2. an incoming page/query request evicts the oldest queued NACK;
+//! 3. if no NACK is queued, the incoming request is refused.
+//!
+//! Classification is by the disjoint grammar prefix (`NACK `), so the
+//! queue never needs to parse a message it may end up dropping.
+
+use std::collections::VecDeque;
+
+/// Ingress counters (soak assertions and gateway diagnostics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngressStats {
+    /// Messages accepted into the queue.
+    pub accepted: u64,
+    /// Incoming NACKs refused because the queue was full.
+    pub shed_nacks: u64,
+    /// Incoming page/query requests refused (full queue, no NACK to evict).
+    pub shed_requests: u64,
+    /// Queued NACKs evicted to admit a page/query request.
+    pub evicted_nacks: u64,
+    /// Deepest the queue has ever been.
+    pub peak_depth: usize,
+}
+
+/// Bounded FIFO of raw uplink SMS text with NACK-before-request shedding.
+#[derive(Debug)]
+pub struct IngressQueue {
+    capacity: usize,
+    queue: VecDeque<String>,
+    /// Counters.
+    pub stats: IngressStats,
+}
+
+/// Whether a raw uplink message is a repair NACK (the grammars are
+/// disjoint by first token).
+fn is_nack(msg: &str) -> bool {
+    msg.trim_start().starts_with("NACK ")
+}
+
+impl IngressQueue {
+    /// A queue holding at most `capacity` messages (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        IngressQueue {
+            capacity: capacity.max(1),
+            queue: VecDeque::new(),
+            stats: IngressStats::default(),
+        }
+    }
+
+    /// Configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Offers one uplink message. Returns `false` when it was shed (see
+    /// the module docs for the drop order).
+    pub fn push(&mut self, msg: impl Into<String>) -> bool {
+        let msg = msg.into();
+        if self.queue.len() >= self.capacity {
+            if is_nack(&msg) {
+                self.stats.shed_nacks += 1;
+                return false;
+            }
+            // Full of traffic but the incoming message is a page/query
+            // request: evict the oldest queued NACK to make room.
+            let Some(pos) = self.queue.iter().position(|m| is_nack(m)) else {
+                self.stats.shed_requests += 1;
+                return false;
+            };
+            self.queue.remove(pos);
+            self.stats.evicted_nacks += 1;
+        }
+        self.queue.push_back(msg);
+        self.stats.accepted += 1;
+        self.stats.peak_depth = self.stats.peak_depth.max(self.queue.len());
+        true
+    }
+
+    /// Takes the oldest queued message.
+    pub fn pop(&mut self) -> Option<String> {
+        self.queue.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_under_capacity() {
+        let mut q = IngressQueue::new(4);
+        assert!(q.push("GET a AT 1,2"));
+        assert!(q.push("NACK 1F META AT 1,2"));
+        assert_eq!(q.pop().as_deref(), Some("GET a AT 1,2"));
+        assert_eq!(q.pop().as_deref(), Some("NACK 1F META AT 1,2"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn full_queue_refuses_incoming_nacks_first() {
+        let mut q = IngressQueue::new(2);
+        assert!(q.push("GET a AT 1,2"));
+        assert!(q.push("GET b AT 1,2"));
+        assert!(!q.push("NACK 1F META AT 1,2"), "incoming NACK shed");
+        assert_eq!(q.stats.shed_nacks, 1);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn incoming_request_evicts_oldest_queued_nack() {
+        let mut q = IngressQueue::new(2);
+        assert!(q.push("NACK 1F META AT 1,2"));
+        assert!(q.push("GET a AT 1,2"));
+        assert!(q.push("GET b AT 1,2"), "request admitted by evicting NACK");
+        assert_eq!(q.stats.evicted_nacks, 1);
+        assert_eq!(q.pop().as_deref(), Some("GET a AT 1,2"));
+        assert_eq!(q.pop().as_deref(), Some("GET b AT 1,2"));
+    }
+
+    #[test]
+    fn full_queue_of_requests_sheds_incoming_requests() {
+        let mut q = IngressQueue::new(2);
+        assert!(q.push("GET a AT 1,2"));
+        assert!(q.push("GET b AT 1,2"));
+        assert!(!q.push("GET c AT 1,2"));
+        assert_eq!(q.stats.shed_requests, 1);
+        assert_eq!(q.len(), 2, "bound holds");
+    }
+
+    #[test]
+    fn depth_stays_bounded_under_flood() {
+        let mut q = IngressQueue::new(8);
+        for i in 0..10_000 {
+            let msg = if i % 3 == 0 {
+                format!("NACK {i:X} META AT 1,2")
+            } else {
+                format!("GET page{i} AT 1,2")
+            };
+            q.push(msg);
+        }
+        assert!(q.stats.peak_depth <= 8);
+        assert!(q.stats.shed_nacks > 0);
+        assert!(q.stats.evicted_nacks > 0);
+        // Requests displaced every queued NACK: what survives the flood is
+        // exclusively page traffic.
+        while let Some(m) = q.pop() {
+            assert!(!m.starts_with("NACK "), "no NACK survives a flood");
+        }
+    }
+}

@@ -15,6 +15,7 @@
 pub mod congestion;
 pub mod gateway;
 pub mod geo;
+pub mod ingress;
 pub mod gsm7;
 pub mod network;
 pub mod pdu;

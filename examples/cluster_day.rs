@@ -1,0 +1,54 @@
+//! Cluster day runner: 50 transmitter sites behind one coordinator, a
+//! broadcast day of kills, severed links and a gateway flood.
+//!
+//! ```text
+//! cargo run --release --example cluster_day            # full 24 h day
+//! cargo run --release --example cluster_day -- --smoke # 1 h CI smoke
+//! ```
+
+use sonic_sim::cluster::{run_cluster_soak, ClusterSoakConfig};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cfg = ClusterSoakConfig {
+        hours: if smoke { 1 } else { 24 },
+        sites: if smoke { 12 } else { 50 },
+        kills_per_hour: 1,
+        ..ClusterSoakConfig::default()
+    };
+    println!(
+        "cluster day: {} h, {} sites, seed {:#x}, {} bps/site",
+        cfg.hours, cfg.sites, cfg.seed, cfg.rate_bps
+    );
+    let report = run_cluster_soak(&cfg);
+    println!(
+        "air       : {} frames aired over {} ticks; {} distinct (site,page) heard",
+        report.frames_aired, report.ticks, report.distinct_pages_heard
+    );
+    println!(
+        "chaos     : {} kills / {} restarts; {} downs, {} recoveries, {} resumes ({} jobs reloaded)",
+        report.kills, report.restarts, report.downs, report.recoveries, report.resumes,
+        report.resumed_jobs
+    );
+    println!(
+        "rpc       : {} retries, {} expired, {} gave up; {} repair failovers",
+        report.rpc_retries, report.rpc_expired, report.rpc_gave_up, report.failovers
+    );
+    println!(
+        "gateway   : {} SMS accepted, {} shed (peak depth {}); {} site refusals",
+        report.sms_accepted, report.sms_shed, report.peak_ingress_depth,
+        report.refused_overloaded
+    );
+    println!(
+        "bounds    : peak rpc queue {}, peak site backlog {} pages, {} hung",
+        report.peak_rpc_queued, report.peak_site_backlog_pages, report.hung_pages
+    );
+    assert!(report.kills >= 1, "the day must include a site kill");
+    assert_eq!(report.restarts, report.kills, "every kill must restart");
+    assert!(report.recoveries >= 1, "killed sites must be re-detected Up");
+    assert!(report.resumes >= 1, "recovery must trigger a carousel Resume");
+    assert_eq!(report.hung_pages, 0, "no site may end the day with a stuck backlog");
+    println!("replaying with the same seed…");
+    assert_eq!(report, run_cluster_soak(&cfg), "same seed must replay exactly");
+    println!("OK: cluster survived the day; replay is byte-identical");
+}
