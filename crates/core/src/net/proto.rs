@@ -178,6 +178,7 @@ pub fn encode_msg(msg: &Msg, out: &mut Vec<u8>) {
                     out.push(0x12);
                     out.extend_from_slice(&page_id.to_be_bytes());
                     out.push(slot_kind_byte(*kind));
+                    // lint: checked-cast — a page is at most a few thousand frames, far below u32::MAX
                     out.extend_from_slice(&(frames.len() as u32).to_be_bytes());
                     for f in frames {
                         out.extend_from_slice(&f.encode());
@@ -187,6 +188,7 @@ pub fn encode_msg(msg: &Msg, out: &mut Vec<u8>) {
                     out.push(0x13);
                     out.extend_from_slice(&hour.to_be_bytes());
                     out.extend_from_slice(&slot.to_be_bytes());
+                    // lint: checked-cast — resume job lists are small (one entry per in-flight page)
                     out.extend_from_slice(&(jobs.len() as u32).to_be_bytes());
                     for &(s, p) in jobs {
                         out.extend_from_slice(&s.to_be_bytes());
@@ -380,6 +382,14 @@ mod tests {
         round_trip(Msg::Resp {
             id: 9,
             resp: Response::Refused { code: RefuseCode::StoreMiss },
+        });
+        round_trip(Msg::Resp {
+            id: 10,
+            resp: Response::Refused { code: RefuseCode::Overloaded },
+        });
+        round_trip(Msg::Resp {
+            id: 11,
+            resp: Response::Refused { code: RefuseCode::BadRequest },
         });
     }
 

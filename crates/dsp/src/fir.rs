@@ -253,6 +253,7 @@ impl BlockFir {
                 let a_len = block.min(total - q);
                 let b_start = q + a_len;
                 let b_len = block.min(total.saturating_sub(b_start));
+                // lint: allow(no-alloc) — span list reuses retained capacity (≤ BLOCK_FIR_BATCH entries)
                 self.spans.push((q, a_len, b_start, b_len));
                 q = b_start + b_len;
             }
@@ -355,6 +356,7 @@ impl BlockFirC {
             let mut q = p;
             while q < total && self.spans.len() < BLOCK_FIR_BATCH {
                 let chunk = block.min(total - q);
+                // lint: allow(no-alloc) — span list reuses retained capacity (≤ BLOCK_FIR_BATCH entries)
                 self.spans.push((q, chunk));
                 q += chunk;
             }

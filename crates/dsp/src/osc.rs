@@ -94,6 +94,7 @@ impl PhasorTable {
             // Exactly Nco::next: emit at the current phase, then advance
             // and wrap. Any deviation here would break bit-exactness with
             // the reference oscillator.
+            // lint: allow(no-alloc) — phasor table grows on demand, retained for the codec lifetime
             self.table.push(C32::from_angle(self.phase_end));
             self.phase_end += self.step;
             if self.phase_end > TAU {
@@ -116,6 +117,7 @@ impl PhasorTable {
         let phasors = self.phasors(baseband.len());
         out.reserve(baseband.len());
         for (&x, &c) in baseband.iter().zip(phasors) {
+            // lint: allow(no-alloc) — appends within the capacity reserved above
             out.push((x * c).re * std::f32::consts::SQRT_2);
         }
     }

@@ -65,6 +65,7 @@ pub fn raised_cosine_edge(n: usize) -> Vec<f32> {
             let x = PI * (i as f64 + 0.5) / n as f64;
             (0.5 - 0.5 * x.cos()) as f32
         })
+        // lint: allow(no-alloc) — ramp table; callers cache it, rebuilt only on burst-length change
         .collect()
 }
 

@@ -64,7 +64,9 @@ fn combo_table() -> &'static [u8; 2 * STATES] {
         let mut t = [0u8; 2 * STATES];
         for n in 0..STATES {
             let bit = (n & 1) as u8;
+            // lint: checked-cast — trellis state indices are < STATES = 64, well within u16
             let p0 = (n >> 1) as u16;
+            // lint: checked-cast — STATES = 64 fits u16 exactly
             let p1 = p0 | (STATES as u16 >> 1);
             let (n0, oa0, ob0) = step(p0, bit);
             let (n1, oa1, ob1) = step(p1, bit);

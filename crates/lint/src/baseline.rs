@@ -394,6 +394,7 @@ mod tests {
             rule,
             key: key.into(),
             message: String::new(),
+            chain: Vec::new(),
         }
     }
 

@@ -1,0 +1,581 @@
+//! Workspace symbol table and call graph.
+//!
+//! Built from the lexer/scanner output only — no type inference, no
+//! rustc. Every non-test `fn` with a body becomes a node; call sites are
+//! extracted from body token spans (free calls, `Type::method` /
+//! `module::func` qualified calls with turbofish skipping, and `.method()`
+//! calls) and resolved against the symbol table by
+//! [`crate::resolve`]'s use-aware suffix matching. Trait-method calls are
+//! handled conservatively: an ambiguous name resolves to *every*
+//! same-named candidate, so transitive rules over-approximate reachability
+//! rather than miss a path (false positives carry
+//! `// lint: allow(...)` justifications; false negatives would be silent
+//! soundness holes).
+//!
+//! The graph feeds the transitive forms of R1/R3/R4 (see
+//! [`crate::rules`]), the R7 wire-totality reachability check, and the
+//! `--graph-stats` CLI mode.
+
+use crate::lexer::TokenKind;
+use crate::resolve::Resolver;
+use crate::scan::ScannedFile;
+use std::collections::BTreeMap;
+
+/// One function node: a non-test `fn` definition with a body.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Index of the defining file in the scanned-file slice.
+    pub file: usize,
+    /// Function name (raw identifiers keep their `r#` prefix).
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name, if any.
+    pub owner: Option<String>,
+    /// Module path derived from the file path (`crates/core/src/net/proto.rs`
+    /// → `["sonic_core", "net", "proto"]`).
+    pub module: Vec<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Subject to R1 (named `*_into` or marked `// lint: no-alloc`).
+    pub no_alloc: bool,
+    /// Token-index span of the body (exclusive of braces).
+    pub body: (usize, usize),
+}
+
+impl FnNode {
+    /// `owner::name` when owned, else just the name.
+    pub fn display(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One resolved call edge.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// Callee node index.
+    pub to: usize,
+    /// 1-based line of the call site in the caller's file.
+    pub line: u32,
+}
+
+/// Node/edge/resolution counters for `--graph-stats`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GraphStats {
+    /// Function nodes (non-test, with a body).
+    pub nodes: usize,
+    /// Resolved call edges (one per call site × target).
+    pub edges: usize,
+    /// Call sites extracted from bodies.
+    pub call_sites: usize,
+    /// Call sites with ≥ 1 workspace target.
+    pub resolved_calls: usize,
+    /// Call sites resolving to > 1 target (conservative fan-out).
+    pub ambiguous_calls: usize,
+    /// Call sites with no workspace target (std / vendored / macro-expanded
+    /// — external by construction, not an error).
+    pub unresolved_calls: usize,
+}
+
+/// The workspace call graph.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// All nodes, in (file, definition) order.
+    pub fns: Vec<FnNode>,
+    /// Outgoing edges per node, parallel to `fns`.
+    pub edges: Vec<Vec<Edge>>,
+    /// Build counters.
+    pub stats: GraphStats,
+}
+
+impl CallGraph {
+    /// Node indices of non-test fns defined in `file` whose name satisfies
+    /// `pred`.
+    pub fn fns_in_file(
+        &self,
+        file: usize,
+        pred: impl Fn(&FnNode) -> bool,
+    ) -> Vec<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.file == file && pred(n))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Non-comment token indices of `node`'s body, with nested fn bodies
+    /// excluded (those are their own nodes) — the same window call
+    /// extraction used, re-derived for rule sink scanning.
+    pub fn body_tokens(&self, files: &[ScannedFile], node: usize) -> Vec<usize> {
+        let n = &self.fns[node];
+        let f = &files[n.file];
+        let (start, end) = n.body;
+        let nested: Vec<(usize, usize)> = self
+            .fns
+            .iter()
+            .filter(|m| m.file == n.file)
+            .map(|m| m.body)
+            .filter(|&(s, e)| s > start && e <= end && (s, e) != (start, end))
+            .collect();
+        (start..end.min(f.tokens.len()))
+            .filter(|&i| {
+                !matches!(
+                    f.tokens[i].kind,
+                    TokenKind::LineComment | TokenKind::BlockComment
+                ) && !nested.iter().any(|&(s, e)| i >= s && i < e)
+            })
+            .collect()
+    }
+
+    /// Forward-reachable node set (including the seeds themselves).
+    pub fn reachable_from(&self, seeds: &[usize]) -> Vec<bool> {
+        let mut seen = vec![false; self.fns.len()];
+        let mut queue: Vec<usize> = Vec::new();
+        for &s in seeds {
+            if s < seen.len() && !seen[s] {
+                seen[s] = true;
+                queue.push(s);
+            }
+        }
+        while let Some(u) = queue.pop() {
+            for e in &self.edges[u] {
+                if !seen[e.to] {
+                    seen[e.to] = true;
+                    queue.push(e.to);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Module path for a workspace-relative file path. Crate directories map
+/// to their package names (`crates/core` → `sonic_core`); `lib.rs` and
+/// `mod.rs` contribute no segment of their own.
+pub fn module_path(path: &str) -> Vec<String> {
+    let segs: Vec<&str> = path.split('/').collect();
+    let mut out = Vec::new();
+    let rest: &[&str] = if segs.first() == Some(&"crates") && segs.len() >= 2 {
+        out.push(format!("sonic_{}", segs[1].replace('-', "_")));
+        &segs[2..]
+    } else {
+        out.push("sonic".to_string());
+        &segs[..]
+    };
+    for (i, s) in rest.iter().enumerate() {
+        if i == 0 && (*s == "src" || *s == "tests" || *s == "examples" || *s == "benches") {
+            continue;
+        }
+        let s = s.strip_suffix(".rs").unwrap_or(s);
+        if s == "lib" || s == "mod" || s == "main" {
+            continue;
+        }
+        out.push(s.to_string());
+    }
+    out
+}
+
+/// Rust keywords (and primitive-ish idents) that can precede `(` without
+/// being a call. Raw identifiers (`r#type`) never match: the lexer keeps
+/// their `r#` prefix exactly so this filter cannot eat them.
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "else" | "while" | "match" | "for" | "loop" | "return" | "in" | "as"
+            | "move" | "let" | "fn" | "pub" | "use" | "impl" | "trait" | "struct"
+            | "enum" | "mod" | "where" | "unsafe" | "ref" | "mut" | "break"
+            | "continue" | "await" | "dyn" | "box" | "yield" | "static" | "const"
+            | "type" | "self" | "super" | "crate" | "true" | "false"
+    )
+}
+
+/// Builds the workspace call graph from scanned files.
+pub fn build(files: &[ScannedFile]) -> CallGraph {
+    // ---- nodes ----
+    let mut fns: Vec<FnNode> = Vec::new();
+    for (fi, f) in files.iter().enumerate() {
+        let module = module_path(&f.path);
+        for d in &f.fns {
+            let Some(body) = d.body else { continue };
+            if d.in_test {
+                continue;
+            }
+            fns.push(FnNode {
+                file: fi,
+                name: d.name.clone(),
+                owner: d.owner.clone(),
+                module: module.clone(),
+                line: d.line,
+                no_alloc: d.no_alloc,
+                body,
+            });
+        }
+    }
+
+    // Name → node indices, and nested-span index per file so a parent fn
+    // does not claim the call sites of a fn defined inside it.
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, n) in fns.iter().enumerate() {
+        by_name.entry(n.name.as_str()).or_default().push(i);
+    }
+    let mut spans_per_file: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
+    for n in &fns {
+        spans_per_file.entry(n.file).or_default().push(n.body);
+    }
+
+    let resolver = Resolver::new(files, &fns, &by_name);
+
+    // ---- call extraction + resolution ----
+    let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); fns.len()];
+    let mut stats = GraphStats {
+        nodes: fns.len(),
+        ..GraphStats::default()
+    };
+
+    for (ni, node) in fns.iter().enumerate() {
+        let f = &files[node.file];
+        let (start, end) = node.body;
+        // Non-comment token indices belonging to this fn (nested fn bodies
+        // excluded — they are their own nodes).
+        let nested: Vec<(usize, usize)> = spans_per_file
+            .get(&node.file)
+            .map(|spans| {
+                spans
+                    .iter()
+                    .copied()
+                    .filter(|&(s, e)| s > start && e <= end && (s, e) != (start, end))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let toks: Vec<usize> = (start..end.min(f.tokens.len()))
+            .filter(|&i| {
+                !matches!(
+                    f.tokens[i].kind,
+                    TokenKind::LineComment | TokenKind::BlockComment
+                ) && !nested.iter().any(|&(s, e)| i >= s && i < e)
+            })
+            .collect();
+
+        for call in extract_calls(f, &toks) {
+            stats.call_sites += 1;
+            let targets = resolver.resolve(&call, node);
+            match targets.len() {
+                0 => stats.unresolved_calls += 1,
+                n => {
+                    stats.resolved_calls += 1;
+                    if n > 1 {
+                        stats.ambiguous_calls += 1;
+                    }
+                    for t in targets {
+                        stats.edges += 1;
+                        edges[ni].push(Edge {
+                            to: t,
+                            line: call.line,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    CallGraph { fns, edges, stats }
+}
+
+/// A syntactic call site before resolution.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Path segments (`["viterbi", "decode_soft"]`, `["demap"]`); for a
+    /// method call, the single method name.
+    pub path: Vec<String>,
+    /// True for `.name(...)` receiver calls.
+    pub is_method: bool,
+    /// For a method call, the identifier immediately before the `.`
+    /// (`self`, a local, a field name); `None` when the receiver is not a
+    /// plain identifier.
+    pub recv: Option<String>,
+    /// 1-based line of the callee token.
+    pub line: u32,
+}
+
+/// A SCREAMING_SNAKE_CASE identifier — a `static`/`const` in every crate
+/// of this workspace. Methods on those receivers are atomics / lazies
+/// (`FORCED.load(...)`), never workspace calls.
+fn is_screaming_case(s: &str) -> bool {
+    s.len() >= 2
+        && s.chars().all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+        && s.chars().any(|c| c.is_ascii_uppercase())
+}
+
+/// Skips a turbofish/generic group starting at `<`; returns the filtered
+/// index just past the matching `>`, or `None` if unbalanced within the
+/// window (then the candidate is not treated as a call).
+fn skip_generics(f: &ScannedFile, toks: &[usize], at: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut k = at;
+    while k < toks.len() {
+        let t = &f.tokens[toks[k]];
+        match t.text.as_str() {
+            "<" if t.kind == TokenKind::Punct => depth += 1,
+            ">" if t.kind == TokenKind::Punct => {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    return Some(k + 1);
+                }
+            }
+            "(" | ")" | "{" | "}" | ";" if t.kind == TokenKind::Punct => return None,
+            _ => {}
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Extracts call sites from the filtered token window of one fn body.
+pub fn extract_calls(f: &ScannedFile, toks: &[usize]) -> Vec<CallSite> {
+    let tok = |k: usize| f.tokens.get(toks.get(k).copied().unwrap_or(usize::MAX));
+    let is_p = |k: usize, s: &str| tok(k).map(|t| t.is_punct(s)).unwrap_or(false);
+    let is_id = |k: usize| tok(k).map(|t| t.kind == TokenKind::Ident).unwrap_or(false);
+
+    // `let`-bound names shadow workspace fns in call position (closures,
+    // fn pointers): `let pack = |b| …; pack(x)` must not resolve to a
+    // workspace `pack`.
+    let mut shadowed: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+    for k in 0..toks.len() {
+        if tok(k).map(|t| t.is_ident("let")).unwrap_or(false) {
+            let mut j = k + 1;
+            if tok(j).map(|t| t.is_ident("mut")).unwrap_or(false) {
+                j += 1;
+            }
+            if let Some(t) = tok(j).filter(|t| t.kind == TokenKind::Ident) {
+                shadowed.insert(t.text.as_str());
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut k = 0usize;
+    while k < toks.len() {
+        // `.name(` / `.name::<…>(` — method call.
+        if is_p(k, ".") && is_id(k + 1) {
+            let name_tok = tok(k + 1).cloned();
+            let mut j = k + 2;
+            if is_p(j, "::") && is_p(j + 1, "<") {
+                match skip_generics(f, toks, j + 1) {
+                    Some(next) => j = next,
+                    None => {
+                        k += 2;
+                        continue;
+                    }
+                }
+            }
+            if is_p(j, "(") {
+                // Receiver shape decides whether this can be a workspace
+                // method at all (DESIGN.md §15 precision trade-offs):
+                // a call/index/literal result (`.iter().fold(…)`) is an
+                // iterator/Option adapter; a SCREAMING_CASE receiver is a
+                // static (atomics). Both are external — skip.
+                let recv_tok = (k > 0).then(|| tok(k - 1)).flatten();
+                let external = match recv_tok {
+                    Some(t) if t.is_punct(")") || t.is_punct("]") => true,
+                    Some(t)
+                        if matches!(t.kind, TokenKind::Literal | TokenKind::Number) =>
+                    {
+                        true
+                    }
+                    Some(t) if t.kind == TokenKind::Ident && is_screaming_case(&t.text) => {
+                        true
+                    }
+                    _ => false,
+                };
+                let recv = recv_tok
+                    .filter(|t| t.kind == TokenKind::Ident)
+                    .map(|t| t.text.clone());
+                if let Some(t) = name_tok {
+                    if !is_keyword(&t.text) && !external {
+                        out.push(CallSite {
+                            path: vec![t.text.clone()],
+                            is_method: true,
+                            recv,
+                            line: t.line,
+                        });
+                    }
+                }
+            }
+            k += 2;
+            continue;
+        }
+
+        // Path head: ident not preceded by `.`/`::`/`fn`.
+        if is_id(k) {
+            let prev_blocks = k > 0
+                && (is_p(k - 1, ".")
+                    || is_p(k - 1, "::")
+                    || tok(k - 1).map(|t| t.is_ident("fn")).unwrap_or(false));
+            if prev_blocks {
+                k += 1;
+                continue;
+            }
+            let mut path = vec![tok(k).map(|t| t.text.clone()).unwrap_or_default()];
+            let line = tok(k).map(|t| t.line).unwrap_or(0);
+            let mut j = k + 1;
+            while is_p(j, "::") && is_id(j + 1) {
+                path.push(tok(j + 1).map(|t| t.text.clone()).unwrap_or_default());
+                j += 2;
+            }
+            if is_p(j, "::") && is_p(j + 1, "<") {
+                match skip_generics(f, toks, j + 1) {
+                    Some(next) => j = next,
+                    None => {
+                        k += 1;
+                        continue;
+                    }
+                }
+            }
+            // `name!(…)` is a macro, `name(…)` a call.
+            if is_p(j, "!") {
+                k = j + 1;
+                continue;
+            }
+            if is_p(j, "(") {
+                let callee = path.last().map(String::as_str).unwrap_or("");
+                let head_kw = path.len() == 1 && is_keyword(callee);
+                let tail_kw = path.len() > 1 && is_keyword(callee);
+                let local = path.len() == 1 && shadowed.contains(callee);
+                if !head_kw && !tail_kw && !local && !callee.is_empty() {
+                    out.push(CallSite {
+                        path,
+                        is_method: false,
+                        recv: None,
+                        line,
+                    });
+                }
+            }
+            k = j.max(k + 1);
+            continue;
+        }
+
+        k += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    fn graph_of(sources: &[(&str, &str)]) -> CallGraph {
+        let files: Vec<ScannedFile> =
+            sources.iter().map(|(p, s)| scan(p, s)).collect();
+        build(&files)
+    }
+
+    fn edge_names(g: &CallGraph, from: &str) -> Vec<String> {
+        let i = g.fns.iter().position(|n| n.name == from).expect("node");
+        let mut v: Vec<String> = g.edges[i]
+            .iter()
+            .map(|e| g.fns[e.to].display())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn free_and_qualified_calls_resolve() {
+        let g = graph_of(&[(
+            "crates/dsp/src/lib.rs",
+            "fn helper(x: u8) -> u8 { x }\nfn main_path() { helper(1); Engine::start(); }\nstruct Engine;\nimpl Engine { fn start() { helper(2); } }",
+        )]);
+        assert_eq!(edge_names(&g, "main_path"), vec!["Engine::start", "helper"]);
+        assert_eq!(edge_names(&g, "start"), vec!["helper"]);
+    }
+
+    #[test]
+    fn method_calls_resolve_by_unique_name() {
+        let g = graph_of(&[(
+            "crates/radio/src/fm.rs",
+            "struct Demod;\nimpl Demod { fn step(&self) {} }\nfn run(d: &Demod) { d.step(); }",
+        )]);
+        assert_eq!(edge_names(&g, "run"), vec!["Demod::step"]);
+    }
+
+    #[test]
+    fn cross_file_suffix_match_with_use() {
+        let g = graph_of(&[
+            (
+                "crates/fec/src/viterbi.rs",
+                "pub fn decode_soft(x: &[f32]) -> Vec<u8> { Vec::new() }",
+            ),
+            (
+                "crates/modem/src/lib.rs",
+                "use sonic_fec::viterbi::decode_soft;\nfn demod() { decode_soft(&[]); }",
+            ),
+        ]);
+        assert_eq!(edge_names(&g, "demod"), vec!["decode_soft"]);
+    }
+
+    #[test]
+    fn turbofish_and_raw_idents_keep_edges() {
+        let g = graph_of(&[(
+            "crates/core/src/lib.rs",
+            "fn r#type() {}\nfn collect_rows() -> Vec<Vec<u8>> { Vec::new() }\nfn run() { r#type(); helper::<Vec<Vec<u8>>>(1); }\nfn helper<T>(x: u8) -> u8 { x }",
+        )]);
+        assert_eq!(edge_names(&g, "run"), vec!["helper", "r#type"]);
+    }
+
+    #[test]
+    fn test_fns_are_not_nodes_and_externals_count_unresolved() {
+        let g = graph_of(&[(
+            "crates/core/src/lib.rs",
+            "fn prod() { external_call(); }\n#[cfg(test)]\nmod t { #[test]\nfn unit() { prod(); } }",
+        )]);
+        assert_eq!(g.stats.nodes, 1);
+        assert_eq!(g.stats.unresolved_calls, 1);
+        assert_eq!(g.stats.edges, 0);
+    }
+
+    #[test]
+    fn nested_fn_bodies_do_not_leak_call_sites() {
+        let g = graph_of(&[(
+            "crates/core/src/lib.rs",
+            "fn inner_target() {}\nfn outer() { fn nested() { inner_target(); } nested(); }",
+        )]);
+        assert_eq!(edge_names(&g, "outer"), vec!["nested"]);
+        assert_eq!(edge_names(&g, "nested"), vec!["inner_target"]);
+    }
+
+    #[test]
+    fn module_paths_derive_from_file_paths() {
+        assert_eq!(
+            module_path("crates/core/src/net/proto.rs"),
+            vec!["sonic_core", "net", "proto"]
+        );
+        assert_eq!(module_path("crates/dsp/src/lib.rs"), vec!["sonic_dsp"]);
+        assert_eq!(
+            module_path("crates/core/src/server/mod.rs"),
+            vec!["sonic_core", "server"]
+        );
+        assert_eq!(module_path("src/lib.rs"), vec!["sonic"]);
+    }
+
+    #[test]
+    fn reachability_walks_edges() {
+        let g = graph_of(&[(
+            "crates/dsp/src/lib.rs",
+            "fn a() { b(); }\nfn b() { c(); }\nfn c() {}\nfn island() {}",
+        )]);
+        let a = g.fns.iter().position(|n| n.name == "a").expect("a");
+        let seen = g.reachable_from(&[a]);
+        let names: Vec<&str> = g
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| seen[*i])
+            .map(|(_, n)| n.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+}

@@ -204,13 +204,16 @@ impl Lexer {
                 return true;
             }
             _ => {
-                // `r#ident` raw identifier: strip the prefix, lex as ident.
+                // `r#ident` raw identifier. The `r#` prefix is *kept* in the
+                // token text: `r#type` must stay distinguishable from the
+                // keyword `type`, or call-graph extraction would filter a
+                // call to `r#type(…)` as a keyword and drop the edge.
                 if hashes == 1 && self.peek(0) == Some('r') {
                     if let Some(c) = self.peek(2) {
                         if c == '_' || c.is_alphabetic() {
                             self.bump();
                             self.bump();
-                            self.ident(line);
+                            self.ident_with_prefix(line, "r#");
                             return true;
                         }
                     }
@@ -357,7 +360,11 @@ impl Lexer {
     }
 
     fn ident(&mut self, line: u32) {
-        let mut text = String::new();
+        self.ident_with_prefix(line, "");
+    }
+
+    fn ident_with_prefix(&mut self, line: u32, prefix: &str) {
+        let mut text = String::from(prefix);
         while let Some(c) = self.peek(0) {
             if c == '_' || c.is_alphanumeric() {
                 text.push(c);
@@ -430,5 +437,43 @@ mod tests {
         let toks = kinds("/* outer /* inner */ still */ ident");
         assert_eq!(toks.len(), 2);
         assert_eq!(toks[1], (TokenKind::Ident, "ident".into()));
+    }
+
+    #[test]
+    fn raw_identifiers_keep_their_prefix_at_call_sites() {
+        // `r#type(…)` is a call to a function literally named `type`; the
+        // token must keep the `r#` so downstream keyword filters cannot
+        // mistake it for the `type` keyword and drop the call edge.
+        let toks = kinds("fn r#type(x: u8) {}\nr#type(3); r#match();");
+        let raws: Vec<&str> = toks
+            .iter()
+            .filter(|(k, t)| *k == TokenKind::Ident && t.starts_with("r#"))
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(raws, vec!["r#type", "r#type", "r#match"]);
+        // …and a raw string is still a literal, not a raw identifier.
+        let toks = kinds(r###"let s = r#"not ident"#;"###);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t.contains("not ident")));
+    }
+
+    #[test]
+    fn shift_right_in_generics_stays_two_closers() {
+        // `Vec<Vec<u8>>` must lex as two separate `>` puncts — a combined
+        // `>>` token would unbalance generic tracking at call-site
+        // boundaries (`collect::<Vec<Vec<u8>>>(…)`) and drop the edge.
+        let toks = kinds("f::<Vec<Vec<u8>>>(x); a >> b");
+        let closers = toks
+            .iter()
+            .filter(|(k, t)| *k == TokenKind::Punct && t == ">")
+            .count();
+        assert_eq!(closers, 5, "3 generic closers + 2 shift chars");
+        assert!(
+            !toks.iter().any(|(_, t)| t == ">>"),
+            "no fused shift token"
+        );
+        // The argument paren after the turbofish is still reachable.
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Punct && t == "("));
     }
 }

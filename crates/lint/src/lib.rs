@@ -35,12 +35,15 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod baseline;
+pub mod graph;
 pub mod lexer;
+pub mod resolve;
 pub mod rules;
 pub mod scan;
 pub mod workspace;
 
 pub use baseline::{Baseline, Comparison};
+pub use graph::{CallGraph, GraphStats};
 pub use rules::{analyze, Finding, Rule};
 pub use workspace::SourceFile;
 
@@ -61,6 +64,17 @@ pub fn lint_sources(sources: &[SourceFile]) -> Vec<Finding> {
 pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
     let sources = workspace::collect(root)?;
     Ok(lint_sources(&sources))
+}
+
+/// Walks the workspace at `root` and builds the call graph only (the
+/// `--graph-stats` mode).
+pub fn graph_workspace(root: &Path) -> Result<CallGraph, String> {
+    let sources = workspace::collect(root)?;
+    let scanned: Vec<scan::ScannedFile> = sources
+        .iter()
+        .map(|s| scan::scan(&s.path, &s.text))
+        .collect();
+    Ok(graph::build(&scanned))
 }
 
 /// Renders one finding as the canonical `file:line: id [slug] message` line.
@@ -84,15 +98,22 @@ pub fn findings_to_json(findings: &[Finding], new_flags: Option<&[bool]>) -> Str
             Some(flags) => format!(", \"new\": {}", flags.get(i).copied().unwrap_or(true)),
             None => String::new(),
         };
+        let chain = if f.chain.is_empty() {
+            String::new()
+        } else {
+            let items: Vec<String> = f.chain.iter().map(|c| baseline::json_str(c)).collect();
+            format!(", \"chain\": [{}]", items.join(", "))
+        };
         let _ = write!(
             s,
-            "  {{ \"file\": {}, \"line\": {}, \"rule\": {}, \"slug\": {}, \"key\": {}, \"message\": {}{} }}",
+            "  {{ \"file\": {}, \"line\": {}, \"rule\": {}, \"slug\": {}, \"key\": {}, \"message\": {}{}{} }}",
             baseline::json_str(&f.file),
             f.line,
             baseline::json_str(f.rule.id()),
             baseline::json_str(f.rule.slug()),
             baseline::json_str(&f.key),
             baseline::json_str(&f.message),
+            chain,
             newness
         );
         s.push_str(if i + 1 < findings.len() { ",\n" } else { "\n" });

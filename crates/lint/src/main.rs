@@ -5,6 +5,7 @@
 //! cargo run -p sonic-lint -- --workspace                     # report all
 //! cargo run -p sonic-lint -- --workspace --json              # machine mode
 //! cargo run -p sonic-lint -- --workspace --write-baseline    # ratchet
+//! cargo run -p sonic-lint -- --workspace --graph-stats       # call-graph health
 //! ```
 //!
 //! Exit codes: 0 clean (or informational run), 1 new findings under
@@ -23,10 +24,11 @@ struct Options {
     json: bool,
     deny_new: bool,
     write_baseline: bool,
+    graph_stats: bool,
 }
 
 const USAGE: &str = "usage: sonic-lint --workspace [--root DIR] [--baseline FILE] \
-[--json] [--deny-new] [--write-baseline]";
+[--json] [--deny-new] [--write-baseline] [--graph-stats]";
 
 fn parse_args() -> Result<Options, String> {
     let mut root: Option<PathBuf> = None;
@@ -34,6 +36,7 @@ fn parse_args() -> Result<Options, String> {
     let mut json = false;
     let mut deny_new = false;
     let mut write_baseline = false;
+    let mut graph_stats = false;
     let mut workspace = false;
 
     let mut args = std::env::args().skip(1);
@@ -43,6 +46,7 @@ fn parse_args() -> Result<Options, String> {
             "--json" => json = true,
             "--deny-new" => deny_new = true,
             "--write-baseline" => write_baseline = true,
+            "--graph-stats" => graph_stats = true,
             "--root" => {
                 root = Some(PathBuf::from(
                     args.next().ok_or("--root needs a directory")?,
@@ -70,6 +74,7 @@ fn parse_args() -> Result<Options, String> {
         json,
         deny_new,
         write_baseline,
+        graph_stats,
     })
 }
 
@@ -81,6 +86,25 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if opts.graph_stats {
+        let g = match sonic_lint::graph_workspace(&opts.root) {
+            Ok(g) => g,
+            Err(msg) => {
+                eprintln!("sonic-lint: {msg}");
+                return ExitCode::from(2);
+            }
+        };
+        let s = &g.stats;
+        println!("sonic-lint call graph:");
+        println!("  nodes            {}", s.nodes);
+        println!("  edges            {}", s.edges);
+        println!("  call sites       {}", s.call_sites);
+        println!("  resolved         {}", s.resolved_calls);
+        println!("  ambiguous        {}", s.ambiguous_calls);
+        println!("  external/unknown {}", s.unresolved_calls);
+        return ExitCode::SUCCESS;
+    }
 
     let findings = match lint_workspace(&opts.root) {
         Ok(f) => f,

@@ -1,38 +1,57 @@
-//! The six SONIC invariant rules (DESIGN.md §9).
+//! The eight SONIC invariant rules (DESIGN.md §9 and §15).
 //!
 //! | id | slug             | invariant                                           |
 //! |----|------------------|-----------------------------------------------------|
-//! | R1 | no-alloc         | `*_into` / `// lint: no-alloc` fns never allocate   |
+//! | R1 | no-alloc         | `*_into` / `// lint: no-alloc` fns never allocate,  |
+//! |    |                  | directly **or through any reachable callee**        |
 //! | R2 | reference-parity | `foo`/`foo_reference` twins share a parity test     |
 //! | R3 | determinism      | no wall clock / thread_rng / hash-order in sim,     |
-//! |    |                  | fault injection, or the broadcast server            |
-//! | R4 | panic-free       | no unwrap/expect/panic in the decode chain          |
+//! |    |                  | fault injection, or the broadcast server — nor in   |
+//! |    |                  | any helper those scopes reach                       |
+//! | R4 | panic-free       | no unwrap/expect/panic in the decode chain, nor in  |
+//! |    |                  | any helper the decode chain reaches                 |
 //! | R5 | unit-hygiene     | magic Hz/rate literals only behind named constants  |
 //! | R6 | safety-comment   | every `unsafe` carries a `// SAFETY:` line          |
+//! | R7 | wire-totality    | every `net::proto` message variant is encoded,      |
+//! |    |                  | decoded, and named in a round-trip test             |
+//! | R8 | lossy-cast       | truncating/wrapping `as` casts in `net`/`fec`/      |
+//! |    |                  | `dsp::simd` need `// lint: checked-cast`            |
+//!
+//! R1/R3/R4 run twice: lexically (the construct itself, inside the scoped
+//! file or fn) and **transitively** over the [`crate::graph`] call graph —
+//! a violation anywhere in the reachable non-test callee set flags the
+//! root, and the diagnostic prints the full call chain
+//! (`fm_rx_page → demap_soft → Vec::push`) so it is actionable.
 
+use crate::graph::{self, CallGraph};
 use crate::lexer::TokenKind;
 use crate::scan::ScannedFile;
 use std::collections::{BTreeMap, BTreeSet};
 
-/// Rule identity; order is the R1–R6 numbering.
+/// Rule identity; order is the R1–R8 numbering.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
-    /// R1 — allocation banned in hot-path functions.
+    /// R1 — allocation banned in hot-path functions (transitive).
     NoAlloc,
     /// R2 — `foo` / `foo_reference` must be exercised together by a test.
     ReferenceParity,
-    /// R3 — nondeterminism sources banned in sim/faults/server.
+    /// R3 — nondeterminism sources banned in sim/faults/server (transitive).
     Determinism,
-    /// R4 — panicking constructs banned in the decode chain.
+    /// R4 — panicking constructs banned in the decode chain (transitive).
     PanicFree,
     /// R5 — magic sample-rate/subcarrier literals must be named constants.
     UnitHygiene,
     /// R6 — `unsafe` requires a `// SAFETY:` comment.
     SafetyComment,
+    /// R7 — wire-protocol totality: every `net::proto` variant must appear
+    /// on the encode path, the decode path, and in a round-trip test.
+    WireTotality,
+    /// R8 — lossy `as` casts in wire/FEC/SIMD code need justification.
+    LossyCast,
 }
 
 impl Rule {
-    /// Short id, `R1`–`R6`.
+    /// Short id, `R1`–`R8`.
     pub fn id(self) -> &'static str {
         match self {
             Rule::NoAlloc => "R1",
@@ -41,6 +60,8 @@ impl Rule {
             Rule::PanicFree => "R4",
             Rule::UnitHygiene => "R5",
             Rule::SafetyComment => "R6",
+            Rule::WireTotality => "R7",
+            Rule::LossyCast => "R8",
         }
     }
 
@@ -53,6 +74,8 @@ impl Rule {
             Rule::PanicFree => "panic-free",
             Rule::UnitHygiene => "unit-hygiene",
             Rule::SafetyComment => "safety-comment",
+            Rule::WireTotality => "wire-totality",
+            Rule::LossyCast => "lossy-cast",
         }
     }
 }
@@ -66,11 +89,16 @@ pub struct Finding {
     pub line: u32,
     /// Violated rule.
     pub rule: Rule,
-    /// Stable matching key for the baseline (token or fn name — survives
-    /// line drift as the file is edited).
+    /// Stable matching key for the baseline. Lexical findings key on the
+    /// offending token/fn name; transitive findings key on the full call
+    /// chain (`render_into→helper→Vec::new`) so a finding survives line
+    /// drift but dies when the chain is broken.
     pub key: String,
-    /// Human-readable message.
+    /// Human-readable message (transitive messages embed the chain).
     pub message: String,
+    /// Call chain for transitive findings, root first, sink construct
+    /// last; empty for purely lexical findings.
+    pub chain: Vec<String>,
 }
 
 /// Allocation constructs banned in no-alloc fns (R1): `Type::method` paths.
@@ -128,8 +156,25 @@ fn r5_in_scope(path: &str) -> bool {
     path.starts_with("crates/") && path.contains("/src/")
 }
 
-/// Runs all six rules over the scanned files and returns sorted findings.
-/// `// lint: allow(...)` suppressions are already honoured.
+/// Paths in scope for R7 wire totality (the wire protocol definition).
+fn r7_in_scope(path: &str) -> bool {
+    path.ends_with("net/proto.rs")
+}
+
+/// Paths in scope for R8 lossy-cast hygiene: the wire boundary, the FEC
+/// math and the SIMD kernels — the places where a silent truncation
+/// corrupts data instead of crashing.
+fn r8_in_scope(path: &str) -> bool {
+    path.starts_with("crates/core/src/net/")
+        || path.starts_with("crates/fec/src/")
+        || path == "crates/dsp/src/simd.rs"
+        || path.starts_with("crates/dsp/src/simd/")
+}
+
+/// Runs all eight rules over the scanned files and returns sorted findings.
+/// `// lint: allow(...)` suppressions are already honoured. The
+/// interprocedural pass (transitive R1/R3/R4, R7) builds the call graph
+/// internally; use [`crate::graph::build`] directly for `--graph-stats`.
 pub fn analyze(files: &[ScannedFile]) -> Vec<Finding> {
     let mut out = Vec::new();
     for f in files {
@@ -138,8 +183,12 @@ pub fn analyze(files: &[ScannedFile]) -> Vec<Finding> {
         rule_panic_free(f, &mut out);
         rule_unit_hygiene(f, &mut out);
         rule_safety_comment(f, &mut out);
+        rule_lossy_cast(f, &mut out);
     }
     rule_reference_parity(files, &mut out);
+    let g = graph::build(files);
+    rule_transitive(files, &g, &mut out);
+    rule_wire_totality(files, &g, &mut out);
     out.retain(|fi| {
         let file = files.iter().find(|f| f.path == fi.file);
         !file.map(|f| f.allowed(fi.rule.id(), fi.rule.slug(), fi.line)).unwrap_or(false)
@@ -157,6 +206,7 @@ fn push_finding(out: &mut Vec<Finding>, f: &ScannedFile, line: u32, rule: Rule, 
         rule,
         key: key.to_string(),
         message: msg,
+        chain: Vec::new(),
     });
 }
 
@@ -345,6 +395,547 @@ fn rule_safety_comment(f: &ScannedFile, out: &mut Vec<Finding>) {
             push_finding(out, f, tok.line, Rule::SafetyComment, "unsafe",
                 "`unsafe` without a `// SAFETY:` comment on the preceding lines".to_string());
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interprocedural pass: transitive R1/R3/R4, R7 wire totality
+// ---------------------------------------------------------------------------
+
+/// The first banned construct of each kind found in one fn body
+/// (construct key + line). Computed per graph node; `// lint: allow(...)`
+/// at the sink suppresses every chain through it.
+#[derive(Debug, Default)]
+struct Sinks {
+    alloc: Option<(String, u32)>,
+    det: Option<(String, u32)>,
+    panics: Option<(String, u32)>,
+}
+
+/// Scans one node's body for R1/R3/R4 sink constructs, ignoring scope (the
+/// transitive pass decides scope at the *root*).
+fn body_sinks(f: &ScannedFile, toks: &[usize]) -> Sinks {
+    let mut s = Sinks::default();
+    for (k, &i) in toks.iter().enumerate() {
+        let tok = &f.tokens[i];
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let next = toks.get(k + 1).map(|&j| &f.tokens[j]);
+        let prev_is_dot = k > 0 && f.tokens[toks[k - 1]].is_punct(".");
+        let next2 = toks.get(k + 2).map(|&j| &f.tokens[j]);
+
+        // R1 alloc constructs.
+        if s.alloc.is_none() && !f.allowed("R1", "no-alloc", tok.line) {
+            if R1_MACROS.contains(&tok.text.as_str())
+                && next.map(|t| t.is_punct("!")).unwrap_or(false)
+            {
+                s.alloc = Some((format!("{}!", tok.text), tok.line));
+            } else if next.map(|t| t.is_punct("::")).unwrap_or(false)
+                && next2
+                    .map(|m| {
+                        m.kind == TokenKind::Ident
+                            && R1_PATHS.iter().any(|(ty, me)| *ty == tok.text && *me == m.text)
+                    })
+                    .unwrap_or(false)
+            {
+                s.alloc = Some((
+                    format!("{}::{}", tok.text, next2.map(|m| m.text.as_str()).unwrap_or("")),
+                    tok.line,
+                ));
+            } else if prev_is_dot
+                && R1_METHODS.contains(&tok.text.as_str())
+                && next.map(|t| t.is_punct("(") || t.is_punct("::")).unwrap_or(false)
+            {
+                s.alloc = Some((format!(".{}", tok.text), tok.line));
+            }
+        }
+
+        // R3 determinism sinks.
+        if s.det.is_none() && !f.allowed("R3", "determinism", tok.line) {
+            if R3_IDENTS.contains(&tok.text.as_str()) {
+                s.det = Some((tok.text.clone(), tok.line));
+            } else if tok.text == "Instant"
+                && next.map(|t| t.is_punct("::")).unwrap_or(false)
+                && next2.map(|t| t.is_ident("now")).unwrap_or(false)
+            {
+                s.det = Some(("Instant::now".to_string(), tok.line));
+            }
+        }
+
+        // R4 panic sinks.
+        if s.panics.is_none() && !f.allowed("R4", "panic-free", tok.line) {
+            if R4_MACROS.contains(&tok.text.as_str())
+                && next.map(|t| t.is_punct("!")).unwrap_or(false)
+            {
+                s.panics = Some((format!("{}!", tok.text), tok.line));
+            } else if prev_is_dot
+                && R4_METHODS.contains(&tok.text.as_str())
+                && next.map(|t| t.is_punct("(")).unwrap_or(false)
+            {
+                s.panics = Some((format!(".{}", tok.text), tok.line));
+            }
+        }
+    }
+    s
+}
+
+/// Transitive R1/R3/R4 over the call graph. For each rule: roots are the
+/// nodes the lexical rule scopes to, sinks are nodes (outside that lexical
+/// scope — those are already flagged directly) whose bodies contain a
+/// banned construct. A reverse BFS from the sinks records, per node, the
+/// next hop toward the *nearest* sink; each root edge into the marked set
+/// becomes one finding whose key and message carry the full chain.
+fn rule_transitive(files: &[ScannedFile], g: &CallGraph, out: &mut Vec<Finding>) {
+    let sinks: Vec<Sinks> = (0..g.fns.len())
+        .map(|i| body_sinks(&files[g.fns[i].file], &g.body_tokens(files, i)))
+        .collect();
+
+    // Reverse adjacency once for all three rules, keeping call-site lines:
+    // a `// lint: allow(<rule>)` on the call line *breaks the edge* for
+    // that rule, so one suppression at a vetted call kills every chain
+    // through it, not just the finding at one root.
+    let mut rev: Vec<Vec<(usize, u32)>> = vec![Vec::new(); g.fns.len()];
+    for (u, es) in g.edges.iter().enumerate() {
+        for e in es {
+            rev[e.to].push((u, e.line));
+        }
+    }
+
+    type SinkGet = fn(&Sinks) -> Option<&(String, u32)>;
+    type Pred = fn(&str, &crate::graph::FnNode) -> bool;
+    let specs: [(Rule, SinkGet, Pred, Pred, &str); 3] = [
+        (
+            Rule::NoAlloc,
+            |s| s.alloc.as_ref(),
+            |_path, n| n.no_alloc,
+            |_path, n| n.no_alloc,
+            "allocates",
+        ),
+        (
+            Rule::Determinism,
+            |s| s.det.as_ref(),
+            |path, _n| r3_in_scope(path),
+            |path, _n| r3_in_scope(path),
+            "is nondeterministic",
+        ),
+        (
+            Rule::PanicFree,
+            |s| s.panics.as_ref(),
+            |path, _n| r4_in_scope(path),
+            |path, _n| r4_in_scope(path),
+            "can panic",
+        ),
+    ];
+
+    for (rule, sink_of, is_root, lexically_covered, verb) in specs {
+        // mark[v] = Some(next hop toward the nearest sink); the sink node
+        // itself has next == v.
+        let mut mark: Vec<Option<usize>> = vec![None; g.fns.len()];
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        for (v, s) in sinks.iter().enumerate() {
+            let path = &files[g.fns[v].file].path;
+            if sink_of(s).is_some() && !lexically_covered(path, &g.fns[v]) {
+                mark[v] = Some(v);
+                queue.push_back(v);
+            }
+        }
+        while let Some(v) = queue.pop_front() {
+            for &(u, line) in &rev[v] {
+                if mark[u].is_none()
+                    && !files[g.fns[u].file].allowed(rule.id(), rule.slug(), line)
+                {
+                    mark[u] = Some(v);
+                    queue.push_back(u);
+                }
+            }
+        }
+
+        for (r, node) in g.fns.iter().enumerate() {
+            let path = &files[node.file].path;
+            if !is_root(path, node) {
+                continue;
+            }
+            let mut seen_targets: BTreeSet<usize> = BTreeSet::new();
+            for e in &g.edges[r] {
+                if mark[e.to].is_none()
+                    || files[node.file].allowed(rule.id(), rule.slug(), e.line)
+                    || !seen_targets.insert(e.to)
+                {
+                    continue;
+                }
+                // Walk the successor pointers to the sink.
+                let mut chain: Vec<String> = vec![node.display()];
+                let mut cur = e.to;
+                let mut sink_key = String::new();
+                for _ in 0..g.fns.len() {
+                    chain.push(g.fns[cur].display());
+                    let next = match mark[cur] {
+                        Some(n) => n,
+                        None => break,
+                    };
+                    if next == cur {
+                        if let Some((key, _)) = sink_of(&sinks[cur]) {
+                            sink_key = key.clone();
+                        }
+                        break;
+                    }
+                    cur = next;
+                }
+                if sink_key.is_empty() {
+                    continue;
+                }
+                chain.push(sink_key);
+                let key = chain.join("→");
+                let msg = format!(
+                    "`{}` reaches `{}` which {} via {}",
+                    node.display(),
+                    chain[chain.len() - 2],
+                    verb,
+                    chain.join(" → "),
+                );
+                out.push(Finding {
+                    file: files[node.file].path.clone(),
+                    line: e.line,
+                    rule,
+                    key,
+                    message: msg,
+                    chain,
+                });
+            }
+        }
+    }
+}
+
+/// R7: every non-test enum variant declared in `net/proto.rs` must appear
+/// in a fn body reachable from an `encode*` entry point, in one reachable
+/// from a `decode*` entry point, and be named in at least one round-trip
+/// test (a test region that also names an encode and a decode entry).
+fn rule_wire_totality(files: &[ScannedFile], g: &CallGraph, out: &mut Vec<Finding>) {
+    for (fi, f) in files.iter().enumerate() {
+        if !r7_in_scope(&f.path) {
+            continue;
+        }
+        let enc_entries = g.fns_in_file(fi, |n| n.name.starts_with("encode"));
+        let dec_entries = g.fns_in_file(fi, |n| n.name.starts_with("decode"));
+        let enc_names: BTreeSet<&str> =
+            enc_entries.iter().map(|&i| g.fns[i].name.as_str()).collect();
+        let dec_names: BTreeSet<&str> =
+            dec_entries.iter().map(|&i| g.fns[i].name.as_str()).collect();
+
+        let idents_reachable = |seeds: &[usize]| -> BTreeSet<String> {
+            let reach = g.reachable_from(seeds);
+            let mut set = BTreeSet::new();
+            for (v, ok) in reach.iter().enumerate() {
+                if !ok {
+                    continue;
+                }
+                let vf = &files[g.fns[v].file];
+                for i in g.body_tokens(files, v) {
+                    if vf.tokens[i].kind == TokenKind::Ident {
+                        set.insert(vf.tokens[i].text.clone());
+                    }
+                }
+            }
+            set
+        };
+        let enc_set = idents_reachable(&enc_entries);
+        let dec_set = idents_reachable(&dec_entries);
+
+        // Round-trip evidence: idents of test regions in files whose test
+        // regions also name an encode entry and a decode entry.
+        let mut rt_idents: BTreeSet<&str> = BTreeSet::new();
+        for tf in files {
+            let mut set: BTreeSet<&str> = BTreeSet::new();
+            for (i, tok) in tf.tokens.iter().enumerate() {
+                if tok.kind == TokenKind::Ident && tf.ctx[i].in_test {
+                    set.insert(tok.text.as_str());
+                }
+            }
+            if enc_names.iter().any(|n| set.contains(n))
+                && dec_names.iter().any(|n| set.contains(n))
+            {
+                rt_idents.extend(set);
+            }
+        }
+
+        for e in &f.enums {
+            if e.in_test {
+                continue;
+            }
+            for (v, vline) in &e.variants {
+                let variant = format!("{}::{}", e.name, v);
+                if !enc_set.contains(v) {
+                    push_finding(out, f, *vline, Rule::WireTotality,
+                        &format!("{variant}:encode"),
+                        format!("wire variant `{variant}` never appears on the encode path — a peer can receive what this node cannot send"));
+                }
+                if !dec_set.contains(v) {
+                    push_finding(out, f, *vline, Rule::WireTotality,
+                        &format!("{variant}:decode"),
+                        format!("wire variant `{variant}` never appears on the decode path — receiving it will fail as an unknown message"));
+                }
+                if !rt_idents.contains(v.as_str()) {
+                    push_finding(out, f, *vline, Rule::WireTotality,
+                        &format!("{variant}:round-trip"),
+                        format!("wire variant `{variant}` is not named in any encode/decode round-trip test"));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R8: lossy-cast hygiene
+// ---------------------------------------------------------------------------
+
+/// Integer width in bits for source-side classification (floats mapped to
+/// their mantissa-relevant width separately).
+fn int_bits(ty: &str) -> Option<u32> {
+    Some(match ty {
+        "u8" | "i8" => 8,
+        "u16" | "i16" => 16,
+        "u32" | "i32" => 32,
+        "u64" | "i64" | "usize" | "isize" => 64,
+        "u128" | "i128" => 128,
+        _ => return None,
+    })
+}
+
+/// Cast targets R8 cares about (narrow enough to truncate something the
+/// codebase actually produces).
+fn narrow_target(ty: &str) -> bool {
+    matches!(ty, "u8" | "u16" | "u32" | "i8" | "i16" | "i32" | "f32")
+}
+
+/// Max value exactly representable in the target (for literal/mask proofs).
+fn target_max(ty: &str) -> Option<u128> {
+    Some(match ty {
+        "u8" => u8::MAX as u128,
+        "u16" => u16::MAX as u128,
+        "u32" => u32::MAX as u128,
+        "i8" => i8::MAX as u128,
+        "i16" => i16::MAX as u128,
+        "i32" => i32::MAX as u128,
+        "f32" => 1 << 24,
+        _ => return None,
+    })
+}
+
+/// Can a value of source type `src` lose information when cast to `tgt`?
+fn cast_is_lossy(src: &str, tgt: &str) -> bool {
+    if src == tgt {
+        return false;
+    }
+    match (src, tgt) {
+        ("f64", "f32") => true,
+        ("f64" | "f32", _) => true, // float → narrow int truncates
+        (_, "f32") => int_bits(src).map(|b| b > 24).unwrap_or(false),
+        _ => match (int_bits(src), int_bits(tgt)) {
+            (Some(s), Some(t)) => s > t,
+            _ => false,
+        },
+    }
+}
+
+/// Parses an integer literal (decimal/hex/octal/binary, `_` separators,
+/// type suffix) to its value.
+fn parse_int_literal(text: &str) -> Option<u128> {
+    let s: String = text.chars().filter(|&c| c != '_').collect();
+    let (digits, radix) = if let Some(h) = s.strip_prefix("0x") {
+        (h, 16)
+    } else if let Some(o) = s.strip_prefix("0o") {
+        (o, 8)
+    } else if let Some(b) = s.strip_prefix("0b") {
+        (b, 2)
+    } else {
+        (s.as_str(), 10)
+    };
+    let digits: String = digits
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric())
+        .take_while(|c| c.is_digit(radix))
+        .collect();
+    if digits.is_empty() {
+        return None;
+    }
+    u128::from_str_radix(&digits, radix).ok()
+}
+
+/// R8: `as` casts to narrow targets in wire/FEC/SIMD code. Lexical-only
+/// type recovery: a cast is flagged when the *source* is provably wide —
+/// a `.len()`/`.capacity()` chain (usize), an identifier whose type is
+/// declared in the enclosing fn, an oversized literal — and stays silent
+/// when the source type cannot be recovered (documented precision
+/// trade-off, DESIGN.md §15). `// lint: checked-cast` suppresses.
+fn rule_lossy_cast(f: &ScannedFile, out: &mut Vec<Finding>) {
+    if !r8_in_scope(&f.path) {
+        return;
+    }
+    // Local type environment: `name : prim` pairs anywhere in the file
+    // (fn params, let bindings, struct fields — all count as evidence).
+    let toks: Vec<usize> = (0..f.tokens.len())
+        .filter(|&i| {
+            !matches!(
+                f.tokens[i].kind,
+                TokenKind::LineComment | TokenKind::BlockComment
+            )
+        })
+        .collect();
+    let tok = |k: usize| toks.get(k).map(|&i| &f.tokens[i]);
+    let mut env: BTreeMap<&str, &str> = BTreeMap::new();
+    for k in 0..toks.len() {
+        if let (Some(name), Some(colon), Some(ty)) = (tok(k), tok(k + 1), tok(k + 2)) {
+            if name.kind == TokenKind::Ident
+                && colon.is_punct(":")
+                && ty.kind == TokenKind::Ident
+                && int_bits(&ty.text).is_some()
+                && !matches!(tok(k + 3), Some(t) if t.is_punct("<") || t.is_punct("::"))
+            {
+                env.insert(name.text.as_str(), ty.text.as_str());
+            }
+        }
+    }
+
+    // Lookaround-heavy scan: `k` indexes neighbors in both directions.
+    #[allow(clippy::needless_range_loop)]
+    for k in 0..toks.len() {
+        let Some(t) = tok(k) else { continue };
+        if !(t.is_ident("as")) || f.ctx[toks[k]].in_test {
+            continue;
+        }
+        let Some(tgt) = tok(k + 1).filter(|t| t.kind == TokenKind::Ident) else {
+            continue;
+        };
+        if !narrow_target(&tgt.text) {
+            continue;
+        }
+        let tgt_ty = tgt.text.as_str();
+        let line = t.line;
+
+        let Some(prev) = (k > 0).then(|| tok(k - 1)).flatten() else {
+            continue;
+        };
+
+        let (src_desc, lossy) = match prev.kind {
+            TokenKind::Number => {
+                if prev.text.contains('.') {
+                    // Decimal literal to f32 — representable enough.
+                    continue;
+                }
+                match (parse_int_literal(&prev.text), target_max(tgt_ty)) {
+                    (Some(v), Some(max)) if v <= max => continue,
+                    (Some(_), _) => ("literal".to_string(), true),
+                    _ => continue,
+                }
+            }
+            TokenKind::Ident => {
+                let field = k >= 2 && tok(k - 2).map(|t| t.is_punct(".")).unwrap_or(false);
+                if field {
+                    continue; // field type unknown
+                }
+                match env.get(prev.text.as_str()) {
+                    Some(src) if cast_is_lossy(src, tgt_ty) => ((*src).to_string(), true),
+                    _ => continue,
+                }
+            }
+            TokenKind::Punct if prev.text == ")" => {
+                // Walk back to the matching `(`.
+                let mut depth = 1i32;
+                let mut j = k - 1;
+                while j > 0 && depth > 0 {
+                    j -= 1;
+                    match tok(j) {
+                        Some(t) if t.is_punct(")") => depth += 1,
+                        Some(t) if t.is_punct("(") => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if depth != 0 {
+                    continue;
+                }
+                // `.len()` / `.capacity()` — usize at the wire boundary.
+                let callee = (j >= 1).then(|| tok(j - 1)).flatten();
+                let before = (j >= 2).then(|| tok(j - 2)).flatten();
+                let is_len_chain = callee
+                    .map(|c| c.is_ident("len") || c.is_ident("capacity"))
+                    .unwrap_or(false)
+                    && before.map(|b| b.is_punct(".")).unwrap_or(false);
+                if is_len_chain {
+                    ("usize".to_string(), cast_is_lossy("usize", tgt_ty))
+                } else if callee.map(|c| c.kind == TokenKind::Ident).unwrap_or(false) {
+                    continue; // some other call — return type unknown
+                } else {
+                    // Parenthesized expression: wide when it contains a
+                    // known-wide identifier or a `.len()`/`.capacity()`
+                    // chain; an in-range `& MASK` / `% MOD` at top level
+                    // is accepted as a range proof.
+                    let mut proof = false;
+                    let mut wide: Option<String> = None;
+                    let mut d = 0i32;
+                    for m in j + 1..k - 1 {
+                        let Some(t) = tok(m) else { continue };
+                        if t.is_punct("(") {
+                            d += 1;
+                        } else if t.is_punct(")") {
+                            d -= 1;
+                        } else if d == 0
+                            && (t.is_punct("&") || t.is_punct("%"))
+                            && tok(m + 1).map(|n| n.kind == TokenKind::Number).unwrap_or(false)
+                            && (m > j + 1
+                                && tok(m - 1)
+                                    .map(|p| {
+                                        p.kind == TokenKind::Ident
+                                            || p.kind == TokenKind::Number
+                                            || p.is_punct(")")
+                                            || p.is_punct("]")
+                                    })
+                                    .unwrap_or(false))
+                        {
+                            let bound = tok(m + 1).and_then(|n| parse_int_literal(&n.text));
+                            if let (Some(b), Some(max)) = (bound, target_max(tgt_ty)) {
+                                let fits = if t.is_punct("%") {
+                                    b <= max.saturating_add(1)
+                                } else {
+                                    b <= max
+                                };
+                                if fits {
+                                    proof = true;
+                                }
+                            }
+                        } else if t.kind == TokenKind::Ident && wide.is_none() {
+                            let after_dot =
+                                m > j + 1 && tok(m - 1).map(|p| p.is_punct(".")).unwrap_or(false);
+                            let called = tok(m + 1).map(|n| n.is_punct("(")).unwrap_or(false);
+                            if after_dot && called && (t.text == "len" || t.text == "capacity") {
+                                wide = Some("usize".to_string());
+                            } else if !after_dot && !called {
+                                if let Some(src) = env.get(t.text.as_str()) {
+                                    if cast_is_lossy(src, tgt_ty) {
+                                        wide = Some((*src).to_string());
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if proof {
+                        continue;
+                    }
+                    match wide {
+                        Some(src) => (src, true),
+                        None => continue, // opaque — type unknown, stay silent
+                    }
+                }
+            }
+            _ => continue,
+        };
+
+        if !lossy {
+            continue;
+        }
+        push_finding(out, f, line, Rule::LossyCast,
+            &format!("{src_desc} as {tgt_ty}"),
+            format!("`{src_desc} as {tgt_ty}` can truncate — add `// lint: checked-cast — <why>` after verifying the range"));
     }
 }
 

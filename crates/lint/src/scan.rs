@@ -1,23 +1,29 @@
 //! Item/attribute scanner: layers structural context over the raw token
 //! stream — which tokens sit inside `#[cfg(test)]` modules or `#[test]`
-//! functions, which function body encloses a token, and which `// lint:`
-//! directives apply where.
+//! functions, which function body encloses a token, which `impl`/`trait`
+//! block owns a method, which `enum` declares which variants, and which
+//! `// lint:` directives apply where.
 //!
-//! This is *not* a Rust parser. It tracks exactly three things with a brace
-//! stack: module scopes, function scopes and attribute application. That is
-//! enough for every rule the linter enforces, and it degrades safely: code
-//! it cannot classify is treated as production code (rules stay armed).
+//! This is *not* a Rust parser. It tracks exactly four things with a brace
+//! stack: module scopes, `impl`/`trait` scopes, function scopes and
+//! attribute application. That is enough for every rule the linter
+//! enforces — including the interprocedural pass, which consumes the
+//! function body spans and owners recorded here — and it degrades safely:
+//! code it cannot classify is treated as production code (rules stay
+//! armed) with no recorded span (no call edges, counted as unresolved).
 
 use crate::lexer::{lex, Token, TokenKind};
 
-/// The `// lint:` directive grammar (see DESIGN.md §9):
+/// The `// lint:` directive grammar (see DESIGN.md §9/§15):
 ///
 /// * `// lint: no-alloc` — the next `fn` is held to the R1 no-allocation
 ///   rule even if its name does not end in `_into`.
 /// * `// lint: allow(<rule>[, <rule>…])` — suppress findings of the named
 ///   rules on this line and the next. Rules are named by id (`R1`) or slug
 ///   (`no-alloc`, `reference-parity`, `determinism`, `panic-free`,
-///   `unit-hygiene`, `safety-comment`).
+///   `unit-hygiene`, `safety-comment`, `wire-totality`, `lossy-cast`).
+/// * `// lint: checked-cast — <why>` — sugar for `allow(lossy-cast)`: the
+///   `as` cast on this line (or the next) has been checked to be in range.
 #[derive(Debug, Clone)]
 pub struct Allow {
     /// Line the directive is written on (applies to it and the next line).
@@ -29,12 +35,32 @@ pub struct Allow {
 /// A `fn` definition found in the file.
 #[derive(Debug, Clone)]
 pub struct FnDef {
-    /// Function name.
+    /// Function name (raw identifiers keep their `r#` prefix).
     pub name: String,
     /// 1-based line of the `fn` keyword.
     pub line: u32,
     /// Inside `#[cfg(test)]` / `#[test]` (or the file itself is test code).
     pub in_test: bool,
+    /// Type or trait name of the enclosing `impl`/`trait` block, if any.
+    pub owner: Option<String>,
+    /// Subject to R1 (named `*_into` or marked `// lint: no-alloc`).
+    pub no_alloc: bool,
+    /// Token-index span of the body `{ … }` (exclusive of both braces).
+    /// `None` for bodiless declarations (trait method signatures).
+    pub body: Option<(usize, usize)>,
+}
+
+/// An `enum` definition found in the file (consumed by R7).
+#[derive(Debug, Clone)]
+pub struct EnumDef {
+    /// Enum name.
+    pub name: String,
+    /// 1-based line of the `enum` keyword.
+    pub line: u32,
+    /// Inside test code.
+    pub in_test: bool,
+    /// Variant names with the line each is declared on.
+    pub variants: Vec<(String, u32)>,
 }
 
 /// Per-token structural context, parallel to the token vector.
@@ -61,6 +87,8 @@ pub struct ScannedFile {
     pub ctx: Vec<Ctx>,
     /// Every `fn` defined in the file.
     pub fns: Vec<FnDef>,
+    /// Every `enum` defined in the file.
+    pub enums: Vec<EnumDef>,
     /// Suppression directives.
     pub allows: Vec<Allow>,
     /// `// SAFETY:` comment lines (for R6).
@@ -91,11 +119,28 @@ pub fn path_is_test(path: &str) -> bool {
 enum ScopeKind {
     /// `mod name { … }`; true when gated by `#[cfg(test)]`.
     Mod { cfg_test: bool },
-    /// `fn name { … }` body.
+    /// `impl Type { … }` / `trait Name { … }` body.
+    Owner { type_name: Option<String> },
+    /// `fn name { … }` body; `fn_idx` indexes into the output `fns` so the
+    /// body span can be backpatched at the closing brace.
     Fn {
         name: String,
         is_test: bool,
         no_alloc: bool,
+        fn_idx: usize,
+    },
+    /// `enum Name { … }` body, collecting variants while open.
+    Enum {
+        name: String,
+        line: u32,
+        in_test: bool,
+        variants: Vec<(String, u32)>,
+        /// The next top-level ident is a variant name (set at `{` and
+        /// after each top-level `,`).
+        expecting_variant: bool,
+        /// `(`/`[` nesting inside a tuple variant — commas in there are
+        /// field separators, not variant separators.
+        group_depth: usize,
     },
 }
 
@@ -106,18 +151,39 @@ struct Scope {
     entry_depth: usize,
 }
 
-/// Pending item header seen (`fn`/`mod` keyword) whose body `{` has not yet
-/// opened. Cancelled if a `;` lands first (trait method decl, `mod x;`).
+/// Pending item header seen (`fn`/`mod`/`impl`/`trait`/`enum` keyword)
+/// whose body `{` has not yet opened. Cancelled if a `;` lands first
+/// (trait method decl, `mod x;`, `impl T for U;`).
 #[derive(Debug)]
 enum Pending {
     Fn {
         name: String,
         is_test: bool,
         no_alloc: bool,
+        fn_idx: usize,
         paren_depth: usize,
     },
     Mod {
         cfg_test: bool,
+    },
+    /// `impl …` header: collects the self-type name (the ident after `for`
+    /// if present, else the first type ident), skipping generics.
+    Impl {
+        saw_for: bool,
+        saw_where: bool,
+        angle_depth: usize,
+        first: Option<String>,
+        for_type: Option<String>,
+    },
+    /// `trait Name` header.
+    Trait {
+        name: Option<String>,
+    },
+    /// `enum Name` header.
+    Enum {
+        name: Option<String>,
+        line: u32,
+        in_test: bool,
     },
 }
 
@@ -127,7 +193,8 @@ pub fn scan(path: &str, src: &str) -> ScannedFile {
     let file_is_test = path_is_test(path);
 
     let mut ctx = Vec::with_capacity(tokens.len());
-    let mut fns = Vec::new();
+    let mut fns: Vec<FnDef> = Vec::new();
+    let mut enums: Vec<EnumDef> = Vec::new();
     let mut allows = Vec::new();
     let mut safety_comment_lines = Vec::new();
 
@@ -153,6 +220,11 @@ pub fn scan(path: &str, src: &str) -> ScannedFile {
                 let rest = rest.trim();
                 if rest == "no-alloc" || rest.starts_with("no-alloc ") {
                     no_alloc_directive = Some(tok.line);
+                } else if rest == "checked-cast" || rest.starts_with("checked-cast ") {
+                    allows.push(Allow {
+                        line: tok.line,
+                        rules: vec!["r8".into(), "lossy-cast".into()],
+                    });
                 } else if let Some(inner) = rest
                     .strip_prefix("allow(")
                     .and_then(|r| r.split(')').next())
@@ -212,6 +284,78 @@ pub fn scan(path: &str, src: &str) -> ScannedFile {
             }
         }
 
+        // ---- pending-header bookkeeping (impl/trait/enum names) ----
+        match pending.as_mut() {
+            Some(Pending::Impl {
+                saw_for,
+                saw_where,
+                angle_depth,
+                first,
+                for_type,
+            }) => match tok.kind {
+                TokenKind::Punct if tok.text == "<" => *angle_depth += 1,
+                TokenKind::Punct if tok.text == ">" => {
+                    *angle_depth = angle_depth.saturating_sub(1)
+                }
+                TokenKind::Ident if *angle_depth == 0 && !*saw_where => {
+                    match tok.text.as_str() {
+                        "for" => *saw_for = true,
+                        "where" => *saw_where = true,
+                        "dyn" | "const" | "unsafe" => {}
+                        name if *saw_for && for_type.is_none() => {
+                            *for_type = Some(name.to_string())
+                        }
+                        name if !*saw_for && first.is_none() => {
+                            *first = Some(name.to_string())
+                        }
+                        _ => {}
+                    }
+                }
+                _ => {}
+            },
+            Some(Pending::Trait { name }) if tok.kind == TokenKind::Ident && name.is_none() => {
+                *name = Some(tok.text.clone());
+            }
+            Some(Pending::Enum { name, .. })
+                if tok.kind == TokenKind::Ident && name.is_none() =>
+            {
+                *name = Some(tok.text.clone());
+            }
+            _ => {}
+        }
+
+        // ---- enum variant collection ----
+        if let Some(Scope {
+            kind:
+                ScopeKind::Enum {
+                    variants,
+                    expecting_variant,
+                    group_depth,
+                    ..
+                },
+            entry_depth,
+        }) = scopes.last_mut()
+        {
+            if depth == *entry_depth {
+                match tok.kind {
+                    TokenKind::Punct if tok.text == "(" || tok.text == "[" => {
+                        *group_depth += 1
+                    }
+                    TokenKind::Punct if tok.text == ")" || tok.text == "]" => {
+                        *group_depth = group_depth.saturating_sub(1)
+                    }
+                    TokenKind::Ident if *expecting_variant && *group_depth == 0 => {
+                        variants.push((tok.text.clone(), tok.line));
+                        *expecting_variant = false;
+                    }
+                    TokenKind::Punct if tok.text == "," && *group_depth == 0 => {
+                        *expecting_variant = true
+                    }
+                    _ => {}
+                }
+            }
+        }
+
         // ---- structure ----
         match tok.kind {
             TokenKind::Ident if tok.text == "fn" => {
@@ -230,15 +374,20 @@ pub fn scan(path: &str, src: &str) -> ScannedFile {
                     no_alloc_directive = None;
                 }
                 if !name.is_empty() {
+                    let fn_idx = fns.len();
                     fns.push(FnDef {
                         name: name.clone(),
                         line: tok.line,
                         in_test: file_is_test || in_test_scope(&scopes) || is_test,
+                        owner: owner_of(&scopes),
+                        no_alloc,
+                        body: None,
                     });
                     pending = Some(Pending::Fn {
                         name,
                         is_test,
                         no_alloc,
+                        fn_idx,
                         paren_depth: 0,
                     });
                 }
@@ -249,10 +398,32 @@ pub fn scan(path: &str, src: &str) -> ScannedFile {
                 pending = Some(Pending::Mod { cfg_test });
                 pending_attrs.clear();
             }
+            TokenKind::Ident if tok.text == "impl" => {
+                pending = Some(Pending::Impl {
+                    saw_for: false,
+                    saw_where: false,
+                    angle_depth: 0,
+                    first: None,
+                    for_type: None,
+                });
+                pending_attrs.clear();
+            }
+            TokenKind::Ident if tok.text == "trait" => {
+                pending = Some(Pending::Trait { name: None });
+                pending_attrs.clear();
+            }
+            TokenKind::Ident if tok.text == "enum" => {
+                pending = Some(Pending::Enum {
+                    name: None,
+                    line: tok.line,
+                    in_test: file_is_test || in_test_scope(&scopes),
+                });
+                pending_attrs.clear();
+            }
             TokenKind::Ident
                 if matches!(
                     tok.text.as_str(),
-                    "struct" | "enum" | "impl" | "trait" | "use" | "const" | "static" | "type"
+                    "struct" | "use" | "const" | "static" | "type"
                 ) =>
             {
                 pending_attrs.clear();
@@ -272,7 +443,11 @@ pub fn scan(path: &str, src: &str) -> ScannedFile {
                     // Trait method declaration / `mod name;` — no body.
                     if matches!(
                         &pending,
-                        Some(Pending::Fn { paren_depth: 0, .. }) | Some(Pending::Mod { .. })
+                        Some(Pending::Fn { paren_depth: 0, .. })
+                            | Some(Pending::Mod { .. })
+                            | Some(Pending::Impl { .. })
+                            | Some(Pending::Trait { .. })
+                            | Some(Pending::Enum { .. })
                     ) {
                         pending = None;
                     }
@@ -284,17 +459,52 @@ pub fn scan(path: &str, src: &str) -> ScannedFile {
                             name,
                             is_test,
                             no_alloc,
+                            fn_idx,
                             ..
+                        }) => {
+                            // Body span starts just past this `{`.
+                            if let Some(d) = fns.get_mut(fn_idx) {
+                                d.body = Some((i + 1, i + 1));
+                            }
+                            scopes.push(Scope {
+                                kind: ScopeKind::Fn {
+                                    name,
+                                    is_test,
+                                    no_alloc,
+                                    fn_idx,
+                                },
+                                entry_depth: depth,
+                            });
+                        }
+                        Some(Pending::Mod { cfg_test }) => scopes.push(Scope {
+                            kind: ScopeKind::Mod { cfg_test },
+                            entry_depth: depth,
+                        }),
+                        Some(Pending::Impl {
+                            first, for_type, ..
                         }) => scopes.push(Scope {
-                            kind: ScopeKind::Fn {
-                                name,
-                                is_test,
-                                no_alloc,
+                            kind: ScopeKind::Owner {
+                                type_name: for_type.or(first),
                             },
                             entry_depth: depth,
                         }),
-                        Some(Pending::Mod { cfg_test }) => scopes.push(Scope {
-                            kind: ScopeKind::Mod { cfg_test },
+                        Some(Pending::Trait { name }) => scopes.push(Scope {
+                            kind: ScopeKind::Owner { type_name: name },
+                            entry_depth: depth,
+                        }),
+                        Some(Pending::Enum {
+                            name,
+                            line,
+                            in_test,
+                        }) => scopes.push(Scope {
+                            kind: ScopeKind::Enum {
+                                name: name.unwrap_or_default(),
+                                line,
+                                in_test,
+                                variants: Vec::new(),
+                                expecting_variant: true,
+                                group_depth: 0,
+                            },
                             entry_depth: depth,
                         }),
                         None => {}
@@ -306,7 +516,32 @@ pub fn scan(path: &str, src: &str) -> ScannedFile {
                         .map(|s| s.entry_depth == depth)
                         .unwrap_or(false)
                     {
-                        scopes.pop();
+                        match scopes.pop().map(|s| s.kind) {
+                            Some(ScopeKind::Fn { fn_idx, .. }) => {
+                                // Backpatch the body span end (exclusive of
+                                // this closing brace).
+                                if let Some(d) = fns.get_mut(fn_idx) {
+                                    if let Some((start, _)) = d.body {
+                                        d.body = Some((start, i));
+                                    }
+                                }
+                            }
+                            Some(ScopeKind::Enum {
+                                name,
+                                line,
+                                in_test,
+                                variants,
+                                ..
+                            }) if !name.is_empty() => {
+                                enums.push(EnumDef {
+                                    name,
+                                    line,
+                                    in_test,
+                                    variants,
+                                });
+                            }
+                            _ => {}
+                        }
                     }
                     depth = depth.saturating_sub(1);
                 }
@@ -325,6 +560,7 @@ pub fn scan(path: &str, src: &str) -> ScannedFile {
         tokens,
         ctx,
         fns,
+        enums,
         allows,
         safety_comment_lines,
     }
@@ -346,6 +582,15 @@ fn in_test_scope(scopes: &[Scope]) -> bool {
     scopes.iter().any(|s| match &s.kind {
         ScopeKind::Mod { cfg_test } => *cfg_test,
         ScopeKind::Fn { is_test, .. } => *is_test,
+        _ => false,
+    })
+}
+
+/// Innermost enclosing `impl`/`trait` type name, if any.
+fn owner_of(scopes: &[Scope]) -> Option<String> {
+    scopes.iter().rev().find_map(|s| match &s.kind {
+        ScopeKind::Owner { type_name } => type_name.clone(),
+        _ => None,
     })
 }
 
@@ -414,6 +659,14 @@ mod tests {
         let f = scan("crates/x/src/lib.rs", src);
         let body = f.tokens.iter().position(|t| t.is_ident("body")).expect("body");
         assert_eq!(f.ctx[body].fn_name.as_deref(), Some("real"));
+        // The bodiless declaration is recorded with no span and the trait
+        // as its owner; the free fn has a span and no owner.
+        let decl = f.fns.iter().find(|d| d.name == "decl").expect("decl def");
+        assert_eq!(decl.owner.as_deref(), Some("T"));
+        assert!(decl.body.is_none());
+        let real = f.fns.iter().find(|d| d.name == "real").expect("real def");
+        assert!(real.owner.is_none());
+        assert!(real.body.is_some());
     }
 
     #[test]
@@ -427,11 +680,63 @@ mod tests {
     }
 
     #[test]
+    fn checked_cast_directive_is_lossy_cast_allow() {
+        let src = "fn f(n: usize) -> u32 {\n // lint: checked-cast — bounded by MAX_FRAMES\n n as u32\n}";
+        let f = scan("crates/x/src/lib.rs", src);
+        assert!(f.allowed("R8", "lossy-cast", 2));
+        assert!(f.allowed("R8", "lossy-cast", 3));
+        assert!(!f.allowed("R1", "no-alloc", 3));
+    }
+
+    #[test]
     fn fn_collection_includes_test_flag() {
         let src = "fn a() {}\n#[cfg(test)]\nmod t { #[test]\nfn b() {} }";
         let f = scan("crates/x/src/lib.rs", src);
         let names: Vec<(String, bool)> =
             f.fns.iter().map(|d| (d.name.clone(), d.in_test)).collect();
         assert_eq!(names, vec![("a".into(), false), ("b".into(), true)]);
+    }
+
+    #[test]
+    fn impl_owner_is_recorded() {
+        let src = "impl<'a> Cursor<'a> { fn take(&mut self) {} }\nimpl fmt::Display for Frame { fn fmt(&self) {} }\nimpl Decoder { fn feed(&mut self) {} }";
+        let f = scan("crates/x/src/lib.rs", src);
+        let owner = |name: &str| {
+            f.fns
+                .iter()
+                .find(|d| d.name == name)
+                .and_then(|d| d.owner.clone())
+        };
+        assert_eq!(owner("take").as_deref(), Some("Cursor"));
+        assert_eq!(owner("fmt").as_deref(), Some("Frame"));
+        assert_eq!(owner("feed").as_deref(), Some("Decoder"));
+    }
+
+    #[test]
+    fn fn_body_spans_cover_exactly_the_body() {
+        let src = "fn a() { one(); }\nfn b() { two(); fn nested() { three(); } }";
+        let f = scan("crates/x/src/lib.rs", src);
+        let span = |name: &str| f.fns.iter().find(|d| d.name == name).and_then(|d| d.body);
+        let (s, e) = span("a").expect("a span");
+        let texts: Vec<&str> = f.tokens[s..e].iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["one", "(", ")", ";"]);
+        // Nested fn's span nests strictly inside its parent's.
+        let (bs, be) = span("b").expect("b span");
+        let (ns, ne) = span("nested").expect("nested span");
+        assert!(bs < ns && ne <= be);
+    }
+
+    #[test]
+    fn enum_variants_are_collected() {
+        let src = "pub enum Msg {\n /// doc\n Ping,\n Push { id: u32, frames: Vec<u8> },\n Resume(u64, u32),\n}\n#[cfg(test)]\nmod t { enum TestOnly { A, B } }";
+        let f = scan("crates/x/src/lib.rs", src);
+        assert_eq!(f.enums.len(), 2);
+        let msg = &f.enums[0];
+        assert_eq!(msg.name, "Msg");
+        assert!(!msg.in_test);
+        let names: Vec<&str> = msg.variants.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["Ping", "Push", "Resume"]);
+        assert_eq!(msg.variants[0].1, 3, "variant line recorded");
+        assert!(f.enums[1].in_test, "test-mod enum marked as test");
     }
 }

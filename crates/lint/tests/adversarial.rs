@@ -1,0 +1,90 @@
+//! Adversarial robustness: the linter eats *source text*, including the
+//! half-saved, merge-conflicted or outright corrupt files an editor can
+//! leave behind. Whatever the input, `lint_sources` must neither panic nor
+//! drift between runs — CI diffs two invocations, so any nondeterminism
+//! is itself a bug.
+
+use proptest::prelude::*;
+use sonic_lint::{lint_sources, SourceFile};
+
+/// Virtual paths that arm every path-scoped rule (R3/R4/R7/R8) plus an
+/// out-of-scope control.
+const ARMED_PATHS: &[&str] = &[
+    "crates/core/src/net/proto.rs",
+    "crates/sim/src/fixture.rs",
+    "crates/fec/src/fixture.rs",
+    "crates/dsp/src/simd.rs",
+    "crates/pagegen/src/fixture.rs",
+];
+
+fn lint_under_all_paths(text: &str) -> Vec<Vec<sonic_lint::Finding>> {
+    ARMED_PATHS
+        .iter()
+        .map(|p| {
+            lint_sources(&[SourceFile {
+                path: p.to_string(),
+                text: text.to_string(),
+            }])
+        })
+        .collect()
+}
+
+/// Rust-shaped fragments: concatenations of these hit the lexer and
+/// scanner edge cases (unterminated strings, raw idents, generics vs
+/// shifts, nested braces, test attributes) far more often than raw bytes.
+const FRAGMENTS: &[&str] = &[
+    "fn ", "impl ", "enum E ", "mod t ", "{", "}", "(", ")", "[", "]",
+    "::", "->", ";", ",", "<", ">", ">>", "\n", " ", "as u8", "as u32",
+    "r#type", "r#fn", "'a", "'\\n'", "\"str\\\"", "\"s\"", "b\"x\"",
+    "0xFF_u16", "1_187.5", "228_000", "// c\n", "/* b */", "/* unterminated",
+    "#[test]\n", "#[cfg(test)]\n", "use a::{b, c as d};", "use e::*;",
+    "unsafe ", ".unwrap()", ".push(x)", "Vec::new()", "HashMap",
+    "thread_rng", "Instant::now()", "match x ", "let y = ", "self.",
+    "Self::f()", "x.len()", "& 0xFF", "% 256", "// lint: allow(no-alloc)\n",
+    "// lint: checked-cast — ok\n", "encode_cmd", "decode_cmd", "_into",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn byte_soup_never_panics_and_is_stable(
+        bytes in proptest::collection::vec(any::<u8>(), 0..2048)
+    ) {
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let a = lint_under_all_paths(&text);
+        let b = lint_under_all_paths(&text);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn token_soup_never_panics_and_is_stable(
+        picks in proptest::collection::vec(any::<prop::sample::Index>(), 0..256)
+    ) {
+        let text: String = picks
+            .iter()
+            .map(|ix| FRAGMENTS[ix.index(FRAGMENTS.len())])
+            .collect();
+        let a = lint_under_all_paths(&text);
+        let b = lint_under_all_paths(&text);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn truncated_real_source_never_panics(cut in 0usize..40_000) {
+        // A real module chopped mid-token: the worst case an interrupted
+        // save produces. Clamp the cut to a char boundary.
+        let real = concat!(
+            include_str!("../src/rules.rs"),
+            include_str!("../src/graph.rs"),
+        );
+        let mut end = cut.min(real.len());
+        while !real.is_char_boundary(end) {
+            end -= 1;
+        }
+        let text = &real[..end];
+        let a = lint_under_all_paths(text);
+        let b = lint_under_all_paths(text);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -315,6 +315,8 @@ fn every_rule_has_at_least_two_fixture_diagnostics() {
         triples("crates/fec/src/fixture.rs", "r4_panic_free.rs"),
         triples("crates/radio/src/fixture.rs", "r5_unit_hygiene.rs"),
         triples("crates/dsp/src/fixture.rs", "r6_safety_comment.rs"),
+        triples("crates/core/src/net/proto.rs", "r7_wire_totality.rs"),
+        triples("crates/core/src/net/fixture.rs", "r8_lossy_cast.rs"),
     ];
     for (rule, batch) in [
         Rule::NoAlloc,
@@ -323,12 +325,136 @@ fn every_rule_has_at_least_two_fixture_diagnostics() {
         Rule::PanicFree,
         Rule::UnitHygiene,
         Rule::SafetyComment,
+        Rule::WireTotality,
+        Rule::LossyCast,
     ]
     .iter()
     .zip(&all)
     {
         let n = batch.iter().filter(|(r, _, _)| r == rule).count();
         assert!(n >= 2, "rule {:?} has {n} fixture diagnostics, need ≥ 2", rule);
+    }
+}
+
+/// Full findings for a set of (virtual path, fixture) pairs — the
+/// transitive fixtures need the chain, not just (rule, line, key).
+fn full(sources: &[(&str, &str)]) -> Vec<sonic_lint::Finding> {
+    let srcs: Vec<SourceFile> = sources
+        .iter()
+        .map(|(path, name)| SourceFile {
+            path: path.to_string(),
+            text: fixture(name),
+        })
+        .collect();
+    lint_sources(&srcs)
+}
+
+#[test]
+fn r1_transitive_exact_chain() {
+    let got = full(&[("crates/dsp/src/fixture.rs", "r1_transitive.rs")]);
+    assert_eq!(got.len(), 1, "{got:?}");
+    let f = &got[0];
+    assert_eq!(f.rule, Rule::NoAlloc);
+    assert_eq!(f.line, 7, "root call-site line");
+    assert_eq!(f.chain, ["mix_into", "shape", "scale", "grow", "Vec::new"]);
+    assert_eq!(f.key, "mix_into→shape→scale→grow→Vec::new");
+    // `vetted_into` makes the identical call under an edge-breaking allow:
+    // no second finding may exist for it.
+    assert!(!got.iter().any(|f| f.key.starts_with("vetted_into")));
+}
+
+#[test]
+fn r3_transitive_chain_crosses_crates() {
+    let got = full(&[
+        ("crates/sim/src/fixture.rs", "r3_transitive_root.rs"),
+        ("crates/dsp/src/helper_fixture.rs", "r3_transitive_helper.rs"),
+    ]);
+    assert_eq!(got.len(), 1, "{got:?}");
+    let f = &got[0];
+    assert_eq!(f.rule, Rule::Determinism);
+    assert_eq!(f.file, "crates/sim/src/fixture.rs");
+    assert_eq!(f.line, 9);
+    assert_eq!(f.chain, ["schedule", "jitter", "thread_rng"]);
+    // The helper itself is out of lexical scope: no finding may blame it
+    // directly.
+    assert!(got.iter().all(|f| f.file != "crates/dsp/src/helper_fixture.rs"));
+}
+
+#[test]
+fn r4_transitive_chain_reaches_nested_helper() {
+    let got = full(&[
+        ("crates/fec/src/fixture.rs", "r4_transitive_root.rs"),
+        ("crates/sms/src/helper_fixture.rs", "r4_transitive_helper.rs"),
+    ]);
+    assert_eq!(got.len(), 1, "{got:?}");
+    let f = &got[0];
+    assert_eq!(f.rule, Rule::PanicFree);
+    assert_eq!(f.file, "crates/fec/src/fixture.rs");
+    assert_eq!(f.line, 8);
+    assert_eq!(f.chain, ["decode_page", "pick", "head", ".unwrap"]);
+}
+
+#[test]
+fn r7_wire_totality_exact_diagnostics() {
+    // `Ping` is covered on all three axes; `Fetch` lacks round-trip
+    // evidence; `Stop` lacks the decode path; `Nack` the encode path.
+    let got = triples("crates/core/src/net/proto.rs", "r7_wire_totality.rs");
+    let want = vec![
+        (Rule::WireTotality, 8, "Cmd::Fetch:round-trip".to_string()),
+        (Rule::WireTotality, 9, "Cmd::Stop:decode".to_string()),
+        (Rule::WireTotality, 9, "Cmd::Stop:round-trip".to_string()),
+        (Rule::WireTotality, 10, "Cmd::Nack:encode".to_string()),
+        (Rule::WireTotality, 10, "Cmd::Nack:round-trip".to_string()),
+    ];
+    assert_eq!(got, want);
+}
+
+#[test]
+fn r7_out_of_scope_enum_is_silent() {
+    // The same enum anywhere but `net/proto.rs` is not a wire type.
+    let got = triples("crates/core/src/page.rs", "r7_wire_totality.rs");
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
+fn r8_lossy_cast_exact_diagnostics() {
+    // Flagged: the `.len()` chain, the declared-`u64` identifier, the
+    // oversized literal. Silent: mask/modulo proofs, fitting literals and
+    // the `// lint: checked-cast` escape hatch.
+    let got = triples("crates/core/src/net/fixture.rs", "r8_lossy_cast.rs");
+    let want = vec![
+        (Rule::LossyCast, 12, "usize as u32".to_string()),
+        (Rule::LossyCast, 13, "u64 as u32".to_string()),
+        (Rule::LossyCast, 20, "literal as u8".to_string()),
+    ];
+    assert_eq!(got, want);
+}
+
+#[test]
+fn r8_out_of_scope_is_silent() {
+    let got = triples("crates/sim/src/fixture.rs", "r8_lossy_cast.rs");
+    assert!(got.iter().all(|(r, _, _)| *r != Rule::LossyCast), "{got:?}");
+}
+
+#[test]
+fn r8_real_wire_and_fec_modules_are_silent() {
+    // The annotated real modules must stay quiet under R8.
+    for (dir, rel) in [
+        ("../core", "src/net/codec.rs"),
+        ("../core", "src/net/proto.rs"),
+        ("../fec", "src/viterbi.rs"),
+    ] {
+        let real = Path::new(env!("CARGO_MANIFEST_DIR")).join(dir).join(rel);
+        let src = SourceFile {
+            path: format!("crates/{}/{rel}", dir.trim_start_matches("../")),
+            text: std::fs::read_to_string(&real)
+                .unwrap_or_else(|e| panic!("{rel} unreadable: {e}")),
+        };
+        let findings = lint_sources(&[src]);
+        assert!(
+            findings.iter().all(|f| f.rule != Rule::LossyCast),
+            "{rel}: {findings:?}"
+        );
     }
 }
 

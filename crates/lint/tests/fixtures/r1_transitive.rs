@@ -1,0 +1,31 @@
+//! Transitive R1 fixture: `mix_into` is allocation-free in its own body
+//! but reaches an allocating helper three hops down. `vetted_into` makes
+//! the same call under an edge-breaking allow and must stay silent.
+
+pub fn mix_into(out: &mut [f32]) {
+    for v in out.iter_mut() {
+        *v = shape(*v);
+    }
+}
+
+pub fn vetted_into(out: &mut [f32]) {
+    for v in out.iter_mut() {
+        // lint: allow(no-alloc) — fixture: growth through this call is amortized
+        *v = shape(*v);
+    }
+}
+
+fn shape(x: f32) -> f32 {
+    scale(x)
+}
+
+fn scale(x: f32) -> f32 {
+    let t = grow();
+    x * t[0]
+}
+
+fn grow() -> Vec<f32> {
+    let mut v = Vec::new();
+    v.push(0.5);
+    v
+}

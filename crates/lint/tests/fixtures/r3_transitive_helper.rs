@@ -1,0 +1,7 @@
+//! Transitive R3 fixture (helper half): lives outside the deterministic
+//! scope, so the lexical rule never flags it — only the call graph does.
+
+pub fn jitter(x: u64) -> u64 {
+    let r: u64 = rand::thread_rng().gen();
+    x ^ r
+}

@@ -1,0 +1,11 @@
+//! Transitive R3 fixture (root half): a scheduler in `crates/sim/src/` —
+//! deterministic scope — whose own body is clean but which calls into a
+//! helper crate that consults an unseeded RNG.
+
+use sonic_dsp::helper_fixture::jitter;
+
+pub fn schedule(slots: &mut [u64]) {
+    for s in slots.iter_mut() {
+        *s = jitter(*s);
+    }
+}

@@ -1,0 +1,10 @@
+//! Transitive R4 fixture (helper half): outside the panic-free scope, so
+//! only the call graph connects its `.unwrap()` back to the decode chain.
+
+pub fn pick(x: &[u8]) -> u8 {
+    head(x)
+}
+
+fn head(x: &[u8]) -> u8 {
+    *x.first().unwrap()
+}

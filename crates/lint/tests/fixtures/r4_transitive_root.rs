@@ -1,0 +1,9 @@
+//! Transitive R4 fixture (root half): decode-chain code in
+//! `crates/fec/src/` — panic-free scope — calling a helper crate whose
+//! nested helper unwraps.
+
+use sonic_sms::helper_fixture::pick;
+
+pub fn decode_page(x: &[u8]) -> u8 {
+    pick(x)
+}

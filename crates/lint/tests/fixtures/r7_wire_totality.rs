@@ -1,0 +1,45 @@
+//! R7 fixture: a wire enum with one fully covered variant (`Ping`), one
+//! missing only round-trip evidence (`Fetch`), one missing the decode
+//! path (`Stop`), and one missing the encode path (`Nack`). The encode
+//! side names its variants one hop down (`tag`) to exercise reachability.
+
+pub enum Cmd {
+    Ping,
+    Fetch,
+    Stop,
+    Nack,
+}
+
+pub fn encode_cmd(c: &Cmd, out: &mut Vec<u8>) {
+    out.push(tag(c));
+}
+
+fn tag(c: &Cmd) -> u8 {
+    match c {
+        Cmd::Ping => 1,
+        Cmd::Fetch => 2,
+        Cmd::Stop => 3,
+        _ => 0,
+    }
+}
+
+pub fn decode_cmd(b: u8) -> Option<Cmd> {
+    match b {
+        1 => Some(Cmd::Ping),
+        2 => Some(Cmd::Fetch),
+        4 => Some(Cmd::Nack),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_round_trips() {
+        let mut b = Vec::new();
+        encode_cmd(&Cmd::Ping, &mut b);
+        assert!(matches!(decode_cmd(b[0]), Some(Cmd::Ping)));
+    }
+}

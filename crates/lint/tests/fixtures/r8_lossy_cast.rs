@@ -1,0 +1,22 @@
+//! R8 fixture: the three flagged shapes (a `.len()` chain, a declared-wide
+//! identifier, an oversized literal), the `// lint: checked-cast` escape
+//! hatch, and the silent proofs (in-range mask/modulo, fitting literal).
+
+pub fn pack(len_hint: usize, seq: u64, out: &mut Vec<u8>) {
+    let lo = (seq & 0xFF) as u8;
+    let id = (len_hint % 256) as u8;
+    let ok = 42 as u8;
+    out.push(lo);
+    out.push(id);
+    out.push(ok);
+    out.extend_from_slice(&(out.len() as u32).to_be_bytes());
+    let s = seq as u32;
+    out.extend_from_slice(&s.to_be_bytes());
+    // lint: checked-cast — fixture: sequence tags wrap by design
+    let t = seq as u16;
+    out.extend_from_slice(&t.to_be_bytes());
+    let big = 300 as u16;
+    out.extend_from_slice(&big.to_be_bytes());
+    let bad = 300 as u8;
+    out.push(bad);
+}

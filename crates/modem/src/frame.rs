@@ -182,7 +182,9 @@ impl FrameCodec {
     /// # Panics
     /// Panics if `payload.len() > MAX_PAYLOAD`.
     pub fn modulate_into(&mut self, payload: &[u8], audio: &mut Vec<f32>) {
+        // lint: allow(no-alloc) — per-frame header bits; the conv encoder's API returns owned bits
         let header = header_coded_bits(payload.len());
+        // lint: allow(no-alloc) — per-frame coded buffer; FecPipeline::encode returns owned bytes by design
         let coded = self.fec.encode(payload);
         self.modulator
             .modulate_bits_into(&header, &coded, &mut self.mod_scratch, audio);

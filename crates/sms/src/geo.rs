@@ -88,7 +88,7 @@ impl Coverage {
             .iter()
             .map(|s| (s, s.location.distance_km(p)))
             .filter(|(s, d)| *d <= s.radius_km)
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(s, _)| s)
     }
 }
